@@ -1,0 +1,77 @@
+//! B1/B2: optimizer runtime scaling (§3's complexity claims).
+//!
+//! * B1 — runtime is **linear in the number of sources** (`O(m!·m·n)`
+//!   with m fixed): "very important when we deal with a large number of
+//!   sources as is the case with integrating Internet sources".
+//! * B2 — runtime is **factorial in the number of conditions** for the
+//!   exact SJ/SJA, while the greedy variant of \[24\] stays linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_core::optimizer::sja_branch_and_bound;
+use fusion_core::{filter_plan, greedy_sja, sj_optimal, sja_optimal, TableCostModel};
+use std::hint::black_box;
+
+fn model(m: usize, n: usize) -> TableCostModel {
+    // Non-trivial estimates so decisions are not degenerate.
+    let mut t = TableCostModel::uniform(m, n, 10.0, 1.0, 0.1, 1e6, 5.0, 10_000.0);
+    for i in 0..m {
+        for j in 0..n {
+            t.set_sq_cost(
+                fusion_types::CondId(i),
+                fusion_types::SourceId(j),
+                5.0 + ((i * 31 + j * 17) % 23) as f64,
+            );
+            t.set_est_sq_items(
+                fusion_types::CondId(i),
+                fusion_types::SourceId(j),
+                1.0 + ((i * 13 + j * 7) % 40) as f64,
+            );
+        }
+    }
+    t
+}
+
+/// B1: SJA runtime vs number of sources, m = 3.
+fn bench_scaling_in_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b1_sja_vs_sources");
+    group.sample_size(20);
+    for n in [10usize, 100, 1_000, 10_000] {
+        let m = model(3, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sja_optimal(&m).cost));
+        });
+    }
+    group.finish();
+}
+
+/// B2: exact vs greedy runtime vs number of conditions, n = 16.
+fn bench_scaling_in_conditions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_vs_conditions");
+    group.sample_size(10);
+    for m in [2usize, 4, 6, 8] {
+        let t = model(m, 16);
+        group.bench_with_input(BenchmarkId::new("sja_exact", m), &m, |b, _| {
+            b.iter(|| black_box(sja_optimal(&t).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("sj_exact", m), &m, |b, _| {
+            b.iter(|| black_box(sj_optimal(&t).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("sja_greedy", m), &m, |b, _| {
+            b.iter(|| black_box(greedy_sja(&t).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("sja_bnb", m), &m, |b, _| {
+            b.iter(|| black_box(sja_branch_and_bound(&t).0.cost));
+        });
+        group.bench_with_input(BenchmarkId::new("filter", m), &m, |b, _| {
+            b.iter(|| black_box(filter_plan(&t).cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_in_sources,
+    bench_scaling_in_conditions
+);
+criterion_main!(benches);

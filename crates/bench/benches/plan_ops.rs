@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the mediator's local machinery: item-set algebra,
+//! plan construction/validation, and selectivity estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_core::plan::SimplePlanSpec;
+use fusion_stats::{estimate_selectivity, TableStats};
+use fusion_types::{CmpOp, ItemSet, Predicate, Relation, Schema, Tuple, Value};
+use std::hint::black_box;
+
+fn items(n: usize, offset: i64) -> ItemSet {
+    (0..n as i64).map(|i| i * 2 + offset).collect()
+}
+
+/// Item-set algebra at mediator-realistic sizes.
+fn bench_itemset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itemset");
+    group.sample_size(30);
+    for size in [1_000usize, 100_000] {
+        let a = items(size, 0);
+        let b = items(size, 1); // interleaved, ~zero overlap
+        let c2 = items(size, 0); // identical
+        group.bench_with_input(BenchmarkId::new("union_disjoint", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.union(&b)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("intersect_identical", size),
+            &size,
+            |bch, _| {
+                bch.iter(|| black_box(a.intersect(&c2)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("difference", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.difference(&b)));
+        });
+        let probe = items(64, 0);
+        group.bench_with_input(
+            BenchmarkId::new("intersect_skewed", size),
+            &size,
+            |bch, _| {
+                bch.iter(|| black_box(a.intersect(&probe)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Plan construction + validation at large n.
+fn bench_plan_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_build");
+    for n in [10usize, 100, 1_000] {
+        let spec = SimplePlanSpec::filter(4, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let plan = spec.build(n).expect("valid spec");
+                plan.validate().expect("valid plan");
+                black_box(plan.steps.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Selectivity estimation over table statistics.
+fn bench_selectivity(c: &mut Criterion) {
+    let schema = Schema::new(
+        vec![
+            fusion_types::Attribute::new("M", fusion_types::ValueType::Str),
+            fusion_types::Attribute::new("A", fusion_types::ValueType::Int),
+        ],
+        "M",
+    )
+    .expect("valid schema");
+    let rows: Vec<Tuple> = (0..10_000)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Str(format!("M{i:05}")),
+                Value::Int(i % 1_000),
+            ])
+        })
+        .collect();
+    let rel = Relation::from_rows(schema, rows);
+    let stats = TableStats::build(&rel, 1);
+    let preds = [
+        Predicate::cmp("A", CmpOp::Lt, 100i64),
+        Predicate::eq("A", 7i64),
+        Predicate::And(vec![
+            Predicate::cmp("A", CmpOp::Ge, 100i64),
+            Predicate::cmp("A", CmpOp::Lt, 300i64),
+        ]),
+    ];
+    c.bench_function("selectivity_estimation", |b| {
+        b.iter(|| {
+            for p in &preds {
+                black_box(estimate_selectivity(p, &stats));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_itemset_ops, bench_plan_build, bench_selectivity);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! The experiment runner: regenerates every figure and evaluation table.
+//!
+//! ```sh
+//! cargo run -p fusion-bench --release --bin experiments -- all
+//! cargo run -p fusion-bench --release --bin experiments -- e4-heterogeneity
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <name>...");
+        eprintln!("names: all {}", fusion_bench::exp::ALL.join(" "));
+        return ExitCode::FAILURE;
+    }
+    for name in &args {
+        if !fusion_bench::exp::run(name) {
+            eprintln!("unknown experiment `{name}`");
+            eprintln!("names: all {}", fusion_bench::exp::ALL.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,90 @@
+//! E15 (extension): optimizing with *learned* cost coefficients.
+//!
+//! An Internet mediator rarely knows its sources' link parameters. The
+//! paper points at query-sampling calibration (\[25\], \[5\]); E15
+//! measures the full loop: probe each source, least-squares-fit its cost
+//! coefficients, optimize with the learned model, and compare the
+//! resulting plan (executed) against the plan an oracle model with the
+//! true link parameters picks.
+
+use crate::exp::executed_cost;
+use crate::table::{fmt3, Table};
+use fusion_core::cost::calibrate;
+use fusion_core::sja_optimal;
+use fusion_source::ProcessingProfile;
+use fusion_workload::synth::{synth_scenario, SynthSpec};
+use fusion_workload::{biblio, dmv, CapabilityMix, Scenario};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        dmv::scaled_dmv_scenario(6, 20_000, 3_000, 15_001),
+        biblio::biblio_scenario(5, 1_500, 8_000, &["database", "optimization"], 15_002),
+        synth_scenario(
+            &SynthSpec {
+                n_sources: 8,
+                domain_size: 40_000,
+                rows_per_source: 2_000,
+                seed: 15_003,
+                capability_mix: CapabilityMix::AllFull,
+                link: None, // mixed links: the thing calibration must learn
+                processing: ProcessingProfile::indexed_db(),
+            },
+            &[0.02, 0.4, 0.6],
+        ),
+    ]
+}
+
+/// E15: executed cost of the oracle-model plan vs the learned-model plan,
+/// plus what the probing itself cost.
+pub fn e15_calibration() {
+    let mut t = Table::new(
+        "E15: oracle vs calibrated cost model (executed costs)",
+        &[
+            "scenario",
+            "oracle plan",
+            "calibrated plan",
+            "regret",
+            "probe cost",
+        ],
+    );
+    for scenario in scenarios() {
+        let oracle = scenario.cost_model();
+        let mut probe_net = scenario.network();
+        let learned = calibrate(&scenario.sources, &mut probe_net, &scenario.query, 77)
+            .expect("calibration succeeds");
+        let oracle_exec = executed_cost(&scenario, &sja_optimal(&oracle).plan);
+        let learned_exec = executed_cost(&scenario, &sja_optimal(&learned).plan);
+        t.row(vec![
+            scenario.name.clone(),
+            fmt3(oracle_exec),
+            fmt3(learned_exec),
+            format!("{:+.1}%", (learned_exec / oracle_exec - 1.0) * 100.0),
+            fmt3(learned.calibration_cost.value()),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learned_plans_have_low_regret() {
+        for scenario in scenarios() {
+            let oracle = scenario.cost_model();
+            let mut probe_net = scenario.network();
+            let learned =
+                calibrate(&scenario.sources, &mut probe_net, &scenario.query, 77).unwrap();
+            let oracle_exec = executed_cost(&scenario, &sja_optimal(&oracle).plan);
+            let learned_exec = executed_cost(&scenario, &sja_optimal(&learned).plan);
+            assert!(
+                learned_exec <= oracle_exec * 1.15,
+                "{}: regret too high ({:.3} vs {:.3})",
+                scenario.name,
+                learned_exec,
+                oracle_exec
+            );
+        }
+    }
+}

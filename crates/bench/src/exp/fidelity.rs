@@ -1,0 +1,91 @@
+//! E8: cost-model fidelity — estimated vs executed costs.
+
+use crate::exp::executed_cost;
+use crate::table::{fmt3, Table};
+use fusion_core::{filter_plan, sja_optimal};
+use fusion_net::LinkProfile;
+use fusion_source::ProcessingProfile;
+use fusion_workload::synth::{synth_scenario, SynthSpec};
+use fusion_workload::{biblio, dmv, CapabilityMix, Scenario};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        dmv::scaled_dmv_scenario(8, 20_000, 3_000, 8001),
+        biblio::biblio_scenario(6, 1_500, 8_000, &["database", "optimization"], 8002),
+        synth_scenario(
+            &SynthSpec {
+                n_sources: 10,
+                domain_size: 30_000,
+                rows_per_source: 2_000,
+                seed: 8003,
+                capability_mix: CapabilityMix::AllFull,
+                link: Some(LinkProfile::Wan),
+                processing: ProcessingProfile::indexed_db(),
+            },
+            &[0.03, 0.4, 0.6],
+        ),
+        synth_scenario(
+            &SynthSpec {
+                n_sources: 6,
+                domain_size: 10_000,
+                rows_per_source: 1_500,
+                seed: 8004,
+                capability_mix: CapabilityMix::FractionEmulated { frac: 0.5, batch: 10 },
+                link: None,
+                processing: ProcessingProfile::scan_bound(),
+            },
+            &[0.1, 0.3],
+        ),
+    ]
+}
+
+/// E8: for each scenario, compare the optimizer's estimated plan cost
+/// against the executed cost, for FILTER and SJA plans.
+///
+/// Expectation: ratios near 1.0. FILTER estimates depend only on
+/// selectivity estimation; SJA estimates additionally chain semijoin-set
+/// cardinalities, so their error is slightly larger but still small —
+/// validating that optimizing against the model optimizes reality.
+pub fn e8_fidelity() {
+    let mut t = Table::new(
+        "E8: estimated vs executed cost",
+        &["scenario", "plan", "estimated", "executed", "est/exec"],
+    );
+    for scenario in scenarios() {
+        let model = scenario.cost_model();
+        for (name, opt) in [("FILTER", filter_plan(&model)), ("SJA", sja_optimal(&model))] {
+            let est = opt.cost.value();
+            let exec = executed_cost(&scenario, &opt.plan);
+            t.row(vec![
+                scenario.name.clone(),
+                name.to_string(),
+                fmt3(est),
+                fmt3(exec),
+                format!("{:.3}", est / exec),
+            ]);
+        }
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_within_2x_of_reality() {
+        for scenario in scenarios() {
+            let model = scenario.cost_model();
+            for opt in [filter_plan(&model), sja_optimal(&model)] {
+                let est = opt.cost.value();
+                let exec = executed_cost(&scenario, &opt.plan);
+                let ratio = est / exec;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "{}: ratio {ratio:.3} (est {est:.3}, exec {exec:.3})",
+                    scenario.name
+                );
+            }
+        }
+    }
+}

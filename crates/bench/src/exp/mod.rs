@@ -1,0 +1,209 @@
+//! Experiment implementations and the dispatch table.
+
+pub mod bloom;
+pub mod calibration_exp;
+pub mod correlation;
+pub mod fidelity;
+pub mod figures;
+pub mod greedy;
+pub mod heterogeneity;
+pub mod one_phase;
+pub mod optimality;
+pub mod postopt;
+pub mod response;
+pub mod response_opt;
+pub mod sweeps;
+
+use fusion_core::postopt::sja_plus;
+use fusion_core::{filter_plan, sj_optimal, sja_optimal};
+use fusion_exec::execute_plan;
+use fusion_workload::Scenario;
+
+/// Estimated costs of the four plan classes on one scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassCosts {
+    /// FILTER plan cost.
+    pub filter: f64,
+    /// Optimal semijoin plan cost.
+    pub sj: f64,
+    /// Optimal semijoin-adaptive plan cost.
+    pub sja: f64,
+    /// SJA+ (postoptimized) cost.
+    pub sja_plus: f64,
+}
+
+impl ClassCosts {
+    /// Runs all four optimizers on a scenario's cost model. Every plan is
+    /// priced by the same plan walker (`estimate_plan_cost`) so the four
+    /// columns are directly comparable.
+    pub fn of(scenario: &Scenario) -> ClassCosts {
+        let model = scenario.cost_model();
+        let price =
+            |plan: &fusion_core::plan::Plan| fusion_core::estimate_plan_cost(plan, &model).cost.value();
+        ClassCosts {
+            filter: price(&filter_plan(&model).plan),
+            sj: price(&sj_optimal(&model).plan),
+            sja: price(&sja_optimal(&model).plan),
+            sja_plus: price(&sja_plus(&model).plan),
+        }
+    }
+
+    /// FILTER-to-SJA+ improvement factor.
+    pub fn speedup(&self) -> f64 {
+        self.filter / self.sja_plus.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Executes a plan on a scenario and returns the actual total cost.
+pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64 {
+    let mut network = scenario.network();
+    execute_plan(plan, &scenario.query, &scenario.sources, &mut network)
+        .expect("experiment plans execute")
+        .total_cost()
+        .value()
+}
+
+/// All experiment names, in canonical order.
+pub const ALL: [&str; 19] = [
+    "fig1",
+    "fig2",
+    "fig5",
+    "e1-sources",
+    "e2-conditions",
+    "e3-selectivity",
+    "e4-heterogeneity",
+    "e5-difference",
+    "e6-loading",
+    "e7-greedy",
+    "e8-fidelity",
+    "e9-response-time",
+    "e10-optimality",
+    "e11-bloom",
+    "e12-response-opt",
+    "e13-correlation",
+    "e14-adaptive",
+    "e15-calibration",
+    "e16-one-phase",
+];
+
+/// Runs one experiment by name (or `all`). Returns false for unknown
+/// names.
+pub fn run(name: &str) -> bool {
+    match name {
+        "all" => {
+            for n in ALL {
+                assert!(run(n), "built-in experiment {n} must exist");
+                println!();
+            }
+            true
+        }
+        "fig1" => {
+            figures::fig1();
+            true
+        }
+        "fig2" => {
+            figures::fig2();
+            true
+        }
+        "fig5" => {
+            figures::fig5();
+            true
+        }
+        "e1-sources" => {
+            sweeps::e1_sources();
+            true
+        }
+        "e2-conditions" => {
+            sweeps::e2_conditions();
+            true
+        }
+        "e3-selectivity" => {
+            sweeps::e3_selectivity();
+            true
+        }
+        "e4-heterogeneity" => {
+            heterogeneity::e4_heterogeneity();
+            true
+        }
+        "e5-difference" => {
+            postopt::e5_difference();
+            true
+        }
+        "e6-loading" => {
+            postopt::e6_loading();
+            true
+        }
+        "e7-greedy" => {
+            greedy::e7_greedy();
+            true
+        }
+        "e8-fidelity" => {
+            fidelity::e8_fidelity();
+            true
+        }
+        "e9-response-time" => {
+            response::e9_response_time();
+            true
+        }
+        "e10-optimality" => {
+            optimality::e10_optimality();
+            true
+        }
+        "e11-bloom" => {
+            bloom::e11_bloom();
+            true
+        }
+        "e12-response-opt" => {
+            response_opt::e12_response_opt();
+            true
+        }
+        "e13-correlation" => {
+            correlation::e13_correlation();
+            true
+        }
+        "e14-adaptive" => {
+            correlation::e14_adaptive();
+            true
+        }
+        "e15-calibration" => {
+            calibration_exp::e15_calibration();
+            true
+        }
+        "e16-one-phase" => {
+            one_phase::e16_one_phase();
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_workload::dmv;
+
+    #[test]
+    fn class_costs_ordering_on_figure1() {
+        let c = ClassCosts::of(&dmv::figure1_scenario());
+        assert!(c.sj <= c.filter + 1e-9);
+        assert!(c.sja <= c.sj + 1e-9);
+        assert!(c.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(!run("e99-nope"));
+    }
+
+    #[test]
+    fn all_names_dispatch() {
+        // Names must at least be known (running them is covered by the
+        // harness smoke test, which is slower).
+        for n in ALL {
+            assert!(
+                n.starts_with('e') || n.starts_with("fig"),
+                "unexpected name {n}"
+            );
+        }
+    }
+}

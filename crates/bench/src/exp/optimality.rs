@@ -1,0 +1,169 @@
+//! E10: empirical validation of the optimality theorem.
+//!
+//! The paper (§1 step 3, citing \[24\]) claims: "if there are only two
+//! query conditions, or if there are more conditions but they are
+//! independent, then the best semijoin-adaptive plan is also the best
+//! simple plan". We validate empirically:
+//!
+//! * **m = 2, exhaustively** — we enumerate every condition-at-a-time
+//!   simple plan (both orderings × every per-source choice matrix) and
+//!   check SJA's output matches the enumerated minimum;
+//! * **m = 3, by sampling** — we price hundreds of random plans from a
+//!   family *strictly larger* than SJA's search space (semijoins may use
+//!   any earlier round's result) and check none beats SJA.
+
+use crate::table::{fmt3, Table};
+use fusion_core::estimate_plan_cost;
+use fusion_core::plan::{SimplePlanSpec, SourceChoice};
+use fusion_core::sampler::random_simple_plan;
+use fusion_core::sja_optimal;
+use fusion_core::{CostModel, TableCostModel};
+use fusion_stats::SplitMix64;
+use fusion_types::{CondId, SourceId};
+
+/// A random table model with independent per-(condition, source) costs.
+pub fn random_model(m: usize, n: usize, seed: u64) -> TableCostModel {
+    let mut rng = SplitMix64::new(seed);
+    let mut model = TableCostModel::uniform(m, n, 1.0, 1.0, 0.1, 1e6, 1.0, 300.0);
+    for i in 0..m {
+        for j in 0..n {
+            model.set_sq_cost(CondId(i), SourceId(j), 1.0 + 99.0 * rng.next_f64());
+            model.set_sjq_cost(
+                CondId(i),
+                SourceId(j),
+                0.5 + 30.0 * rng.next_f64(),
+                2.0 * rng.next_f64(),
+            );
+            model.set_est_sq_items(CondId(i), SourceId(j), 1.0 + 80.0 * rng.next_f64());
+        }
+    }
+    model
+}
+
+/// Exhaustively enumerates every condition-at-a-time spec for m = 2 and
+/// returns the minimum walker-priced cost.
+pub fn exhaustive_m2_minimum<M: CostModel>(model: &M) -> f64 {
+    let n = model.n_sources();
+    let mut best = f64::INFINITY;
+    for order in [[0usize, 1], [1, 0]] {
+        for mask in 0u32..(1 << n) {
+            let round2: Vec<SourceChoice> = (0..n)
+                .map(|j| {
+                    if mask & (1 << j) != 0 {
+                        SourceChoice::Semijoin
+                    } else {
+                        SourceChoice::Selection
+                    }
+                })
+                .collect();
+            let spec = SimplePlanSpec {
+                order: order.iter().map(|&c| CondId(c)).collect(),
+                choices: vec![vec![SourceChoice::Selection; n], round2],
+            };
+            let plan = spec.build(n).expect("valid spec");
+            best = best.min(estimate_plan_cost(&plan, model).cost.value());
+        }
+    }
+    best
+}
+
+/// E10 output: the exhaustive m=2 check over random models and the
+/// sampled m=3 check.
+pub fn e10_optimality() {
+    let mut t = Table::new(
+        "E10a: SJA vs exhaustive search, m=2, n=4 (20 random cost models)",
+        &["model", "SJA", "exhaustive min", "match"],
+    );
+    let mut all_match = true;
+    for seed in 0..20u64 {
+        let model = random_model(2, 4, 10_000 + seed);
+        let sja = estimate_plan_cost(&sja_optimal(&model).plan, &model)
+            .cost
+            .value();
+        let exhaustive = exhaustive_m2_minimum(&model);
+        let matches = (sja - exhaustive).abs() <= 1e-9 * exhaustive.max(1.0);
+        all_match &= matches;
+        if seed < 5 || !matches {
+            t.row(vec![
+                seed.to_string(),
+                fmt3(sja),
+                fmt3(exhaustive),
+                if matches { "✓" } else { "✗" }.to_string(),
+            ]);
+        }
+    }
+    t.row(vec![
+        "(all 20)".into(),
+        "".into(),
+        "".into(),
+        if all_match { "✓" } else { "✗" }.to_string(),
+    ]);
+    t.print();
+
+    let mut t = Table::new(
+        "E10b: SJA vs 500 sampled wider-family plans, m=3, n=3",
+        &["model", "SJA", "best sample", "samples beating SJA"],
+    );
+    for seed in 0..5u64 {
+        let model = random_model(3, 3, 20_000 + seed);
+        let sja = estimate_plan_cost(&sja_optimal(&model).plan, &model)
+            .cost
+            .value();
+        let mut best_sample = f64::INFINITY;
+        let mut beating = 0usize;
+        for s in 0..500u64 {
+            let sampled = random_simple_plan(3, 3, seed * 10_000 + s);
+            let cost = estimate_plan_cost(&sampled.plan, &model).cost.value();
+            best_sample = best_sample.min(cost);
+            if cost < sja * (1.0 - 1e-9) {
+                beating += 1;
+            }
+        }
+        t.row(vec![
+            seed.to_string(),
+            fmt3(sja),
+            fmt3(best_sample),
+            beating.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sja_matches_exhaustive_for_m2() {
+        for seed in 0..30u64 {
+            let model = random_model(2, 3, 777 + seed);
+            let sja = estimate_plan_cost(&sja_optimal(&model).plan, &model)
+                .cost
+                .value();
+            let exhaustive = exhaustive_m2_minimum(&model);
+            assert!(
+                (sja - exhaustive).abs() <= 1e-9 * exhaustive.max(1.0),
+                "seed {seed}: SJA {sja} vs exhaustive {exhaustive}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_sampled_plan_beats_sja_for_m3() {
+        for seed in 0..5u64 {
+            let model = random_model(3, 3, 999 + seed);
+            let sja = estimate_plan_cost(&sja_optimal(&model).plan, &model)
+                .cost
+                .value();
+            for s in 0..200u64 {
+                let sampled = random_simple_plan(3, 3, seed * 1_000 + s);
+                let cost = estimate_plan_cost(&sampled.plan, &model).cost.value();
+                assert!(
+                    cost >= sja * (1.0 - 1e-9),
+                    "seed {seed}/{s}: {cost} < {sja}\n{}",
+                    sampled.plan
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! E5–E6: postoptimization experiments (§4).
+
+use crate::exp::executed_cost;
+use crate::table::{fmt3, Table};
+use fusion_core::postopt::{sja_plus_with, PostOptConfig};
+use fusion_net::LinkProfile;
+use fusion_source::ProcessingProfile;
+use fusion_workload::synth::{synth_scenario, SynthSpec};
+use fusion_workload::CapabilityMix;
+
+/// E5: difference pruning benefit vs inter-source coverage.
+///
+/// The pruning removes, from each semijoin set, the items already
+/// confirmed by the round's earlier queries. The more of the universe
+/// each source covers, the more items the earlier queries confirm, and
+/// the more the pruning saves. We sweep coverage by shrinking the item
+/// universe under fixed per-source cardinality; costs are *executed*, not
+/// estimated, so the saving is real shipped bytes.
+pub fn e5_difference() {
+    let mut t = Table::new(
+        "E5: difference pruning vs per-source coverage (n=6, m=3, executed costs)",
+        &["coverage", "SJA (no diff)", "SJA + diff", "saving"],
+    );
+    for domain in [1_200usize, 2_000, 4_000, 10_000, 50_000] {
+        let spec = SynthSpec {
+            n_sources: 6,
+            domain_size: domain,
+            rows_per_source: 1_000,
+            seed: 5000,
+            capability_mix: CapabilityMix::AllFull,
+            link: Some(LinkProfile::Wan),
+            processing: ProcessingProfile::indexed_db(),
+        };
+        let scenario = synth_scenario(&spec, &[0.05, 0.4, 0.5]);
+        let model = scenario.cost_model();
+        let base = sja_plus_with(
+            &model,
+            PostOptConfig {
+                use_difference: false,
+                use_loading: false,
+                ..PostOptConfig::default()
+            },
+        );
+        let pruned = sja_plus_with(
+            &model,
+            PostOptConfig {
+                use_difference: true,
+                use_loading: false,
+                ..PostOptConfig::default()
+            },
+        );
+        let base_exec = executed_cost(&scenario, &base.plan);
+        let pruned_exec = executed_cost(&scenario, &pruned.plan);
+        t.row(vec![
+            format!("{:.0}%", 100.0 * 1_000.0 / domain as f64),
+            fmt3(base_exec),
+            fmt3(pruned_exec),
+            format!("{:.1}%", (1.0 - pruned_exec / base_exec) * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+/// E6: source loading benefit vs source size.
+///
+/// "This can be advantageous in fusion queries involving extremely small
+/// source databases or large number of conditions." We fix m = 5
+/// conditions and sweep per-source cardinality: tiny sources get loaded
+/// wholesale (one `lq` replaces five queries), large ones never do.
+pub fn e6_loading() {
+    let mut t = Table::new(
+        "E6: source loading vs source size (n=6, m=5, executed costs)",
+        &["rows/source", "SJA", "SJA + load", "sources loaded", "saving"],
+    );
+    for rows in [25usize, 100, 400, 1_600, 6_400] {
+        let spec = SynthSpec {
+            n_sources: 6,
+            domain_size: 8 * rows,
+            rows_per_source: rows,
+            seed: 6000,
+            capability_mix: CapabilityMix::AllFull,
+            link: Some(LinkProfile::Wan),
+            processing: ProcessingProfile::indexed_db(),
+        };
+        let scenario = synth_scenario(&spec, &[0.3, 0.4, 0.5, 0.5, 0.6]);
+        let model = scenario.cost_model();
+        let base = sja_plus_with(
+            &model,
+            PostOptConfig {
+                use_difference: false,
+                use_loading: false,
+                ..PostOptConfig::default()
+            },
+        );
+        let loaded = sja_plus_with(
+            &model,
+            PostOptConfig {
+                use_difference: false,
+                use_loading: true,
+                ..PostOptConfig::default()
+            },
+        );
+        let base_exec = executed_cost(&scenario, &base.plan);
+        let loaded_exec = executed_cost(&scenario, &loaded.plan);
+        t.row(vec![
+            rows.to_string(),
+            fmt3(base_exec),
+            fmt3(loaded_exec),
+            format!("{}/6", loaded.loaded_sources.len()),
+            format!("{:.1}%", (1.0 - loaded_exec / base_exec) * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sources_get_loaded_large_do_not() {
+        let mk = |rows: usize| {
+            let spec = SynthSpec {
+                n_sources: 6,
+                domain_size: 8 * rows,
+                rows_per_source: rows,
+                seed: 6000,
+                capability_mix: CapabilityMix::AllFull,
+                link: Some(LinkProfile::Wan),
+                processing: ProcessingProfile::indexed_db(),
+            };
+            let scenario = synth_scenario(&spec, &[0.3, 0.4, 0.5, 0.5, 0.6]);
+            let model = scenario.cost_model();
+            sja_plus_with(
+                &model,
+                PostOptConfig {
+                    use_difference: false,
+                    use_loading: true,
+                    ..PostOptConfig::default()
+                },
+            )
+            .loaded_sources
+            .len()
+        };
+        assert_eq!(mk(25), 6, "tiny sources all loaded");
+        assert_eq!(mk(6_400), 0, "large sources never loaded");
+    }
+
+    #[test]
+    fn difference_saves_more_at_higher_coverage() {
+        let saving = |domain: usize| {
+            let spec = SynthSpec {
+                n_sources: 6,
+                domain_size: domain,
+                rows_per_source: 1_000,
+                seed: 5000,
+                capability_mix: CapabilityMix::AllFull,
+                link: Some(LinkProfile::Wan),
+                processing: ProcessingProfile::indexed_db(),
+            };
+            let scenario = synth_scenario(&spec, &[0.05, 0.4, 0.5]);
+            let model = scenario.cost_model();
+            let base = sja_plus_with(
+                &model,
+                PostOptConfig {
+                    use_difference: false,
+                    use_loading: false,
+                    ..PostOptConfig::default()
+                },
+            );
+            let pruned = sja_plus_with(
+                &model,
+                PostOptConfig {
+                    use_difference: true,
+                    use_loading: false,
+                    ..PostOptConfig::default()
+                },
+            );
+            let b = executed_cost(&scenario, &base.plan);
+            let p = executed_cost(&scenario, &pruned.plan);
+            1.0 - p / b
+        };
+        let high_coverage = saving(1_200);
+        let low_coverage = saving(50_000);
+        assert!(
+            high_coverage > low_coverage,
+            "high {high_coverage} vs low {low_coverage}"
+        );
+        assert!(high_coverage >= 0.0);
+    }
+}

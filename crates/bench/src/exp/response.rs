@@ -1,0 +1,81 @@
+//! E9: response time under the parallel execution model (§6 future work).
+
+use crate::table::{fmt3, fmtx, Table};
+use fusion_core::sja_optimal;
+use fusion_exec::{execute_plan, response_time};
+use fusion_net::LinkProfile;
+use fusion_source::ProcessingProfile;
+use fusion_workload::synth::{synth_scenario, SynthSpec};
+use fusion_workload::CapabilityMix;
+
+/// E9: execute the SJA plan and replay it under list scheduling with one
+/// queue per source; report total work vs parallel response time.
+///
+/// Expectation: within a round all sources are contacted concurrently, so
+/// the parallelism (total work / response time) grows with n and
+/// saturates near n / (#rounds-coupling); the paper's total-work
+/// objective and the future-work response-time objective diverge more
+/// the more sources there are.
+pub fn e9_response_time() {
+    let mut t = Table::new(
+        "E9: total work vs parallel response time (m=3)",
+        &["n", "total work", "response time", "parallelism"],
+    );
+    for n in [2usize, 4, 8, 16, 32] {
+        let spec = SynthSpec {
+            n_sources: n,
+            domain_size: 50_000,
+            rows_per_source: 1_000,
+            seed: 9000 + n as u64,
+            capability_mix: CapabilityMix::AllFull,
+            link: Some(LinkProfile::Wan),
+            processing: ProcessingProfile::indexed_db(),
+        };
+        let scenario = synth_scenario(&spec, &[0.02, 0.3, 0.5]);
+        let model = scenario.cost_model();
+        let opt = sja_optimal(&model);
+        let mut network = scenario.network();
+        let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
+            .expect("experiment plans execute");
+        let work = out.total_cost().value();
+        let rt = response_time(&opt.plan, &out.ledger);
+        t.row(vec![
+            n.to_string(),
+            fmt3(work),
+            fmt3(rt),
+            fmtx(work / rt),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_grows_with_sources() {
+        let ratio = |n: usize| {
+            let spec = SynthSpec {
+                n_sources: n,
+                domain_size: 50_000,
+                rows_per_source: 1_000,
+                seed: 9000 + n as u64,
+                capability_mix: CapabilityMix::AllFull,
+                link: Some(LinkProfile::Wan),
+                processing: ProcessingProfile::indexed_db(),
+            };
+            let scenario = synth_scenario(&spec, &[0.02, 0.3, 0.5]);
+            let model = scenario.cost_model();
+            let opt = sja_optimal(&model);
+            let mut network = scenario.network();
+            let out =
+                execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
+            out.total_cost().value() / response_time(&opt.plan, &out.ledger)
+        };
+        let p2 = ratio(2);
+        let p16 = ratio(16);
+        assert!(p16 > p2 * 2.0, "parallelism should scale: {p2} → {p16}");
+        assert!(p2 >= 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! E12 (extension): response-time-aware optimization vs total-work
+//! optimization — the §6 future-work direction, quantified.
+
+use crate::table::{fmt3, Table};
+use fusion_core::optimizer::{estimate_makespan, sja_response_optimal};
+use fusion_core::{sja_optimal, TableCostModel};
+use fusion_types::{CondId, SourceId};
+
+/// The divergence scenario: one *straggler* source is slow to answer the
+/// first round, so every semijoin of the second round serializes behind
+/// it — even at the fast sources. A selection at a fast source costs more
+/// *work* than its semijoin, but overlaps with the straggler and wins on
+/// *response time*.
+///
+/// m = 2 conditions, n = 4 sources: R4 is slow *for the first condition
+/// only* (its round-2 semijoin is trivial, so the straggler's own chain
+/// is not the bottleneck); at R1–R3 the round-2 semijoin costs 10 and the
+/// selection 20; first-round semijoins are priced out so the ordering
+/// stays `[c1, c2]`.
+fn straggler_model(straggler_sq: f64) -> TableCostModel {
+    let mut m = TableCostModel::uniform(2, 4, 1.0, 200.0, 0.0, 1e9, 5.0, 1000.0);
+    m.set_sq_cost(CondId(0), SourceId(3), straggler_sq);
+    for j in 0..4 {
+        m.set_sq_cost(CondId(1), SourceId(j), 20.0);
+        m.set_sjq_cost(CondId(1), SourceId(j), 10.0, 0.0);
+    }
+    m.set_sjq_cost(CondId(1), SourceId(3), 0.5, 0.0);
+    m
+}
+
+/// E12: sweep the straggler's slowness and compare the work-optimal SJA
+/// plan against the makespan-optimizing SJA-RT plan, both priced by the
+/// same schedule model.
+///
+/// Expectation: total-work optimization always semijoins the fast sources
+/// (10 < 20), chaining them behind the straggler's first-round answer;
+/// the RT optimizer switches them to selections once the straggler is
+/// slow enough, cutting response time at a deliberate work premium.
+pub fn e12_response_opt() {
+    let mut t = Table::new(
+        "E12: total-work vs response-time objective (straggler sweep, m=2, n=4)",
+        &[
+            "straggler sq",
+            "SJA work",
+            "SJA rt",
+            "SJA-RT work",
+            "SJA-RT rt",
+            "rt gain",
+        ],
+    );
+    for straggler in [2.0f64, 10.0, 40.0, 100.0, 200.0] {
+        let model = straggler_model(straggler);
+        let work_opt = sja_optimal(&model);
+        let rt_opt = sja_response_optimal(&model);
+        let w_rt = estimate_makespan(&model, &work_opt.spec);
+        let r_rt = estimate_makespan(&model, &rt_opt.optimized.spec);
+        t.row(vec![
+            fmt3(straggler),
+            fmt3(work_opt.cost.value()),
+            fmt3(w_rt),
+            fmt3(rt_opt.optimized.cost.value()),
+            fmt3(r_rt),
+            format!("{:.1}%", (1.0 - r_rt / w_rt) * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_beats_work_objective_under_stragglers() {
+        let model = straggler_model(100.0);
+        let work_opt = sja_optimal(&model);
+        let rt_opt = sja_response_optimal(&model);
+        let w_rt = estimate_makespan(&model, &work_opt.spec);
+        let r_rt = estimate_makespan(&model, &rt_opt.optimized.spec);
+        assert!(
+            r_rt < w_rt * 0.95,
+            "RT plan {r_rt:.1} should clearly beat work plan {w_rt:.1}"
+        );
+        // ...at a work premium.
+        assert!(rt_opt.optimized.cost >= work_opt.cost);
+    }
+
+    #[test]
+    fn objectives_agree_without_stragglers() {
+        let model = straggler_model(2.0);
+        let work_opt = sja_optimal(&model);
+        let rt_opt = sja_response_optimal(&model);
+        let w_rt = estimate_makespan(&model, &work_opt.spec);
+        let r_rt = estimate_makespan(&model, &rt_opt.optimized.spec);
+        assert!((w_rt - r_rt).abs() < 1e-9, "{w_rt} vs {r_rt}");
+    }
+}

@@ -1,0 +1,151 @@
+//! E1–E3: plan-class costs across the main parameter sweeps.
+
+use crate::exp::ClassCosts;
+use crate::table::{fmt3, fmtx, Table};
+use fusion_core::plan::SourceChoice;
+use fusion_core::sja_optimal;
+use fusion_net::LinkProfile;
+use fusion_source::ProcessingProfile;
+use fusion_workload::synth::{synth_scenario, SynthSpec};
+use fusion_workload::CapabilityMix;
+
+fn base_spec(n: usize, seed: u64) -> SynthSpec {
+    // Payload-dominated regime: intercontinental links and 5k-row sources
+    // make shipped bytes, not per-query overheads, the cost driver — the
+    // setting where the semijoin machinery matters.
+    SynthSpec {
+        n_sources: n,
+        domain_size: 250_000,
+        rows_per_source: 5_000,
+        seed,
+        capability_mix: CapabilityMix::AllFull,
+        link: Some(LinkProfile::Intercontinental),
+        processing: ProcessingProfile::indexed_db(),
+    }
+}
+
+/// E1: estimated plan-class costs as the number of sources grows
+/// (m = 3 conditions with a selective leader).
+///
+/// Expectation: SJA+ ≤ SJA ≤ SJ ≤ FILTER at every n; absolute savings
+/// grow linearly with n while the ratio stays roughly constant — until
+/// the semijoin set (which grows as the union over n sources) approaches
+/// the broad conditions' result sizes.
+pub fn e1_sources() {
+    let mut t = Table::new(
+        "E1: cost vs number of sources (m=3, sel=[0.001,0.3,0.5])",
+        &["n", "FILTER", "SJ", "SJA", "SJA+", "FILTER/SJA+"],
+    );
+    for n in [2usize, 4, 8, 16, 32, 64, 128] {
+        let scenario = synth_scenario(&base_spec(n, 1000 + n as u64), &[0.001, 0.3, 0.5]);
+        let c = ClassCosts::of(&scenario);
+        t.row(vec![
+            n.to_string(),
+            fmt3(c.filter),
+            fmt3(c.sj),
+            fmt3(c.sja),
+            fmt3(c.sja_plus),
+            fmtx(c.speedup()),
+        ]);
+    }
+    t.print();
+}
+
+/// E2: estimated plan-class costs as the number of conditions grows
+/// (n = 12 sources).
+///
+/// Expectation: every added condition costs FILTER a full `n`-source
+/// round, while SJ/SJA pay only cheap semijoins once the running set is
+/// small — so the ratio grows with m.
+pub fn e2_conditions() {
+    let sels = [0.001, 0.1, 0.2, 0.3, 0.5, 0.6, 0.7];
+    let mut t = Table::new(
+        "E2: cost vs number of conditions (n=12)",
+        &["m", "FILTER", "SJ", "SJA", "SJA+", "FILTER/SJA+"],
+    );
+    for m in 2..=sels.len() {
+        let scenario = synth_scenario(&base_spec(12, 2000 + m as u64), &sels[..m]);
+        let c = ClassCosts::of(&scenario);
+        t.row(vec![
+            m.to_string(),
+            fmt3(c.filter),
+            fmt3(c.sj),
+            fmt3(c.sja),
+            fmt3(c.sja_plus),
+            fmtx(c.speedup()),
+        ]);
+    }
+    t.print();
+}
+
+/// E3: the selection/semijoin crossover. A 2-condition query where the
+/// leader's selectivity sweeps from very selective to very broad; the
+/// follower is fixed at 0.5.
+///
+/// Expectation: with a selective leader the optimizer semijoins the
+/// follower everywhere (tiny semijoin sets); as the leader broadens, the
+/// semijoin set grows until plain selections win — the semijoin count
+/// drops to zero and SJA's cost converges to FILTER's.
+pub fn e3_selectivity() {
+    let mut t = Table::new(
+        "E3: selection/semijoin crossover vs leader selectivity (m=2, n=8)",
+        &["sel(c1)", "FILTER", "SJA", "semijoins in round 2", "SJA/FILTER"],
+    );
+    for sel in [0.001, 0.005, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.9] {
+        let scenario = synth_scenario(&base_spec(8, 3000), &[sel, 0.5]);
+        let model = scenario.cost_model();
+        let filter = fusion_core::filter_plan(&model).cost.value();
+        let sja = sja_optimal(&model);
+        let semijoins = sja
+            .spec
+            .choices
+            .last()
+            .map(|row| {
+                row.iter()
+                    .filter(|c| **c == SourceChoice::Semijoin)
+                    .count()
+            })
+            .unwrap_or(0);
+        t.row(vec![
+            format!("{sel}"),
+            fmt3(filter),
+            fmt3(sja.cost.value()),
+            format!("{semijoins}/8"),
+            format!("{:.2}", sja.cost.value() / filter),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_semijoin_advantage_persists_at_scale() {
+        let small = ClassCosts::of(&synth_scenario(&base_spec(2, 1002), &[0.001, 0.3, 0.5]));
+        let large = ClassCosts::of(&synth_scenario(&base_spec(32, 1032), &[0.001, 0.3, 0.5]));
+        assert!(small.sja <= small.filter);
+        assert!(
+            large.speedup() > 1.3,
+            "semijoins should keep paying at n=32: {:.2}x",
+            large.speedup()
+        );
+    }
+
+    #[test]
+    fn e3_crossover_exists() {
+        // Selective leader → semijoins; broad leader → none.
+        let selective = synth_scenario(&base_spec(8, 3000), &[0.001, 0.5]);
+        let broad = synth_scenario(&base_spec(8, 3000), &[0.9, 0.5]);
+        let count = |sc: &fusion_workload::Scenario| {
+            let model = sc.cost_model();
+            sja_optimal(&model).spec.choices[1]
+                .iter()
+                .filter(|c| **c == SourceChoice::Semijoin)
+                .count()
+        };
+        assert_eq!(count(&selective), 8, "selective leader semijoins everywhere");
+        assert_eq!(count(&broad), 0, "broad leader kills semijoins");
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness reproducing the paper's figures and (substitute)
+//! evaluation.
+//!
+//! The conference paper's figures are worked examples and algorithm
+//! listings; the quantitative evaluation lives in the unavailable
+//! extended version \[24\]. This crate regenerates every figure executably
+//! (`fig1`, `fig2`, `fig5`) and runs the synthetic experiment suite
+//! E1–E10 documented in `DESIGN.md` / `EXPERIMENTS.md`:
+//!
+//! | id | claim exercised |
+//! |----|-----------------|
+//! | e1 | plan-class cost ordering vs number of sources |
+//! | e2 | ... vs number of conditions |
+//! | e3 | selection/semijoin crossover vs selectivity |
+//! | e4 | adaptivity gain under capability heterogeneity |
+//! | e5 | difference-pruning benefit vs inter-source overlap |
+//! | e6 | source-loading benefit vs source size |
+//! | e7 | greedy vs exact SJA quality and runtime |
+//! | e8 | estimated vs executed cost fidelity |
+//! | e9 | response time vs total work (parallel model) |
+//! | e10 | empirical optimality of SJA among sampled simple plans |
+//!
+//! Run with `cargo run -p fusion-bench --release --bin experiments -- all`.
+
+pub mod exp;
+pub mod table;
+
+pub use table::Table;

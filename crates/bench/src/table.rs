@@ -1,0 +1,130 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A text table: headers plus rows, rendered with right-aligned columns
+/// (the first column is left-aligned).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, (h, w)) in self.headers.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                let _ = write!(line, "{h:<w$}");
+            } else {
+                let _ = write!(line, "  {h:>w$}");
+            }
+        }
+        let _ = writeln!(out, "{line}");
+        let _ = writeln!(out, "{}", "-".repeat(line.len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    let _ = write!(line, "{cell:<w$}");
+                } else {
+                    let _ = write!(line, "  {cell:>w$}");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 decimals (the house style for costs).
+pub fn fmt3(v: f64) -> String {
+    if v.is_infinite() {
+        "∞".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn fmtx(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["n", "cost"]);
+        t.row(vec!["2".into(), "10.000".into()]);
+        t.row(vec!["128".into(), "7.5".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5, "{r}");
+        // Data rows align to the header width.
+        assert!(lines[3].starts_with("2  "));
+        assert!(lines[4].starts_with("128"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt3(f64::INFINITY), "∞");
+        assert_eq!(fmtx(2.5), "2.50x");
+    }
+}

@@ -1,0 +1,650 @@
+//! The interactive mediator shell behind the `fusionq` binary.
+//!
+//! A [`Session`] holds a common schema and a set of registered sources;
+//! commands configure them, and plain SQL lines are parsed as fusion
+//! queries, optimized with SJA+, executed over the simulated network, and
+//! answered. All command handling returns strings, so the shell is fully
+//! testable without a terminal.
+//!
+//! ```text
+//! fusion> \scenario dmv
+//! loaded scenario `dmv-figure1`: 3 sources, schema (*L STR, V STR, D INT)
+//! fusion> SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'
+//! answer (2 items): {J55, T21}
+//! executed cost 1.417 over 7 round trips
+//! ```
+
+use fusion_core::optimizer::sja_response_optimal;
+use fusion_core::postopt::sja_plus;
+use fusion_core::query::FusionQuery;
+use fusion_core::{
+    explain, filter_plan, greedy_sja, sj_optimal, sja_optimal, NetworkCostModel, Plan,
+};
+use fusion_exec::{execute_plan, fetch_records};
+use fusion_net::{Link, LinkProfile, Network};
+use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{Attribute, Relation, Schema, ValueType};
+
+/// One registered source.
+struct SourceEntry {
+    name: String,
+    relation: Relation,
+    caps: Capabilities,
+    link: Link,
+    processing: ProcessingProfile,
+}
+
+/// The shell state: a schema and the registered sources.
+#[derive(Default)]
+pub struct Session {
+    schema: Option<Schema>,
+    sources: Vec<SourceEntry>,
+}
+
+/// What the caller should do after a command.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading input.
+    Continue,
+    /// Exit the shell.
+    Quit,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Handles one input line; returns the text to print and whether to
+    /// continue.
+    pub fn handle(&mut self, line: &str) -> (String, Control) {
+        let line = line.trim();
+        if line.is_empty() {
+            return (String::new(), Control::Continue);
+        }
+        if matches!(line, "\\quit" | "\\q" | "exit" | "quit") {
+            return ("bye".into(), Control::Quit);
+        }
+        let out = if let Some(rest) = line.strip_prefix('\\') {
+            self.command(rest)
+        } else {
+            self.query(line, QueryMode::Execute)
+        };
+        (
+            out.unwrap_or_else(|e| format!("error: {e}")),
+            Control::Continue,
+        )
+    }
+
+    fn command(&mut self, rest: &str) -> Result<String> {
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let cmd = parts.next().unwrap_or_default();
+        let arg = parts.next().unwrap_or("").trim();
+        match cmd {
+            "help" | "h" => Ok(HELP.to_string()),
+            "scenario" => self.cmd_scenario(arg),
+            "schema" => self.cmd_schema(arg),
+            "load" => self.cmd_load(arg),
+            "sources" => self.cmd_sources(),
+            "explain" => self.query(arg, QueryMode::Explain),
+            "fetch" => self.query(arg, QueryMode::Fetch),
+            "gantt" => self.cmd_gantt(arg),
+            "trace" => self.cmd_trace(arg),
+            "adaptive" => self.cmd_adaptive(arg),
+            "plan" => {
+                let mut p = arg.splitn(2, char::is_whitespace);
+                let algo = p.next().unwrap_or_default().to_string();
+                let sql = p.next().unwrap_or("").trim().to_string();
+                self.cmd_plan(&algo, &sql)
+            }
+            other => Err(FusionError::execution(format!(
+                "unknown command `\\{other}` (try \\help)"
+            ))),
+        }
+    }
+
+    fn cmd_scenario(&mut self, name: &str) -> Result<String> {
+        let scenario = match name {
+            "dmv" => fusion_workload::dmv::figure1_scenario(),
+            "dmv-big" => fusion_workload::dmv::scaled_dmv_scenario(8, 20_000, 4_000, 42),
+            "biblio" => fusion_workload::biblio::biblio_scenario(
+                5,
+                1_000,
+                6_000,
+                &["database", "query"],
+                7,
+            ),
+            "synth" => fusion_workload::synth::synth_scenario(
+                &fusion_workload::synth::SynthSpec::default_with(6, 99),
+                &[0.05, 0.4],
+            ),
+            other => {
+                return Err(FusionError::execution(format!(
+                    "unknown scenario `{other}` (dmv, dmv-big, biblio, synth)"
+                )));
+            }
+        };
+        let schema = scenario.query.schema().clone();
+        self.sources = scenario
+            .relations
+            .iter()
+            .enumerate()
+            .map(|(i, rel)| {
+                let id = fusion_types::SourceId(i);
+                SourceEntry {
+                    name: scenario.sources.get(id).name().to_string(),
+                    relation: rel.clone(),
+                    caps: *scenario.sources.get(id).capabilities(),
+                    link: *scenario.network().link(id),
+                    processing: *scenario.sources.get(id).processing(),
+                }
+            })
+            .collect();
+        self.schema = Some(schema.clone());
+        Ok(format!(
+            "loaded scenario `{}`: {} sources, schema {}",
+            scenario.name,
+            self.sources.len(),
+            schema
+        ))
+    }
+
+    fn cmd_schema(&mut self, spec: &str) -> Result<String> {
+        if spec.is_empty() {
+            return match &self.schema {
+                Some(s) => Ok(format!("schema {s}")),
+                None => Ok("no schema set (use \\schema L:str,V:str @L)".into()),
+            };
+        }
+        let (cols, merge) = match spec.split_once('@') {
+            Some((c, m)) => (c.trim(), m.trim()),
+            None => (spec, ""),
+        };
+        let mut attrs = Vec::new();
+        for col in cols.split(',') {
+            let col = col.trim();
+            if col.is_empty() {
+                continue;
+            }
+            let (name, ty) = col.split_once(':').ok_or_else(|| {
+                FusionError::parse(format!("column `{col}` must look like name:type"))
+            })?;
+            let ty = match ty.trim().to_ascii_lowercase().as_str() {
+                "str" | "string" | "text" => ValueType::Str,
+                "int" | "integer" => ValueType::Int,
+                "float" | "real" | "double" => ValueType::Float,
+                "bool" | "boolean" => ValueType::Bool,
+                other => {
+                    return Err(FusionError::parse(format!("unknown type `{other}`")));
+                }
+            };
+            attrs.push(Attribute::new(name.trim(), ty));
+        }
+        let merge_name = if merge.is_empty() {
+            attrs
+                .first()
+                .map(|a| a.name.clone())
+                .ok_or_else(|| FusionError::parse("schema needs at least one column"))?
+        } else {
+            merge.to_string()
+        };
+        let schema = Schema::new(attrs, &merge_name)?;
+        self.sources.clear();
+        let text = format!("schema set to {schema} (sources cleared)");
+        self.schema = Some(schema);
+        Ok(text)
+    }
+
+    fn cmd_load(&mut self, arg: &str) -> Result<String> {
+        let schema = self
+            .schema
+            .clone()
+            .ok_or_else(|| FusionError::execution("set a \\schema (or \\scenario) first"))?;
+        let tokens: Vec<&str> = arg.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(FusionError::execution(
+                "usage: \\load <name> <file.csv> [full|emulated:N|selection-only] [lan|wan|inter|slow]",
+            ));
+        }
+        let name = tokens[0].to_string();
+        let path = std::path::Path::new(tokens[1]);
+        let mut caps = Capabilities::full();
+        let mut link = LinkProfile::Wan.link();
+        for tok in &tokens[2..] {
+            match *tok {
+                "full" => caps = Capabilities::full(),
+                "selection-only" => caps = Capabilities::selection_only(),
+                "lan" => link = LinkProfile::Lan.link(),
+                "wan" => link = LinkProfile::Wan.link(),
+                "inter" | "intercontinental" => link = LinkProfile::Intercontinental.link(),
+                "slow" => link = LinkProfile::Slow.link(),
+                other => {
+                    if let Some(batch) = other.strip_prefix("emulated:") {
+                        let batch: usize = batch.parse().map_err(|_| {
+                            FusionError::parse(format!("bad batch size in `{other}`"))
+                        })?;
+                        caps = Capabilities::emulated(batch.max(1));
+                    } else {
+                        return Err(FusionError::execution(format!("unknown option `{other}`")));
+                    }
+                }
+            }
+        }
+        let relation = fusion_workload::csv::load_csv(path, &schema)?;
+        let rows = relation.len();
+        self.sources.push(SourceEntry {
+            name: name.clone(),
+            relation,
+            caps,
+            link,
+            processing: ProcessingProfile::indexed_db(),
+        });
+        Ok(format!(
+            "loaded `{name}` ({rows} rows) as R{}",
+            self.sources.len()
+        ))
+    }
+
+    fn cmd_sources(&self) -> Result<String> {
+        if self.sources.is_empty() {
+            return Ok("no sources registered".into());
+        }
+        let mut out = String::new();
+        for (i, s) in self.sources.iter().enumerate() {
+            let caps = if s.caps.native_semijoin {
+                "semijoin".to_string()
+            } else if s.caps.passed_bindings {
+                format!("emulated:{}", s.caps.binding_batch)
+            } else {
+                "selection-only".to_string()
+            };
+            out.push_str(&format!(
+                "R{} `{}`: {} rows, {} distinct items, caps={}, link {:.0}ms/{:.0}KBps\n",
+                i + 1,
+                s.name,
+                s.relation.len(),
+                s.relation.distinct_items().len(),
+                caps,
+                s.link.latency * 1000.0,
+                s.link.bandwidth / 1024.0
+            ));
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_plan(&mut self, algo: &str, sql: &str) -> Result<String> {
+        let (query, sources, network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let (plan, cost): (Plan, _) = match algo {
+            "filter" => {
+                let o = filter_plan(&model);
+                (o.plan, o.cost)
+            }
+            "sj" => {
+                let o = sj_optimal(&model);
+                (o.plan, o.cost)
+            }
+            "sja" => {
+                let o = sja_optimal(&model);
+                (o.plan, o.cost)
+            }
+            "sja+" => {
+                let o = sja_plus(&model);
+                (o.plan, o.cost)
+            }
+            "greedy" => {
+                let o = greedy_sja(&model);
+                (o.plan, o.cost)
+            }
+            "rt" => {
+                let o = sja_response_optimal(&model);
+                (o.optimized.plan, o.optimized.cost)
+            }
+            other => {
+                return Err(FusionError::execution(format!(
+                    "unknown algorithm `{other}` (filter, sj, sja, sja+, greedy, rt)"
+                )));
+            }
+        };
+        Ok(format!(
+            "{} plan, estimated cost {cost}:\n{}",
+            algo,
+            plan.listing_verbose(query.conditions())
+        ))
+    }
+
+    /// Renders an ASCII Gantt chart of the SJA+ plan's parallel schedule.
+    fn cmd_gantt(&mut self, sql: &str) -> Result<String> {
+        let (query, sources, mut network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let plus = sja_plus(&model);
+        let outcome = execute_plan(&plus.plan, &query, &sources, &mut network)?;
+        let (placements, makespan) = fusion_exec::schedule(&plus.plan, &outcome.ledger);
+        if makespan <= 0.0 {
+            return Ok("nothing to schedule".into());
+        }
+        const WIDTH: usize = 60;
+        let mut out = format!(
+            "parallel schedule (total work {}, response time {:.3}):
+",
+            outcome.total_cost(),
+            makespan
+        );
+        for j in 0..plus.plan.n_sources {
+            let mut bar = vec![' '; WIDTH];
+            for p in placements.iter().filter(|p| p.source.0 == j) {
+                let s = ((p.start / makespan) * WIDTH as f64).floor() as usize;
+                let e = (((p.finish / makespan) * WIDTH as f64).ceil() as usize).min(WIDTH);
+                let glyph = match &plus.plan.steps[p.step] {
+                    fusion_core::Step::Sq { .. } => 's',
+                    fusion_core::Step::Sjq { .. } => 'j',
+                    fusion_core::Step::SjqBloom { .. } => 'b',
+                    fusion_core::Step::Lq { .. } => 'L',
+                    _ => '?',
+                };
+                for cell in bar.iter_mut().take(e.max(s + 1)).skip(s) {
+                    *cell = glyph;
+                }
+            }
+            out.push_str(&format!("R{:<3} |{}|
+", j + 1, bar.iter().collect::<String>()));
+        }
+        out.push_str("      0");
+        out.push_str(&" ".repeat(WIDTH.saturating_sub(8)));
+        out.push_str(&format!("{makespan:.2}
+"));
+        out.push_str("      s = selection, j = semijoin, b = bloom semijoin, L = full load");
+        Ok(out)
+    }
+
+    /// Shows the raw exchange trace of executing the SJA+ plan.
+    fn cmd_trace(&mut self, sql: &str) -> Result<String> {
+        let (query, sources, mut network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let plus = sja_plus(&model);
+        let outcome = execute_plan(&plus.plan, &query, &sources, &mut network)?;
+        let mut out = format!(
+            "{} exchanges, {} bytes sent, {} bytes received, total cost {}:\n",
+            network.trace().len(),
+            network.trace().iter().map(|e| e.req_bytes).sum::<usize>(),
+            network.trace().iter().map(|e| e.resp_bytes).sum::<usize>(),
+            outcome.total_cost()
+        );
+        for (i, e) in network.trace().iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}. {:<5} {}  →{:>8}B  ←{:>8}B  {}\n",
+                i + 1,
+                e.kind.to_string(),
+                e.source,
+                e.req_bytes,
+                e.resp_bytes,
+                e.cost
+            ));
+        }
+        out.push_str(&format!("answer: {}", outcome.answer));
+        Ok(out)
+    }
+
+    /// Executes with mid-query re-optimization and reports the rounds.
+    fn cmd_adaptive(&mut self, sql: &str) -> Result<String> {
+        let (query, sources, mut network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let out = fusion_exec::execute_adaptive(&query, &sources, &mut network, &model)?;
+        let mut text = format!(
+            "answer ({} items): {}
+executed cost {} with per-round re-optimization:",
+            out.answer.len(),
+            out.answer,
+            out.total_cost()
+        );
+        for round in &out.rounds {
+            let kinds: Vec<&str> = round
+                .choices
+                .iter()
+                .map(|c| match c {
+                    fusion_core::SourceChoice::Selection => "sq",
+                    fusion_core::SourceChoice::Semijoin => "sjq",
+                })
+                .collect();
+            text.push_str(&format!(
+                "
+  {}: [{}]  predicted |X| ≈ {:.0}, observed {}",
+                round.cond,
+                kinds.join(" "),
+                round.predicted_size,
+                round.actual_size
+            ));
+        }
+        Ok(text)
+    }
+
+    fn query(&mut self, sql: &str, mode: QueryMode) -> Result<String> {
+        if sql.is_empty() {
+            return Err(FusionError::execution("empty query"));
+        }
+        let (query, sources, mut network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        match mode {
+            QueryMode::Explain => {
+                let mut out = String::new();
+                let f = filter_plan(&model);
+                let sj = sj_optimal(&model);
+                let sja = sja_optimal(&model);
+                let plus = sja_plus(&model);
+                out.push_str(&format!(
+                    "estimated costs: FILTER {} | SJ {} | SJA {} | SJA+ {}\n\n",
+                    f.cost, sj.cost, sja.cost, plus.cost
+                ));
+                out.push_str(&explain(&plus.plan, &model, Some(query.conditions())));
+                Ok(out)
+            }
+            QueryMode::Execute | QueryMode::Fetch => {
+                let plus = sja_plus(&model);
+                let outcome = execute_plan(&plus.plan, &query, &sources, &mut network)?;
+                let mut out = format!(
+                    "answer ({} items): {}\nexecuted cost {} over {} round trips",
+                    outcome.answer.len(),
+                    outcome.answer,
+                    outcome.total_cost(),
+                    outcome.ledger.round_trips()
+                );
+                if mode == QueryMode::Fetch && !outcome.answer.is_empty() {
+                    let fetched = fetch_records(&outcome.answer, &sources, &mut network)?;
+                    out.push_str(&format!(
+                        "\nfetched {} records (cost {}):",
+                        fetched.records.len(),
+                        fetched.cost
+                    ));
+                    for r in fetched.records.iter().take(20) {
+                        out.push_str(&format!("\n  {r}"));
+                    }
+                    if fetched.records.len() > 20 {
+                        out.push_str(&format!("\n  ... {} more", fetched.records.len() - 20));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Parses the SQL and builds fresh wrappers + network for one run.
+    fn materialize(&self, sql: &str) -> Result<(FusionQuery, SourceSet, Network)> {
+        let schema = self
+            .schema
+            .clone()
+            .ok_or_else(|| FusionError::execution("set a \\schema (or \\scenario) first"))?;
+        if self.sources.is_empty() {
+            return Err(FusionError::execution(
+                "no sources registered (use \\load or \\scenario)",
+            ));
+        }
+        let parsed = fusion_sql::parse_query(sql)?;
+        let shape = fusion_sql::into_fusion_shape(&parsed, &schema)?;
+        let query = FusionQuery::new(
+            schema,
+            shape.conditions.into_iter().map(Into::into).collect(),
+        )?;
+        let sources = SourceSet::new(
+            self.sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    Box::new(InMemoryWrapper::new(
+                        s.name.clone(),
+                        s.relation.clone(),
+                        s.caps,
+                        s.processing,
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        );
+        let network = Network::new(self.sources.iter().map(|s| s.link).collect());
+        Ok((query, sources, network))
+    }
+}
+
+/// The text shown by `\help`.
+pub const HELP: &str = "\
+commands:
+  \\scenario <dmv|dmv-big|biblio|synth>   load a built-in scenario
+  \\schema <name:type,... [@merge]>       define the common schema
+  \\load <name> <file.csv> [caps] [link]  register a CSV-backed source
+         caps: full | emulated:N | selection-only
+         link: lan | wan | inter | slow
+  \\sources                               list registered sources
+  \\explain <sql>                         optimizer costs + annotated plan
+  \\plan <filter|sj|sja|sja+|greedy|rt> <sql>   show one algorithm's plan
+  \\fetch <sql>                           execute, then fetch full records
+  \\help                                  this text
+  \\quit                                  exit
+anything else is parsed as a fusion query and executed with SJA+";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryMode {
+    Execute,
+    Explain,
+    Fetch,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DMV_SQL: &str = "SELECT u1.L FROM U u1, U u2 \
+                           WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'";
+
+    fn run(session: &mut Session, line: &str) -> String {
+        let (out, ctl) = session.handle(line);
+        assert_eq!(ctl, Control::Continue, "unexpected quit for `{line}`");
+        out
+    }
+
+    #[test]
+    fn scenario_query_roundtrip() {
+        let mut s = Session::new();
+        let out = run(&mut s, "\\scenario dmv");
+        assert!(out.contains("3 sources"), "{out}");
+        let out = run(&mut s, DMV_SQL);
+        assert!(out.contains("{J55, T21}"), "{out}");
+        assert!(out.contains("executed cost"), "{out}");
+    }
+
+    #[test]
+    fn explain_and_plan_commands() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\explain {DMV_SQL}"));
+        assert!(out.contains("FILTER"), "{out}");
+        assert!(out.contains("est.cost"), "{out}");
+        for algo in ["filter", "sj", "sja", "sja+", "greedy", "rt"] {
+            let out = run(&mut s, &format!("\\plan {algo} {DMV_SQL}"));
+            assert!(out.contains("estimated cost"), "{algo}: {out}");
+            assert!(out.contains(":= sq("), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn schema_and_csv_loading() {
+        let dir = std::env::temp_dir().join("fusionq-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f1 = dir.join("r1.csv");
+        let f2 = dir.join("r2.csv");
+        std::fs::write(&f1, "L,V,D\nJ55,dui,1993\nT21,sp,1994\n").unwrap();
+        std::fs::write(&f2, "L,V,D\nT21,dui,1996\nJ55,sp,1996\n").unwrap();
+        let mut s = Session::new();
+        let out = run(&mut s, "\\schema L:str,V:str,D:int @L");
+        assert!(out.contains("schema set"), "{out}");
+        let out = run(&mut s, &format!("\\load east {} emulated:5 slow", f1.display()));
+        assert!(out.contains("2 rows"), "{out}");
+        run(&mut s, &format!("\\load west {} full lan", f2.display()));
+        let out = run(&mut s, "\\sources");
+        assert!(out.contains("emulated:5"), "{out}");
+        assert!(out.contains("semijoin"), "{out}");
+        let out = run(&mut s, DMV_SQL);
+        assert!(out.contains("{J55, T21}"), "{out}");
+    }
+
+    #[test]
+    fn trace_command_lists_exchanges() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\trace {DMV_SQL}"));
+        assert!(out.contains("exchanges"), "{out}");
+        assert!(out.contains("R1"), "{out}");
+        assert!(out.contains("answer: {J55, T21}"), "{out}");
+    }
+
+    #[test]
+    fn gantt_and_adaptive_commands() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\gantt {DMV_SQL}"));
+        assert!(out.contains("response time"), "{out}");
+        assert!(out.contains("R1"), "{out}");
+        assert!(out.contains('|'), "{out}");
+        let out = run(&mut s, &format!("\\adaptive {DMV_SQL}"));
+        assert!(out.contains("{J55, T21}"), "{out}");
+        assert!(out.contains("observed"), "{out}");
+    }
+
+    #[test]
+    fn fetch_returns_records() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\fetch {DMV_SQL}"));
+        assert!(out.contains("fetched"), "{out}");
+        assert!(out.contains("'J55'"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::new();
+        let out = run(&mut s, "SELECT nope");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = run(&mut s, "\\nosuch");
+        assert!(out.contains("unknown command"), "{out}");
+        let out = run(&mut s, "\\plan warp SELECT u1.L FROM U u1");
+        assert!(out.contains("error"), "{out}");
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, "SELECT u1.Z FROM U u1 WHERE u1.Z = 'x'");
+        assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn quit_and_help() {
+        let mut s = Session::new();
+        assert!(run(&mut s, "\\help").contains("\\scenario"));
+        let (out, ctl) = s.handle("\\quit");
+        assert_eq!(ctl, Control::Quit);
+        assert_eq!(out, "bye");
+    }
+
+    #[test]
+    fn empty_lines_are_ignored() {
+        let mut s = Session::new();
+        assert_eq!(run(&mut s, "   "), "");
+    }
+}

@@ -1,0 +1,38 @@
+//! `fusionq` — the interactive fusion-query mediator shell.
+//!
+//! ```sh
+//! cargo run -p fusion-cli --bin fusionq
+//! ```
+
+use fusion_cli::{Control, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = std::env::args().all(|a| a != "--batch");
+    let mut session = Session::new();
+    println!("fusionq — fusion queries over Internet databases (\\help for help)");
+    loop {
+        if interactive {
+            print!("fusion> ");
+            let _ = stdout.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let (out, control) = session.handle(&line);
+        if !out.is_empty() {
+            println!("{out}");
+        }
+        if control == Control::Quit {
+            break;
+        }
+    }
+}

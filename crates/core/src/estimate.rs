@@ -1,0 +1,254 @@
+//! Optimizer-side cost and cardinality estimation for arbitrary plans.
+//!
+//! The SJ/SJA algorithms price plans incrementally as they build them, but
+//! the postoptimizer (§4) transforms *finished* plans and must re-price
+//! them, and the estimated-vs-actual experiments need a cost estimate for
+//! any plan shape. This walker prices every plan the IR can express,
+//! chaining cardinalities with the same independence assumptions the
+//! optimizers use.
+
+use crate::cost::CostModel;
+use crate::plan::{Plan, Step};
+use fusion_stats::union_estimate;
+use fusion_types::Cost;
+
+/// The estimator's verdict on a plan.
+#[derive(Debug, Clone)]
+pub struct PlanEstimate {
+    /// Estimated total cost (sum of remote-operation costs, §2.4).
+    pub cost: Cost,
+    /// Per-step costs, aligned with `plan.steps` (local steps are zero).
+    pub step_costs: Vec<Cost>,
+    /// Per-source totals, indexed by source id.
+    pub per_source: Vec<Cost>,
+    /// Estimated cardinality of the result variable.
+    pub result_items: f64,
+    /// Estimated cardinality of every item-set variable (indexed by
+    /// `VarId`; zero for never-defined slots).
+    pub var_items: Vec<f64>,
+}
+
+/// Estimates the cost and result size of `plan` under `model`.
+///
+/// Cardinality rules (independence assumptions, §1 step 3):
+/// * `sq(c, R_j)` → the model's per-source estimate;
+/// * `sjq(c, R_j, X)` → `|X| · source_sel(c, j)`;
+/// * local `sq(c, T_j)` → same as remote `sq` (same data, no cost);
+/// * union → urn-model overlap-aware union over the domain;
+/// * intersection → `domain · Π (|Y_i| / domain)`;
+/// * difference → `|Y| · (1 − |Z| / domain)`.
+///
+/// # Panics
+/// Panics if the plan is structurally invalid; run
+/// [`Plan::validate`] first when the plan comes from outside.
+pub fn estimate_plan_cost<M: CostModel>(plan: &Plan, model: &M) -> PlanEstimate {
+    let domain = model.domain_size().max(0.0);
+    let mut var_est: Vec<f64> = vec![0.0; plan.var_names.len()];
+    let mut rel_source: Vec<Option<fusion_types::SourceId>> = vec![None; plan.rel_names.len()];
+    let mut step_costs = Vec::with_capacity(plan.steps.len());
+    let mut per_source = vec![Cost::ZERO; plan.n_sources];
+    let mut total = Cost::ZERO;
+    for step in &plan.steps {
+        let cost = match step {
+            Step::Sq { out, cond, source } => {
+                var_est[out.0] = model.est_sq_items(*cond, *source);
+                model.sq_cost(*cond, *source)
+            }
+            Step::Sjq {
+                out,
+                cond,
+                source,
+                input,
+            } => {
+                let k = var_est[input.0];
+                var_est[out.0] = k * model.source_sel(*cond, *source);
+                model.sjq_cost(*cond, *source, k)
+            }
+            Step::SjqBloom {
+                out,
+                cond,
+                source,
+                input,
+                bits,
+            } => {
+                let k = var_est[input.0];
+                let true_matches = k * model.source_sel(*cond, *source);
+                let fpr = fusion_types::bloom::expected_fpr_for_bits(*bits as f64);
+                let extra = (model.est_sq_items(*cond, *source) - true_matches).max(0.0);
+                var_est[out.0] = true_matches + fpr * extra;
+                model.sjq_bloom_cost(*cond, *source, k, *bits)
+            }
+            Step::Lq { out, source } => {
+                rel_source[out.0] = Some(*source);
+                model.lq_cost(*source)
+            }
+            Step::LocalSq { out, cond, rel } => {
+                let source = rel_source[rel.0].expect("validated: relation loaded before use");
+                var_est[out.0] = model.est_sq_items(*cond, source);
+                Cost::ZERO
+            }
+            Step::Union { out, inputs } => {
+                let parts: Vec<f64> = inputs.iter().map(|v| var_est[v.0]).collect();
+                var_est[out.0] = if domain > 0.0 {
+                    union_estimate(&parts, domain)
+                } else {
+                    parts.iter().sum()
+                };
+                Cost::ZERO
+            }
+            Step::Intersect { out, inputs } => {
+                var_est[out.0] = if domain > 0.0 {
+                    let frac = inputs
+                        .iter()
+                        .map(|v| (var_est[v.0] / domain).clamp(0.0, 1.0))
+                        .product::<f64>();
+                    domain * frac
+                } else {
+                    0.0
+                };
+                Cost::ZERO
+            }
+            Step::Diff { out, left, right } => {
+                let keep = if domain > 0.0 {
+                    1.0 - (var_est[right.0] / domain).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                var_est[out.0] = var_est[left.0] * keep;
+                Cost::ZERO
+            }
+        };
+        if let Some(src) = step.source() {
+            per_source[src.0] += cost;
+        }
+        total += cost;
+        step_costs.push(cost);
+    }
+    PlanEstimate {
+        cost: total,
+        step_costs,
+        per_source,
+        result_items: var_est[plan.result.0],
+        var_items: var_est,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+    use crate::optimizer::{filter_plan, sja_optimal};
+    use crate::plan::{SimplePlanSpec, Step, VarId};
+    use fusion_types::{CondId, SourceId};
+
+    fn model() -> TableCostModel {
+        TableCostModel::uniform(3, 2, 10.0, 1.0, 0.1, 100.0, 5.0, 1000.0)
+    }
+
+    #[test]
+    fn walker_agrees_with_optimizer_pricing() {
+        // The estimator must reproduce the incremental costs computed
+        // during search: exactly for filter plans, and up to the slightly
+        // different cardinality composition (union-of-semijoins vs chain
+        // rule) for adaptive plans.
+        let m = model();
+        let f = filter_plan(&m);
+        let est = estimate_plan_cost(&f.plan, &m);
+        assert!(
+            (est.cost.value() - f.cost.value()).abs() < 1e-9,
+            "estimator {} vs optimizer {}",
+            est.cost,
+            f.cost
+        );
+        let a = sja_optimal(&m);
+        let est = estimate_plan_cost(&a.plan, &m);
+        let rel = (est.cost.value() - a.cost.value()).abs() / a.cost.value();
+        assert!(rel < 1e-3, "estimator {} vs optimizer {}", est.cost, a.cost);
+    }
+
+    #[test]
+    fn per_source_totals_sum_to_total() {
+        let m = model();
+        let opt = sja_optimal(&m);
+        let est = estimate_plan_cost(&opt.plan, &m);
+        let sum: Cost = est.per_source.iter().copied().sum();
+        assert!((sum.value() - est.cost.value()).abs() < 1e-9);
+        let steps: Cost = est.step_costs.iter().copied().sum();
+        assert!((steps.value() - est.cost.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_steps_are_free() {
+        let m = model();
+        let plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
+        let est = estimate_plan_cost(&plan, &m);
+        for (step, cost) in plan.steps.iter().zip(&est.step_costs) {
+            if !step.is_remote() {
+                assert_eq!(*cost, Cost::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_and_loading_estimates() {
+        // Hand-build: X0 := sq(c1,R1); X1 := sq(c1,R2); X2 := X0 − X1;
+        // T0 := lq(R1); X3 := sq(c2, T0).
+        let mut plan = crate::plan::Plan::new(vec![], VarId(0), 2, 2);
+        let x0 = plan.fresh_var("X0");
+        let x1 = plan.fresh_var("X1");
+        let x2 = plan.fresh_var("X2");
+        let t0 = plan.fresh_rel("T0");
+        let x3 = plan.fresh_var("X3");
+        plan.steps = vec![
+            Step::Sq {
+                out: x0,
+                cond: CondId(0),
+                source: SourceId(0),
+            },
+            Step::Sq {
+                out: x1,
+                cond: CondId(0),
+                source: SourceId(1),
+            },
+            Step::Diff {
+                out: x2,
+                left: x0,
+                right: x1,
+            },
+            Step::Lq {
+                out: t0,
+                source: SourceId(0),
+            },
+            Step::LocalSq {
+                out: x3,
+                cond: CondId(1),
+                rel: t0,
+            },
+        ];
+        plan.result = x3;
+        plan.validate().unwrap();
+        let m = model();
+        let est = estimate_plan_cost(&plan, &m);
+        // Cost: two sq (10 each) + one lq (100).
+        assert_eq!(est.cost, Cost::new(120.0));
+        // Result: est_sq_items of (c2, R1) = 5.
+        assert_eq!(est.result_items, 5.0);
+    }
+
+    #[test]
+    fn sjq_shrinks_cardinality() {
+        let m = model();
+        let spec = SimplePlanSpec {
+            order: vec![CondId(0), CondId(1)],
+            choices: vec![
+                vec![crate::plan::SourceChoice::Selection; 2],
+                vec![crate::plan::SourceChoice::Semijoin; 2],
+            ],
+        };
+        let plan = spec.build(2).unwrap();
+        let est = estimate_plan_cost(&plan, &m);
+        // |X1| ≈ 10 (two 5-item sets, nearly disjoint in a 1000 domain);
+        // each semijoin keeps 5/1000 of it; union of the two ≈ 0.1.
+        assert!(est.result_items < 0.2, "got {}", est.result_items);
+    }
+}

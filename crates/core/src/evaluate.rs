@@ -1,0 +1,231 @@
+//! A pure reference interpreter for plans.
+//!
+//! Executes a plan directly over in-memory relations, with no wrappers,
+//! network, or cost accounting. Its sole purpose is semantics: every
+//! optimizer output and every postoptimization must compute exactly
+//! [`FusionQuery::naive_answer`], and the test suite proves it against
+//! this interpreter.
+//!
+//! [`FusionQuery::naive_answer`]: crate::query::FusionQuery::naive_answer
+
+use crate::plan::{Plan, Step};
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{Condition, ItemSet, Relation};
+
+/// Evaluates `plan` for the given conditions over the source relations,
+/// returning the item set of the plan's result variable.
+///
+/// # Errors
+/// Fails if the plan is structurally invalid or a predicate fails to
+/// evaluate.
+pub fn evaluate_plan(
+    plan: &Plan,
+    conditions: &[Condition],
+    sources: &[Relation],
+) -> Result<ItemSet> {
+    plan.validate()?;
+    if conditions.len() != plan.n_conditions {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} conditions, got {}",
+            plan.n_conditions,
+            conditions.len()
+        )));
+    }
+    if sources.len() != plan.n_sources {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} sources, got {}",
+            plan.n_sources,
+            sources.len()
+        )));
+    }
+    let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<usize>> = vec![None; plan.rel_names.len()];
+    let get = |vars: &Vec<Option<ItemSet>>, v: crate::plan::VarId| -> ItemSet {
+        vars[v.0].clone().expect("validated: def before use")
+    };
+    for step in &plan.steps {
+        match step {
+            Step::Sq { out, cond, source } => {
+                let r = sources[source.0].select_items(&conditions[cond.0])?;
+                vars[out.0] = Some(r.items);
+            }
+            Step::Sjq {
+                out,
+                cond,
+                source,
+                input,
+            } => {
+                let bindings = get(&vars, *input);
+                let r = sources[source.0].semijoin_items(&conditions[cond.0], &bindings)?;
+                vars[out.0] = Some(r.items);
+            }
+            Step::SjqBloom {
+                out,
+                cond,
+                source,
+                input,
+                bits,
+            } => {
+                let bindings = get(&vars, *input);
+                let filter = fusion_types::BloomFilter::build(&bindings, *bits as f64);
+                let full = sources[source.0].select_items(&conditions[cond.0])?;
+                let raw = ItemSet::from_items(
+                    full.items
+                        .iter()
+                        .filter(|item| filter.may_contain(item))
+                        .cloned(),
+                );
+                vars[out.0] = Some(raw);
+            }
+            Step::Lq { out, source } => {
+                rels[out.0] = Some(source.0);
+            }
+            Step::LocalSq { out, cond, rel } => {
+                let src = rels[rel.0].expect("validated: loaded before use");
+                let r = sources[src].select_items(&conditions[cond.0])?;
+                vars[out.0] = Some(r.items);
+            }
+            Step::Union { out, inputs } => {
+                let sets: Vec<ItemSet> = inputs.iter().map(|v| get(&vars, *v)).collect();
+                vars[out.0] = Some(ItemSet::union_all(sets.iter()));
+            }
+            Step::Intersect { out, inputs } => {
+                let mut iter = inputs.iter();
+                let first = get(&vars, *iter.next().expect("validated: non-empty"));
+                let acc = iter.fold(first, |acc, v| acc.intersect(&get(&vars, *v)));
+                vars[out.0] = Some(acc);
+            }
+            Step::Diff { out, left, right } => {
+                let l = get(&vars, *left);
+                let r = get(&vars, *right);
+                vars[out.0] = Some(l.difference(&r));
+            }
+        }
+    }
+    Ok(vars[plan.result.0].clone().expect("validated: result defined"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+    use crate::optimizer::{filter_plan, greedy_sja, sj_optimal, sja_optimal};
+    use crate::query::FusionQuery;
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate};
+
+    fn figure1() -> Vec<Relation> {
+        let s = dmv_schema();
+        vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ]
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_optimizer_outputs_compute_the_dmv_answer() {
+        let q = dmv_query();
+        let sources = figure1();
+        let truth = q.naive_answer(&sources).unwrap();
+        assert_eq!(truth, ItemSet::from_items(["J55", "T21"]));
+        // Try several cost models so different shapes get exercised.
+        let models = [
+            TableCostModel::uniform(2, 3, 10.0, 1.0, 0.1, 1e9, 2.0, 8.0),
+            TableCostModel::uniform(2, 3, 1.0, 100.0, 10.0, 1e9, 2.0, 8.0),
+            TableCostModel::uniform(2, 3, 50.0, 0.1, 0.01, 1e9, 2.0, 8.0),
+        ];
+        for m in models {
+            for opt in [
+                filter_plan(&m),
+                sj_optimal(&m),
+                sja_optimal(&m),
+                greedy_sja(&m),
+            ] {
+                let got = evaluate_plan(&opt.plan, q.conditions(), &sources).unwrap();
+                assert_eq!(got, truth, "plan:\n{}", opt.plan);
+            }
+        }
+    }
+
+    #[test]
+    fn arity_mismatches_are_rejected() {
+        let m = TableCostModel::uniform(2, 3, 1.0, 1.0, 0.1, 1e9, 2.0, 8.0);
+        let plan = filter_plan(&m).plan;
+        let q = dmv_query();
+        let sources = figure1();
+        assert!(evaluate_plan(&plan, &q.conditions()[..1], &sources).is_err());
+        assert!(evaluate_plan(&plan, q.conditions(), &sources[..2]).is_err());
+    }
+
+    #[test]
+    fn extended_steps_evaluate() {
+        use crate::plan::{Plan, Step, VarId};
+        use fusion_types::{CondId, SourceId};
+        // lq(R1); X0 := sq(c1, T); X1 := sq(c2, R2); X2 := X0 − X1.
+        let mut plan = Plan::new(vec![], VarId(0), 2, 3);
+        let t = plan.fresh_rel("T1");
+        let x0 = plan.fresh_var("X0");
+        let x1 = plan.fresh_var("X1");
+        let x2 = plan.fresh_var("X2");
+        plan.steps = vec![
+            Step::Lq {
+                out: t,
+                source: SourceId(0),
+            },
+            Step::LocalSq {
+                out: x0,
+                cond: CondId(0),
+                rel: t,
+            },
+            Step::Sq {
+                out: x1,
+                cond: CondId(1),
+                source: SourceId(1),
+            },
+            Step::Diff {
+                out: x2,
+                left: x0,
+                right: x1,
+            },
+        ];
+        plan.result = x2;
+        let q = dmv_query();
+        let got = evaluate_plan(&plan, q.conditions(), &figure1()).unwrap();
+        // dui items at R1 = {J55, T80}; sp items at R2 = {J55, T11};
+        // difference = {T80}.
+        assert_eq!(got, ItemSet::from_items(["T80"]));
+    }
+}

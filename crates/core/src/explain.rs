@@ -1,0 +1,97 @@
+//! EXPLAIN-style plan rendering: the listing annotated with the
+//! optimizer's per-step cost and cardinality estimates.
+
+use crate::cost::CostModel;
+use crate::estimate::estimate_plan_cost;
+use crate::plan::Plan;
+use fusion_types::Condition;
+use std::fmt::Write as _;
+
+/// Renders a plan with estimated output cardinality and cost per step,
+/// plus a class/total footer — what a mediator's `EXPLAIN` would print.
+///
+/// Pass the query's conditions to spell them out (`sq(V = 'dui', R1)`);
+/// with `None` they print symbolically (`sq(c1, R1)`).
+pub fn explain<M: CostModel>(plan: &Plan, model: &M, conditions: Option<&[Condition]>) -> String {
+    let est = estimate_plan_cost(plan, model);
+    let rendered: Vec<String> = match conditions {
+        Some(conds) => plan
+            .listing_verbose(conds)
+            .lines()
+            .map(str::to_string)
+            .collect(),
+        None => plan.listing().lines().map(str::to_string).collect(),
+    };
+    let width = rendered.iter().map(String::len).max().unwrap_or(0).max(24);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<width$}  {:>10}  {:>10}", "step", "est.items", "est.cost");
+    for (i, line) in rendered.iter().enumerate() {
+        let items = plan.steps[i]
+            .defined_var()
+            .map(|v| format!("{:.1}", est.var_items[v.0]))
+            .unwrap_or_else(|| "-".to_string());
+        let cost = if est.step_costs[i].value() > 0.0 {
+            est.step_costs[i].to_string()
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(out, "{line:<width$}  {items:>10}  {cost:>10}");
+    }
+    let _ = writeln!(
+        out,
+        "-- class: {}, result ≈ {:.1} items, total estimated cost {}",
+        plan.class(),
+        est.result_items,
+        est.cost
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+    use crate::optimizer::sja_optimal;
+    use fusion_types::Predicate;
+
+    fn model() -> TableCostModel {
+        TableCostModel::uniform(2, 2, 10.0, 1.0, 0.1, 1e6, 5.0, 1000.0)
+    }
+
+    #[test]
+    fn explain_annotates_every_step() {
+        let m = model();
+        let opt = sja_optimal(&m);
+        let text = explain(&opt.plan, &m, None);
+        // One header, one line per step, one footer.
+        assert_eq!(text.lines().count(), opt.plan.steps.len() + 2);
+        assert!(text.contains("est.cost"));
+        assert!(text.contains("-- class:"));
+        assert!(text.contains("total estimated cost"));
+    }
+
+    #[test]
+    fn explain_verbose_spells_conditions() {
+        let m = model();
+        let opt = sja_optimal(&m);
+        let conds = vec![
+            Predicate::eq("V", "dui").into(),
+            Predicate::eq("V", "sp").into(),
+        ];
+        let text = explain(&opt.plan, &m, Some(&conds));
+        assert!(text.contains("V = 'dui'"), "{text}");
+    }
+
+    #[test]
+    fn local_steps_show_no_cost() {
+        let m = model();
+        let opt = crate::optimizer::filter_plan(&m);
+        let text = explain(&opt.plan, &m, None);
+        // Union lines end with a dash in the cost column.
+        let union_line = text
+            .lines()
+            .find(|l| l.contains('∪'))
+            .expect("plan has a union");
+        assert!(union_line.trim_end().ends_with('-'), "{union_line}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The FILTER algorithm (§3).
+
+use super::OptimizedPlan;
+use crate::cost::CostModel;
+use crate::plan::SimplePlanSpec;
+use fusion_types::{CondId, Cost, SourceId};
+
+/// Produces the optimal filter plan.
+///
+/// "For a fusion query with m conditions and n sources, the most efficient
+/// filter plan is one that issues the mn source queries, pushing each
+/// condition to each source" — there is nothing to search: every filter
+/// plan issues the same `m·n` selection queries, so FILTER "directly
+/// outputs such a plan without searching the plan space" in `O(mn)`.
+pub fn filter_plan<M: CostModel>(model: &M) -> OptimizedPlan {
+    let m = model.n_conditions();
+    let n = model.n_sources();
+    let cost: Cost = (0..m)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| model.sq_cost(CondId(i), SourceId(j)))
+        .sum();
+    let mut sizes = Vec::with_capacity(m);
+    let mut x = f64::INFINITY;
+    for i in 0..m {
+        let u = model.est_condition_union(CondId(i));
+        x = if i == 0 { u } else { x * model.gsel(CondId(i)) };
+        sizes.push(x);
+    }
+    OptimizedPlan::from_spec(SimplePlanSpec::filter(m, n), cost, sizes, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+    use crate::plan::PlanClass;
+
+    #[test]
+    fn cost_is_sum_of_all_selection_queries() {
+        let model = TableCostModel::uniform(3, 4, 7.0, 1.0, 0.1, 1e9, 5.0, 100.0);
+        let opt = filter_plan(&model);
+        assert_eq!(opt.cost, Cost::new(3.0 * 4.0 * 7.0));
+        assert_eq!(opt.plan.class(), PlanClass::Filter);
+        assert_eq!(opt.plan.remote_op_counts(), (12, 0, 0));
+        opt.plan.validate().unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_costs_sum_correctly() {
+        let mut model = TableCostModel::uniform(2, 2, 1.0, 1.0, 0.1, 1e9, 5.0, 100.0);
+        model.set_sq_cost(CondId(0), SourceId(1), 10.0);
+        model.set_sq_cost(CondId(1), SourceId(0), 100.0);
+        let opt = filter_plan(&model);
+        assert_eq!(opt.cost, Cost::new(1.0 + 10.0 + 100.0 + 1.0));
+    }
+
+    #[test]
+    fn single_condition_plan() {
+        let model = TableCostModel::uniform(1, 3, 2.0, 1.0, 0.1, 1e9, 5.0, 100.0);
+        let opt = filter_plan(&model);
+        assert_eq!(opt.cost, Cost::new(6.0));
+        assert_eq!(opt.round_sizes.len(), 1);
+        opt.plan.validate().unwrap();
+    }
+}

@@ -1,0 +1,212 @@
+//! The FILTER, SJ, and SJA optimization algorithms (§3) and the greedy
+//! variants of the extended version \[24\].
+//!
+//! All four run in time **linear in the number of sources** — the property
+//! the paper stresses for Internet-scale integration — and (for SJ/SJA)
+//! factorial in the number of conditions, which "in most realistic
+//! scenarios ... is acceptable since the number of conditions (unlike the
+//! number of sources) is usually small".
+
+mod adaptive;
+mod bnb;
+mod filter;
+mod greedy;
+pub mod perm;
+mod response;
+mod sj;
+mod sja;
+
+pub use adaptive::{adaptive_next, NextRound};
+pub use bnb::{sja_branch_and_bound, BnbStats};
+pub use filter::filter_plan;
+pub use greedy::{greedy_sj, greedy_sja};
+pub use response::{estimate_makespan, sja_response_optimal, ResponseOptimized};
+pub use sj::sj_optimal;
+pub use sja::sja_optimal;
+
+use crate::cost::CostModel;
+use crate::plan::{Plan, SimplePlanSpec, SourceChoice};
+use fusion_types::{CondId, Cost, SourceId};
+
+/// The best ordering found so far during search: the condition order,
+/// per-round choices, total cost, and per-round size estimates.
+pub(crate) type BestOrdering = (Vec<usize>, Vec<Vec<SourceChoice>>, Cost, Vec<f64>);
+
+/// The output of an optimization algorithm: the chosen plan, the
+/// specification it was built from, and its estimated cost.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The executable plan.
+    pub plan: Plan,
+    /// The condition-at-a-time shape the plan was built from.
+    pub spec: SimplePlanSpec,
+    /// The optimizer's cost estimate for the plan.
+    pub cost: Cost,
+    /// Estimated `|X_r|` after each round, in processing order.
+    pub round_sizes: Vec<f64>,
+}
+
+impl OptimizedPlan {
+    /// Builds the plan for `spec` and packages it with its cost.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation — optimizers only produce valid
+    /// specs, so this indicates an internal bug.
+    pub fn from_spec(
+        spec: SimplePlanSpec,
+        cost: Cost,
+        round_sizes: Vec<f64>,
+        n_sources: usize,
+    ) -> OptimizedPlan {
+        let plan = spec
+            .build(n_sources)
+            .expect("optimizer produced an invalid spec");
+        OptimizedPlan {
+            plan,
+            spec,
+            cost,
+            round_sizes,
+        }
+    }
+}
+
+/// Evaluates the cost of one ordering under SJ's *uniform* per-round rule.
+/// Returns the round choices, total cost, and per-round size estimates.
+pub(crate) fn cost_ordering_sj<M: CostModel>(
+    model: &M,
+    order: &[usize],
+) -> (Vec<Vec<SourceChoice>>, Cost, Vec<f64>) {
+    let n = model.n_sources();
+    let mut choices = Vec::with_capacity(order.len());
+    let mut sizes = Vec::with_capacity(order.len());
+    let first = CondId(order[0]);
+    let mut cost: Cost = (0..n).map(|j| model.sq_cost(first, SourceId(j))).sum();
+    choices.push(vec![SourceChoice::Selection; n]);
+    let mut x_est = model.est_condition_union(first);
+    sizes.push(x_est);
+    for &o in &order[1..] {
+        let cond = CondId(o);
+        let sel_total: Cost = (0..n).map(|j| model.sq_cost(cond, SourceId(j))).sum();
+        let semi_total: Cost = (0..n)
+            .map(|j| model.sjq_cost(cond, SourceId(j), x_est))
+            .sum();
+        if sel_total < semi_total {
+            cost += sel_total;
+            choices.push(vec![SourceChoice::Selection; n]);
+        } else {
+            cost += semi_total;
+            choices.push(vec![SourceChoice::Semijoin; n]);
+        }
+        x_est *= model.gsel(cond);
+        sizes.push(x_est);
+    }
+    (choices, cost, sizes)
+}
+
+/// Evaluates the cost of one ordering under SJA's *per-source* rule (the
+/// "source loop" of Figure 4).
+pub(crate) fn cost_ordering_sja<M: CostModel>(
+    model: &M,
+    order: &[usize],
+) -> (Vec<Vec<SourceChoice>>, Cost, Vec<f64>) {
+    let n = model.n_sources();
+    let mut choices = Vec::with_capacity(order.len());
+    let mut sizes = Vec::with_capacity(order.len());
+    let first = CondId(order[0]);
+    let mut cost: Cost = (0..n).map(|j| model.sq_cost(first, SourceId(j))).sum();
+    choices.push(vec![SourceChoice::Selection; n]);
+    let mut x_est = model.est_condition_union(first);
+    sizes.push(x_est);
+    for &o in &order[1..] {
+        let cond = CondId(o);
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let sq = model.sq_cost(cond, SourceId(j));
+            let sjq = model.sjq_cost(cond, SourceId(j), x_est);
+            if sq < sjq {
+                cost += sq;
+                row.push(SourceChoice::Selection);
+            } else {
+                cost += sjq;
+                row.push(SourceChoice::Semijoin);
+            }
+        }
+        choices.push(row);
+        x_est *= model.gsel(cond);
+        sizes.push(x_est);
+    }
+    (choices, cost, sizes)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::cost::TableCostModel;
+
+    /// A 3-condition, 2-source model where semijoins pay off for the
+    /// second condition only at the first source — staged to make SJA
+    /// produce the Figure 2(c) plan.
+    ///
+    /// Costs are arranged so that every ordering starting with `c1` ties
+    /// (semijoin costs are input-independent) and orderings starting with
+    /// `c2` or `c3` are strictly worse; the exact search keeps the first
+    /// tied ordering it visits, which under Heap's enumeration is the
+    /// identity `[c1, c2, c3]` — the figure's ordering.
+    pub fn figure2_model() -> TableCostModel {
+        use fusion_types::{CondId, SourceId};
+        let mut m = TableCostModel::uniform(3, 2, 10.0, 100.0, 10.0, 1e6, 5.0, 1000.0);
+        // c1 is the most selective condition and cheap to push.
+        m.set_est_sq_items(CondId(0), SourceId(0), 3.0);
+        m.set_est_sq_items(CondId(0), SourceId(1), 3.0);
+        // c2 at R1: selection is dear, the semijoin is flat and cheap.
+        m.set_sq_cost(CondId(1), SourceId(0), 50.0);
+        m.set_sjq_cost(CondId(1), SourceId(0), 1.0, 0.0);
+        // c2 at R2 and c3 everywhere keep the default punitive semijoin
+        // (base 100), so selections win there.
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+
+    #[test]
+    fn sj_and_sja_agree_on_uniform_models() {
+        // With identical sources, per-source choice degenerates to the
+        // uniform choice: both algorithms must find equal-cost plans
+        // (up to float summation order).
+        let model = TableCostModel::uniform(3, 4, 10.0, 1.0, 0.1, 1e9, 20.0, 500.0);
+        let (_, sj_cost, _) = cost_ordering_sj(&model, &[0, 1, 2]);
+        let (_, sja_cost, _) = cost_ordering_sja(&model, &[0, 1, 2]);
+        assert!((sj_cost.value() - sja_cost.value()).abs() < 1e-9 * sj_cost.value());
+    }
+
+    #[test]
+    fn sja_never_worse_than_sj_per_ordering() {
+        let model = testutil::figure2_model();
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            let (_, sj_cost, _) = cost_ordering_sj(&model, &order);
+            let (_, sja_cost, _) = cost_ordering_sja(&model, &order);
+            assert!(sja_cost <= sj_cost, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn round_sizes_shrink_with_selective_conditions() {
+        let model = TableCostModel::uniform(3, 2, 10.0, 1.0, 0.1, 1e9, 5.0, 1000.0);
+        let (_, _, sizes) = cost_ordering_sja(&model, &[0, 1, 2]);
+        assert_eq!(sizes.len(), 3);
+        assert!(sizes[0] > sizes[1] && sizes[1] > sizes[2]);
+    }
+
+    #[test]
+    fn infinite_semijoin_forces_selection() {
+        let mut model = TableCostModel::uniform(2, 2, 10.0, 1.0, 0.1, 1e9, 5.0, 100.0);
+        model.set_sjq_cost(CondId(1), SourceId(0), f64::INFINITY, 0.0);
+        model.set_sjq_cost(CondId(1), SourceId(1), f64::INFINITY, 0.0);
+        let (choices, cost, _) = cost_ordering_sja(&model, &[0, 1]);
+        assert!(cost.is_finite());
+        assert_eq!(choices[1], vec![SourceChoice::Selection; 2]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The SJ algorithm (Figure 3): optimal semijoin plans.
+
+use super::perm::for_each_permutation;
+use super::{cost_ordering_sj, BestOrdering, OptimizedPlan};
+use crate::cost::CostModel;
+use crate::plan::SimplePlanSpec;
+use fusion_types::CondId;
+
+/// Finds the optimal *semijoin plan* (§2.5 class 2).
+///
+/// Implements Figure 3 literally: loop A enumerates all `m!` condition
+/// orderings; for each, loop B decides — per condition, uniformly across
+/// sources — between `n` selection queries and `n` semijoin queries by
+/// comparing their summed costs; the cheapest plan over all orderings
+/// wins. Complexity `O(m!·m·n)`.
+///
+/// # Panics
+/// Panics if the model has no conditions.
+pub fn sj_optimal<M: CostModel>(model: &M) -> OptimizedPlan {
+    assert!(model.n_conditions() > 0, "no conditions to optimize");
+    let mut best: Option<BestOrdering> = None;
+    for_each_permutation(model.n_conditions(), |order| {
+        let (choices, cost, sizes) = cost_ordering_sj(model, order);
+        if best.as_ref().is_none_or(|(_, _, c, _)| cost < *c) {
+            best = Some((order.to_vec(), choices, cost, sizes));
+        }
+    });
+    let (order, choices, cost, sizes) = best.expect("m >= 1 yields at least one ordering");
+    let spec = SimplePlanSpec {
+        order: order.into_iter().map(CondId).collect(),
+        choices,
+    };
+    OptimizedPlan::from_spec(spec, cost, sizes, model.n_sources())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::Cost;
+    use crate::cost::TableCostModel;
+    use crate::optimizer::filter_plan;
+    use crate::plan::{PlanClass, SourceChoice};
+    use fusion_types::SourceId;
+
+    /// Selective first condition, cheap semijoins: SJ should lead with the
+    /// selective condition and semijoin the rest.
+    fn semijoin_friendly() -> TableCostModel {
+        let mut m = TableCostModel::uniform(3, 2, 50.0, 1.0, 0.1, 1e9, 40.0, 100.0);
+        // c1 is highly selective (returns ~2 items per source).
+        m.set_est_sq_items(CondId(0), SourceId(0), 2.0);
+        m.set_est_sq_items(CondId(0), SourceId(1), 2.0);
+        // ...and cheap to evaluate by selection.
+        m.set_sq_cost(CondId(0), SourceId(0), 5.0);
+        m.set_sq_cost(CondId(0), SourceId(1), 5.0);
+        m
+    }
+
+    #[test]
+    fn sj_picks_selective_condition_first() {
+        let opt = sj_optimal(&semijoin_friendly());
+        assert_eq!(opt.spec.order[0], CondId(0));
+        // Rounds 2..m use semijoins: input is ~4 items, so
+        // sjq = 1 + 0.1·4 ≈ 1.4 ≪ sq = 50.
+        for row in &opt.spec.choices[1..] {
+            assert_eq!(row, &vec![SourceChoice::Semijoin; 2]);
+        }
+        assert_eq!(opt.plan.class(), PlanClass::Semijoin);
+        opt.plan.validate().unwrap();
+    }
+
+    #[test]
+    fn sj_never_beats_filter_when_semijoins_are_expensive() {
+        // Infinite semijoins everywhere → SJ must return the filter plan
+        // cost.
+        let mut m = TableCostModel::uniform(3, 2, 10.0, f64::INFINITY, 0.0, 1e9, 5.0, 100.0);
+        for c in 0..3 {
+            for s in 0..2 {
+                m.set_sjq_cost(CondId(c), SourceId(s), f64::INFINITY, 0.0);
+            }
+        }
+        let sj = sj_optimal(&m);
+        let filter = filter_plan(&m);
+        assert_eq!(sj.cost, filter.cost);
+        assert_eq!(sj.plan.class(), PlanClass::Filter);
+    }
+
+    #[test]
+    fn sj_at_most_filter_cost() {
+        // For any model, OPT(SJ) ≤ FILTER: the all-selection plan is in
+        // the search space.
+        let models = [
+            TableCostModel::uniform(3, 3, 10.0, 2.0, 0.05, 1e9, 8.0, 50.0),
+            semijoin_friendly(),
+            TableCostModel::uniform(2, 5, 1.0, 100.0, 10.0, 1e9, 30.0, 60.0),
+        ];
+        for m in models {
+            assert!(sj_optimal(&m).cost <= filter_plan(&m).cost);
+        }
+    }
+
+    #[test]
+    fn single_condition_degenerates_to_filter() {
+        let m = TableCostModel::uniform(1, 4, 3.0, 1.0, 0.1, 1e9, 5.0, 100.0);
+        let opt = sj_optimal(&m);
+        assert_eq!(opt.cost, Cost::new(12.0));
+        assert_eq!(opt.plan.class(), PlanClass::Filter);
+    }
+
+    #[test]
+    fn ordering_matters() {
+        // c2 very selective but expensive to push; starting with c1 (cheap,
+        // moderately selective) then semijoining c2 wins over the reverse.
+        let mut m = TableCostModel::uniform(2, 2, 100.0, 1.0, 0.5, 1e9, 50.0, 100.0);
+        m.set_sq_cost(CondId(0), SourceId(0), 10.0);
+        m.set_sq_cost(CondId(0), SourceId(1), 10.0);
+        m.set_est_sq_items(CondId(0), SourceId(0), 5.0);
+        m.set_est_sq_items(CondId(0), SourceId(1), 5.0);
+        let opt = sj_optimal(&m);
+        assert_eq!(opt.spec.order, vec![CondId(0), CondId(1)]);
+        // Cost: 2·10 (round 1) + 2·(1 + 0.5·~9.75) ≈ 31.75 — far below
+        // starting with c2 (200 + ...).
+        assert!(opt.cost < Cost::new(40.0));
+    }
+}

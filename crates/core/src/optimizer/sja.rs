@@ -1,0 +1,134 @@
+//! The SJA algorithm (Figure 4): optimal semijoin-adaptive plans.
+
+use super::perm::for_each_permutation;
+use super::{cost_ordering_sja, BestOrdering, OptimizedPlan};
+use crate::cost::CostModel;
+use crate::plan::SimplePlanSpec;
+use fusion_types::CondId;
+
+/// Finds the optimal *semijoin-adaptive plan* (§2.5 class 3).
+///
+/// Implements Figure 4 literally: like [`sj_optimal`], but the inner
+/// "source loop" makes an independent selection-vs-semijoin decision for
+/// each source. Despite the adaptive space being exponentially larger
+/// (`O(m!·2^{n(m-2)})` plans vs `O(m!·2^{m-2})`), the per-source decisions
+/// decompose, so the complexity stays `O(m!·m·n)` — and the optimal
+/// semijoin-adaptive plan "is always at least as good as, and often much
+/// better than, the optimal semijoin plan".
+///
+/// [`sj_optimal`]: super::sj_optimal
+///
+/// # Panics
+/// Panics if the model has no conditions.
+pub fn sja_optimal<M: CostModel>(model: &M) -> OptimizedPlan {
+    assert!(model.n_conditions() > 0, "no conditions to optimize");
+    let mut best: Option<BestOrdering> = None;
+    for_each_permutation(model.n_conditions(), |order| {
+        let (choices, cost, sizes) = cost_ordering_sja(model, order);
+        if best.as_ref().is_none_or(|(_, _, c, _)| cost < *c) {
+            best = Some((order.to_vec(), choices, cost, sizes));
+        }
+    });
+    let (order, choices, cost, sizes) = best.expect("m >= 1 yields at least one ordering");
+    let spec = SimplePlanSpec {
+        order: order.into_iter().map(CondId).collect(),
+        choices,
+    };
+    OptimizedPlan::from_spec(spec, cost, sizes, model.n_sources())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::Cost;
+    use crate::cost::TableCostModel;
+    use crate::optimizer::testutil::figure2_model;
+    use crate::optimizer::{filter_plan, sj_optimal};
+    use crate::plan::{PlanClass, SourceChoice};
+    use fusion_types::SourceId;
+
+    #[test]
+    fn sja_dominates_sj_dominates_filter() {
+        let models = [
+            figure2_model(),
+            TableCostModel::uniform(3, 3, 10.0, 2.0, 0.05, 1e9, 8.0, 50.0),
+            TableCostModel::uniform(4, 2, 5.0, 1.0, 0.2, 1e9, 3.0, 40.0),
+        ];
+        // Dominance up to float summation order.
+        let le = |a: Cost, b: Cost| a.value() <= b.value() * (1.0 + 1e-12) + 1e-12;
+        for m in models {
+            let f = filter_plan(&m).cost;
+            let sj = sj_optimal(&m).cost;
+            let sja = sja_optimal(&m).cost;
+            assert!(le(sja, sj), "SJA {sja} should not exceed SJ {sj}");
+            assert!(le(sj, f), "SJ {sj} should not exceed FILTER {f}");
+        }
+    }
+
+    #[test]
+    fn sja_strictly_beats_sj_on_heterogeneous_sources() {
+        // figure2_model makes semijoin the right call for c2 at R1 only;
+        // SJ must pick one uniform strategy and lose.
+        let m = figure2_model();
+        let sj = sj_optimal(&m).cost;
+        let sja = sja_optimal(&m).cost;
+        assert!(sja < sj, "expected strict win, got SJA={sja} SJ={sj}");
+    }
+
+    #[test]
+    fn sja_reproduces_figure_2c_shape() {
+        // Under the staged model, the optimal adaptive plan processes
+        // c1, c2, c3 in order, semijoins c2 at R1 only, and selects
+        // everywhere else — exactly Figure 2(c).
+        let opt = sja_optimal(&figure2_model());
+        assert_eq!(
+            opt.spec.order,
+            vec![CondId(0), CondId(1), CondId(2)],
+            "expected the figure's ordering"
+        );
+        assert_eq!(
+            opt.spec.choices[1],
+            vec![SourceChoice::Semijoin, SourceChoice::Selection]
+        );
+        assert_eq!(opt.spec.choices[2], vec![SourceChoice::Selection; 2]);
+        assert_eq!(opt.plan.class(), PlanClass::SemijoinAdaptive);
+        opt.plan.validate().unwrap();
+    }
+
+    #[test]
+    fn per_source_choice_follows_local_costs() {
+        // Two conditions, 4 sources: c1 is cheap and selective, c2 is dear
+        // to push and its semijoin is profitable at even sources only.
+        let mut m = TableCostModel::uniform(2, 4, 10.0, 1.0, 0.1, 1e9, 5.0, 1000.0);
+        for s in 0..4 {
+            m.set_sq_cost(CondId(1), SourceId(s), 30.0);
+            m.set_est_sq_items(CondId(1), SourceId(s), 50.0);
+        }
+        for s in [1usize, 3] {
+            m.set_sjq_cost(CondId(1), SourceId(s), 50.0, 0.1);
+        }
+        let opt = sja_optimal(&m);
+        // Ordering [c1, c2]: ~19.9-item input; sjq even ≈ 3 < 30 < sjq odd.
+        assert_eq!(opt.spec.order[0], CondId(0));
+        assert_eq!(
+            opt.spec.choices[1],
+            vec![
+                SourceChoice::Semijoin,
+                SourceChoice::Selection,
+                SourceChoice::Semijoin,
+                SourceChoice::Selection
+            ]
+        );
+    }
+
+    #[test]
+    fn m_equals_two_symmetric_conditions() {
+        // With two identical conditions both orderings tie; SJA must still
+        // produce a valid plan with the semijoin on the second round.
+        let m = TableCostModel::uniform(2, 2, 20.0, 1.0, 0.1, 1e9, 4.0, 100.0);
+        let opt = sja_optimal(&m);
+        assert_eq!(opt.spec.choices[1], vec![SourceChoice::Semijoin; 2]);
+        // Cost = 2·20 + 2·(1 + 0.1·|X1|), |X1| = 100(1-(1-.04)²) ≈ 7.84.
+        assert!((opt.cost.value() - (40.0 + 2.0 * (1.0 + 0.784))).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,200 @@
+//! Rendering plans in the paper's notation.
+
+use super::{Plan, Step};
+use fusion_types::Condition;
+use std::fmt;
+
+impl Plan {
+    /// Renders one step in the paper's notation, with a custom renderer
+    /// for condition references.
+    fn render_step(&self, step: &Step, cond_str: &dyn Fn(usize) -> String) -> String {
+        match step {
+            Step::Sq { out, cond, source } => format!(
+                "{} := sq({}, R{})",
+                self.var_name(*out),
+                cond_str(cond.0),
+                source.0 + 1
+            ),
+            Step::Sjq {
+                out,
+                cond,
+                source,
+                input,
+            } => format!(
+                "{} := sjq({}, R{}, {})",
+                self.var_name(*out),
+                cond_str(cond.0),
+                source.0 + 1,
+                self.var_name(*input)
+            ),
+            Step::SjqBloom {
+                out,
+                cond,
+                source,
+                input,
+                bits,
+            } => format!(
+                "{} := sjq({}, R{}, bloom({}, {}b))",
+                self.var_name(*out),
+                cond_str(cond.0),
+                source.0 + 1,
+                self.var_name(*input),
+                bits
+            ),
+            Step::Lq { out, source } => {
+                format!("{} := lq(R{})", self.rel_name(*out), source.0 + 1)
+            }
+            Step::LocalSq { out, cond, rel } => format!(
+                "{} := sq({}, {})",
+                self.var_name(*out),
+                cond_str(cond.0),
+                self.rel_name(*rel)
+            ),
+            Step::Union { out, inputs } => format!(
+                "{} := {}",
+                self.var_name(*out),
+                inputs
+                    .iter()
+                    .map(|v| self.var_name(*v).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ∪ ")
+            ),
+            Step::Intersect { out, inputs } => format!(
+                "{} := {}",
+                self.var_name(*out),
+                inputs
+                    .iter()
+                    .map(|v| self.var_name(*v).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ∩ ")
+            ),
+            Step::Diff { out, left, right } => format!(
+                "{} := {} − {}",
+                self.var_name(*out),
+                self.var_name(*left),
+                self.var_name(*right)
+            ),
+        }
+    }
+
+    /// Renders the whole plan as a numbered listing (conditions shown
+    /// symbolically: `c1`, `c2`, ...).
+    pub fn listing(&self) -> String {
+        self.listing_with(&|i| format!("c{}", i + 1))
+    }
+
+    /// Renders the plan with conditions spelled out, e.g.
+    /// `sq(V = 'dui', R1)`.
+    pub fn listing_verbose(&self, conditions: &[Condition]) -> String {
+        self.listing_with(&|i| conditions[i].to_string())
+    }
+
+    fn listing_with(&self, cond_str: &dyn Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!("{}) {}\n", i + 1, self.render_step(step, cond_str)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::plan::{SimplePlanSpec, SourceChoice};
+    use fusion_types::{CondId, Predicate};
+
+    #[test]
+    fn figure_2a_listing() {
+        // The filter plan of Figure 2(a), regenerated verbatim.
+        let plan = SimplePlanSpec::filter(3, 2).build(2).unwrap();
+        assert_eq!(
+            plan.listing(),
+            "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X1 := X11 ∪ X12
+4) X21 := sq(c2, R1)
+5) X22 := sq(c2, R2)
+6) X2 := X21 ∪ X22
+7) X2 := X2 ∩ X1
+8) X31 := sq(c3, R1)
+9) X32 := sq(c3, R2)
+10) X3 := X31 ∪ X32
+11) X3 := X3 ∩ X2
+"
+        );
+    }
+
+    #[test]
+    fn figure_2b_listing() {
+        // The semijoin plan of Figure 2(b). (The paper prints step 10 as
+        // `X3 := X2 ∩ X3`; intersection is commutative and we render the
+        // current round's union first.)
+        let spec = SimplePlanSpec {
+            order: vec![CondId(0), CondId(1), CondId(2)],
+            choices: vec![
+                vec![SourceChoice::Selection; 2],
+                vec![SourceChoice::Semijoin; 2],
+                vec![SourceChoice::Selection; 2],
+            ],
+        };
+        assert_eq!(
+            spec.build(2).unwrap().listing(),
+            "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X1 := X11 ∪ X12
+4) X21 := sjq(c2, R1, X1)
+5) X22 := sjq(c2, R2, X1)
+6) X2 := X21 ∪ X22
+7) X31 := sq(c3, R1)
+8) X32 := sq(c3, R2)
+9) X3 := X31 ∪ X32
+10) X3 := X3 ∩ X2
+"
+        );
+    }
+
+    #[test]
+    fn figure_2c_listing() {
+        // The semijoin-adaptive plan of Figure 2(c).
+        let spec = SimplePlanSpec {
+            order: vec![CondId(0), CondId(1), CondId(2)],
+            choices: vec![
+                vec![SourceChoice::Selection; 2],
+                vec![SourceChoice::Semijoin, SourceChoice::Selection],
+                vec![SourceChoice::Selection; 2],
+            ],
+        };
+        assert_eq!(
+            spec.build(2).unwrap().listing(),
+            "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X1 := X11 ∪ X12
+4) X21 := sjq(c2, R1, X1)
+5) X22 := sq(c2, R2)
+6) X2 := X21 ∪ X22
+7) X2 := X2 ∩ X1
+8) X31 := sq(c3, R1)
+9) X32 := sq(c3, R2)
+10) X3 := X31 ∪ X32
+11) X3 := X3 ∩ X2
+"
+        );
+    }
+
+    #[test]
+    fn verbose_listing_spells_conditions() {
+        let plan = SimplePlanSpec::filter(1, 1).build(1).unwrap();
+        let conds = vec![Predicate::eq("V", "dui").into()];
+        let text = plan.listing_verbose(&conds);
+        assert!(text.contains("sq(V = 'dui', R1)"), "got: {text}");
+    }
+}

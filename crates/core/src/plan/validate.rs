@@ -1,0 +1,229 @@
+//! Structural validation of plans.
+
+use super::{Plan, Step};
+use fusion_types::error::{FusionError, Result};
+
+impl Plan {
+    /// Checks structural well-formedness:
+    ///
+    /// * every item-set / relation variable is defined exactly once
+    ///   (plans are single-assignment internally; the paper's reuse of
+    ///   names like `X_2` is display-level only);
+    /// * every use is preceded by its definition;
+    /// * condition and source indexes are within `n_conditions` /
+    ///   `n_sources`;
+    /// * unions and intersections have at least one operand;
+    /// * the result variable is defined.
+    ///
+    /// # Errors
+    /// Returns [`FusionError::InvalidPlan`] describing the first defect.
+    pub fn validate(&self) -> Result<()> {
+        let mut var_defined = vec![false; self.var_names.len()];
+        let mut rel_defined = vec![false; self.rel_names.len()];
+        for (i, step) in self.steps.iter().enumerate() {
+            let stepno = i + 1;
+            // Uses first (a step may not read its own output).
+            for used in step.used_vars() {
+                if used.0 >= var_defined.len() || !var_defined[used.0] {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} uses undefined variable #{}",
+                        used.0
+                    )));
+                }
+            }
+            if let Step::LocalSq { rel, .. } = step {
+                if rel.0 >= rel_defined.len() || !rel_defined[rel.0] {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} uses unloaded relation #{}",
+                        rel.0
+                    )));
+                }
+            }
+            // Index ranges.
+            match step {
+                Step::Sq { cond, source, .. }
+                | Step::Sjq { cond, source, .. }
+                | Step::SjqBloom { cond, source, .. } => {
+                    if cond.0 >= self.n_conditions {
+                        return Err(FusionError::invalid_plan(format!(
+                            "step {stepno} references condition c{} of {}",
+                            cond.0 + 1,
+                            self.n_conditions
+                        )));
+                    }
+                    if source.0 >= self.n_sources {
+                        return Err(FusionError::invalid_plan(format!(
+                            "step {stepno} references source R{} of {}",
+                            source.0 + 1,
+                            self.n_sources
+                        )));
+                    }
+                }
+                Step::Lq { source, .. } => {
+                    if source.0 >= self.n_sources {
+                        return Err(FusionError::invalid_plan(format!(
+                            "step {stepno} loads source R{} of {}",
+                            source.0 + 1,
+                            self.n_sources
+                        )));
+                    }
+                }
+                Step::LocalSq { cond, .. } => {
+                    if cond.0 >= self.n_conditions {
+                        return Err(FusionError::invalid_plan(format!(
+                            "step {stepno} references condition c{} of {}",
+                            cond.0 + 1,
+                            self.n_conditions
+                        )));
+                    }
+                }
+                Step::Union { inputs, .. } | Step::Intersect { inputs, .. } => {
+                    if inputs.is_empty() {
+                        return Err(FusionError::invalid_plan(format!(
+                            "step {stepno} has no operands"
+                        )));
+                    }
+                }
+                Step::Diff { .. } => {}
+            }
+            // Definitions.
+            if let Some(out) = step.defined_var() {
+                if out.0 >= var_defined.len() {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} defines out-of-range variable #{}",
+                        out.0
+                    )));
+                }
+                if var_defined[out.0] {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} redefines variable {}",
+                        self.var_name(out)
+                    )));
+                }
+                var_defined[out.0] = true;
+            }
+            if let Step::Lq { out, .. } = step {
+                if out.0 >= rel_defined.len() {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} defines out-of-range relation #{}",
+                        out.0
+                    )));
+                }
+                if rel_defined[out.0] {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} reloads relation {}",
+                        self.rel_name(*out)
+                    )));
+                }
+                rel_defined[out.0] = true;
+            }
+        }
+        if self.result.0 >= var_defined.len() || !var_defined[self.result.0] {
+            return Err(FusionError::invalid_plan("result variable is never defined"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::plan::{Plan, SimplePlanSpec, Step, VarId};
+    use fusion_types::{CondId, SourceId};
+
+    fn valid_plan() -> Plan {
+        SimplePlanSpec::filter(2, 2).build(2).unwrap()
+    }
+
+    #[test]
+    fn built_plans_validate() {
+        valid_plan().validate().unwrap();
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut p = valid_plan();
+        // Prepend a union of a variable defined later.
+        let bad = p.fresh_var("BAD");
+        p.steps.insert(
+            0,
+            Step::Union {
+                out: bad,
+                inputs: vec![VarId(0)],
+            },
+        );
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("undefined variable"));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let mut p = valid_plan();
+        p.steps.push(Step::Sq {
+            out: VarId(0),
+            cond: CondId(0),
+            source: SourceId(0),
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("redefines"));
+    }
+
+    #[test]
+    fn out_of_range_condition_rejected() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        p.steps.push(Step::Sq {
+            out: v,
+            cond: CondId(99),
+            source: SourceId(0),
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("condition"));
+    }
+
+    #[test]
+    fn out_of_range_source_rejected() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        p.steps.push(Step::Sq {
+            out: v,
+            cond: CondId(0),
+            source: SourceId(99),
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("source"));
+    }
+
+    #[test]
+    fn empty_union_rejected() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        p.steps.push(Step::Union {
+            out: v,
+            inputs: vec![],
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("no operands"));
+    }
+
+    #[test]
+    fn undefined_result_rejected() {
+        let mut p = valid_plan();
+        p.result = p.fresh_var("NEVER");
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("result variable"));
+    }
+
+    #[test]
+    fn unloaded_relation_rejected() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        let r = p.fresh_rel("T1");
+        p.steps.push(Step::LocalSq {
+            out: v,
+            cond: CondId(0),
+            rel: r,
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("unloaded relation"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Mid-query re-optimization: execute a round, observe the real
+//! cardinality, re-plan the rest.
+//!
+//! The static pipeline commits to a whole plan from estimates; under
+//! correlated conditions those estimates drift (experiment E13) and the
+//! committed strategies can be wrong. [`execute_adaptive`] interleaves
+//! planning and execution instead: each round is chosen by
+//! [`adaptive_next`] from the *observed* running-set size, executed
+//! against the wrappers, and folded into the running result — the same
+//! correctness argument as condition-at-a-time simple plans, with truth
+//! instead of estimates in the cost comparisons.
+
+use crate::interp::run_semijoin;
+use crate::ledger::{CostLedger, LedgerEntry, StepKind};
+use fusion_core::optimizer::adaptive_next;
+use fusion_core::plan::SourceChoice;
+use fusion_core::query::FusionQuery;
+use fusion_core::CostModel;
+use fusion_net::{ExchangeKind, MessageSize, Network};
+use fusion_source::SourceSet;
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{CondId, Cost, ItemSet, SourceId};
+
+/// One executed adaptive round, for post-mortem analysis.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRound {
+    /// The condition processed.
+    pub cond: CondId,
+    /// Per-source strategies used.
+    pub choices: Vec<SourceChoice>,
+    /// What the planner predicted `|X|` would be after this round.
+    pub predicted_size: f64,
+    /// What it actually was.
+    pub actual_size: usize,
+}
+
+/// The outcome of an adaptive execution.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The query answer.
+    pub answer: ItemSet,
+    /// Per-step executed costs (one entry per source query).
+    pub ledger: CostLedger,
+    /// The rounds, in execution order.
+    pub rounds: Vec<AdaptiveRound>,
+}
+
+impl AdaptiveOutcome {
+    /// Total executed cost.
+    pub fn total_cost(&self) -> Cost {
+        self.ledger.total()
+    }
+}
+
+/// Executes `query` with per-round re-optimization against `model`.
+///
+/// # Errors
+/// Propagates wrapper and capability failures.
+pub fn execute_adaptive<M: CostModel>(
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    model: &M,
+) -> Result<AdaptiveOutcome> {
+    if query.m() != model.n_conditions() || sources.len() != model.n_sources() {
+        return Err(FusionError::invalid_plan(
+            "cost model does not match query/sources",
+        ));
+    }
+    let conditions = query.conditions();
+    let mut remaining: Vec<CondId> = (0..query.m()).map(CondId).collect();
+    let mut current: Option<ItemSet> = None;
+    let mut ledger = CostLedger::new();
+    let mut rounds = Vec::with_capacity(query.m());
+    let mut step = 0usize;
+    while !remaining.is_empty() {
+        let next = adaptive_next(model, &remaining, current.as_ref().map(|s| s.len() as f64));
+        let cond = &conditions[next.cond.0];
+        let mut round_union = ItemSet::empty();
+        let mut any_selection = false;
+        for (j, choice) in next.choices.iter().enumerate() {
+            let source = SourceId(j);
+            let items = match choice {
+                SourceChoice::Selection => {
+                    any_selection = true;
+                    let w = sources.get(source);
+                    let resp = w.select(cond)?;
+                    let req_bytes = MessageSize::sq_request(cond);
+                    let resp_bytes = MessageSize::items_response(&resp.payload);
+                    let comm =
+                        network.exchange(source, ExchangeKind::Selection, req_bytes, resp_bytes);
+                    let proc =
+                        Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                    ledger.push(LedgerEntry {
+                        step,
+                        kind: StepKind::Selection,
+                        source: Some(source),
+                        comm,
+                        proc,
+                        round_trips: 1,
+                        items_out: resp.payload.len(),
+                    });
+                    resp.payload
+                }
+                SourceChoice::Semijoin => {
+                    let bindings = current
+                        .as_ref()
+                        .expect("planner only semijoins with a running set")
+                        .clone();
+                    let (items, entry) =
+                        run_semijoin(step, source, cond, &bindings, sources, network)?;
+                    ledger.push(entry);
+                    items
+                }
+            };
+            round_union = round_union.union(&items);
+            step += 1;
+        }
+        current = Some(match current {
+            None => round_union,
+            // Semijoin results are already subsets; selections need the
+            // intersection with the running set.
+            Some(prev) if any_selection => prev.intersect(&round_union),
+            Some(_) => round_union,
+        });
+        rounds.push(AdaptiveRound {
+            cond: next.cond,
+            choices: next.choices,
+            predicted_size: next.predicted_size,
+            actual_size: current.as_ref().expect("just set").len(),
+        });
+        remaining.retain(|c| *c != next.cond);
+    }
+    Ok(AdaptiveOutcome {
+        answer: current.expect("m >= 1"),
+        ledger,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::NetworkCostModel;
+    use fusion_net::LinkProfile;
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate, Relation};
+
+    fn setup() -> (FusionQuery, SourceSet, Network) {
+        let s = dmv_schema();
+        let relations = vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+        ];
+        let sources = SourceSet::new(
+            relations
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        Capabilities::full(),
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        );
+        let q = FusionQuery::new(
+            s,
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap();
+        let net = Network::uniform(2, LinkProfile::Wan.link());
+        (q, sources, net)
+    }
+
+    #[test]
+    fn adaptive_computes_the_right_answer() {
+        let (q, sources, mut net) = setup();
+        let model = NetworkCostModel::new(&sources, &net, &q, None);
+        let out = execute_adaptive(&q, &sources, &mut net, &model).unwrap();
+        assert_eq!(out.answer, ItemSet::from_items(["J55", "T21"]));
+        assert_eq!(out.rounds.len(), 2);
+        assert!(out.total_cost() > Cost::ZERO);
+        // Each round processed a distinct condition.
+        assert_ne!(out.rounds[0].cond, out.rounds[1].cond);
+        // Actual sizes were observed.
+        assert!(out.rounds[0].actual_size >= out.rounds[1].actual_size);
+    }
+
+    #[test]
+    fn first_round_is_selections() {
+        let (q, sources, mut net) = setup();
+        let model = NetworkCostModel::new(&sources, &net, &q, None);
+        let out = execute_adaptive(&q, &sources, &mut net, &model).unwrap();
+        assert!(out.rounds[0]
+            .choices
+            .iter()
+            .all(|c| *c == SourceChoice::Selection));
+    }
+
+    #[test]
+    fn model_mismatch_rejected() {
+        let (q, sources, mut net) = setup();
+        let model = fusion_core::TableCostModel::uniform(5, 2, 1.0, 1.0, 0.1, 1e9, 2.0, 10.0);
+        assert!(execute_adaptive(&q, &sources, &mut net, &model).is_err());
+    }
+}

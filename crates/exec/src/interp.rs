@@ -1,0 +1,471 @@
+//! Sequential plan interpretation with cost accounting.
+
+use crate::ledger::{CostLedger, LedgerEntry, StepKind};
+use fusion_core::plan::{Plan, Step};
+use fusion_core::query::FusionQuery;
+use fusion_net::{ExchangeKind, MessageSize, Network};
+use fusion_source::SourceSet;
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{Cost, ItemSet, Relation, SourceId};
+
+/// The result of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The query answer.
+    pub answer: ItemSet,
+    /// Per-step executed costs.
+    pub ledger: CostLedger,
+}
+
+impl ExecutionOutcome {
+    /// Total executed cost.
+    pub fn total_cost(&self) -> Cost {
+        self.ledger.total()
+    }
+}
+
+/// Executes `plan` for `query` against `sources` over `network`.
+///
+/// Remote steps are charged communication costs through the network's
+/// links plus processing costs from each wrapper's profile. A semijoin
+/// query to a source without native support is emulated as passed-binding
+/// probes, batched to the source's advertised limit (§2.3); a source that
+/// supports neither fails the execution — mirroring the infinite cost the
+/// optimizer would have assigned.
+///
+/// # Errors
+/// Fails on structurally invalid plans, capability violations, and
+/// predicate evaluation errors.
+pub fn execute_plan(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+) -> Result<ExecutionOutcome> {
+    plan.validate()?;
+    if query.m() != plan.n_conditions {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} conditions, query has {}",
+            plan.n_conditions,
+            query.m()
+        )));
+    }
+    if sources.len() != plan.n_sources {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} sources, got {}",
+            plan.n_sources,
+            sources.len()
+        )));
+    }
+    let conditions = query.conditions();
+    let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
+    let mut ledger = CostLedger::new();
+    for (idx, step) in plan.steps.iter().enumerate() {
+        match step {
+            Step::Sq { out, cond, source } => {
+                let w = sources.get(*source);
+                let resp = w.select(&conditions[cond.0])?;
+                let req_bytes = MessageSize::sq_request(&conditions[cond.0]);
+                let resp_bytes = MessageSize::items_response(&resp.payload);
+                let comm = network.exchange(*source, ExchangeKind::Selection, req_bytes, resp_bytes);
+                let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                ledger.push(LedgerEntry {
+                    step: idx,
+                    kind: StepKind::Selection,
+                    source: Some(*source),
+                    comm,
+                    proc,
+                    round_trips: 1,
+                    items_out: resp.payload.len(),
+                });
+                vars[out.0] = Some(resp.payload);
+            }
+            Step::Sjq {
+                out,
+                cond,
+                source,
+                input,
+            } => {
+                let bindings = vars[input.0].clone().expect("validated: def before use");
+                let (items, entry) =
+                    run_semijoin(idx, *source, &conditions[cond.0], &bindings, sources, network)?;
+                ledger.push(entry);
+                vars[out.0] = Some(items);
+            }
+            Step::SjqBloom {
+                out,
+                cond,
+                source,
+                input,
+                bits,
+            } => {
+                let bindings = vars[input.0].clone().expect("validated: def before use");
+                let w = sources.get(*source);
+                let filter = fusion_types::BloomFilter::build(&bindings, *bits as f64);
+                let resp = w.bloom_semijoin(&conditions[cond.0], &filter)?;
+                let req_bytes =
+                    MessageSize::sq_request(&conditions[cond.0]) + filter.wire_size();
+                let resp_bytes = MessageSize::items_response(&resp.payload);
+                let comm =
+                    network.exchange(*source, ExchangeKind::BloomSemijoin, req_bytes, resp_bytes);
+                let proc =
+                    Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                ledger.push(LedgerEntry {
+                    step: idx,
+                    kind: StepKind::BloomSemijoin,
+                    source: Some(*source),
+                    comm,
+                    proc,
+                    round_trips: 1,
+                    items_out: resp.payload.len(),
+                });
+                vars[out.0] = Some(resp.payload);
+            }
+            Step::Lq { out, source } => {
+                let w = sources.get(*source);
+                let resp = w.load()?;
+                let req_bytes = MessageSize::lq_request();
+                let resp_bytes = MessageSize::tuples_response(&resp.payload);
+                let comm = network.exchange(*source, ExchangeKind::Load, req_bytes, resp_bytes);
+                let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                ledger.push(LedgerEntry {
+                    step: idx,
+                    kind: StepKind::Load,
+                    source: Some(*source),
+                    comm,
+                    proc,
+                    round_trips: 1,
+                    items_out: resp.payload.len(),
+                });
+                rels[out.0] = Some(Relation::from_rows(query.schema().clone(), resp.payload));
+            }
+            Step::LocalSq { out, cond, rel } => {
+                let relation = rels[rel.0].as_ref().expect("validated: loaded before use");
+                let r = relation.select_items(&conditions[cond.0])?;
+                ledger.push(local_entry(idx, r.items.len()));
+                vars[out.0] = Some(r.items);
+            }
+            Step::Union { out, inputs } => {
+                let sets: Vec<&ItemSet> = inputs
+                    .iter()
+                    .map(|v| vars[v.0].as_ref().expect("validated"))
+                    .collect();
+                let u = ItemSet::union_all(sets);
+                ledger.push(local_entry(idx, u.len()));
+                vars[out.0] = Some(u);
+            }
+            Step::Intersect { out, inputs } => {
+                let mut iter = inputs.iter();
+                let first = vars[iter.next().expect("validated").0]
+                    .clone()
+                    .expect("validated");
+                let acc = iter.fold(first, |acc, v| {
+                    acc.intersect(vars[v.0].as_ref().expect("validated"))
+                });
+                ledger.push(local_entry(idx, acc.len()));
+                vars[out.0] = Some(acc);
+            }
+            Step::Diff { out, left, right } => {
+                let l = vars[left.0].as_ref().expect("validated");
+                let r = vars[right.0].as_ref().expect("validated");
+                let d = l.difference(r);
+                ledger.push(local_entry(idx, d.len()));
+                vars[out.0] = Some(d);
+            }
+        }
+    }
+    let answer = vars[plan.result.0].clone().expect("validated: result defined");
+    Ok(ExecutionOutcome { answer, ledger })
+}
+
+fn local_entry(step: usize, items_out: usize) -> LedgerEntry {
+    LedgerEntry {
+        step,
+        kind: StepKind::Local,
+        source: None,
+        comm: Cost::ZERO,
+        proc: Cost::ZERO,
+        round_trips: 0,
+        items_out,
+    }
+}
+
+/// Executes one semijoin query, natively or by emulation.
+pub(crate) fn run_semijoin(
+    step: usize,
+    source: SourceId,
+    cond: &fusion_types::Condition,
+    bindings: &ItemSet,
+    sources: &SourceSet,
+    network: &mut Network,
+) -> Result<(ItemSet, LedgerEntry)> {
+    let w = sources.get(source);
+    let caps = *w.capabilities();
+    if caps.native_semijoin {
+        let resp = w.semijoin(cond, bindings)?;
+        let req_bytes = MessageSize::sjq_request(cond, bindings);
+        let resp_bytes = MessageSize::items_response(&resp.payload);
+        let comm = network.exchange(source, ExchangeKind::Semijoin, req_bytes, resp_bytes);
+        let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        let entry = LedgerEntry {
+            step,
+            kind: StepKind::Semijoin,
+            source: Some(source),
+            comm,
+            proc,
+            round_trips: 1,
+            items_out: resp.payload.len(),
+        };
+        return Ok((resp.payload, entry));
+    }
+    if !caps.passed_bindings {
+        return Err(FusionError::Unsupported {
+            detail: format!(
+                "source `{}` supports neither native nor emulated semijoins",
+                w.name()
+            ),
+        });
+    }
+    // Emulation: one probe per batch of bindings (§2.3).
+    let batch_size = caps.binding_batch.max(1);
+    let mut result = ItemSet::empty();
+    let mut comm = Cost::ZERO;
+    let mut proc = Cost::ZERO;
+    let mut round_trips = 0usize;
+    let items: Vec<_> = bindings.iter().cloned().collect();
+    for chunk in items.chunks(batch_size) {
+        let batch = ItemSet::from_items(chunk.iter().cloned());
+        let resp = w.probe(cond, &batch)?;
+        let req_bytes = MessageSize::sjq_request(cond, &batch);
+        let resp_bytes = MessageSize::items_response(&resp.payload);
+        comm += network.exchange(source, ExchangeKind::BindingProbe, req_bytes, resp_bytes);
+        proc += Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        round_trips += 1;
+        result = result.union(&resp.payload);
+    }
+    let entry = LedgerEntry {
+        step,
+        kind: StepKind::EmulatedSemijoin,
+        source: Some(source),
+        comm,
+        proc,
+        round_trips,
+        items_out: result.len(),
+    };
+    Ok((result, entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::cost::TableCostModel;
+    use fusion_core::optimizer::{filter_plan, sja_optimal};
+    use fusion_core::plan::{SimplePlanSpec, SourceChoice};
+    use fusion_net::LinkProfile;
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, CondId, Predicate};
+
+    fn figure1_relations() -> Vec<Relation> {
+        let s = dmv_schema();
+        vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ]
+    }
+
+    fn dmv_sources(caps: Capabilities) -> SourceSet {
+        SourceSet::new(
+            figure1_relations()
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        caps,
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn semijoin_spec() -> SimplePlanSpec {
+        SimplePlanSpec {
+            order: vec![CondId(0), CondId(1)],
+            choices: vec![
+                vec![SourceChoice::Selection; 3],
+                vec![SourceChoice::Semijoin; 3],
+            ],
+        }
+    }
+
+    #[test]
+    fn filter_plan_computes_figure1_answer_with_costs() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 1.0, 1.0, 0.1, 1e9, 2.0, 8.0);
+        let plan = filter_plan(&model).plan;
+        let sources = dmv_sources(Capabilities::full());
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        assert_eq!(out.answer, ItemSet::from_items(["J55", "T21"]));
+        assert!(out.total_cost() > Cost::ZERO);
+        assert_eq!(out.ledger.count_kind(StepKind::Selection), 6);
+        assert_eq!(net.trace().len(), 6);
+    }
+
+    #[test]
+    fn native_and_emulated_semijoins_agree_on_answers() {
+        let q = dmv_query();
+        let plan = semijoin_spec().build(3).unwrap();
+        let mut answers = Vec::new();
+        let mut costs = Vec::new();
+        for caps in [
+            Capabilities::full(),
+            Capabilities::emulated(2),
+            Capabilities::emulated(1),
+        ] {
+            let sources = dmv_sources(caps);
+            let mut net = Network::uniform(3, LinkProfile::Wan.link());
+            let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+            answers.push(out.answer.clone());
+            costs.push(out.total_cost());
+        }
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(answers[0], ItemSet::from_items(["J55", "T21"]));
+        // Emulation costs strictly more, and smaller batches cost more.
+        assert!(costs[1] > costs[0], "emulated {} <= native {}", costs[1], costs[0]);
+        assert!(costs[2] > costs[1]);
+    }
+
+    #[test]
+    fn emulated_semijoin_batches_round_trips() {
+        let q = dmv_query();
+        let plan = semijoin_spec().build(3).unwrap();
+        let sources = dmv_sources(Capabilities::emulated(1));
+        let mut net = Network::uniform(3, LinkProfile::Lan.link());
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        // X1 = {J55, T80, T21}: three bindings probed one at a time at
+        // each of the three sources.
+        let emulated: Vec<_> = out
+            .ledger
+            .entries()
+            .iter()
+            .filter(|e| e.kind == StepKind::EmulatedSemijoin)
+            .collect();
+        assert_eq!(emulated.len(), 3);
+        for e in emulated {
+            assert_eq!(e.round_trips, 3);
+        }
+        assert_eq!(net.count_kind(ExchangeKind::BindingProbe), 9);
+    }
+
+    #[test]
+    fn selection_only_source_fails_semijoin_execution() {
+        let q = dmv_query();
+        let plan = semijoin_spec().build(3).unwrap();
+        let sources = dmv_sources(Capabilities::selection_only());
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan(&plan, &q, &sources, &mut net).unwrap_err();
+        assert!(matches!(err, FusionError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn executed_answer_matches_naive_for_optimizer_plans() {
+        let q = dmv_query();
+        let truth = q.naive_answer(&figure1_relations()).unwrap();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let sources = dmv_sources(Capabilities::full());
+        for opt in [filter_plan(&model), sja_optimal(&model)] {
+            let mut net = Network::uniform(3, LinkProfile::Wan.link());
+            let out = execute_plan(&opt.plan, &q, &sources, &mut net).unwrap();
+            assert_eq!(out.answer, truth);
+        }
+    }
+
+    #[test]
+    fn lq_and_local_steps_execute() {
+        use fusion_core::plan::{Plan, Step, VarId};
+        let q = dmv_query();
+        // T1 := lq(R1); X0 := sq(c1, T1); X1 := sq(c2, R2); X2 := X0 ∩ X1.
+        let mut plan = Plan::new(vec![], VarId(0), 2, 3);
+        let t = plan.fresh_rel("T1");
+        let x0 = plan.fresh_var("X0");
+        let x1 = plan.fresh_var("X1");
+        let x2 = plan.fresh_var("X2");
+        plan.steps = vec![
+            Step::Lq {
+                out: t,
+                source: SourceId(0),
+            },
+            Step::LocalSq {
+                out: x0,
+                cond: CondId(0),
+                rel: t,
+            },
+            Step::Sq {
+                out: x1,
+                cond: CondId(1),
+                source: SourceId(1),
+            },
+            Step::Intersect {
+                out: x2,
+                inputs: vec![x0, x1],
+            },
+        ];
+        plan.result = x2;
+        let sources = dmv_sources(Capabilities::full());
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        // dui at R1 = {J55, T80}; sp at R2 = {J55, T11} → {J55}.
+        assert_eq!(out.answer, ItemSet::from_items(["J55"]));
+        assert_eq!(out.ledger.count_kind(StepKind::Load), 1);
+        assert_eq!(out.ledger.count_kind(StepKind::Local), 2);
+    }
+
+    #[test]
+    fn arity_mismatches_rejected() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 2, 1.0, 1.0, 0.1, 1e9, 2.0, 8.0);
+        let plan = filter_plan(&model).plan; // 2 sources
+        let sources = dmv_sources(Capabilities::full()); // 3 sources
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        assert!(execute_plan(&plan, &q, &sources, &mut net).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! The mediator-side plan executor.
+//!
+//! Interprets fusion query plans against live wrappers with full cost
+//! accounting:
+//!
+//! * [`execute_plan`] runs a plan sequentially, performing every remote
+//!   operation through the simulated [`Network`] and charging both
+//!   communication and source-processing costs; semijoin queries against
+//!   sources without native support are transparently emulated as batched
+//!   passed-binding probes (§2.3).
+//! * [`CostLedger`] records the actual cost of every step, so experiments
+//!   can compare the optimizer's estimates against executed reality.
+//! * [`response_time`] replays an executed plan under a parallel
+//!   execution model (the paper's §6 future-work direction): steps run as
+//!   soon as their inputs are available, each source serves one query at a
+//!   time, and the response time is the critical-path makespan.
+//! * [`fetch_records`] implements the "second phase" of two-phase fusion
+//!   query processing (§1): retrieving the full records of the matching
+//!   entities.
+//! * [`execute_adaptive`] interleaves planning and execution: after every
+//!   round it re-plans the remaining conditions from the *observed*
+//!   running-set size (mid-query re-optimization), which repairs the
+//!   estimate drift correlated conditions cause.
+//!
+//! [`Network`]: fusion_net::Network
+
+pub mod adaptive;
+pub mod interp;
+pub mod ledger;
+pub mod piggyback;
+pub mod schedule;
+pub mod two_phase;
+
+pub use adaptive::{execute_adaptive, AdaptiveOutcome, AdaptiveRound};
+pub use interp::{execute_plan, ExecutionOutcome};
+pub use ledger::{CostLedger, LedgerEntry, StepKind};
+pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
+pub use schedule::{response_time, schedule, ScheduledStep};
+pub use two_phase::fetch_records;

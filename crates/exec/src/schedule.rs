@@ -1,0 +1,200 @@
+//! Response time under a parallel execution model (§6 future work).
+//!
+//! The paper minimizes *total work*; its conclusion names response-time
+//! optimization in a parallel execution model as future work. This module
+//! supplies the measurement side: given an executed plan and its ledger,
+//! it replays the steps under list scheduling where
+//!
+//! * a step becomes ready the moment every variable it reads is available;
+//! * each source serves one query at a time (autonomous sources do not
+//!   parallelize a single mediator's requests internally);
+//! * distinct sources serve queries concurrently;
+//! * local mediator operations are free and instantaneous (§2.4).
+//!
+//! The response time is the completion time of the step defining the
+//! result variable — the critical path through data dependencies and
+//! per-source queues.
+
+use crate::ledger::CostLedger;
+use fusion_core::plan::{Plan, Step};
+
+/// One remote step's placement in the parallel schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledStep {
+    /// Index of the step in the plan.
+    pub step: usize,
+    /// The source serving it.
+    pub source: fusion_types::SourceId,
+    /// Start time.
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+}
+
+/// Replays an executed plan under list scheduling and returns every
+/// remote step's `(start, finish)` placement plus the overall response
+/// time.
+///
+/// # Panics
+/// Panics if the ledger does not cover every plan step (it must come from
+/// executing this very plan).
+pub fn schedule(plan: &Plan, ledger: &CostLedger) -> (Vec<ScheduledStep>, f64) {
+    assert_eq!(
+        ledger.entries().len(),
+        plan.steps.len(),
+        "ledger does not match plan"
+    );
+    let mut var_avail: Vec<f64> = vec![0.0; plan.var_names.len()];
+    let mut rel_avail: Vec<f64> = vec![0.0; plan.rel_names.len()];
+    let mut source_free: Vec<f64> = vec![0.0; plan.n_sources];
+    let mut result_time = 0.0f64;
+    let mut placements = Vec::new();
+    for (idx, (step, entry)) in plan.steps.iter().zip(ledger.entries()).enumerate() {
+        let mut ready = 0.0f64;
+        for v in step.used_vars() {
+            ready = ready.max(var_avail[v.0]);
+        }
+        if let Step::LocalSq { rel, .. } = step {
+            ready = ready.max(rel_avail[rel.0]);
+        }
+        let duration = entry.total().value();
+        let finish = match step.source() {
+            Some(src) => {
+                let start = ready.max(source_free[src.0]);
+                let finish = start + duration;
+                source_free[src.0] = finish;
+                placements.push(ScheduledStep {
+                    step: idx,
+                    source: src,
+                    start,
+                    finish,
+                });
+                finish
+            }
+            None => ready, // local ops are free
+        };
+        if let Some(out) = step.defined_var() {
+            var_avail[out.0] = finish;
+            if out == plan.result {
+                result_time = finish;
+            }
+        }
+        if let Step::Lq { out, .. } = step {
+            rel_avail[out.0] = finish;
+        }
+    }
+    (placements, result_time)
+}
+
+/// Computes the parallel response time of an executed plan, in the same
+/// units as the ledger's costs.
+///
+/// Steps are considered in plan order (list scheduling), which is optimal
+/// for the fork-join round structure optimizer plans have and a good
+/// heuristic for arbitrary shapes.
+///
+/// # Panics
+/// Panics if the ledger does not cover every plan step (it must come from
+/// executing this very plan).
+pub fn response_time(plan: &Plan, ledger: &CostLedger) -> f64 {
+    schedule(plan, ledger).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_plan;
+    use fusion_core::plan::{SimplePlanSpec, SourceChoice};
+    use fusion_core::query::FusionQuery;
+    use fusion_net::{LinkProfile, Network};
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, CondId, Predicate, Relation};
+
+    fn setup(n: usize) -> (FusionQuery, SourceSet, Network) {
+        let s = dmv_schema();
+        let sources = SourceSet::new(
+            (0..n)
+                .map(|j| {
+                    let rel = Relation::from_rows(
+                        s.clone(),
+                        vec![
+                            tuple![format!("A{j}"), "dui", 1990i64],
+                            tuple![format!("A{j}"), "sp", 1991i64],
+                        ],
+                    );
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", j + 1),
+                        rel,
+                        Capabilities::full(),
+                        ProcessingProfile::free(),
+                        j as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        );
+        let q = FusionQuery::new(
+            s,
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap();
+        let net = Network::uniform(n, LinkProfile::Wan.link());
+        (q, sources, net)
+    }
+
+    #[test]
+    fn parallel_round_is_faster_than_total_work() {
+        let (q, sources, mut net) = setup(4);
+        let plan = SimplePlanSpec::filter(2, 4).build(4).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let rt = response_time(&plan, &out.ledger);
+        let total = out.total_cost().value();
+        // 4 sources work in parallel: response time must be well below
+        // total work but at least the two sequential rounds at one source.
+        assert!(rt < total * 0.6, "rt {rt} vs total {total}");
+        assert!(rt > total / 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn single_source_response_equals_total_work() {
+        let (q, sources, mut net) = setup(1);
+        let plan = SimplePlanSpec::filter(2, 1).build(1).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let rt = response_time(&plan, &out.ledger);
+        assert!((rt - out.total_cost().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semijoin_rounds_serialize_on_dependencies() {
+        let (q, sources, mut net) = setup(2);
+        let spec = SimplePlanSpec {
+            order: vec![CondId(0), CondId(1)],
+            choices: vec![
+                vec![SourceChoice::Selection; 2],
+                vec![SourceChoice::Semijoin; 2],
+            ],
+        };
+        let plan = spec.build(2).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let rt = response_time(&plan, &out.ledger);
+        // Round 2 cannot start before the slowest round-1 query finishes:
+        // response time ≥ max round-1 entry + max round-2 entry.
+        let entries = out.ledger.entries();
+        let r1 = entries[0].total().value().max(entries[1].total().value());
+        let r2 = entries[3].total().value().max(entries[4].total().value());
+        assert!(rt >= r1 + r2 - 1e-9, "rt {rt} < {r1} + {r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger does not match")]
+    fn mismatched_ledger_panics() {
+        let (q, sources, mut net) = setup(2);
+        let plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let other = SimplePlanSpec::filter(1, 2).build(2).unwrap();
+        let _ = response_time(&other, &out.ledger);
+    }
+}

@@ -1,0 +1,136 @@
+//! The second phase of two-phase fusion query processing (§1).
+//!
+//! Phase one (the fusion query proper) identifies the merge-attribute
+//! items of the matching entities; phase two fetches their full records.
+//! "We do not pay the price of fetching full records until we know which
+//! ones are needed."
+
+use fusion_net::{ExchangeKind, MessageSize, Network};
+use fusion_source::SourceSet;
+use fusion_types::error::Result;
+use fusion_types::{Cost, ItemSet, Tuple};
+
+/// The outcome of a phase-two fetch.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// All records of the matching entities, across all sources,
+    /// deduplicated.
+    pub records: Vec<Tuple>,
+    /// Total communication + processing cost of the fetch.
+    pub cost: Cost,
+}
+
+/// Fetches the full records of `answer` items from every source.
+///
+/// Sources holding no matching records still cost one round trip — the
+/// mediator cannot know in advance which sources hold which entities
+/// (that very uncertainty is what makes the data "fusion" data).
+///
+/// # Errors
+/// Propagates wrapper failures.
+pub fn fetch_records(
+    answer: &ItemSet,
+    sources: &SourceSet,
+    network: &mut Network,
+) -> Result<FetchOutcome> {
+    let mut records: Vec<Tuple> = Vec::new();
+    let mut cost = Cost::ZERO;
+    if answer.is_empty() {
+        return Ok(FetchOutcome { records, cost });
+    }
+    for (id, w) in sources.iter() {
+        let resp = w.fetch(answer)?;
+        let req_bytes = MessageSize::sjq_request(
+            &fusion_types::Predicate::Const(true).into(),
+            answer,
+        );
+        let resp_bytes = MessageSize::tuples_response(&resp.payload);
+        cost += network.exchange(id, ExchangeKind::Fetch, req_bytes, resp_bytes);
+        cost += Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        records.extend(resp.payload);
+    }
+    records.sort_by(|a, b| a.values().cmp(b.values()));
+    records.dedup();
+    Ok(FetchOutcome { records, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_net::LinkProfile;
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Relation};
+
+    fn sources() -> SourceSet {
+        let s = dmv_schema();
+        SourceSet::new(vec![
+            Box::new(InMemoryWrapper::new(
+                "R1",
+                Relation::from_rows(
+                    s.clone(),
+                    vec![
+                        tuple!["J55", "dui", 1993i64],
+                        tuple!["T21", "sp", 1994i64],
+                        tuple!["T80", "dui", 1993i64],
+                    ],
+                ),
+                Capabilities::full(),
+                ProcessingProfile::free(),
+                0,
+            )),
+            Box::new(InMemoryWrapper::new(
+                "R2",
+                Relation::from_rows(
+                    s,
+                    vec![
+                        tuple!["T21", "dui", 1996i64],
+                        tuple!["J55", "sp", 1996i64],
+                    ],
+                ),
+                Capabilities::full(),
+                ProcessingProfile::free(),
+                1,
+            )),
+        ])
+    }
+
+    #[test]
+    fn fetches_all_records_of_matching_items() {
+        let sources = sources();
+        let mut net = Network::uniform(2, LinkProfile::Wan.link());
+        let answer = ItemSet::from_items(["J55", "T21"]);
+        let out = fetch_records(&answer, &sources, &mut net).unwrap();
+        assert_eq!(out.records.len(), 4, "two records per driver");
+        assert!(out
+            .records
+            .iter()
+            .all(|t| answer.contains(&t.item(&dmv_schema()))));
+        assert!(out.cost > Cost::ZERO);
+        assert_eq!(net.count_kind(ExchangeKind::Fetch), 2);
+    }
+
+    #[test]
+    fn empty_answer_is_free() {
+        let sources = sources();
+        let mut net = Network::uniform(2, LinkProfile::Wan.link());
+        let out = fetch_records(&ItemSet::empty(), &sources, &mut net).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.cost, Cost::ZERO);
+        assert!(net.trace().is_empty());
+    }
+
+    #[test]
+    fn duplicate_records_are_deduplicated() {
+        // Same record at both sources (replicated data).
+        let s = dmv_schema();
+        let rel = Relation::from_rows(s.clone(), vec![tuple!["X1", "dui", 2000i64]]);
+        let sources = SourceSet::new(vec![
+            Box::new(InMemoryWrapper::fully_capable("A", rel.clone())),
+            Box::new(InMemoryWrapper::fully_capable("B", rel)),
+        ]);
+        let mut net = Network::uniform(2, LinkProfile::Lan.link());
+        let out = fetch_records(&ItemSet::from_items(["X1"]), &sources, &mut net).unwrap();
+        assert_eq!(out.records.len(), 1);
+    }
+}

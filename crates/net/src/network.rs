@@ -1,0 +1,195 @@
+//! The mediator's view of the network: one link per source, plus a trace
+//! of every exchange performed.
+
+use crate::link::Link;
+use fusion_types::{Cost, SourceId};
+
+/// What kind of interaction an exchange was, for trace analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeKind {
+    /// A selection query `sq(c, R)`.
+    Selection,
+    /// A native semijoin query `sjq(c, R, X)`.
+    Semijoin,
+    /// One passed-binding probe of an emulated semijoin (§2.3).
+    BindingProbe,
+    /// A Bloom-filter semijoin (extension).
+    BloomSemijoin,
+    /// A full-source load `lq(R)` (§4).
+    Load,
+    /// A phase-two record fetch (§1).
+    Fetch,
+}
+
+impl std::fmt::Display for ExchangeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExchangeKind::Selection => "sq",
+            ExchangeKind::Semijoin => "sjq",
+            ExchangeKind::BindingProbe => "probe",
+            ExchangeKind::BloomSemijoin => "bsjq",
+            ExchangeKind::Load => "lq",
+            ExchangeKind::Fetch => "fetch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One recorded request/response exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exchange {
+    /// The source contacted.
+    pub source: SourceId,
+    /// What the exchange did.
+    pub kind: ExchangeKind,
+    /// Request payload bytes.
+    pub req_bytes: usize,
+    /// Response payload bytes.
+    pub resp_bytes: usize,
+    /// Communication cost charged.
+    pub cost: Cost,
+}
+
+/// The simulated network: per-source links and an exchange trace.
+#[derive(Debug, Clone)]
+pub struct Network {
+    links: Vec<Link>,
+    trace: Vec<Exchange>,
+    total: Cost,
+}
+
+impl Network {
+    /// Creates a network with one link per source.
+    pub fn new(links: Vec<Link>) -> Network {
+        Network {
+            links,
+            trace: Vec::new(),
+            total: Cost::ZERO,
+        }
+    }
+
+    /// Creates a network of `n` identical links.
+    pub fn uniform(n: usize, link: Link) -> Network {
+        Network::new(vec![link; n])
+    }
+
+    /// Number of sources reachable.
+    pub fn source_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link to `source`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn link(&self, source: SourceId) -> &Link {
+        &self.links[source.0]
+    }
+
+    /// Performs (accounts for) one exchange and returns its cost.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Cost {
+        let cost = self.links[source.0].exchange_cost(req_bytes, resp_bytes);
+        self.trace.push(Exchange {
+            source,
+            kind,
+            req_bytes,
+            resp_bytes,
+            cost,
+        });
+        self.total += cost;
+        cost
+    }
+
+    /// Every exchange so far, in order.
+    pub fn trace(&self) -> &[Exchange] {
+        &self.trace
+    }
+
+    /// Total communication cost so far.
+    pub fn total_cost(&self) -> Cost {
+        self.total
+    }
+
+    /// Total cost of exchanges with one source.
+    pub fn cost_for_source(&self, source: SourceId) -> Cost {
+        self.trace
+            .iter()
+            .filter(|e| e.source == source)
+            .map(|e| e.cost)
+            .sum()
+    }
+
+    /// Number of exchanges of a given kind.
+    pub fn count_kind(&self, kind: ExchangeKind) -> usize {
+        self.trace.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Clears the trace and accumulated total (links stay).
+    pub fn reset(&mut self) {
+        self.trace.clear();
+        self.total = Cost::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkProfile;
+
+    fn net() -> Network {
+        Network::new(vec![LinkProfile::Lan.link(), LinkProfile::Slow.link()])
+    }
+
+    #[test]
+    fn exchange_accumulates_trace_and_total() {
+        let mut n = net();
+        let c1 = n.exchange(SourceId(0), ExchangeKind::Selection, 100, 200);
+        let c2 = n.exchange(SourceId(1), ExchangeKind::Semijoin, 300, 50);
+        assert_eq!(n.trace().len(), 2);
+        assert_eq!(n.total_cost(), c1 + c2);
+        assert_eq!(n.cost_for_source(SourceId(0)), c1);
+        assert_eq!(n.cost_for_source(SourceId(1)), c2);
+        assert_eq!(n.count_kind(ExchangeKind::Selection), 1);
+        assert_eq!(n.count_kind(ExchangeKind::Load), 0);
+    }
+
+    #[test]
+    fn same_bytes_cost_more_on_slow_link() {
+        let mut n = net();
+        let fast = n.exchange(SourceId(0), ExchangeKind::Selection, 1000, 1000);
+        let slow = n.exchange(SourceId(1), ExchangeKind::Selection, 1000, 1000);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn reset_clears_accounting() {
+        let mut n = net();
+        n.exchange(SourceId(0), ExchangeKind::Selection, 10, 10);
+        n.reset();
+        assert!(n.trace().is_empty());
+        assert_eq!(n.total_cost(), Cost::ZERO);
+        assert_eq!(n.source_count(), 2);
+    }
+
+    #[test]
+    fn uniform_builder() {
+        let n = Network::uniform(5, LinkProfile::Wan.link());
+        assert_eq!(n.source_count(), 5);
+        assert_eq!(n.link(SourceId(4)), &LinkProfile::Wan.link());
+    }
+
+    #[test]
+    fn exchange_kind_display() {
+        assert_eq!(ExchangeKind::Selection.to_string(), "sq");
+        assert_eq!(ExchangeKind::BindingProbe.to_string(), "probe");
+    }
+}

@@ -1,0 +1,207 @@
+//! What a source can do, and what its work costs.
+
+/// Operations a wrapper supports (§2.3).
+///
+/// "Some sources may not be able to support semijoin queries. In this
+/// case, the mediator can emulate a semijoin query as a set of selection
+/// queries" — each carrying passed bindings `c_i AND M = m`. Sources may
+/// accept several bindings per request (`M IN (...)`), captured by
+/// `binding_batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The source evaluates `sjq(c, R, X)` in one native round trip.
+    pub native_semijoin: bool,
+    /// The source is willing to ship its entire relation (`lq`).
+    pub full_load: bool,
+    /// How many passed bindings fit in one emulated-semijoin request.
+    /// Must be at least 1. Irrelevant when `native_semijoin` is set.
+    pub binding_batch: usize,
+    /// The source accepts passed-binding selections at all. When false
+    /// *and* `native_semijoin` is false, semijoin queries are impossible
+    /// and must be priced at infinity (§2.3).
+    pub passed_bindings: bool,
+    /// The source accepts Bloom-filter semijoin sets (hash-bit filters):
+    /// it returns every qualifying item passing the filter, a superset of
+    /// the exact semijoin the mediator re-intersects locally.
+    pub bloom_semijoin: bool,
+}
+
+impl Capabilities {
+    /// A fully capable source.
+    pub fn full() -> Capabilities {
+        Capabilities {
+            native_semijoin: true,
+            full_load: true,
+            binding_batch: usize::MAX,
+            passed_bindings: true,
+            bloom_semijoin: true,
+        }
+    }
+
+    /// A source without native semijoin support that accepts batches of
+    /// `batch` bindings per emulated probe.
+    pub fn emulated(batch: usize) -> Capabilities {
+        assert!(batch >= 1, "binding batch must be at least 1");
+        Capabilities {
+            native_semijoin: false,
+            full_load: true,
+            binding_batch: batch,
+            passed_bindings: true,
+            bloom_semijoin: false,
+        }
+    }
+
+    /// A source that can only answer plain selection queries: no native
+    /// semijoin, no passed bindings, no full load.
+    pub fn selection_only() -> Capabilities {
+        Capabilities {
+            native_semijoin: false,
+            full_load: false,
+            binding_batch: 1,
+            passed_bindings: false,
+            bloom_semijoin: false,
+        }
+    }
+
+    /// True if a semijoin query can be answered at all (natively or by
+    /// emulation).
+    pub fn can_semijoin(&self) -> bool {
+        self.native_semijoin || self.passed_bindings
+    }
+
+    /// Returns a copy with Bloom-semijoin support toggled.
+    pub fn with_bloom(mut self, bloom: bool) -> Capabilities {
+        self.bloom_semijoin = bloom;
+        self
+    }
+
+    /// Number of emulated probe round trips needed for `k` bindings.
+    /// Meaningful only when `native_semijoin` is false.
+    pub fn probes_for(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            k.div_ceil(self.binding_batch.max(1))
+        }
+    }
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities::full()
+    }
+}
+
+/// Source-side processing cost parameters, in the same abstract units as
+/// link costs.
+///
+/// The paper's cost model folds "the cost of actually processing the
+/// queries at the sources" into each query's cost (§2.4); this profile is
+/// that component: `fixed + per_tuple_examined·examined +
+/// per_item_returned·returned`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessingProfile {
+    /// Fixed query-processing cost (parsing, planning at the source).
+    pub fixed: f64,
+    /// Cost per tuple the source engine examines.
+    pub per_tuple_examined: f64,
+    /// Cost per item or tuple shipped back.
+    pub per_item_returned: f64,
+}
+
+impl ProcessingProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite parameters.
+    pub fn new(fixed: f64, per_tuple_examined: f64, per_item_returned: f64) -> Self {
+        for (name, v) in [
+            ("fixed", fixed),
+            ("per_tuple_examined", per_tuple_examined),
+            ("per_item_returned", per_item_returned),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0");
+        }
+        ProcessingProfile {
+            fixed,
+            per_tuple_examined,
+            per_item_returned,
+        }
+    }
+
+    /// A free processing profile (communication-only cost model).
+    pub fn free() -> Self {
+        ProcessingProfile::new(0.0, 0.0, 0.0)
+    }
+
+    /// A typical indexed database: cheap per-tuple work.
+    pub fn indexed_db() -> Self {
+        ProcessingProfile::new(0.005, 2e-6, 1e-6)
+    }
+
+    /// A scan-bound legacy system: expensive per-tuple work.
+    pub fn scan_bound() -> Self {
+        ProcessingProfile::new(0.020, 5e-5, 2e-6)
+    }
+
+    /// Processing cost of a query that examined `examined` tuples and
+    /// returned `returned` results.
+    pub fn cost(&self, examined: usize, returned: usize) -> f64 {
+        self.fixed
+            + self.per_tuple_examined * examined as f64
+            + self.per_item_returned * returned as f64
+    }
+}
+
+impl Default for ProcessingProfile {
+    fn default() -> Self {
+        ProcessingProfile::indexed_db()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_constructors() {
+        let f = Capabilities::full();
+        assert!(f.native_semijoin && f.full_load && f.can_semijoin());
+        let e = Capabilities::emulated(10);
+        assert!(!e.native_semijoin && e.can_semijoin());
+        let s = Capabilities::selection_only();
+        assert!(!s.can_semijoin());
+        assert!(!s.full_load);
+    }
+
+    #[test]
+    fn probes_for_batches() {
+        let e = Capabilities::emulated(10);
+        assert_eq!(e.probes_for(0), 0);
+        assert_eq!(e.probes_for(1), 1);
+        assert_eq!(e.probes_for(10), 1);
+        assert_eq!(e.probes_for(11), 2);
+        assert_eq!(e.probes_for(95), 10);
+        let single = Capabilities::emulated(1);
+        assert_eq!(single.probes_for(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_batch_rejected() {
+        let _ = Capabilities::emulated(0);
+    }
+
+    #[test]
+    fn processing_cost_formula() {
+        let p = ProcessingProfile::new(1.0, 0.1, 0.01);
+        assert!((p.cost(10, 5) - (1.0 + 1.0 + 0.05)).abs() < 1e-12);
+        assert_eq!(ProcessingProfile::free().cost(1000, 1000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed")]
+    fn negative_processing_cost_rejected() {
+        let _ = ProcessingProfile::new(-1.0, 0.0, 0.0);
+    }
+}

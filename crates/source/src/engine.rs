@@ -1,0 +1,192 @@
+//! The query engine inside a source.
+
+use fusion_types::error::Result;
+use fusion_types::{Condition, ItemSet, Relation, SelectOutcome, Tuple};
+
+/// Executes queries against one source's relation.
+///
+/// The engine owns the relation and pre-builds the indexes the three query
+/// kinds exploit: a secondary index per attribute a condition may touch and
+/// the merge-attribute index for semijoin probing.
+#[derive(Debug, Clone)]
+pub struct SourceEngine {
+    relation: Relation,
+}
+
+impl SourceEngine {
+    /// Wraps a relation, building the merge index and secondary indexes on
+    /// every attribute.
+    pub fn new(mut relation: Relation) -> SourceEngine {
+        for idx in 0..relation.schema().arity() {
+            relation.build_index(idx);
+        }
+        relation.build_merge_index();
+        SourceEngine { relation }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// True if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Evaluates a selection query `sq(c, R)`.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn select(&self, cond: &Condition) -> Result<SelectOutcome> {
+        self.relation.select_items(cond)
+    }
+
+    /// Evaluates a semijoin query `sjq(c, R, bindings)`.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn semijoin(&self, cond: &Condition, bindings: &ItemSet) -> Result<SelectOutcome> {
+        self.relation.semijoin_items(cond, bindings)
+    }
+
+    /// Evaluates a Bloom-filter semijoin: every item satisfying `cond`
+    /// whose hash positions pass `filter` — a superset of the exact
+    /// semijoin (false positives included, no false negatives).
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn bloom_semijoin(
+        &self,
+        cond: &Condition,
+        filter: &fusion_types::BloomFilter,
+    ) -> Result<SelectOutcome> {
+        let full = self.relation.select_items(cond)?;
+        let items = fusion_types::ItemSet::from_items(
+            full.items
+                .iter()
+                .filter(|item| filter.may_contain(item))
+                .cloned(),
+        );
+        Ok(SelectOutcome {
+            items,
+            tuples_examined: full.tuples_examined,
+        })
+    }
+
+    /// Selection returning full records: every tuple satisfying `cond`.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn select_records(&self, cond: &Condition) -> Result<(Vec<Tuple>, usize)> {
+        let schema = self.relation.schema();
+        let mut out = Vec::new();
+        for row in self.relation.rows() {
+            if cond.eval(row, schema)? {
+                out.push(row.clone());
+            }
+        }
+        Ok((out, self.relation.len()))
+    }
+
+    /// Semijoin returning full records: every tuple satisfying `cond`
+    /// whose merge item is in `bindings`.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn semijoin_records(
+        &self,
+        cond: &Condition,
+        bindings: &ItemSet,
+    ) -> Result<(Vec<Tuple>, usize)> {
+        let schema = self.relation.schema();
+        let mut out = Vec::new();
+        for row in self.relation.rows() {
+            if bindings.contains(&row.item(schema)) && cond.eval(row, schema)? {
+                out.push(row.clone());
+            }
+        }
+        Ok((out, self.relation.len()))
+    }
+
+    /// Evaluates a full load `lq(R)`: every tuple, plus the scan work.
+    pub fn load(&self) -> (Vec<Tuple>, usize) {
+        (self.relation.rows().to_vec(), self.relation.len())
+    }
+
+    /// Fetches the full tuples whose merge item is in `items` (phase two
+    /// of two-phase processing).
+    pub fn fetch(&self, items: &ItemSet) -> (Vec<Tuple>, usize) {
+        let schema = self.relation.schema();
+        let mut out = Vec::new();
+        for row in self.relation.rows() {
+            if items.contains(&row.item(schema)) {
+                out.push(row.clone());
+            }
+        }
+        (out, self.relation.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate};
+
+    fn engine() -> SourceEngine {
+        SourceEngine::new(Relation::from_rows(
+            dmv_schema(),
+            vec![
+                tuple!["J55", "dui", 1993i64],
+                tuple!["T21", "sp", 1994i64],
+                tuple!["T80", "dui", 1993i64],
+            ],
+        ))
+    }
+
+    #[test]
+    fn select_uses_prebuilt_indexes() {
+        let out = engine().select(&Predicate::eq("V", "dui").into()).unwrap();
+        assert_eq!(out.items, ItemSet::from_items(["J55", "T80"]));
+        assert_eq!(out.tuples_examined, 2, "indexed point lookup");
+    }
+
+    #[test]
+    fn semijoin_probes_merge_index() {
+        let bindings = ItemSet::from_items(["J55", "T21", "NOPE"]);
+        let out = engine()
+            .semijoin(&Predicate::eq("V", "sp").into(), &bindings)
+            .unwrap();
+        assert_eq!(out.items, ItemSet::from_items(["T21"]));
+        assert!(out.tuples_examined <= 2);
+    }
+
+    #[test]
+    fn load_returns_everything() {
+        let (tuples, examined) = engine().load();
+        assert_eq!(tuples.len(), 3);
+        assert_eq!(examined, 3);
+    }
+
+    #[test]
+    fn fetch_filters_by_item() {
+        let (tuples, _) = engine().fetch(&ItemSet::from_items(["J55"]));
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0], tuple!["J55", "dui", 1993i64]);
+    }
+
+    #[test]
+    fn empty_engine() {
+        let e = SourceEngine::new(Relation::empty(dmv_schema()));
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let out = e.select(&Predicate::eq("V", "dui").into()).unwrap();
+        assert!(out.items.is_empty());
+    }
+}

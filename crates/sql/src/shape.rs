@@ -1,0 +1,306 @@
+//! Fusion-shape analysis: from a parsed WHERE clause to per-variable
+//! conditions (§2.2).
+
+use crate::ast::{Expr, ParsedQuery};
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{Predicate, Schema};
+
+/// The fusion shape of a query: one condition per query variable, in FROM
+/// order. Feed these to `FusionQuery::new` in `fusion-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionShape {
+    /// The merge attribute name (validated against the schema).
+    pub merge_attr: String,
+    /// Condition `c_i` for variable `u_{i+1}`; `Const(true)` when the
+    /// query states no condition for that variable.
+    pub conditions: Vec<Predicate>,
+}
+
+/// Validates that `query` has the fusion shape of §2.2 and extracts the
+/// conditions:
+///
+/// * the projection must be the schema's merge attribute;
+/// * the top-level conjunction must contain merge-equality links
+///   (`u_i.M = u_j.M`) connecting **all** query variables (none needed
+///   for a single variable);
+/// * every other conjunct must reference exactly one variable; those
+///   conjuncts, ANDed per variable, become `c_1..c_m`;
+/// * merge-equalities may not appear under `OR`/`NOT`.
+///
+/// # Errors
+/// Returns [`FusionError::NotAFusionQuery`] describing the first
+/// violation, or type/attribute errors from predicate validation.
+pub fn into_fusion_shape(query: &ParsedQuery, schema: &Schema) -> Result<FusionShape> {
+    let merge = &schema.merge_attribute().name;
+    let m = query.variables.len();
+    if &query.projection.attr != merge {
+        return Err(FusionError::NotAFusionQuery {
+            detail: format!(
+                "projection must be the merge attribute `{merge}`, got `{}`",
+                query.projection.attr
+            ),
+        });
+    }
+    // Split the top-level conjunction.
+    let conjuncts: Vec<&Expr> = match &query.where_clause {
+        Expr::And(parts) => parts.iter().collect(),
+        other => vec![other],
+    };
+    let mut dsu = Dsu::new(m);
+    let mut per_var: Vec<Vec<Predicate>> = vec![Vec::new(); m];
+    for c in conjuncts {
+        match c {
+            Expr::MergeEq { left, right } => {
+                if &left.attr != merge || &right.attr != merge {
+                    return Err(FusionError::NotAFusionQuery {
+                        detail: format!(
+                            "variable equality must be on the merge attribute `{merge}`"
+                        ),
+                    });
+                }
+                dsu.union(left.var, right.var);
+            }
+            Expr::Const(true) => {}
+            other => {
+                let vars = other.referenced_vars();
+                if vars.len() != 1 {
+                    return Err(FusionError::NotAFusionQuery {
+                        detail: format!(
+                            "each condition must reference exactly one query variable, \
+                             found {} in `{other:?}`",
+                            vars.len()
+                        ),
+                    });
+                }
+                let pred = to_predicate(other)?;
+                per_var[vars[0]].push(pred);
+            }
+        }
+    }
+    // The merge chain must connect all variables.
+    if m > 1 {
+        let root = dsu.find(0);
+        for v in 1..m {
+            if dsu.find(v) != root {
+                return Err(FusionError::NotAFusionQuery {
+                    detail: format!(
+                        "merge-equality chain does not connect variable `{}`",
+                        query.variables[v]
+                    ),
+                });
+            }
+        }
+    }
+    let conditions: Vec<Predicate> = per_var
+        .into_iter()
+        .map(|mut preds| match preds.len() {
+            0 => Predicate::Const(true),
+            1 => preds.pop().expect("len checked"),
+            _ => Predicate::And(preds),
+        })
+        .collect();
+    for (i, c) in conditions.iter().enumerate() {
+        c.check(schema).map_err(|e| FusionError::NotAFusionQuery {
+            detail: format!("condition for `{}` invalid: {e}", query.variables[i]),
+        })?;
+    }
+    Ok(FusionShape {
+        merge_attr: merge.clone(),
+        conditions,
+    })
+}
+
+/// Converts a single-variable expression to a predicate.
+fn to_predicate(e: &Expr) -> Result<Predicate> {
+    Ok(match e {
+        Expr::And(parts) => Predicate::And(
+            parts
+                .iter()
+                .map(to_predicate)
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Or(parts) => Predicate::Or(
+            parts
+                .iter()
+                .map(to_predicate)
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Not(inner) => Predicate::Not(Box::new(to_predicate(inner)?)),
+        Expr::Cmp { lhs, op, rhs } => Predicate::Cmp {
+            attr: lhs.attr.clone(),
+            op: *op,
+            value: rhs.clone(),
+        },
+        Expr::Between { lhs, lo, hi } => Predicate::Between {
+            attr: lhs.attr.clone(),
+            lo: lo.clone(),
+            hi: hi.clone(),
+        },
+        Expr::InList { lhs, values } => Predicate::InList {
+            attr: lhs.attr.clone(),
+            values: values.clone(),
+        },
+        Expr::Like { lhs, pattern } => Predicate::Like {
+            attr: lhs.attr.clone(),
+            pattern: pattern.clone(),
+        },
+        Expr::IsNull { lhs } => Predicate::IsNull {
+            attr: lhs.attr.clone(),
+        },
+        Expr::Const(b) => Predicate::Const(*b),
+        Expr::MergeEq { .. } => {
+            return Err(FusionError::NotAFusionQuery {
+                detail: "merge-attribute equality may only appear at the top level of WHERE"
+                    .into(),
+            });
+        }
+    })
+}
+
+/// Minimal disjoint-set union for chain connectivity.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{CmpOp, Value};
+
+    fn shape(sql: &str) -> Result<FusionShape> {
+        into_fusion_shape(&parse_query(sql).unwrap(), &dmv_schema())
+    }
+
+    #[test]
+    fn extracts_the_paper_conditions() {
+        let s = shape(
+            "SELECT u1.L FROM U u1, U u2 \
+             WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
+        )
+        .unwrap();
+        assert_eq!(s.merge_attr, "L");
+        assert_eq!(
+            s.conditions,
+            vec![Predicate::eq("V", "dui"), Predicate::eq("V", "sp")]
+        );
+    }
+
+    #[test]
+    fn chain_may_be_transitive() {
+        // u1 = u2, u2 = u3 connects all three.
+        let s = shape(
+            "SELECT u1.L FROM U u1, U u2, U u3 \
+             WHERE u1.L = u2.L AND u2.L = u3.L \
+             AND u1.V = 'a' AND u2.V = 'b' AND u3.V = 'c'",
+        )
+        .unwrap();
+        assert_eq!(s.conditions.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_chain_rejected() {
+        let err = shape(
+            "SELECT u1.L FROM U u1, U u2, U u3 \
+             WHERE u1.L = u2.L AND u1.V = 'a' AND u2.V = 'b' AND u3.V = 'c'",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not connect"), "{err}");
+    }
+
+    #[test]
+    fn multiple_conjuncts_per_variable_are_anded() {
+        let s = shape(
+            "SELECT u1.L FROM U u1 WHERE u1.V = 'dui' AND u1.D > 1990",
+        )
+        .unwrap();
+        assert_eq!(
+            s.conditions,
+            vec![Predicate::And(vec![
+                Predicate::eq("V", "dui"),
+                Predicate::cmp("D", CmpOp::Gt, 1990i64),
+            ])]
+        );
+    }
+
+    #[test]
+    fn variable_without_condition_is_true() {
+        let s = shape("SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'x'").unwrap();
+        assert_eq!(s.conditions[1], Predicate::Const(true));
+    }
+
+    #[test]
+    fn cross_variable_condition_rejected() {
+        let err = shape(
+            "SELECT u1.L FROM U u1, U u2 \
+             WHERE u1.L = u2.L AND (u1.V = 'a' OR u2.V = 'b')",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one query variable"), "{err}");
+    }
+
+    #[test]
+    fn wrong_projection_rejected() {
+        let err = shape("SELECT u1.V FROM U u1 WHERE u1.V = 'x'").unwrap_err();
+        assert!(err.to_string().contains("merge attribute"), "{err}");
+    }
+
+    #[test]
+    fn non_merge_equality_rejected() {
+        let err = shape(
+            "SELECT u1.L FROM U u1, U u2 WHERE u1.V = u2.V AND u1.V = 'x'",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("merge attribute"), "{err}");
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let err = shape("SELECT u1.L FROM U u1 WHERE u1.V = 7").unwrap_err();
+        assert!(matches!(err, FusionError::NotAFusionQuery { .. }), "{err}");
+    }
+
+    #[test]
+    fn rich_predicates_convert() {
+        let s = shape(
+            "SELECT u1.L FROM U u1 WHERE u1.D BETWEEN 1990 AND 1995 \
+             AND u1.V IN ('a','b') AND u1.V LIKE 'd%' AND NOT u1.V IS NULL",
+        )
+        .unwrap();
+        let Predicate::And(parts) = &s.conditions[0] else {
+            panic!("expected And");
+        };
+        assert_eq!(parts.len(), 4);
+        assert_eq!(
+            parts[1],
+            Predicate::InList {
+                attr: "V".into(),
+                values: vec![Value::str("a"), Value::str("b")],
+            }
+        );
+    }
+}

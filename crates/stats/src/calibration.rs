@@ -1,0 +1,203 @@
+//! Least-squares calibration of per-source cost coefficients.
+//!
+//! Autonomous Internet sources do not publish their cost parameters. The
+//! paper points to query-sampling techniques (Zhu & Larson \[25\], Du et
+//! al. \[5\]) for "gathering the relevant statistical information that the
+//! cost functions need". We implement the core of that idea: issue sample
+//! queries, observe `(request bytes, response bytes, cost)` triples, and
+//! fit the affine model
+//!
+//! ```text
+//! cost ≈ base + send · req_bytes + recv · resp_bytes
+//! ```
+//!
+//! by ordinary least squares. The fitted coefficients parameterize a
+//! per-source cost function that needs no cooperation from the source.
+
+/// One observed exchange with a source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Request payload bytes.
+    pub req_bytes: f64,
+    /// Response payload bytes.
+    pub resp_bytes: f64,
+    /// Observed cost of the exchange.
+    pub cost: f64,
+}
+
+/// A fitted affine cost model for one source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostCalibration {
+    /// Fixed per-query cost (overhead + round-trip latency).
+    pub base: f64,
+    /// Cost per request byte.
+    pub send_per_byte: f64,
+    /// Cost per response byte.
+    pub recv_per_byte: f64,
+    /// Root-mean-square residual of the fit.
+    pub rms_error: f64,
+}
+
+impl CostCalibration {
+    /// Fits the affine model to observations by least squares.
+    ///
+    /// Returns `None` with fewer than 3 observations or when the normal
+    /// equations are singular (e.g. all observations identical). Negative
+    /// fitted coefficients are clamped to zero (costs cannot be negative);
+    /// the residual reflects the clamped model.
+    pub fn fit(obs: &[Observation]) -> Option<CostCalibration> {
+        if obs.len() < 3 {
+            return None;
+        }
+        // Normal equations for X = [1, req, resp], solve (XᵀX)β = Xᵀy.
+        let n = obs.len() as f64;
+        let (mut sr, mut sp, mut srr, mut spp, mut srp) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let (mut sy, mut sry, mut spy) = (0.0, 0.0, 0.0);
+        for o in obs {
+            sr += o.req_bytes;
+            sp += o.resp_bytes;
+            srr += o.req_bytes * o.req_bytes;
+            spp += o.resp_bytes * o.resp_bytes;
+            srp += o.req_bytes * o.resp_bytes;
+            sy += o.cost;
+            sry += o.req_bytes * o.cost;
+            spy += o.resp_bytes * o.cost;
+        }
+        let a = [[n, sr, sp], [sr, srr, srp], [sp, srp, spp]];
+        let b = [sy, sry, spy];
+        let beta = solve3(a, b)?;
+        let cal = CostCalibration {
+            base: beta[0].max(0.0),
+            send_per_byte: beta[1].max(0.0),
+            recv_per_byte: beta[2].max(0.0),
+            rms_error: 0.0,
+        };
+        let mse = obs
+            .iter()
+            .map(|o| {
+                let e = cal.predict(o.req_bytes, o.resp_bytes) - o.cost;
+                e * e
+            })
+            .sum::<f64>()
+            / n;
+        Some(CostCalibration {
+            rms_error: mse.sqrt(),
+            ..cal
+        })
+    }
+
+    /// Predicted cost of an exchange.
+    pub fn predict(&self, req_bytes: f64, resp_bytes: f64) -> f64 {
+        self.base + self.send_per_byte * req_bytes + self.recv_per_byte * resp_bytes
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Returns `None` for (near-)singular systems.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (cell, pivot) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= f * pivot;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SplitMix64;
+
+    fn synth_obs(base: f64, send: f64, recv: f64, noise: f64, n: usize) -> Vec<Observation> {
+        let mut rng = SplitMix64::new(99);
+        (0..n)
+            .map(|_| {
+                let req = rng.next_f64() * 10_000.0;
+                let resp = rng.next_f64() * 50_000.0;
+                let eps = (rng.next_f64() - 0.5) * 2.0 * noise;
+                Observation {
+                    req_bytes: req,
+                    resp_bytes: resp,
+                    cost: base + send * req + recv * resp + eps,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_fit_recovers_parameters() {
+        let obs = synth_obs(0.5, 1e-4, 2e-4, 0.0, 20);
+        let cal = CostCalibration::fit(&obs).unwrap();
+        assert!((cal.base - 0.5).abs() < 1e-9);
+        assert!((cal.send_per_byte - 1e-4).abs() < 1e-12);
+        assert!((cal.recv_per_byte - 2e-4).abs() < 1e-12);
+        assert!(cal.rms_error < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let obs = synth_obs(1.0, 5e-5, 1e-4, 0.05, 200);
+        let cal = CostCalibration::fit(&obs).unwrap();
+        assert!((cal.base - 1.0).abs() < 0.05, "base {}", cal.base);
+        assert!((cal.send_per_byte - 5e-5).abs() < 2e-5);
+        assert!((cal.recv_per_byte - 1e-4).abs() < 2e-5);
+        assert!(cal.rms_error < 0.1);
+    }
+
+    #[test]
+    fn too_few_or_degenerate_observations() {
+        let one = Observation {
+            req_bytes: 1.0,
+            resp_bytes: 1.0,
+            cost: 1.0,
+        };
+        assert!(CostCalibration::fit(&[one, one]).is_none());
+        // All-identical rows → singular normal equations.
+        assert!(CostCalibration::fit(&[one; 10]).is_none());
+    }
+
+    #[test]
+    fn coefficients_never_negative() {
+        // Data generated with a negative (nonsensical) send coefficient
+        // still yields a valid non-negative model.
+        let obs = synth_obs(2.0, -1e-4, 1e-4, 0.0, 50);
+        let cal = CostCalibration::fit(&obs).unwrap();
+        assert!(cal.send_per_byte >= 0.0);
+        assert!(cal.base >= 0.0);
+    }
+
+    #[test]
+    fn predict_is_affine() {
+        let cal = CostCalibration {
+            base: 1.0,
+            send_per_byte: 0.5,
+            recv_per_byte: 0.25,
+            rms_error: 0.0,
+        };
+        assert_eq!(cal.predict(2.0, 4.0), 3.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Cardinality arithmetic for semijoin-set estimation.
+//!
+//! The SJ and SJA algorithms need the expected size of
+//! `X_i = X_{i-1} ∩ ⋃_j σ_{c_i}(R_j)` to price the next round's semijoin
+//! queries. These helpers implement the standard urn-model estimates under
+//! the independence assumption the paper adopts for optimization (§1,
+//! step 3).
+
+/// Expected size of the union of result sets drawn independently from a
+/// shared item domain of size `domain`.
+///
+/// Each contribution of size `e_j` covers a uniform random subset of the
+/// domain, so an item survives *outside* the union with probability
+/// `Π_j (1 − e_j/domain)`.
+pub fn union_estimate(contributions: &[f64], domain: f64) -> f64 {
+    if domain <= 0.0 {
+        return 0.0;
+    }
+    let mut miss = 1.0f64;
+    for &e in contributions {
+        let p = (e / domain).clamp(0.0, 1.0);
+        miss *= 1.0 - p;
+    }
+    domain * (1.0 - miss)
+}
+
+/// Expected size of the intersection of a set of size `lhs` with an
+/// independent uniform subset covering `frac` of the domain.
+pub fn intersect_estimate(lhs: f64, frac: f64) -> f64 {
+    lhs * frac.clamp(0.0, 1.0)
+}
+
+/// Chains per-condition global selectivities: the expected `|X_k|` after
+/// conditions with global selectivities `gsels[..k]` have been applied to
+/// a domain of `domain` items.
+///
+/// `gsel_i` is the probability that a domain item satisfies condition `i`
+/// at *some* source — i.e. `union_estimate(...) / domain` for that
+/// condition.
+pub fn chain_estimate(domain: f64, gsels: &[f64]) -> f64 {
+    gsels
+        .iter()
+        .fold(domain.max(0.0), |acc, &g| acc * g.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_of_nothing_is_zero() {
+        assert_eq!(union_estimate(&[], 100.0), 0.0);
+        assert_eq!(union_estimate(&[0.0, 0.0], 100.0), 0.0);
+    }
+
+    #[test]
+    fn union_single_contribution_is_itself() {
+        let u = union_estimate(&[30.0], 100.0);
+        assert!((u - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_accounts_for_overlap() {
+        // Two 50-item subsets of a 100-item domain: expect 75, not 100.
+        let u = union_estimate(&[50.0, 50.0], 100.0);
+        assert!((u - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_saturates_at_domain() {
+        let u = union_estimate(&[90.0, 90.0, 90.0], 100.0);
+        assert!(u <= 100.0);
+        assert!(u > 99.0);
+        let u = union_estimate(&[150.0], 100.0);
+        assert!((u - 100.0).abs() < 1e-9, "over-full contribution clamps");
+    }
+
+    #[test]
+    fn union_monotone_in_contributions() {
+        let a = union_estimate(&[10.0, 10.0], 100.0);
+        let b = union_estimate(&[10.0, 20.0], 100.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn degenerate_domain() {
+        assert_eq!(union_estimate(&[5.0], 0.0), 0.0);
+        assert_eq!(chain_estimate(-3.0, &[0.5]), 0.0);
+    }
+
+    #[test]
+    fn intersect_and_chain() {
+        assert!((intersect_estimate(40.0, 0.25) - 10.0).abs() < 1e-9);
+        assert!((chain_estimate(1000.0, &[0.1, 0.5]) - 50.0).abs() < 1e-9);
+        assert_eq!(chain_estimate(1000.0, &[]), 1000.0);
+        // Out-of-range selectivities clamp.
+        assert!((chain_estimate(10.0, &[2.0]) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! The shared error type.
+
+use std::fmt;
+
+/// Errors surfaced by fusion query processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// An attribute name did not resolve against the common schema.
+    UnknownAttribute {
+        /// The attribute that failed to resolve.
+        name: String,
+    },
+    /// A value had the wrong type for the operation applied to it.
+    TypeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Query text failed to parse.
+    Parse {
+        /// Description of the syntax error.
+        detail: String,
+        /// Byte offset into the query text, when known.
+        offset: Option<usize>,
+    },
+    /// The parsed query is syntactically valid SQL but not a fusion query
+    /// (§2.2 defines the required shape).
+    NotAFusionQuery {
+        /// Why the query does not fit the fusion shape.
+        detail: String,
+    },
+    /// A plan failed structural validation (use before definition, wrong
+    /// arity, result variable missing, ...).
+    InvalidPlan {
+        /// Description of the structural defect.
+        detail: String,
+    },
+    /// A source was asked to perform an operation its capabilities exclude
+    /// and no emulation is possible (§2.3).
+    Unsupported {
+        /// Description of the unsupported operation.
+        detail: String,
+    },
+    /// A failure during plan execution at the mediator.
+    Execution {
+        /// Description of the runtime failure.
+        detail: String,
+    },
+}
+
+impl FusionError {
+    /// Shorthand for a parse error without position information.
+    pub fn parse(detail: impl Into<String>) -> Self {
+        FusionError::Parse {
+            detail: detail.into(),
+            offset: None,
+        }
+    }
+
+    /// Shorthand for an invalid-plan error.
+    pub fn invalid_plan(detail: impl Into<String>) -> Self {
+        FusionError::InvalidPlan {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for an execution error.
+    pub fn execution(detail: impl Into<String>) -> Self {
+        FusionError::Execution {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::UnknownAttribute { name } => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            FusionError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            FusionError::Parse { detail, offset } => match offset {
+                Some(o) => write!(f, "parse error at byte {o}: {detail}"),
+                None => write!(f, "parse error: {detail}"),
+            },
+            FusionError::NotAFusionQuery { detail } => {
+                write!(f, "not a fusion query: {detail}")
+            }
+            FusionError::InvalidPlan { detail } => write!(f, "invalid plan: {detail}"),
+            FusionError::Unsupported { detail } => write!(f, "unsupported operation: {detail}"),
+            FusionError::Execution { detail } => write!(f, "execution error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FusionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(FusionError, &str)> = vec![
+            (
+                FusionError::UnknownAttribute { name: "Z".into() },
+                "unknown attribute `Z`",
+            ),
+            (
+                FusionError::parse("unexpected token"),
+                "parse error: unexpected token",
+            ),
+            (
+                FusionError::Parse {
+                    detail: "bad".into(),
+                    offset: Some(7),
+                },
+                "parse error at byte 7: bad",
+            ),
+            (
+                FusionError::invalid_plan("use before def"),
+                "invalid plan: use before def",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FusionError::execution("boom"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Ordered item sets with the local mediator algebra (∪, ∩, −).
+//!
+//! Simple plans let the mediator combine the item sets it receives from
+//! sources with union and intersection (§2.3); the SJA+ postoptimizer adds
+//! set difference (§4). All three are implemented as linear merges over
+//! sorted, deduplicated storage, so every operation is `O(|a| + |b|)`.
+
+use crate::value::Item;
+use std::fmt;
+
+/// A sorted, duplicate-free set of merge-attribute items.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct ItemSet {
+    items: Vec<Item>,
+}
+
+impl ItemSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ItemSet { items: Vec::new() }
+    }
+
+    /// Builds a set from any item iterator, sorting and deduplicating.
+    pub fn from_items<I, T>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Item>,
+    {
+        let mut items: Vec<Item> = iter.into_iter().map(Into::into).collect();
+        items.sort();
+        items.dedup();
+        ItemSet { items }
+    }
+
+    /// Builds a set from a vector already known to be sorted and unique.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the invariant does not hold.
+    pub fn from_sorted_unique(items: Vec<Item>) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_unique requires strictly increasing items"
+        );
+        ItemSet { items }
+    }
+
+    /// Number of items in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test by binary search.
+    pub fn contains(&self, item: &Item) -> bool {
+        self.items.binary_search(item).is_ok()
+    }
+
+    /// Iterates items in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Item> {
+        self.items.iter()
+    }
+
+    /// Borrows the underlying sorted slice.
+    pub fn as_slice(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Set union: `self ∪ other`.
+    pub fn union(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.items[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        ItemSet { items: out }
+    }
+
+    /// Set intersection: `self ∩ other`.
+    pub fn intersect(&self, other: &ItemSet) -> ItemSet {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // Merge when sizes are comparable; probe when one side is tiny.
+        if small.len() * 16 < large.len() {
+            let items = small
+                .items
+                .iter()
+                .filter(|it| large.contains(it))
+                .cloned()
+                .collect();
+            return ItemSet { items };
+        }
+        let mut out = Vec::with_capacity(small.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ItemSet { items: out }
+    }
+
+    /// Set difference: `self − other` (the SJA+ pruning operator, §4).
+    pub fn difference(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() {
+            if j >= other.items.len() {
+                out.extend_from_slice(&self.items[i..]);
+                break;
+            }
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ItemSet { items: out }
+    }
+
+    /// True if every item of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &ItemSet) -> bool {
+        self.items.iter().all(|it| other.contains(it))
+    }
+
+    /// Union of many sets (the `X_i := ∪_j X_ij` plan step).
+    pub fn union_all<'a, I: IntoIterator<Item = &'a ItemSet>>(sets: I) -> ItemSet {
+        sets.into_iter()
+            .fold(ItemSet::empty(), |acc, s| acc.union(s))
+    }
+
+    /// Estimated wire size in bytes when shipped as a semijoin set.
+    pub fn wire_size(&self) -> usize {
+        self.items.iter().map(Item::wire_size).sum()
+    }
+}
+
+impl fmt::Display for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, item) in self.items.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<T: Into<Item>> FromIterator<T> for ItemSet {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        ItemSet::from_items(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a ItemSet {
+    type Item = &'a Item;
+    type IntoIter = std::slice::Iter<'a, Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[&str]) -> ItemSet {
+        ItemSet::from_items(vals.iter().copied())
+    }
+
+    #[test]
+    fn from_items_sorts_and_dedups() {
+        let s = set(&["T21", "J55", "T21", "A01"]);
+        let names: Vec<String> = s.iter().map(|i| i.to_string()).collect();
+        assert_eq!(names, ["A01", "J55", "T21"]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn union_matches_paper_example() {
+        // §1: X_1 = {J55, T80, T21}, the union of dui items at all sources.
+        let x11 = set(&["J55", "T80"]);
+        let x12 = set(&["T21"]);
+        let x13 = ItemSet::empty();
+        let x1 = ItemSet::union_all([&x11, &x12, &x13]);
+        assert_eq!(x1, set(&["J55", "T21", "T80"]));
+    }
+
+    #[test]
+    fn intersect_basics() {
+        let a = set(&["a", "b", "c", "d"]);
+        let b = set(&["b", "d", "e"]);
+        assert_eq!(a.intersect(&b), set(&["b", "d"]));
+        assert_eq!(a.intersect(&ItemSet::empty()), ItemSet::empty());
+    }
+
+    #[test]
+    fn intersect_probe_path_for_skewed_sizes() {
+        let big: ItemSet = (0..1000i64).collect();
+        let small: ItemSet = [5i64, 999, 1000].into_iter().collect();
+        let got = big.intersect(&small);
+        assert_eq!(got, [5i64, 999].into_iter().collect());
+        // Symmetric call takes the same path.
+        assert_eq!(small.intersect(&big), got);
+    }
+
+    #[test]
+    fn difference_matches_paper_example() {
+        // §1: X_1 − Y_1 with X_1 = {J55, T80, T21}, Y_1 = {T21}.
+        let x1 = set(&["J55", "T80", "T21"]);
+        let y1 = set(&["T21"]);
+        assert_eq!(x1.difference(&y1), set(&["J55", "T80"]));
+    }
+
+    #[test]
+    fn difference_edge_cases() {
+        let a = set(&["a", "b"]);
+        assert_eq!(a.difference(&ItemSet::empty()), a);
+        assert_eq!(ItemSet::empty().difference(&a), ItemSet::empty());
+        assert_eq!(a.difference(&a), ItemSet::empty());
+    }
+
+    #[test]
+    fn contains_and_subset() {
+        let a = set(&["a", "c"]);
+        let b = set(&["a", "b", "c"]);
+        assert!(a.contains(&Item::new("c")));
+        assert!(!a.contains(&Item::new("b")));
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(set(&["J55", "T21"]).to_string(), "{J55, T21}");
+        assert_eq!(ItemSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn wire_size_sums_items() {
+        let s: ItemSet = [1i64, 2].into_iter().collect();
+        assert_eq!(s.wire_size(), 16);
+    }
+
+    #[test]
+    fn mixed_type_items_order_consistently() {
+        let s: ItemSet = [Item::new(2i64), Item::new("a"), Item::new(1i64)]
+            .into_iter()
+            .collect();
+        let shown: Vec<String> = s.iter().map(|i| i.to_string()).collect();
+        assert_eq!(shown, ["1", "2", "a"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Row values conforming to the common schema.
+
+use crate::schema::Schema;
+use crate::value::{Item, Value};
+use std::fmt;
+
+/// A row of the common schema: one value per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values in schema attribute order.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The value at column `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The merge-attribute item of this tuple under `schema`.
+    pub fn item(&self, schema: &Schema) -> Item {
+        Item(self.values[schema.merge_index()].clone())
+    }
+
+    /// Estimated wire size in bytes when the full record is shipped.
+    pub fn wire_size(&self) -> usize {
+        self.values.iter().map(Value::wire_size).sum()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a tuple from a list of `Into<Value>` expressions.
+///
+/// ```
+/// use fusion_types::{tuple, Value};
+/// let t = tuple!["J55", "dui", 1993i64];
+/// assert_eq!(t.get(1), &Value::str("dui"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::dmv_schema;
+
+    #[test]
+    fn tuple_macro_and_accessors() {
+        let t = tuple!["J55", "dui", 1993i64];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), &Value::str("J55"));
+        assert_eq!(t.get(2), &Value::Int(1993));
+    }
+
+    #[test]
+    fn item_extraction_uses_merge_attribute() {
+        let t = tuple!["J55", "dui", 1993i64];
+        assert_eq!(t.item(&dmv_schema()), Item::new("J55"));
+    }
+
+    #[test]
+    fn display_and_wire_size() {
+        let t = tuple!["J55", 1993i64];
+        assert_eq!(t.to_string(), "('J55', 1993)");
+        assert_eq!(t.wire_size(), (4 + 3) + 8);
+    }
+}

@@ -1,0 +1,99 @@
+//! The scenario bundle experiments and examples consume.
+
+use fusion_core::cost::NetworkCostModel;
+use fusion_core::query::FusionQuery;
+use fusion_net::Network;
+use fusion_source::SourceSet;
+use fusion_types::error::Result;
+use fusion_types::{ItemSet, Relation};
+
+/// Everything needed to optimize and execute one fusion query: the query,
+/// the raw relations (for ground truth), live wrappers, and the network.
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// The fusion query.
+    pub query: FusionQuery,
+    /// The raw source relations (ground-truth evaluation).
+    pub relations: Vec<Relation>,
+    /// Wrapped sources, aligned with `relations`.
+    pub sources: SourceSet,
+    /// Link parameters per source (cloned per execution so traces do not
+    /// accumulate across runs).
+    network: Network,
+    /// True number of distinct items across all sources, fed to the cost
+    /// model as the domain hint.
+    pub domain_size: f64,
+}
+
+impl Scenario {
+    /// Bundles the pieces, computing the true domain size from the
+    /// relations.
+    pub fn new(
+        name: impl Into<String>,
+        query: FusionQuery,
+        relations: Vec<Relation>,
+        sources: SourceSet,
+        network: Network,
+    ) -> Scenario {
+        let mut all = ItemSet::empty();
+        for r in &relations {
+            all = all.union(&r.distinct_items());
+        }
+        Scenario {
+            name: name.into(),
+            query,
+            relations,
+            sources,
+            network,
+            domain_size: all.len() as f64,
+        }
+    }
+
+    /// Number of sources `n`.
+    pub fn n(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of conditions `m`.
+    pub fn m(&self) -> usize {
+        self.query.m()
+    }
+
+    /// A fresh network (empty trace) for one execution.
+    pub fn network(&self) -> Network {
+        let mut n = self.network.clone();
+        n.reset();
+        n
+    }
+
+    /// The cost model a mediator would optimize with, using the true
+    /// domain size as the catalog hint.
+    pub fn cost_model(&self) -> NetworkCostModel {
+        NetworkCostModel::new(
+            &self.sources,
+            &self.network,
+            &self.query,
+            Some(self.domain_size),
+        )
+    }
+
+    /// Ground-truth answer via direct evaluation.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors.
+    pub fn ground_truth(&self) -> Result<ItemSet> {
+        self.query.naive_answer(&self.relations)
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("m", &self.m())
+            .field("n", &self.n())
+            .field("domain_size", &self.domain_size)
+            .finish()
+    }
+}

@@ -1,0 +1,123 @@
+//! Fusion query processing over autonomous Internet databases.
+//!
+//! A faithful, production-quality reproduction of *"Fusion Queries over
+//! Internet Databases"* (Yerneni, Papakonstantinou, Abiteboul,
+//! Garcia-Molina; EDBT 1998). A **fusion query** searches for entities
+//! whose qualifying evidence may be scattered across many autonomous,
+//! overlapping sources:
+//!
+//! ```sql
+//! SELECT u1.L FROM U u1, U u2
+//! WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'
+//! ```
+//!
+//! This umbrella crate re-exports the workspace and provides the
+//! end-to-end conveniences ([`parse_fusion_query`], [`run`]). See the
+//! individual crates for the pieces:
+//!
+//! * [`types`] — values, relations, conditions, item-set algebra;
+//! * [`sql`] — the fusion-query SQL dialect parser;
+//! * [`stats`] — histograms, selectivity estimation, cost calibration;
+//! * [`net`] — the deterministic network cost simulator;
+//! * [`source`] — source engines, wrappers, capabilities;
+//! * [`core`] — plans, cost models, the FILTER/SJ/SJA/SJA+ optimizers;
+//! * [`exec`] — the mediator executor, response-time scheduling, and
+//!   two-phase record fetch;
+//! * [`workload`] — deterministic scenarios and synthetic populations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fusion::workload::dmv;
+//! use fusion::core::sja_optimal;
+//! use fusion::exec::execute_plan;
+//!
+//! let scenario = dmv::figure1_scenario();
+//! let model = scenario.cost_model();
+//! let best = sja_optimal(&model);
+//! let mut network = scenario.network();
+//! let outcome =
+//!     execute_plan(&best.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
+//! assert_eq!(outcome.answer.to_string(), "{J55, T21}");
+//! ```
+
+pub use fusion_core as core;
+pub use fusion_exec as exec;
+pub use fusion_net as net;
+pub use fusion_source as source;
+pub use fusion_sql as sql;
+pub use fusion_stats as stats;
+pub use fusion_types as types;
+pub use fusion_workload as workload;
+
+use fusion_core::query::FusionQuery;
+use fusion_types::error::Result;
+use fusion_types::Schema;
+
+/// Parses fusion-dialect SQL into an optimizable [`FusionQuery`] against
+/// the given common schema.
+///
+/// # Errors
+/// Fails on syntax errors and on queries that are not fusion-shaped
+/// (§2.2): wrong projection, broken merge-equality chain, or conditions
+/// spanning several query variables.
+///
+/// ```
+/// use fusion::parse_fusion_query;
+/// use fusion::types::schema::dmv_schema;
+///
+/// let q = parse_fusion_query(
+///     "SELECT u1.L FROM U u1, U u2 \
+///      WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
+///     &dmv_schema(),
+/// )
+/// .unwrap();
+/// assert_eq!(q.m(), 2);
+/// ```
+pub fn parse_fusion_query(sql_text: &str, schema: &Schema) -> Result<FusionQuery> {
+    let parsed = fusion_sql::parse_query(sql_text)?;
+    let shape = fusion_sql::into_fusion_shape(&parsed, schema)?;
+    FusionQuery::new(
+        schema.clone(),
+        shape.conditions.into_iter().map(Into::into).collect(),
+    )
+}
+
+/// One-call pipeline: optimize a scenario's query with SJA+ and execute
+/// the resulting plan, returning the answer and executed cost.
+///
+/// # Errors
+/// Propagates optimization and execution failures.
+pub fn run(scenario: &workload::Scenario) -> Result<exec::ExecutionOutcome> {
+    let model = scenario.cost_model();
+    let plus = fusion_core::postopt::sja_plus(&model);
+    let mut network = scenario.network();
+    fusion_exec::execute_plan(&plus.plan, &scenario.query, &scenario.sources, &mut network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::ItemSet;
+
+    #[test]
+    fn parse_and_run_end_to_end() {
+        let scenario = workload::dmv::figure1_scenario();
+        let q = parse_fusion_query(
+            "SELECT u1.L FROM U u1, U u2 \
+             WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'",
+            &dmv_schema(),
+        )
+        .unwrap();
+        assert_eq!(q.to_sql(), scenario.query.to_sql());
+        let out = run(&scenario).unwrap();
+        assert_eq!(out.answer, ItemSet::from_items(["J55", "T21"]));
+    }
+
+    #[test]
+    fn parse_rejects_non_fusion_sql() {
+        assert!(parse_fusion_query("SELECT u1.V FROM U u1", &dmv_schema()).is_err());
+        assert!(parse_fusion_query("not sql at all", &dmv_schema()).is_err());
+    }
+}

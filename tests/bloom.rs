@@ -1,0 +1,135 @@
+//! Bloom-filter semijoin extension: correctness and profitability.
+
+use fusion::core::plan::Step;
+use fusion::core::postopt::{apply_bloom, sja_plus_with, PostOptConfig};
+use fusion::core::sja_optimal;
+use fusion::exec::{execute_plan, StepKind};
+use fusion::net::LinkProfile;
+use fusion::source::ProcessingProfile;
+use fusion::types::{BloomFilter, Item, ItemSet};
+use fusion::workload::synth::{synth_scenario, SynthSpec};
+use fusion::workload::{CapabilityMix, Scenario};
+
+/// A scenario with fat semijoin sets: leader keeps ~8% of a large
+/// universe, so round-2 semijoins ship thousands of string items —
+/// exactly where a 10-bit filter crushes the explicit set.
+fn bloom_friendly() -> Scenario {
+    let spec = SynthSpec {
+        n_sources: 6,
+        domain_size: 60_000,
+        rows_per_source: 8_000,
+        seed: 11_000,
+        capability_mix: CapabilityMix::AllFull,
+        link: Some(LinkProfile::Intercontinental),
+        processing: ProcessingProfile::indexed_db(),
+    };
+    synth_scenario(&spec, &[0.08, 0.3, 0.5])
+}
+
+#[test]
+fn apply_bloom_rewrites_profitable_semijoins() {
+    let scenario = bloom_friendly();
+    let model = scenario.cost_model();
+    let base = sja_optimal(&model);
+    let (_, sjq_count, _) = base.plan.remote_op_counts();
+    assert!(sjq_count > 0, "scenario must choose semijoins");
+    let rewritten = apply_bloom(base.plan.clone(), &model, 10);
+    let blooms = rewritten
+        .steps
+        .iter()
+        .filter(|s| matches!(s, Step::SjqBloom { .. }))
+        .count();
+    assert!(blooms > 0, "large sets should be rewritten:\n{rewritten}");
+    rewritten.validate().unwrap();
+}
+
+#[test]
+fn bloom_plans_compute_exact_answers() {
+    let scenario = bloom_friendly();
+    let model = scenario.cost_model();
+    let plus = sja_plus_with(
+        &model,
+        PostOptConfig {
+            use_difference: false,
+            use_loading: false,
+            use_bloom: true,
+            bloom_bits: 10,
+        },
+    );
+    let mut network = scenario.network();
+    let out = execute_plan(&plus.plan, &scenario.query, &scenario.sources, &mut network)
+        .expect("bloom plan executes");
+    assert_eq!(
+        out.answer,
+        scenario.ground_truth().unwrap(),
+        "false positives must be filtered out by the local re-intersection"
+    );
+    assert!(out.ledger.count_kind(StepKind::BloomSemijoin) > 0);
+}
+
+#[test]
+fn bloom_reduces_executed_cost_on_fat_semijoin_sets() {
+    let scenario = bloom_friendly();
+    let model = scenario.cost_model();
+    let explicit = sja_plus_with(
+        &model,
+        PostOptConfig {
+            use_difference: false,
+            use_loading: false,
+            use_bloom: false,
+            bloom_bits: 10,
+        },
+    );
+    let bloom = sja_plus_with(
+        &model,
+        PostOptConfig {
+            use_difference: false,
+            use_loading: false,
+            use_bloom: true,
+            bloom_bits: 10,
+        },
+    );
+    let run = |plan: &fusion::core::plan::Plan| {
+        let mut network = scenario.network();
+        execute_plan(plan, &scenario.query, &scenario.sources, &mut network)
+            .expect("plan executes")
+            .total_cost()
+            .value()
+    };
+    let explicit_cost = run(&explicit.plan);
+    let bloom_cost = run(&bloom.plan);
+    assert!(
+        bloom_cost < explicit_cost * 0.95,
+        "bloom {bloom_cost:.3} should beat explicit {explicit_cost:.3}"
+    );
+}
+
+#[test]
+fn low_bit_filters_trade_fpr_for_size() {
+    // Executed answers stay exact at any density; only costs move.
+    let scenario = bloom_friendly();
+    let model = scenario.cost_model();
+    let truth = scenario.ground_truth().unwrap();
+    for bits in [2u8, 6, 14] {
+        let plus = sja_plus_with(
+            &model,
+            PostOptConfig {
+                use_difference: false,
+                use_loading: false,
+                use_bloom: true,
+                bloom_bits: bits,
+            },
+        );
+        let mut network = scenario.network();
+        let out = execute_plan(&plus.plan, &scenario.query, &scenario.sources, &mut network)
+            .expect("plan executes");
+        assert_eq!(out.answer, truth, "bits={bits}");
+    }
+}
+
+#[test]
+fn filter_wire_size_beats_explicit_set() {
+    let items: ItemSet = (0..5_000i64).map(|i| Item::new(format!("E{i:07}"))).collect();
+    let filter = BloomFilter::build(&items, 10.0);
+    assert!(filter.wire_size() * 5 < items.wire_size());
+}

@@ -1,0 +1,85 @@
+//! Cost-calibration integration: fitting per-source cost coefficients
+//! from observed exchanges recovers the simulated link parameters
+//! (the Zhu–Larson-style query sampling the paper cites for statistics
+//! gathering).
+
+use fusion::net::{ExchangeKind, LinkProfile, Network};
+use fusion::stats::{CostCalibration, Observation, SplitMix64};
+use fusion::types::SourceId;
+
+#[test]
+fn fitting_observed_exchanges_recovers_link_parameters() {
+    for profile in LinkProfile::all() {
+        let link = profile.link();
+        let mut network = Network::uniform(1, link);
+        let mut rng = SplitMix64::new(7);
+        // Issue 50 sample "queries" of varying sizes and observe costs.
+        let obs: Vec<Observation> = (0..50)
+            .map(|_| {
+                let req = (rng.next_f64() * 8_192.0) as usize;
+                let resp = (rng.next_f64() * 65_536.0) as usize;
+                let cost = network.exchange(SourceId(0), ExchangeKind::Selection, req, resp);
+                Observation {
+                    req_bytes: req as f64,
+                    resp_bytes: resp as f64,
+                    cost: cost.value(),
+                }
+            })
+            .collect();
+        let cal = CostCalibration::fit(&obs).expect("fit succeeds");
+        // base ≈ overhead + 2·latency; send/recv ≈ 1/bandwidth.
+        let true_base = link.overhead + 2.0 * link.latency;
+        let true_per_byte = 1.0 / link.bandwidth;
+        assert!(
+            (cal.base - true_base).abs() < 0.01 * true_base.max(0.01),
+            "{profile:?}: base {} vs {}",
+            cal.base,
+            true_base
+        );
+        for fitted in [cal.send_per_byte, cal.recv_per_byte] {
+            assert!(
+                (fitted - true_per_byte).abs() < 0.05 * true_per_byte,
+                "{profile:?}: per-byte {} vs {}",
+                fitted,
+                true_per_byte
+            );
+        }
+        // The fitted model predicts unseen exchanges accurately.
+        let pred = cal.predict(4_096.0, 10_000.0);
+        let actual = link.exchange_cost(4_096, 10_000).value();
+        assert!((pred - actual).abs() < 0.02 * actual, "{pred} vs {actual}");
+    }
+}
+
+#[test]
+fn calibration_supports_heterogeneous_sources() {
+    // Two very different links; calibrate each from its own trace and
+    // verify the models are distinguishable.
+    let mut network = Network::new(vec![
+        LinkProfile::Lan.link(),
+        LinkProfile::Slow.link(),
+    ]);
+    let mut rng = SplitMix64::new(21);
+    let mut obs0 = Vec::new();
+    let mut obs1 = Vec::new();
+    for _ in 0..30 {
+        let req = (rng.next_f64() * 4_096.0) as usize;
+        let resp = (rng.next_f64() * 32_768.0) as usize;
+        let c0 = network.exchange(SourceId(0), ExchangeKind::Selection, req, resp);
+        let c1 = network.exchange(SourceId(1), ExchangeKind::Selection, req, resp);
+        obs0.push(Observation {
+            req_bytes: req as f64,
+            resp_bytes: resp as f64,
+            cost: c0.value(),
+        });
+        obs1.push(Observation {
+            req_bytes: req as f64,
+            resp_bytes: resp as f64,
+            cost: c1.value(),
+        });
+    }
+    let fast = CostCalibration::fit(&obs0).expect("fit succeeds");
+    let slow = CostCalibration::fit(&obs1).expect("fit succeeds");
+    assert!(slow.base > fast.base * 10.0);
+    assert!(slow.recv_per_byte > fast.recv_per_byte * 10.0);
+}

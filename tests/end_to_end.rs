@@ -1,0 +1,182 @@
+//! End-to-end integration: optimize → execute → verify, across scenarios.
+
+use fusion::core::postopt::sja_plus;
+use fusion::core::{estimate_plan_cost, filter_plan, greedy_sja, sj_optimal, sja_optimal};
+use fusion::exec::{execute_plan, fetch_records, response_time};
+use fusion::net::LinkProfile;
+use fusion::source::ProcessingProfile;
+use fusion::workload::synth::{synth_scenario, SynthSpec};
+use fusion::workload::{biblio, dmv, CapabilityMix, Scenario};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        dmv::figure1_scenario(),
+        dmv::scaled_dmv_scenario(6, 5_000, 2_000, 3),
+        biblio::biblio_scenario(5, 500, 3_000, &["database", "semijoin"], 11),
+        synth_scenario(&SynthSpec::default_with(6, 17), &[0.05, 0.4, 0.6]),
+        synth_scenario(
+            &SynthSpec {
+                n_sources: 5,
+                domain_size: 4_000,
+                rows_per_source: 1_000,
+                seed: 29,
+                capability_mix: CapabilityMix::FractionEmulated { frac: 0.6, batch: 5 },
+                link: None,
+                processing: ProcessingProfile::scan_bound(),
+            },
+            &[0.1, 0.2],
+        ),
+    ]
+}
+
+/// Every optimizer's plan, executed over the wrappers, returns exactly
+/// the ground-truth answer on every scenario.
+#[test]
+fn all_plans_compute_ground_truth_everywhere() {
+    for scenario in scenarios() {
+        let truth = scenario.ground_truth().unwrap();
+        let model = scenario.cost_model();
+        let plans = vec![
+            ("FILTER", filter_plan(&model).plan),
+            ("SJ", sj_optimal(&model).plan),
+            ("SJA", sja_optimal(&model).plan),
+            ("greedy-SJA", greedy_sja(&model).plan),
+            ("SJA+", sja_plus(&model).plan),
+        ];
+        for (name, plan) in plans {
+            let mut network = scenario.network();
+            let out = execute_plan(&plan, &scenario.query, &scenario.sources, &mut network)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", scenario.name));
+            assert_eq!(
+                out.answer, truth,
+                "{name} wrong on {}:\n{plan}",
+                scenario.name
+            );
+        }
+    }
+}
+
+/// The optimizer cost ordering FILTER ≥ SJ ≥ SJA ≥ SJA+ holds on every
+/// scenario under the scenario's own cost model.
+#[test]
+fn estimated_cost_ordering_holds() {
+    for scenario in scenarios() {
+        let model = scenario.cost_model();
+        let f = filter_plan(&model).cost.value();
+        let sj = sj_optimal(&model).cost.value();
+        let sja = sja_optimal(&model).cost.value();
+        let plus = sja_plus(&model);
+        let eps = 1e-9 * f.max(1.0);
+        assert!(sj <= f + eps, "{}: SJ {sj} > FILTER {f}", scenario.name);
+        assert!(sja <= sj + eps, "{}: SJA {sja} > SJ {sj}", scenario.name);
+        assert!(
+            plus.cost.value() <= plus.base_estimate.value() + eps,
+            "{}: SJA+ {} > SJA {}",
+            scenario.name,
+            plus.cost,
+            plus.base_estimate
+        );
+        // Greedy is valid but may be suboptimal.
+        let greedy = greedy_sja(&model).cost.value();
+        assert!(greedy + eps >= sja, "{}: greedy {greedy} < SJA {sja}", scenario.name);
+    }
+}
+
+/// The network cost model's estimates track executed costs within a
+/// reasonable factor on every scenario (cost-model fidelity).
+#[test]
+fn estimates_track_executed_costs() {
+    for scenario in scenarios() {
+        let model = scenario.cost_model();
+        for opt in [filter_plan(&model), sja_optimal(&model)] {
+            let est = estimate_plan_cost(&opt.plan, &model).cost.value();
+            let mut network = scenario.network();
+            let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
+                .unwrap();
+            let actual = out.total_cost().value();
+            let ratio = est / actual;
+            assert!(
+                (0.3..=3.0).contains(&ratio),
+                "{}: est {est:.3} vs actual {actual:.3} (ratio {ratio:.2})",
+                scenario.name
+            );
+        }
+    }
+}
+
+/// Executed totals decompose: ledger total = network trace total +
+/// processing total, and per-source figures agree.
+#[test]
+fn ledger_and_network_trace_agree() {
+    let scenario = dmv::scaled_dmv_scenario(5, 2_000, 1_000, 9);
+    let model = scenario.cost_model();
+    let opt = sja_optimal(&model);
+    let mut network = scenario.network();
+    let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
+    let comm = out.ledger.comm_total().value();
+    let net_total = network.total_cost().value();
+    assert!((comm - net_total).abs() < 1e-9, "{comm} vs {net_total}");
+    let total = out.ledger.total().value();
+    let proc = out.ledger.proc_total().value();
+    assert!((total - (comm + proc)).abs() < 1e-9);
+    for j in 0..scenario.n() {
+        let sid = fusion::types::SourceId(j);
+        let via_net = network.cost_for_source(sid).value();
+        let via_ledger = out.ledger.cost_for_source(sid).value();
+        assert!(via_ledger >= via_net - 1e-9, "processing only adds");
+    }
+}
+
+/// Response time never exceeds total work and the two-phase fetch returns
+/// only matching records.
+#[test]
+fn response_time_and_two_phase() {
+    let scenario = biblio::biblio_scenario(6, 400, 2_000, &["database", "query"], 5);
+    let model = scenario.cost_model();
+    let opt = sja_optimal(&model);
+    let mut network = scenario.network();
+    let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
+    let rt = response_time(&opt.plan, &out.ledger);
+    assert!(rt <= out.total_cost().value() + 1e-9);
+    assert!(rt > 0.0);
+    let fetched = fetch_records(&out.answer, &scenario.sources, &mut network).unwrap();
+    let schema = scenario.query.schema().clone();
+    assert!(!fetched.records.is_empty());
+    for r in &fetched.records {
+        assert!(out.answer.contains(&r.item(&schema)));
+    }
+}
+
+/// Emulated semijoins change costs but never answers, across batch sizes.
+#[test]
+fn emulation_is_transparent() {
+    let mut answers = Vec::new();
+    for batch in [1usize, 7, 100] {
+        let spec = SynthSpec {
+            n_sources: 4,
+            domain_size: 2_000,
+            rows_per_source: 600,
+            seed: 33,
+            capability_mix: CapabilityMix::FractionEmulated { frac: 1.0, batch },
+            link: Some(LinkProfile::Wan),
+            processing: ProcessingProfile::indexed_db(),
+        };
+        let scenario = synth_scenario(&spec, &[0.05, 0.5]);
+        // Force a semijoin-heavy plan regardless of what the optimizer
+        // would choose, to exercise the emulation path.
+        let plan = fusion::core::plan::SimplePlanSpec {
+            order: vec![fusion::types::CondId(0), fusion::types::CondId(1)],
+            choices: vec![
+                vec![fusion::core::plan::SourceChoice::Selection; 4],
+                vec![fusion::core::plan::SourceChoice::Semijoin; 4],
+            ],
+        }
+        .build(4)
+        .unwrap();
+        let mut network = scenario.network();
+        let out = execute_plan(&plan, &scenario.query, &scenario.sources, &mut network).unwrap();
+        assert_eq!(out.answer, scenario.ground_truth().unwrap());
+        answers.push(out.answer);
+    }
+    assert!(answers.windows(2).all(|w| w[0] == w[1]));
+}

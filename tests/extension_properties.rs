@@ -1,0 +1,171 @@
+//! Property tests for the beyond-the-paper extensions: Bloom filters,
+//! adaptive execution, CSV round-trips, and the makespan estimator.
+
+use fusion::core::evaluate_plan;
+use fusion::core::postopt::apply_bloom;
+use fusion::core::query::FusionQuery;
+use fusion::core::{sja_optimal, NetworkCostModel, TableCostModel};
+use fusion::exec::execute_adaptive;
+use fusion::net::{LinkProfile, Network};
+use fusion::source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+use fusion::types::schema::dmv_schema;
+use fusion::types::{BloomFilter, CmpOp, Condition, Item, ItemSet, Predicate, Relation, Tuple, Value};
+use fusion::workload::csv::{parse_csv, to_csv};
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<i64>().prop_map(Item::new),
+        "[a-zA-Z0-9]{0,12}".prop_map(Item::new),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (
+        0u8..25,
+        prop::sample::select(vec!["dui", "sp", "park"]),
+        1990i64..2000,
+    )
+        .prop_map(|(l, v, d)| {
+            Tuple::new(vec![
+                Value::Str(format!("L{l:02}")),
+                Value::str(v),
+                Value::Int(d),
+            ])
+        })
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    prop::collection::vec(arb_tuple(), 0..25)
+        .prop_map(|rows| Relation::from_rows(dmv_schema(), rows))
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        prop::sample::select(vec!["dui", "sp", "park"]).prop_map(|v| Predicate::eq("V", v).into()),
+        (1990i64..2000).prop_map(|y| Predicate::cmp("D", CmpOp::Lt, y).into()),
+    ]
+}
+
+proptest! {
+    /// Bloom filters never yield false negatives and report consistent
+    /// structural parameters.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        items in prop::collection::vec(arb_item(), 0..200),
+        bits in 1u8..16,
+    ) {
+        let set = ItemSet::from_items(items);
+        let filter = BloomFilter::build(&set, bits as f64);
+        for item in &set {
+            prop_assert!(filter.may_contain(item));
+        }
+        prop_assert!(filter.n_bits() >= 64);
+        prop_assert!(filter.n_hashes() >= 1);
+    }
+
+    /// The Bloom rewrite preserves plan semantics on arbitrary data: the
+    /// rewritten plan's result equals the original plan's result exactly
+    /// (the local re-intersection removes every false positive).
+    #[test]
+    fn bloom_rewrite_preserves_semantics(
+        rels in prop::collection::vec(arb_relation(), 2..4),
+        conds in prop::collection::vec(arb_condition(), 2..4),
+        bits in 2u8..14,
+    ) {
+        let n = rels.len();
+        let m = conds.len();
+        let query = FusionQuery::new(dmv_schema(), conds).unwrap();
+        // A model that makes semijoins attractive so rewrites happen.
+        let model = TableCostModel::uniform(m, n, 50.0, 1.0, 0.5, 1e9, 5.0, 60.0);
+        let base = sja_optimal(&model).plan;
+        let rewritten = apply_bloom(base.clone(), &bloom_friendly_model(m, n), bits);
+        let a = evaluate_plan(&base, query.conditions(), &rels).unwrap();
+        let b = evaluate_plan(&rewritten, query.conditions(), &rels).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Adaptive execution computes exactly the naive answer on arbitrary
+    /// populations and conditions.
+    #[test]
+    fn adaptive_matches_naive_semantics(
+        rels in prop::collection::vec(arb_relation(), 2..4),
+        conds in prop::collection::vec(arb_condition(), 1..4),
+    ) {
+        let query = FusionQuery::new(dmv_schema(), conds).unwrap();
+        let truth = query.naive_answer(&rels).unwrap();
+        let sources = SourceSet::new(
+            rels.iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r.clone(),
+                        Capabilities::full(),
+                        ProcessingProfile::free(),
+                        i as u64,
+                    )) as Box<dyn fusion::source::Wrapper>
+                })
+                .collect(),
+        );
+        let mut network = Network::uniform(rels.len(), LinkProfile::Wan.link());
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let out = execute_adaptive(&query, &sources, &mut network, &model).unwrap();
+        prop_assert_eq!(out.answer, truth);
+        prop_assert_eq!(out.rounds.len(), query.m());
+    }
+
+    /// CSV render → parse is the identity on relations.
+    #[test]
+    fn csv_round_trip(rel in arb_relation()) {
+        let text = to_csv(&rel);
+        let back = parse_csv(&text, &dmv_schema()).unwrap();
+        prop_assert_eq!(rel.rows(), back.rows());
+    }
+}
+
+/// A model where Bloom semijoins are estimated cheaper than explicit
+/// ones, so `apply_bloom` actually rewrites (TableCostModel's default
+/// prices Bloom at infinity).
+fn bloom_friendly_model(m: usize, n: usize) -> impl fusion::core::CostModel {
+    struct BloomModel(TableCostModel);
+    impl fusion::core::CostModel for BloomModel {
+        fn n_conditions(&self) -> usize {
+            self.0.n_conditions()
+        }
+        fn n_sources(&self) -> usize {
+            self.0.n_sources()
+        }
+        fn sq_cost(&self, c: fusion::types::CondId, s: fusion::types::SourceId) -> fusion::types::Cost {
+            self.0.sq_cost(c, s)
+        }
+        fn sjq_cost(
+            &self,
+            c: fusion::types::CondId,
+            s: fusion::types::SourceId,
+            k: f64,
+        ) -> fusion::types::Cost {
+            self.0.sjq_cost(c, s, k)
+        }
+        fn lq_cost(&self, s: fusion::types::SourceId) -> fusion::types::Cost {
+            self.0.lq_cost(s)
+        }
+        fn sjq_bloom_cost(
+            &self,
+            _c: fusion::types::CondId,
+            _s: fusion::types::SourceId,
+            k: f64,
+            bits: u8,
+        ) -> fusion::types::Cost {
+            // Cheaper than any explicit semijoin: bits instead of bytes.
+            fusion::types::Cost::new(0.5 + k * bits as f64 / 64.0)
+        }
+        fn est_sq_items(&self, c: fusion::types::CondId, s: fusion::types::SourceId) -> f64 {
+            self.0.est_sq_items(c, s)
+        }
+        fn domain_size(&self) -> f64 {
+            self.0.domain_size()
+        }
+    }
+    BloomModel(TableCostModel::uniform(m, n, 50.0, 1.0, 0.5, 1e9, 5.0, 60.0))
+}

@@ -1,0 +1,248 @@
+//! Golden tests: every figure of the paper, regenerated executably.
+
+use fusion::core::optimizer::{filter_plan, sja_optimal};
+use fusion::core::plan::{PlanClass, SimplePlanSpec, SourceChoice};
+use fusion::core::postopt::{build_with_difference, sja_plus_with, PostOptConfig};
+use fusion::core::TableCostModel;
+use fusion::exec::execute_plan;
+use fusion::types::{CondId, ItemSet, SourceId};
+use fusion::workload::dmv;
+
+/// Figure 1: the three DMV relations and the query answer {J55, T21}.
+#[test]
+fn figure1_dmv_example() {
+    let scenario = dmv::figure1_scenario();
+    // The relations print exactly as in the figure.
+    let r1_rows: Vec<String> = scenario.relations[0]
+        .rows()
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    assert_eq!(
+        r1_rows,
+        vec![
+            "('J55', 'dui', 1993)",
+            "('T21', 'sp', 1994)",
+            "('T80', 'dui', 1993)"
+        ]
+    );
+    // "the driver with license J55 satisfies this query because he has a
+    // dui infraction in the first state and a sp one in the second"
+    let truth = scenario.ground_truth().unwrap();
+    assert_eq!(truth, ItemSet::from_items(["J55", "T21"]));
+    // Every optimizer's plan, executed against the wrappers, agrees.
+    let model = scenario.cost_model();
+    for opt in [filter_plan(&model), sja_optimal(&model)] {
+        let mut network = scenario.network();
+        let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
+            .unwrap();
+        assert_eq!(out.answer, truth);
+    }
+}
+
+/// §1's plan P1 for the DMV query: selection queries for `dui`
+/// everywhere, then semijoin everywhere with X1 = {J55, T80, T21}.
+#[test]
+fn section1_plan_p1_intermediate_sets() {
+    let scenario = dmv::figure1_scenario();
+    let spec = SimplePlanSpec {
+        order: vec![CondId(0), CondId(1)],
+        choices: vec![
+            vec![SourceChoice::Selection; 3],
+            vec![SourceChoice::Semijoin; 3],
+        ],
+    };
+    let plan = spec.build(3).unwrap();
+    let mut network = scenario.network();
+    let out = execute_plan(&plan, &scenario.query, &scenario.sources, &mut network).unwrap();
+    assert_eq!(out.answer, ItemSet::from_items(["J55", "T21"]));
+    // The first-round union is exactly the X1 the paper names.
+    // (Step 4 is the Union; its ledger entry reports 3 items out.)
+    assert_eq!(out.ledger.entries()[3].items_out, 3, "X1 = {{J55, T80, T21}}");
+}
+
+/// Figure 2(a): the filter plan for 3 conditions and 2 sources.
+#[test]
+fn figure2a_filter_plan() {
+    let plan = SimplePlanSpec::filter(3, 2).build(2).unwrap();
+    assert_eq!(plan.class(), PlanClass::Filter);
+    assert_eq!(
+        plan.listing(),
+        "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X1 := X11 ∪ X12
+4) X21 := sq(c2, R1)
+5) X22 := sq(c2, R2)
+6) X2 := X21 ∪ X22
+7) X2 := X2 ∩ X1
+8) X31 := sq(c3, R1)
+9) X32 := sq(c3, R2)
+10) X3 := X31 ∪ X32
+11) X3 := X3 ∩ X2
+"
+    );
+}
+
+/// Figure 2(b): the semijoin plan (c2 by semijoins everywhere).
+#[test]
+fn figure2b_semijoin_plan() {
+    let spec = SimplePlanSpec {
+        order: vec![CondId(0), CondId(1), CondId(2)],
+        choices: vec![
+            vec![SourceChoice::Selection; 2],
+            vec![SourceChoice::Semijoin; 2],
+            vec![SourceChoice::Selection; 2],
+        ],
+    };
+    let plan = spec.build(2).unwrap();
+    assert_eq!(plan.class(), PlanClass::Semijoin);
+    let listing = plan.listing();
+    assert!(listing.contains("4) X21 := sjq(c2, R1, X1)"), "{listing}");
+    assert!(listing.contains("5) X22 := sjq(c2, R2, X1)"), "{listing}");
+    // All-semijoin rounds need no intersection (Figure 2(b) has none
+    // after step 6).
+    assert_eq!(plan.steps.len(), 10);
+}
+
+/// Figure 2(c): the semijoin-adaptive plan (c2 mixed), discovered by the
+/// SJA algorithm itself under a staged cost model.
+#[test]
+fn figure2c_adaptive_plan_found_by_sja() {
+    // Stage costs so SJA's optimum is exactly the figure's plan: cheap
+    // flat semijoin for c2 at R1, punitive semijoins elsewhere.
+    let mut model = TableCostModel::uniform(3, 2, 10.0, 100.0, 10.0, 1e6, 5.0, 1000.0);
+    model.set_est_sq_items(CondId(0), SourceId(0), 3.0);
+    model.set_est_sq_items(CondId(0), SourceId(1), 3.0);
+    model.set_sq_cost(CondId(1), SourceId(0), 50.0);
+    model.set_sjq_cost(CondId(1), SourceId(0), 1.0, 0.0);
+    let opt = sja_optimal(&model);
+    assert_eq!(opt.plan.class(), PlanClass::SemijoinAdaptive);
+    assert_eq!(
+        opt.plan.listing(),
+        "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X1 := X11 ∪ X12
+4) X21 := sjq(c2, R1, X1)
+5) X22 := sq(c2, R2)
+6) X2 := X21 ∪ X22
+7) X2 := X2 ∩ X1
+8) X31 := sq(c3, R1)
+9) X32 := sq(c3, R2)
+10) X3 := X31 ∪ X32
+11) X3 := X3 ∩ X2
+"
+    );
+}
+
+/// Figure 5(a): the plan P1 the postoptimizer starts from — 2 conditions,
+/// 3 sources, c2 by [sq, sjq, sq].
+fn figure5_spec() -> SimplePlanSpec {
+    SimplePlanSpec {
+        order: vec![CondId(0), CondId(1)],
+        choices: vec![
+            vec![SourceChoice::Selection; 3],
+            vec![
+                SourceChoice::Selection,
+                SourceChoice::Semijoin,
+                SourceChoice::Selection,
+            ],
+        ],
+    }
+}
+
+#[test]
+fn figure5a_plan_p1() {
+    let plan = figure5_spec().build(3).unwrap();
+    assert_eq!(
+        plan.listing(),
+        "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X13 := sq(c1, R3)
+4) X1 := X11 ∪ X12 ∪ X13
+5) X21 := sq(c2, R1)
+6) X22 := sjq(c2, R2, X1)
+7) X23 := sq(c2, R3)
+8) X2 := X21 ∪ X22 ∪ X23
+9) X2 := X2 ∩ X1
+"
+    );
+}
+
+/// Figure 5(c): difference pruning of P1. The paper's P2b sends
+/// `X1 − X21`; our transform runs both selection queries first and prunes
+/// with their union `X1 − (X21 ∪ X23)` — a strict strengthening.
+#[test]
+fn figure5c_difference_pruned_plan() {
+    let plan = build_with_difference(&figure5_spec(), 3);
+    assert_eq!(
+        plan.listing(),
+        "\
+1) X11 := sq(c1, R1)
+2) X12 := sq(c1, R2)
+3) X13 := sq(c1, R3)
+4) X1 := X11 ∪ X12 ∪ X13
+5) X21 := sq(c2, R1)
+6) X23 := sq(c2, R3)
+7) Y2 := X21 ∪ X23
+8) D22 := X1 − Y2
+9) X22 := sjq(c2, R2, D22)
+10) X2 := X21 ∪ X23 ∪ X22
+11) X2 := X2 ∩ X1
+"
+    );
+    // Both plans compute the same answer on the DMV data.
+    let scenario = dmv::figure1_scenario();
+    let base = figure5_spec().build(3).unwrap();
+    let a = fusion::core::evaluate_plan(&base, scenario.query.conditions(), &scenario.relations)
+        .unwrap();
+    let b = fusion::core::evaluate_plan(&plan, scenario.query.conditions(), &scenario.relations)
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+/// Figure 5(b)/(d): source loading. With lq(R3) priced below R3's two
+/// queries, SJA+ replaces them by one load plus local evaluation.
+#[test]
+fn figure5b_source_loading() {
+    // Price the plan so SJA picks the figure's shape, then make R3 cheap
+    // to load.
+    let mut model = TableCostModel::uniform(2, 3, 10.0, 2.0, 0.5, 1e6, 8.0, 100.0);
+    model.set_sq_cost(CondId(1), SourceId(1), 60.0);
+    model.set_sjq_cost(CondId(1), SourceId(0), 50.0, 1.0);
+    model.set_sjq_cost(CondId(1), SourceId(2), 50.0, 1.0);
+    model.set_lq_cost(SourceId(2), 5.0);
+    let plus = sja_plus_with(
+        &model,
+        PostOptConfig {
+            use_difference: false,
+            use_loading: true,
+            ..PostOptConfig::default()
+        },
+    );
+    assert_eq!(plus.loaded_sources, vec![SourceId(2)]);
+    let listing = plus.plan.listing();
+    assert!(listing.contains("T3 := lq(R3)"), "{listing}");
+    assert!(listing.contains("X13 := sq(c1, T3)"), "{listing}");
+    assert!(listing.contains("X23 := sq(c2, T3)"), "{listing}");
+    assert_eq!(plus.plan.class(), PlanClass::Extended);
+    // The load replaces 2 × 10-cost queries with one 5-cost load.
+    assert!(plus.cost < plus.base_estimate);
+}
+
+/// Figure 5(d): both techniques together (the full SJA+).
+#[test]
+fn figure5d_full_sja_plus() {
+    let mut model = TableCostModel::uniform(2, 3, 10.0, 2.0, 0.5, 1e6, 8.0, 100.0);
+    model.set_sq_cost(CondId(1), SourceId(1), 60.0);
+    model.set_sjq_cost(CondId(1), SourceId(0), 50.0, 1.0);
+    model.set_sjq_cost(CondId(1), SourceId(2), 50.0, 1.0);
+    model.set_lq_cost(SourceId(2), 5.0);
+    let plus = fusion::core::postopt::sja_plus(&model);
+    assert!(plus.difference_steps > 0, "difference applied");
+    assert_eq!(plus.loaded_sources, vec![SourceId(2)], "load applied");
+    assert!(plus.cost <= plus.base_estimate);
+    plus.plan.validate().unwrap();
+}
