@@ -1,7 +1,7 @@
 //! B3: mediator executor throughput — full optimize-and-execute pipeline
 //! over live wrappers and the simulated network.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_bench::microbench::{BenchmarkId, Criterion};
 use fusion_core::postopt::sja_plus;
 use fusion_core::{filter_plan, sja_optimal};
 use fusion_exec::execute_plan;
@@ -58,7 +58,7 @@ fn bench_plan_shapes(c: &mut Criterion) {
     let mut group = c.benchmark_group("b3_plan_shapes");
     group.sample_size(20);
     for (name, plan) in &plans {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut network = sc.network();
                 black_box(
@@ -72,5 +72,8 @@ fn bench_plan_shapes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_execute, bench_plan_shapes);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_execute(&mut c);
+    bench_plan_shapes(&mut c);
+}

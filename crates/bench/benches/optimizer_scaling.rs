@@ -6,7 +6,7 @@
 //! * B2 — runtime is **factorial in the number of conditions** for the
 //!   exact SJ/SJA, while the greedy variant of \[24\] stays linear.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_bench::microbench::{BenchmarkId, Criterion};
 use fusion_core::optimizer::sja_branch_and_bound;
 use fusion_core::{filter_plan, greedy_sja, sj_optimal, sja_optimal, TableCostModel};
 use std::hint::black_box;
@@ -69,9 +69,8 @@ fn bench_scaling_in_conditions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scaling_in_sources,
-    bench_scaling_in_conditions
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_scaling_in_sources(&mut c);
+    bench_scaling_in_conditions(&mut c);
+}

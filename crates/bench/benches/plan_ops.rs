@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the mediator's local machinery: item-set algebra,
 //! plan construction/validation, and selectivity estimation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_bench::microbench::{BenchmarkId, Criterion};
 use fusion_core::plan::SimplePlanSpec;
 use fusion_stats::{estimate_selectivity, TableStats};
 use fusion_types::{CmpOp, ItemSet, Predicate, Relation, Schema, Tuple, Value};
@@ -71,12 +71,7 @@ fn bench_selectivity(c: &mut Criterion) {
     )
     .expect("valid schema");
     let rows: Vec<Tuple> = (0..10_000)
-        .map(|i| {
-            Tuple::new(vec![
-                Value::Str(format!("M{i:05}")),
-                Value::Int(i % 1_000),
-            ])
-        })
+        .map(|i| Tuple::new(vec![Value::Str(format!("M{i:05}")), Value::Int(i % 1_000)]))
         .collect();
     let rel = Relation::from_rows(schema, rows);
     let stats = TableStats::build(&rel, 1);
@@ -97,5 +92,9 @@ fn bench_selectivity(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_itemset_ops, bench_plan_build, bench_selectivity);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_itemset_ops(&mut c);
+    bench_plan_build(&mut c);
+    bench_selectivity(&mut c);
+}

@@ -18,7 +18,9 @@ use fusion_core::sja_optimal;
 use fusion_net::LinkProfile;
 use fusion_source::ProcessingProfile;
 use fusion_types::Condition;
-use fusion_workload::synth::{condition_with_selectivity, synth_relations, synth_schema, SynthSpec};
+use fusion_workload::synth::{
+    condition_with_selectivity, synth_relations, synth_schema, SynthSpec,
+};
 use fusion_workload::{CapabilityMix, Scenario};
 
 /// Builds a scenario over the standard synthetic population with explicit
@@ -168,13 +170,9 @@ pub fn e14_adaptive() {
         let model = scenario.cost_model();
         let static_cost = executed_cost(&scenario, &sja_optimal(&model).plan);
         let mut network = scenario.network();
-        let out = fusion_exec::execute_adaptive(
-            &scenario.query,
-            &scenario.sources,
-            &mut network,
-            &model,
-        )
-        .expect("adaptive executes");
+        let out =
+            fusion_exec::execute_adaptive(&scenario.query, &scenario.sources, &mut network, &model)
+                .expect("adaptive executes");
         assert_eq!(
             out.answer,
             scenario.ground_truth().expect("evaluation succeeds"),

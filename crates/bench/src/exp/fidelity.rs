@@ -30,7 +30,10 @@ fn scenarios() -> Vec<Scenario> {
                 domain_size: 10_000,
                 rows_per_source: 1_500,
                 seed: 8004,
-                capability_mix: CapabilityMix::FractionEmulated { frac: 0.5, batch: 10 },
+                capability_mix: CapabilityMix::FractionEmulated {
+                    frac: 0.5,
+                    batch: 10,
+                },
                 link: None,
                 processing: ProcessingProfile::scan_bound(),
             },
@@ -53,7 +56,10 @@ pub fn e8_fidelity() {
     );
     for scenario in scenarios() {
         let model = scenario.cost_model();
-        for (name, opt) in [("FILTER", filter_plan(&model)), ("SJA", sja_optimal(&model))] {
+        for (name, opt) in [
+            ("FILTER", filter_plan(&model)),
+            ("SJA", sja_optimal(&model)),
+        ] {
             let est = opt.cost.value();
             let exec = executed_cost(&scenario, &opt.plan);
             t.row(vec![

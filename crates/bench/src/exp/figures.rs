@@ -95,7 +95,7 @@ pub fn fig5() {
         load_only
             .loaded_sources
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect::<Vec<_>>(),
         load_only.plan.listing()
     );

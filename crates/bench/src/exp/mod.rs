@@ -38,8 +38,9 @@ impl ClassCosts {
     /// columns are directly comparable.
     pub fn of(scenario: &Scenario) -> ClassCosts {
         let model = scenario.cost_model();
-        let price =
-            |plan: &fusion_core::plan::Plan| fusion_core::estimate_plan_cost(plan, &model).cost.value();
+        let price = |plan: &fusion_core::plan::Plan| {
+            fusion_core::estimate_plan_cost(plan, &model).cost.value()
+        };
         ClassCosts {
             filter: price(&filter_plan(&model).plan),
             sj: price(&sj_optimal(&model).plan),

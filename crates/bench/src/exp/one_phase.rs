@@ -43,8 +43,8 @@ fn compare(scenario: &Scenario) -> (f64, f64, usize, usize) {
     let mut network = scenario.network();
     let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
         .expect("plan executes");
-    let (_, fetch_cost) = fetch_first_records(&out.answer, &scenario.sources, &mut network)
-        .expect("fetch succeeds");
+    let (_, fetch_cost) =
+        fetch_first_records(&out.answer, &scenario.sources, &mut network).expect("fetch succeeds");
     let two_phase = out.total_cost().value() + fetch_cost.value();
     // One-phase.
     let mut network = scenario.network();

@@ -70,7 +70,13 @@ pub fn e5_difference() {
 pub fn e6_loading() {
     let mut t = Table::new(
         "E6: source loading vs source size (n=6, m=5, executed costs)",
-        &["rows/source", "SJA", "SJA + load", "sources loaded", "saving"],
+        &[
+            "rows/source",
+            "SJA",
+            "SJA + load",
+            "sources loaded",
+            "saving",
+        ],
     );
     for rows in [25usize, 100, 400, 1_600, 6_400] {
         let spec = SynthSpec {

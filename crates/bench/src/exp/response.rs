@@ -39,12 +39,7 @@ pub fn e9_response_time() {
             .expect("experiment plans execute");
         let work = out.total_cost().value();
         let rt = response_time(&opt.plan, &out.ledger);
-        t.row(vec![
-            n.to_string(),
-            fmt3(work),
-            fmt3(rt),
-            fmtx(work / rt),
-        ]);
+        t.row(vec![n.to_string(), fmt3(work), fmt3(rt), fmtx(work / rt)]);
     }
     t.print();
 }

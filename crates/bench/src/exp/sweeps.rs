@@ -89,23 +89,22 @@ pub fn e2_conditions() {
 pub fn e3_selectivity() {
     let mut t = Table::new(
         "E3: selection/semijoin crossover vs leader selectivity (m=2, n=8)",
-        &["sel(c1)", "FILTER", "SJA", "semijoins in round 2", "SJA/FILTER"],
+        &[
+            "sel(c1)",
+            "FILTER",
+            "SJA",
+            "semijoins in round 2",
+            "SJA/FILTER",
+        ],
     );
     for sel in [0.001, 0.005, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.9] {
         let scenario = synth_scenario(&base_spec(8, 3000), &[sel, 0.5]);
         let model = scenario.cost_model();
         let filter = fusion_core::filter_plan(&model).cost.value();
         let sja = sja_optimal(&model);
-        let semijoins = sja
-            .spec
-            .choices
-            .last()
-            .map(|row| {
-                row.iter()
-                    .filter(|c| **c == SourceChoice::Semijoin)
-                    .count()
-            })
-            .unwrap_or(0);
+        let semijoins = sja.spec.choices.last().map_or(0, |row| {
+            row.iter().filter(|c| **c == SourceChoice::Semijoin).count()
+        });
         t.row(vec![
             format!("{sel}"),
             fmt3(filter),
@@ -145,7 +144,11 @@ mod tests {
                 .filter(|c| **c == SourceChoice::Semijoin)
                 .count()
         };
-        assert_eq!(count(&selective), 8, "selective leader semijoins everywhere");
+        assert_eq!(
+            count(&selective),
+            8,
+            "selective leader semijoins everywhere"
+        );
         assert_eq!(count(&broad), 0, "broad leader kills semijoins");
     }
 }

@@ -23,6 +23,7 @@
 //! Run with `cargo run -p fusion-bench --release --bin experiments -- all`.
 
 pub mod exp;
+pub mod microbench;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,150 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The deployment environment builds without access to crates.io, so the
+//! benches cannot use an external harness. This module provides the small
+//! slice of the familiar group/bencher API the bench targets need:
+//! warmup, fixed sample counts, and median/mean reporting over
+//! wall-clock time.
+
+use std::time::{Duration, Instant};
+
+/// Root benchmark context; create one per bench binary.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a fresh context.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup { sample_size: 20 }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(name, 20, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&id.0, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Runs one named benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(name, self.sample_size, &mut f);
+    }
+
+    /// Ends the group (kept for API familiarity; no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: &str, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one duration per sample.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that runs long
+        // enough for the clock to resolve it.
+        let mut iters = 1usize;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let mean: Duration = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let min = b.samples[0];
+    println!("  {name:<40} median {median:>12?}  mean {mean:>12?}  min {min:>12?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("x", 1), &1usize, |b, _| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            });
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -16,7 +16,10 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }

@@ -18,7 +18,8 @@ use fusion_core::optimizer::sja_response_optimal;
 use fusion_core::postopt::sja_plus;
 use fusion_core::query::FusionQuery;
 use fusion_core::{
-    explain, filter_plan, greedy_sja, sj_optimal, sja_optimal, NetworkCostModel, Plan,
+    analyze_plan, explain, filter_plan, greedy_sja, lint_plan, sj_optimal, sja_optimal,
+    NetworkCostModel, Plan, Verdict,
 };
 use fusion_exec::{execute_plan, fetch_records};
 use fusion_net::{Link, LinkProfile, Network};
@@ -87,8 +88,15 @@ impl Session {
             "scenario" => self.cmd_scenario(arg),
             "schema" => self.cmd_schema(arg),
             "load" => self.cmd_load(arg),
-            "sources" => self.cmd_sources(),
-            "explain" => self.query(arg, QueryMode::Explain),
+            "sources" => Ok(self.cmd_sources()),
+            "explain" => {
+                if let Some(rest) = arg.strip_prefix("--analyze") {
+                    self.query(rest.trim(), QueryMode::ExplainAnalyze)
+                } else {
+                    self.query(arg, QueryMode::Explain)
+                }
+            }
+            "lint" => self.cmd_lint(arg),
             "fetch" => self.query(arg, QueryMode::Fetch),
             "gantt" => self.cmd_gantt(arg),
             "trace" => self.cmd_trace(arg),
@@ -109,13 +117,9 @@ impl Session {
         let scenario = match name {
             "dmv" => fusion_workload::dmv::figure1_scenario(),
             "dmv-big" => fusion_workload::dmv::scaled_dmv_scenario(8, 20_000, 4_000, 42),
-            "biblio" => fusion_workload::biblio::biblio_scenario(
-                5,
-                1_000,
-                6_000,
-                &["database", "query"],
-                7,
-            ),
+            "biblio" => {
+                fusion_workload::biblio::biblio_scenario(5, 1_000, 6_000, &["database", "query"], 7)
+            }
             "synth" => fusion_workload::synth::synth_scenario(
                 &fusion_workload::synth::SynthSpec::default_with(6, 99),
                 &[0.05, 0.4],
@@ -247,9 +251,9 @@ impl Session {
         ))
     }
 
-    fn cmd_sources(&self) -> Result<String> {
+    fn cmd_sources(&self) -> String {
         if self.sources.is_empty() {
-            return Ok("no sources registered".into());
+            return "no sources registered".into();
         }
         let mut out = String::new();
         for (i, s) in self.sources.iter().enumerate() {
@@ -271,7 +275,7 @@ impl Session {
                 s.link.bandwidth / 1024.0
             ));
         }
-        Ok(out.trim_end().to_string())
+        out.trim_end().to_string()
     }
 
     fn cmd_plan(&mut self, algo: &str, sql: &str) -> Result<String> {
@@ -315,6 +319,46 @@ impl Session {
         ))
     }
 
+    /// Runs the semantic analyzer and lint registry over every
+    /// algorithm's plan for the query.
+    fn cmd_lint(&mut self, sql: &str) -> Result<String> {
+        let (query, sources, network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let plans: Vec<(&str, Plan)> = vec![
+            ("filter", filter_plan(&model).plan),
+            ("sj", sj_optimal(&model).plan),
+            ("sja", sja_optimal(&model).plan),
+            ("greedy", greedy_sja(&model).plan),
+            ("sja+", sja_plus(&model).plan),
+        ];
+        let mut out = String::new();
+        let mut findings = 0usize;
+        for (name, plan) in &plans {
+            let analysis = analyze_plan(plan)?;
+            let verdict = if analysis.verdict().is_proved() {
+                "proved equivalent to the fusion query"
+            } else {
+                "REFUTED"
+            };
+            let diags = lint_plan(plan)?;
+            out.push_str(&format!("{name}: {} steps, {verdict}", plan.steps.len()));
+            if diags.is_empty() {
+                out.push_str(", no lint findings\n");
+            } else {
+                out.push('\n');
+                for d in &diags {
+                    findings += 1;
+                    out.push_str(&format!("  {d}\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{findings} finding(s) across {} plans",
+            plans.len()
+        ));
+        Ok(out)
+    }
+
     /// Renders an ASCII Gantt chart of the SJA+ plan's parallel schedule.
     fn cmd_gantt(&mut self, sql: &str) -> Result<String> {
         let (query, sources, mut network) = self.materialize(sql)?;
@@ -348,13 +392,19 @@ impl Session {
                     *cell = glyph;
                 }
             }
-            out.push_str(&format!("R{:<3} |{}|
-", j + 1, bar.iter().collect::<String>()));
+            out.push_str(&format!(
+                "R{:<3} |{}|
+",
+                j + 1,
+                bar.iter().collect::<String>()
+            ));
         }
         out.push_str("      0");
         out.push_str(&" ".repeat(WIDTH.saturating_sub(8)));
-        out.push_str(&format!("{makespan:.2}
-"));
+        out.push_str(&format!(
+            "{makespan:.2}
+"
+        ));
         out.push_str("      s = selection, j = semijoin, b = bloom semijoin, L = full load");
         Ok(out)
     }
@@ -427,7 +477,7 @@ executed cost {} with per-round re-optimization:",
         let (query, sources, mut network) = self.materialize(sql)?;
         let model = NetworkCostModel::new(&sources, &network, &query, None);
         match mode {
-            QueryMode::Explain => {
+            QueryMode::Explain | QueryMode::ExplainAnalyze => {
                 let mut out = String::new();
                 let f = filter_plan(&model);
                 let sj = sj_optimal(&model);
@@ -438,6 +488,27 @@ executed cost {} with per-round re-optimization:",
                     f.cost, sj.cost, sja.cost, plus.cost
                 ));
                 out.push_str(&explain(&plus.plan, &model, Some(query.conditions())));
+                if mode == QueryMode::ExplainAnalyze {
+                    let analysis = analyze_plan(&plus.plan)?;
+                    match analysis.verdict() {
+                        Verdict::Proved => out.push_str(
+                            "\nsemantic analysis: proved — the plan computes \
+                             ⋂_i ⋃_j sq(c_i, R_j)",
+                        ),
+                        Verdict::Refuted(cx) => {
+                            out.push_str(&format!("\nsemantic analysis: REFUTED\n{cx}"));
+                        }
+                    }
+                    let diags = lint_plan(&plus.plan)?;
+                    if diags.is_empty() {
+                        out.push_str("\nlint: no findings");
+                    } else {
+                        out.push_str("\nlint:");
+                        for d in &diags {
+                            out.push_str(&format!("\n  {d}"));
+                        }
+                    }
+                }
                 Ok(out)
             }
             QueryMode::Execute | QueryMode::Fetch => {
@@ -515,7 +586,9 @@ commands:
          caps: full | emulated:N | selection-only
          link: lan | wan | inter | slow
   \\sources                               list registered sources
-  \\explain <sql>                         optimizer costs + annotated plan
+  \\explain [--analyze] <sql>             optimizer costs + annotated plan
+         --analyze: also prove the plan computes the fusion query + lint it
+  \\lint <sql>                            analyze + lint every algorithm's plan
   \\plan <filter|sj|sja|sja+|greedy|rt> <sql>   show one algorithm's plan
   \\fetch <sql>                           execute, then fetch full records
   \\help                                  this text
@@ -526,6 +599,7 @@ anything else is parsed as a fusion query and executed with SJA+";
 enum QueryMode {
     Execute,
     Explain,
+    ExplainAnalyze,
     Fetch,
 }
 
@@ -567,6 +641,28 @@ mod tests {
     }
 
     #[test]
+    fn explain_analyze_reports_proof_and_lint() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\explain --analyze {DMV_SQL}"));
+        assert!(out.contains("estimated costs"), "{out}");
+        assert!(out.contains("semantic analysis: proved"), "{out}");
+        assert!(out.contains("lint:"), "{out}");
+    }
+
+    #[test]
+    fn lint_command_covers_all_algorithms() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\lint {DMV_SQL}"));
+        for algo in ["filter", "sj", "sja", "greedy", "sja+"] {
+            assert!(out.contains(&format!("{algo}:")), "{algo} missing: {out}");
+        }
+        assert!(out.contains("proved equivalent"), "{out}");
+        assert!(out.contains("across 5 plans"), "{out}");
+    }
+
+    #[test]
     fn schema_and_csv_loading() {
         let dir = std::env::temp_dir().join("fusionq-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -577,7 +673,10 @@ mod tests {
         let mut s = Session::new();
         let out = run(&mut s, "\\schema L:str,V:str,D:int @L");
         assert!(out.contains("schema set"), "{out}");
-        let out = run(&mut s, &format!("\\load east {} emulated:5 slow", f1.display()));
+        let out = run(
+            &mut s,
+            &format!("\\load east {} emulated:5 slow", f1.display()),
+        );
         assert!(out.contains("2 rows"), "{out}");
         run(&mut s, &format!("\\load west {} full lan", f2.display()));
         let out = run(&mut s, "\\sources");

@@ -102,7 +102,9 @@ pub fn evaluate_plan(
             }
         }
     }
-    Ok(vars[plan.result.0].clone().expect("validated: result defined"))
+    Ok(vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined"))
 }
 
 #[cfg(test)]

@@ -24,12 +24,15 @@ pub fn explain<M: CostModel>(plan: &Plan, model: &M, conditions: Option<&[Condit
     };
     let width = rendered.iter().map(String::len).max().unwrap_or(0).max(24);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<width$}  {:>10}  {:>10}", "step", "est.items", "est.cost");
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>10}  {:>10}",
+        "step", "est.items", "est.cost"
+    );
     for (i, line) in rendered.iter().enumerate() {
         let items = plan.steps[i]
             .defined_var()
-            .map(|v| format!("{:.1}", est.var_items[v.0]))
-            .unwrap_or_else(|| "-".to_string());
+            .map_or_else(|| "-".to_string(), |v| format!("{:.1}", est.var_items[v.0]));
         let cost = if est.step_costs[i].value() > 0.0 {
             est.step_costs[i].to_string()
         } else {

@@ -23,21 +23,28 @@
 //!   relations, used to prove plan transformations semantics-preserving.
 //! * [`sampler`] — a generator of random *correct* simple plans, used to
 //!   validate the optimality theorem empirically.
+//! * [`analyze`] — the semantic plan analyzer: an abstract interpreter
+//!   over the step IR that *proves* (or refutes with a counterexample
+//!   world) that a plan computes `⋂_i ⋃_j sq(c_i, R_j)`, plus a lint
+//!   framework flagging dead steps, duplicate queries, oversized
+//!   semijoin inputs, unused loads, and un-re-intersected Bloom results.
 
+pub mod analyze;
 pub mod cost;
 pub mod estimate;
-pub mod explain;
 pub mod evaluate;
+pub mod explain;
 pub mod optimizer;
 pub mod plan;
 pub mod postopt;
 pub mod query;
 pub mod sampler;
 
+pub use analyze::{analyze_plan, lint_plan, Analysis, Counterexample, Diagnostic, Verdict};
 pub use cost::{calibrate, CalibratedCostModel, CostModel, NetworkCostModel, TableCostModel};
 pub use estimate::{estimate_plan_cost, PlanEstimate};
-pub use explain::explain;
 pub use evaluate::evaluate_plan;
+pub use explain::explain;
 pub use optimizer::{filter_plan, greedy_sja, sj_optimal, sja_optimal, OptimizedPlan};
 pub use plan::{Plan, PlanClass, RelVar, SimplePlanSpec, SourceChoice, Step, VarId};
 pub use postopt::{sja_plus, PostOptConfig};

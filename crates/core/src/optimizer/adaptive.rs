@@ -93,10 +93,7 @@ pub fn adaptive_next<M: CostModel>(
             x = Some(next_x);
         }
         let (choices, round_cost, predicted_size) = first_round.expect("non-empty order");
-        if best
-            .as_ref()
-            .is_none_or(|b| total < b.remainder_cost)
-        {
+        if best.as_ref().is_none_or(|b| total < b.remainder_cost) {
             best = Some(NextRound {
                 cond: order[0],
                 choices,
@@ -140,16 +137,10 @@ mod tests {
         let rest = [CondId(1), CondId(2)];
         // A tiny observed set → semijoins everywhere.
         let small = adaptive_next(&m, &rest, Some(3.0));
-        assert!(small
-            .choices
-            .iter()
-            .all(|c| *c == SourceChoice::Semijoin));
+        assert!(small.choices.iter().all(|c| *c == SourceChoice::Semijoin));
         // A huge observed set (sjq = 1 + 0.1·500 = 51 > 10) → selections.
         let big = adaptive_next(&m, &rest, Some(500.0));
-        assert!(big
-            .choices
-            .iter()
-            .all(|c| *c == SourceChoice::Selection));
+        assert!(big.choices.iter().all(|c| *c == SourceChoice::Selection));
     }
 
     #[test]

@@ -184,9 +184,9 @@ fn lower_bound_remaining<M: CostModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::TableCostModel;
     use crate::optimizer::sja_optimal;
     use fusion_stats::SplitMix64;
-    use crate::cost::TableCostModel;
 
     fn random_model(m: usize, n: usize, seed: u64) -> TableCostModel {
         let mut rng = SplitMix64::new(seed);

@@ -61,6 +61,11 @@ impl OptimizedPlan {
         let plan = spec
             .build(n_sources)
             .expect("optimizer produced an invalid spec");
+        debug_assert!(
+            crate::analyze::analyze_plan(&plan).is_ok_and(|a| a.verdict().is_proved()),
+            "optimizer emitted a semantically unsound plan:\n{}",
+            plan.listing()
+        );
         OptimizedPlan {
             plan,
             spec,

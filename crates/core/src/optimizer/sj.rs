@@ -36,10 +36,10 @@ pub fn sj_optimal<M: CostModel>(model: &M) -> OptimizedPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fusion_types::Cost;
     use crate::cost::TableCostModel;
     use crate::optimizer::filter_plan;
     use crate::plan::{PlanClass, SourceChoice};
+    use fusion_types::Cost;
     use fusion_types::SourceId;
 
     /// Selective first condition, cheap semijoins: SJ should lead with the

@@ -40,11 +40,11 @@ pub fn sja_optimal<M: CostModel>(model: &M) -> OptimizedPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fusion_types::Cost;
     use crate::cost::TableCostModel;
     use crate::optimizer::testutil::figure2_model;
     use crate::optimizer::{filter_plan, sj_optimal};
     use crate::plan::{PlanClass, SourceChoice};
+    use fusion_types::Cost;
     use fusion_types::SourceId;
 
     #[test]

@@ -32,6 +32,24 @@ impl SimplePlanSpec {
         }
     }
 
+    /// The all-semijoin specification: identity order, selections in
+    /// round 0 (§2.5 requires it), semijoin queries everywhere after.
+    pub fn all_semijoin(m: usize, n: usize) -> SimplePlanSpec {
+        SimplePlanSpec {
+            order: (0..m).map(CondId).collect(),
+            choices: (0..m)
+                .map(|r| {
+                    let choice = if r == 0 {
+                        SourceChoice::Selection
+                    } else {
+                        SourceChoice::Semijoin
+                    };
+                    vec![choice; n]
+                })
+                .collect(),
+        }
+    }
+
     /// Number of rounds (= conditions).
     pub fn rounds(&self) -> usize {
         self.order.len()

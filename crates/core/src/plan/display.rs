@@ -92,7 +92,11 @@ impl Plan {
     fn listing_with(&self, cond_str: &dyn Fn(usize) -> String) -> String {
         let mut out = String::new();
         for (i, step) in self.steps.iter().enumerate() {
-            out.push_str(&format!("{}) {}\n", i + 1, self.render_step(step, cond_str)));
+            out.push_str(&format!(
+                "{}) {}\n",
+                i + 1,
+                self.render_step(step, cond_str)
+            ));
         }
         out
     }

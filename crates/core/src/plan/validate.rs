@@ -13,6 +13,9 @@ impl Plan {
     /// * condition and source indexes are within `n_conditions` /
     ///   `n_sources`;
     /// * unions and intersections have at least one operand;
+    /// * set differences have distinct operands (`X − X` is a constant
+    ///   empty set, never a meaningful plan step);
+    /// * Bloom semijoins ship a filter of at least one bit per item;
     /// * the result variable is defined.
     ///
     /// # Errors
@@ -84,7 +87,24 @@ impl Plan {
                         )));
                     }
                 }
-                Step::Diff { .. } => {}
+                Step::Diff { left, right, .. } => {
+                    // X − X is the empty set for every input: a plan
+                    // computing it cannot mean the fusion answer, and no
+                    // legitimate transformation emits it.
+                    if left == right {
+                        return Err(FusionError::invalid_plan(format!(
+                            "step {stepno} subtracts {} from itself",
+                            self.var_name(*left)
+                        )));
+                    }
+                }
+            }
+            if let Step::SjqBloom { bits, .. } = step {
+                if *bits == 0 {
+                    return Err(FusionError::invalid_plan(format!(
+                        "step {stepno} ships a zero-bit Bloom filter"
+                    )));
+                }
             }
             // Definitions.
             if let Some(out) = step.defined_var() {
@@ -119,7 +139,9 @@ impl Plan {
             }
         }
         if self.result.0 >= var_defined.len() || !var_defined[self.result.0] {
-            return Err(FusionError::invalid_plan("result variable is never defined"));
+            return Err(FusionError::invalid_plan(
+                "result variable is never defined",
+            ));
         }
         Ok(())
     }
@@ -211,6 +233,46 @@ mod tests {
         p.result = p.fresh_var("NEVER");
         let err = p.validate().unwrap_err();
         assert!(err.to_string().contains("result variable"));
+    }
+
+    #[test]
+    fn self_difference_rejected() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        p.steps.push(Step::Diff {
+            out: v,
+            left: p.result,
+            right: p.result,
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("from itself"), "{err}");
+    }
+
+    #[test]
+    fn proper_difference_accepted() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        p.steps.push(Step::Diff {
+            out: v,
+            left: VarId(0),
+            right: p.result,
+        });
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_bit_bloom_rejected() {
+        let mut p = valid_plan();
+        let v = p.fresh_var("Y");
+        p.steps.push(Step::SjqBloom {
+            out: v,
+            cond: CondId(0),
+            source: SourceId(0),
+            input: VarId(0),
+            bits: 0,
+        });
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("zero-bit"), "{err}");
     }
 
     #[test]

@@ -118,6 +118,11 @@ pub fn postoptimize<M: CostModel>(
     } else {
         (plan, Vec::new())
     };
+    debug_assert!(
+        crate::analyze::analyze_plan(&plan).is_ok_and(|a| a.verdict().is_proved()),
+        "postoptimization produced a semantically unsound plan:\n{}",
+        plan.listing()
+    );
     let difference_steps = plan
         .steps
         .iter()
@@ -154,7 +159,8 @@ pub fn postoptimize<M: CostModel>(
 /// then sequenced, each shipping `X_{i-1} − confirmed` where `confirmed`
 /// unions every result already obtained for this condition.
 pub fn build_with_difference(spec: &SimplePlanSpec, n_sources: usize) -> Plan {
-    spec.validate(n_sources).expect("spec comes from an optimizer");
+    spec.validate(n_sources)
+        .expect("spec comes from an optimizer");
     let m = spec.order.len();
     let mut plan = Plan {
         steps: Vec::new(),
@@ -262,6 +268,11 @@ pub fn build_with_difference(spec: &SimplePlanSpec, n_sources: usize) -> Plan {
         prev = Some(round_result);
     }
     plan.result = prev.expect("at least one round");
+    debug_assert!(
+        crate::analyze::analyze_plan(&plan).is_ok_and(|a| a.verdict().is_proved()),
+        "difference pruning broke plan semantics:\n{}",
+        plan.listing()
+    );
     plan
 }
 
@@ -360,7 +371,11 @@ fn load_one_source(plan: Plan, source: SourceId) -> Plan {
             loaded = true;
         }
         match step {
-            Step::Sq { out, cond, source: s } if *s == source => {
+            Step::Sq {
+                out,
+                cond,
+                source: s,
+            } if *s == source => {
                 new.steps.push(Step::LocalSq {
                     out: *out,
                     cond: *cond,

@@ -123,7 +123,9 @@ fn prefix_condition(cond: &str, idx: usize) -> String {
     let flush = |word: &mut String, out: &mut String| {
         if !word.is_empty() {
             let up = word.to_uppercase();
-            if keywords.contains(&up.as_str()) || word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            if keywords.contains(&up.as_str())
+                || word.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
                 out.push_str(word);
             } else {
                 out.push_str(&format!("u{idx}.{word}"));
@@ -198,7 +200,10 @@ mod tests {
     fn dmv_query() -> FusionQuery {
         FusionQuery::new(
             dmv_schema(),
-            vec![Predicate::eq("V", "dui").into(), Predicate::eq("V", "sp").into()],
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
         )
         .unwrap()
     }
@@ -266,4 +271,3 @@ mod tests {
         assert_eq!(got, "u1.V LIKE 'a''b%'");
     }
 }
-

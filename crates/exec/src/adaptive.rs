@@ -89,8 +89,10 @@ pub fn execute_adaptive<M: CostModel>(
                     let resp_bytes = MessageSize::items_response(&resp.payload);
                     let comm =
                         network.exchange(source, ExchangeKind::Selection, req_bytes, resp_bytes);
-                    let proc =
-                        Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                    let proc = Cost::new(
+                        w.processing()
+                            .cost(resp.tuples_examined, resp.payload.len()),
+                    );
                     ledger.push(LedgerEntry {
                         step,
                         kind: StepKind::Selection,

@@ -33,10 +33,40 @@ impl ExecutionOutcome {
 /// supports neither fails the execution — mirroring the infinite cost the
 /// optimizer would have assigned.
 ///
+/// Before touching any source, the plan is put through the semantic
+/// analyzer ([`fusion_core::analyze`]): a plan that provably does *not*
+/// compute the fusion query is refused outright, with the refuting
+/// counterexample in the error. Deliberately partial plans (e.g. a probe
+/// of a single round) can bypass the guard via
+/// [`execute_plan_unchecked`].
+///
+/// # Errors
+/// Fails on structurally invalid or semantically unsound plans,
+/// capability violations, and predicate evaluation errors.
+pub fn execute_plan(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+) -> Result<ExecutionOutcome> {
+    let analysis = fusion_core::analyze::analyze_plan(plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to execute a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    execute_plan_unchecked(plan, query, sources, network)
+}
+
+/// [`execute_plan`] without the semantic-soundness guard: the plan is
+/// still structurally validated, but it may compute something other
+/// than the fusion answer (useful for executing partial plans).
+///
 /// # Errors
 /// Fails on structurally invalid plans, capability violations, and
 /// predicate evaluation errors.
-pub fn execute_plan(
+pub fn execute_plan_unchecked(
     plan: &Plan,
     query: &FusionQuery,
     sources: &SourceSet,
@@ -68,8 +98,12 @@ pub fn execute_plan(
                 let resp = w.select(&conditions[cond.0])?;
                 let req_bytes = MessageSize::sq_request(&conditions[cond.0]);
                 let resp_bytes = MessageSize::items_response(&resp.payload);
-                let comm = network.exchange(*source, ExchangeKind::Selection, req_bytes, resp_bytes);
-                let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                let comm =
+                    network.exchange(*source, ExchangeKind::Selection, req_bytes, resp_bytes);
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
                 ledger.push(LedgerEntry {
                     step: idx,
                     kind: StepKind::Selection,
@@ -88,8 +122,14 @@ pub fn execute_plan(
                 input,
             } => {
                 let bindings = vars[input.0].clone().expect("validated: def before use");
-                let (items, entry) =
-                    run_semijoin(idx, *source, &conditions[cond.0], &bindings, sources, network)?;
+                let (items, entry) = run_semijoin(
+                    idx,
+                    *source,
+                    &conditions[cond.0],
+                    &bindings,
+                    sources,
+                    network,
+                )?;
                 ledger.push(entry);
                 vars[out.0] = Some(items);
             }
@@ -104,13 +144,14 @@ pub fn execute_plan(
                 let w = sources.get(*source);
                 let filter = fusion_types::BloomFilter::build(&bindings, *bits as f64);
                 let resp = w.bloom_semijoin(&conditions[cond.0], &filter)?;
-                let req_bytes =
-                    MessageSize::sq_request(&conditions[cond.0]) + filter.wire_size();
+                let req_bytes = MessageSize::sq_request(&conditions[cond.0]) + filter.wire_size();
                 let resp_bytes = MessageSize::items_response(&resp.payload);
                 let comm =
                     network.exchange(*source, ExchangeKind::BloomSemijoin, req_bytes, resp_bytes);
-                let proc =
-                    Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
                 ledger.push(LedgerEntry {
                     step: idx,
                     kind: StepKind::BloomSemijoin,
@@ -128,7 +169,10 @@ pub fn execute_plan(
                 let req_bytes = MessageSize::lq_request();
                 let resp_bytes = MessageSize::tuples_response(&resp.payload);
                 let comm = network.exchange(*source, ExchangeKind::Load, req_bytes, resp_bytes);
-                let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
                 ledger.push(LedgerEntry {
                     step: idx,
                     kind: StepKind::Load,
@@ -175,7 +219,9 @@ pub fn execute_plan(
             }
         }
     }
-    let answer = vars[plan.result.0].clone().expect("validated: result defined");
+    let answer = vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined");
     Ok(ExecutionOutcome { answer, ledger })
 }
 
@@ -207,7 +253,10 @@ pub(crate) fn run_semijoin(
         let req_bytes = MessageSize::sjq_request(cond, bindings);
         let resp_bytes = MessageSize::items_response(&resp.payload);
         let comm = network.exchange(source, ExchangeKind::Semijoin, req_bytes, resp_bytes);
-        let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        let proc = Cost::new(
+            w.processing()
+                .cost(resp.tuples_examined, resp.payload.len()),
+        );
         let entry = LedgerEntry {
             step,
             kind: StepKind::Semijoin,
@@ -240,7 +289,10 @@ pub(crate) fn run_semijoin(
         let req_bytes = MessageSize::sjq_request(cond, &batch);
         let resp_bytes = MessageSize::items_response(&resp.payload);
         comm += network.exchange(source, ExchangeKind::BindingProbe, req_bytes, resp_bytes);
-        proc += Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        proc += Cost::new(
+            w.processing()
+                .cost(resp.tuples_examined, resp.payload.len()),
+        );
         round_trips += 1;
         result = result.union(&resp.payload);
     }
@@ -370,7 +422,12 @@ mod tests {
         assert!(answers.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(answers[0], ItemSet::from_items(["J55", "T21"]));
         // Emulation costs strictly more, and smaller batches cost more.
-        assert!(costs[1] > costs[0], "emulated {} <= native {}", costs[1], costs[0]);
+        assert!(
+            costs[1] > costs[0],
+            "emulated {} <= native {}",
+            costs[1],
+            costs[0]
+        );
         assert!(costs[2] > costs[1]);
     }
 
@@ -452,11 +509,36 @@ mod tests {
         plan.result = x2;
         let sources = dmv_sources(Capabilities::full());
         let mut net = Network::uniform(3, LinkProfile::Wan.link());
-        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        // The plan is a deliberate partial probe (it ignores R3), so the
+        // guarded entry point refuses it...
+        let err = execute_plan(&plan, &q, &sources, &mut net).unwrap_err();
+        assert!(err.to_string().contains("semantically unsound"), "{err}");
+        // ...and the unchecked one runs it.
+        let out = execute_plan_unchecked(&plan, &q, &sources, &mut net).unwrap();
         // dui at R1 = {J55, T80}; sp at R2 = {J55, T11} → {J55}.
         assert_eq!(out.answer, ItemSet::from_items(["J55"]));
         assert_eq!(out.ledger.count_kind(StepKind::Load), 1);
         assert_eq!(out.ledger.count_kind(StepKind::Local), 2);
+    }
+
+    #[test]
+    fn guard_refuses_unsound_plan_with_counterexample() {
+        let q = dmv_query();
+        // A filter plan whose final union forgets R3.
+        let mut plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        for step in plan.steps.iter_mut().rev() {
+            if let Step::Union { inputs, .. } = step {
+                inputs.truncate(2);
+                break;
+            }
+        }
+        let sources = dmv_sources(Capabilities::full());
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan(&plan, &q, &sources, &mut net).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("refusing to execute"), "{msg}");
+        assert!(msg.contains("counterexample world"), "{msg}");
+        assert!(msg.contains("step trace"), "{msg}");
     }
 
     #[test]

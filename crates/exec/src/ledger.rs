@@ -121,7 +121,13 @@ impl CostLedger {
 mod tests {
     use super::*;
 
-    fn entry(step: usize, kind: StepKind, source: Option<usize>, comm: f64, proc: f64) -> LedgerEntry {
+    fn entry(
+        step: usize,
+        kind: StepKind,
+        source: Option<usize>,
+        comm: f64,
+        proc: f64,
+    ) -> LedgerEntry {
         LedgerEntry {
             step,
             kind,

@@ -32,7 +32,7 @@ pub mod schedule;
 pub mod two_phase;
 
 pub use adaptive::{execute_adaptive, AdaptiveOutcome, AdaptiveRound};
-pub use interp::{execute_plan, ExecutionOutcome};
+pub use interp::{execute_plan, execute_plan_unchecked, ExecutionOutcome};
 pub use ledger::{CostLedger, LedgerEntry, StepKind};
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
 pub use schedule::{response_time, schedule, ScheduledStep};

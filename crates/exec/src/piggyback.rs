@@ -85,8 +85,10 @@ pub fn execute_piggyback(
                     let req = MessageSize::sq_request(cond);
                     let resp_bytes = MessageSize::items_response(&resp.payload);
                     let comm = network.exchange(source, ExchangeKind::Selection, req, resp_bytes);
-                    let proc =
-                        Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+                    let proc = Cost::new(
+                        w.processing()
+                            .cost(resp.tuples_examined, resp.payload.len()),
+                    );
                     ledger.push(LedgerEntry {
                         step,
                         kind: StepKind::Selection,
@@ -148,7 +150,10 @@ pub fn execute_piggyback(
             _ => ExchangeKind::Selection,
         };
         let comm = network.exchange(source, exchange_kind, req, resp_bytes);
-        let proc = Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        let proc = Cost::new(
+            w.processing()
+                .cost(resp.tuples_examined, resp.payload.len()),
+        );
         ledger.push(LedgerEntry {
             step,
             kind,
@@ -203,7 +208,10 @@ pub fn fetch_first_records(
             MessageSize::sjq_request(&fusion_types::Predicate::Const(true).into(), &uncovered);
         let resp_bytes = MessageSize::tuples_response(&resp.payload);
         cost += network.exchange(id, ExchangeKind::Fetch, req, resp_bytes);
-        cost += Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        cost += Cost::new(
+            w.processing()
+                .cost(resp.tuples_examined, resp.payload.len()),
+        );
         // Keep one record per newly covered item.
         let mut newly: Vec<Tuple> = Vec::new();
         for t in resp.payload {
@@ -233,8 +241,8 @@ mod tests {
         let model = scenario.cost_model();
         let opt = sja_optimal(&model);
         let mut network = scenario.network();
-        let out = execute_piggyback(&opt.spec, &scenario.query, &scenario.sources, &mut network)
-            .unwrap();
+        let out =
+            execute_piggyback(&opt.spec, &scenario.query, &scenario.sources, &mut network).unwrap();
         assert_eq!(out.answer, ItemSet::from_items(["J55", "T21"]));
         // Every answer item has at least one witnessing record of the
         // final condition.
@@ -248,7 +256,10 @@ mod tests {
         // Witness records satisfy the final condition.
         let last = &scenario.query.conditions()[opt.spec.order.last().unwrap().0];
         for t in &out.records {
-            assert!(last.eval(t, schema).unwrap(), "{t} fails the last condition");
+            assert!(
+                last.eval(t, schema).unwrap(),
+                "{t} fails the last condition"
+            );
         }
     }
 

@@ -40,13 +40,14 @@ pub fn fetch_records(
     }
     for (id, w) in sources.iter() {
         let resp = w.fetch(answer)?;
-        let req_bytes = MessageSize::sjq_request(
-            &fusion_types::Predicate::Const(true).into(),
-            answer,
-        );
+        let req_bytes =
+            MessageSize::sjq_request(&fusion_types::Predicate::Const(true).into(), answer);
         let resp_bytes = MessageSize::tuples_response(&resp.payload);
         cost += network.exchange(id, ExchangeKind::Fetch, req_bytes, resp_bytes);
-        cost += Cost::new(w.processing().cost(resp.tuples_examined, resp.payload.len()));
+        cost += Cost::new(
+            w.processing()
+                .cost(resp.tuples_examined, resp.payload.len()),
+        );
         records.extend(resp.payload);
     }
     records.sort_by(|a, b| a.values().cmp(b.values()));
@@ -83,10 +84,7 @@ mod tests {
                 "R2",
                 Relation::from_rows(
                     s,
-                    vec![
-                        tuple!["T21", "dui", 1996i64],
-                        tuple!["J55", "sp", 1996i64],
-                    ],
+                    vec![tuple!["T21", "dui", 1996i64], tuple!["J55", "sp", 1996i64]],
                 ),
                 Capabilities::full(),
                 ProcessingProfile::free(),

@@ -68,9 +68,7 @@ mod tests {
         let small = ItemSet::from_items(["a"]);
         let big = ItemSet::from_items(["aaaa", "bbbb", "cccc"]);
         assert!(MessageSize::sq_request(&cond) >= ENVELOPE_BYTES);
-        assert!(
-            MessageSize::sjq_request(&cond, &small) < MessageSize::sjq_request(&cond, &big)
-        );
+        assert!(MessageSize::sjq_request(&cond, &small) < MessageSize::sjq_request(&cond, &big));
         assert_eq!(
             MessageSize::sjq_request(&cond, &ItemSet::empty()),
             MessageSize::sq_request(&cond)

@@ -49,7 +49,9 @@ impl SourceSet {
 impl std::fmt::Debug for SourceSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.wrappers.iter().map(|w| w.name()).collect();
-        f.debug_struct("SourceSet").field("sources", &names).finish()
+        f.debug_struct("SourceSet")
+            .field("sources", &names)
+            .finish()
     }
 }
 

@@ -337,12 +337,18 @@ mod tests {
             0,
         );
         let err = w
-            .semijoin(&Predicate::eq("V", "sp").into(), &ItemSet::from_items(["J55"]))
+            .semijoin(
+                &Predicate::eq("V", "sp").into(),
+                &ItemSet::from_items(["J55"]),
+            )
             .unwrap_err();
         assert!(matches!(err, FusionError::Unsupported { .. }));
         // ...but probes work.
         let p = w
-            .probe(&Predicate::eq("V", "sp").into(), &ItemSet::from_items(["T21"]))
+            .probe(
+                &Predicate::eq("V", "sp").into(),
+                &ItemSet::from_items(["T21"]),
+            )
             .unwrap();
         assert_eq!(p.payload, ItemSet::from_items(["T21"]));
     }
@@ -370,7 +376,10 @@ mod tests {
             0,
         );
         assert!(w
-            .probe(&Predicate::eq("V", "sp").into(), &ItemSet::from_items(["T21"]))
+            .probe(
+                &Predicate::eq("V", "sp").into(),
+                &ItemSet::from_items(["T21"])
+            )
             .is_err());
         assert!(w.load().is_err(), "selection-only refuses loads too");
     }

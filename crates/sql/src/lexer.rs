@@ -159,7 +159,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     } else if b == '.'
                         && !is_float
-                        && bytes.get(i + 1).is_some_and(|n| (*n as char).is_ascii_digit())
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| (*n as char).is_ascii_digit())
                     {
                         is_float = true;
                         i += 1;
@@ -215,7 +217,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -277,13 +283,19 @@ mod tests {
 
     #[test]
     fn number_edge_cases() {
-        assert_eq!(kinds("1.x"), vec![
-            TokenKind::Int(1),
-            TokenKind::Dot,
-            TokenKind::Ident("x".into()),
-            TokenKind::Eof,
-        ]);
-        assert_eq!(kinds("10.25"), vec![TokenKind::Float(10.25), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(
+            kinds("10.25"),
+            vec![TokenKind::Float(10.25), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -247,7 +247,10 @@ impl Parser {
         };
         // Right side: another qualified reference → merge-chain candidate.
         if let TokenKind::Ident(_) = self.peek().kind {
-            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Dot)) {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Dot)
+            ) {
                 let right = self.attr_ref(vars)?;
                 if op != CmpOp::Eq {
                     return self.err("only `=` is allowed between query variables");
@@ -261,9 +264,8 @@ impl Parser {
 
     fn attr_ref(&mut self, vars: &[String]) -> Result<AttrRef> {
         let alias = self.ident("query variable")?;
-        let var = match resolve_var(vars, &alias) {
-            Some(v) => v,
-            None => return self.err(format!("unknown query variable `{alias}`")),
+        let Some(var) = resolve_var(vars, &alias) else {
+            return self.err(format!("unknown query variable `{alias}`"));
         };
         self.expect_kind(&TokenKind::Dot, "`.` after query variable")?;
         let attr = self.ident("attribute name")?;
@@ -311,7 +313,13 @@ mod tests {
         .unwrap();
         assert_eq!(q.variables, vec!["u1", "u2"]);
         assert_eq!(q.view, "U");
-        assert_eq!(q.projection, AttrRef { var: 0, attr: "L".into() });
+        assert_eq!(
+            q.projection,
+            AttrRef {
+                var: 0,
+                attr: "L".into()
+            }
+        );
         match &q.where_clause {
             Expr::And(parts) => {
                 assert_eq!(parts.len(), 3);

@@ -113,18 +113,8 @@ pub fn into_fusion_shape(query: &ParsedQuery, schema: &Schema) -> Result<FusionS
 /// Converts a single-variable expression to a predicate.
 fn to_predicate(e: &Expr) -> Result<Predicate> {
     Ok(match e {
-        Expr::And(parts) => Predicate::And(
-            parts
-                .iter()
-                .map(to_predicate)
-                .collect::<Result<_>>()?,
-        ),
-        Expr::Or(parts) => Predicate::Or(
-            parts
-                .iter()
-                .map(to_predicate)
-                .collect::<Result<_>>()?,
-        ),
+        Expr::And(parts) => Predicate::And(parts.iter().map(to_predicate).collect::<Result<_>>()?),
+        Expr::Or(parts) => Predicate::Or(parts.iter().map(to_predicate).collect::<Result<_>>()?),
         Expr::Not(inner) => Predicate::Not(Box::new(to_predicate(inner)?)),
         Expr::Cmp { lhs, op, rhs } => Predicate::Cmp {
             attr: lhs.attr.clone(),
@@ -150,8 +140,7 @@ fn to_predicate(e: &Expr) -> Result<Predicate> {
         Expr::Const(b) => Predicate::Const(*b),
         Expr::MergeEq { .. } => {
             return Err(FusionError::NotAFusionQuery {
-                detail: "merge-attribute equality may only appear at the top level of WHERE"
-                    .into(),
+                detail: "merge-attribute equality may only appear at the top level of WHERE".into(),
             });
         }
     })
@@ -234,10 +223,7 @@ mod tests {
 
     #[test]
     fn multiple_conjuncts_per_variable_are_anded() {
-        let s = shape(
-            "SELECT u1.L FROM U u1 WHERE u1.V = 'dui' AND u1.D > 1990",
-        )
-        .unwrap();
+        let s = shape("SELECT u1.L FROM U u1 WHERE u1.V = 'dui' AND u1.D > 1990").unwrap();
         assert_eq!(
             s.conditions,
             vec![Predicate::And(vec![
@@ -260,7 +246,10 @@ mod tests {
              WHERE u1.L = u2.L AND (u1.V = 'a' OR u2.V = 'b')",
         )
         .unwrap_err();
-        assert!(err.to_string().contains("exactly one query variable"), "{err}");
+        assert!(
+            err.to_string().contains("exactly one query variable"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -271,10 +260,8 @@ mod tests {
 
     #[test]
     fn non_merge_equality_rejected() {
-        let err = shape(
-            "SELECT u1.L FROM U u1, U u2 WHERE u1.V = u2.V AND u1.V = 'x'",
-        )
-        .unwrap_err();
+        let err =
+            shape("SELECT u1.L FROM U u1, U u2 WHERE u1.V = u2.V AND u1.V = 'x'").unwrap_err();
         assert!(err.to_string().contains("merge attribute"), "{err}");
     }
 

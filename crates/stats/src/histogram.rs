@@ -156,10 +156,7 @@ impl ColumnStats {
         }
         let non_null = values.len() - nulls;
         let distinct = counts.len();
-        let mut mcv: Vec<(Value, usize)> = counts
-            .iter()
-            .map(|(v, c)| ((*v).clone(), *c))
-            .collect();
+        let mut mcv: Vec<(Value, usize)> = counts.iter().map(|(v, c)| ((*v).clone(), *c)).collect();
         mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         mcv.truncate(DEFAULT_MCVS);
         let histogram = if numerics.len() == non_null && non_null > 0 {
@@ -168,7 +165,10 @@ impl ColumnStats {
             None
         };
         let sample = reservoir_sample(
-            values.iter().filter(|v| !matches!(v, Value::Null)).map(|v| (*v).clone()),
+            values
+                .iter()
+                .filter(|v| !matches!(v, Value::Null))
+                .map(|v| (*v).clone()),
             DEFAULT_SAMPLE,
             seed,
         );
@@ -353,7 +353,13 @@ mod tests {
         let rel = Relation::from_rows(
             dmv_schema(),
             (0..500)
-                .map(|i| tuple![format!("L{i}"), if i % 3 == 0 { "dui" } else { "sp" }, 1990 + (i % 10)])
+                .map(|i| {
+                    tuple![
+                        format!("L{i}"),
+                        if i % 3 == 0 { "dui" } else { "sp" },
+                        1990 + (i % 10)
+                    ]
+                })
                 .collect(),
         );
         let a = TableStats::build(&rel, 42);

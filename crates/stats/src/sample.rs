@@ -41,6 +41,37 @@ impl SplitMix64 {
         // the bounds used here and determinism is what matters.
         ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn next_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Uniform `i64` in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn next_i64_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_below((hi - lo) as usize) as i64
+    }
+
+    /// Uniform float in the half-open range `[lo, hi)`.
+    pub fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.next_below(items.len())]
+    }
 }
 
 /// Reservoir-samples up to `k` elements from `iter`, deterministically

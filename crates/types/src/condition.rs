@@ -433,8 +433,12 @@ mod tests {
         let t = dui_row();
         assert!(Predicate::eq("V", "dui").eval(&t, &s).unwrap());
         assert!(!Predicate::eq("V", "sp").eval(&t, &s).unwrap());
-        assert!(Predicate::cmp("D", CmpOp::Lt, 1995i64).eval(&t, &s).unwrap());
-        assert!(Predicate::cmp("D", CmpOp::Ge, 1993i64).eval(&t, &s).unwrap());
+        assert!(Predicate::cmp("D", CmpOp::Lt, 1995i64)
+            .eval(&t, &s)
+            .unwrap());
+        assert!(Predicate::cmp("D", CmpOp::Ge, 1993i64)
+            .eval(&t, &s)
+            .unwrap());
     }
 
     #[test]
@@ -543,7 +547,10 @@ mod tests {
             Predicate::eq("V", "sp"),
             Predicate::cmp("D", CmpOp::Lt, 1995i64),
         ]);
-        assert_eq!(p.referenced_attributes(), vec!["D".to_string(), "V".to_string()]);
+        assert_eq!(
+            p.referenced_attributes(),
+            vec!["D".to_string(), "V".to_string()]
+        );
     }
 
     #[test]

@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn from_items_sorts_and_dedups() {
         let s = set(&["T21", "J55", "T21", "A01"]);
-        let names: Vec<String> = s.iter().map(|i| i.to_string()).collect();
+        let names: Vec<String> = s.iter().map(std::string::ToString::to_string).collect();
         assert_eq!(names, ["A01", "J55", "T21"]);
         assert_eq!(s.len(), 3);
     }
@@ -283,7 +283,7 @@ mod tests {
         let s: ItemSet = [Item::new(2i64), Item::new("a"), Item::new(1i64)]
             .into_iter()
             .collect();
-        let shown: Vec<String> = s.iter().map(|i| i.to_string()).collect();
+        let shown: Vec<String> = s.iter().map(std::string::ToString::to_string).collect();
         assert_eq!(shown, ["1", "2", "a"]);
     }
 }

@@ -282,7 +282,9 @@ mod tests {
 
     #[test]
     fn select_items_full_scan() {
-        let out = r1().select_items(&Predicate::eq("V", "dui").into()).unwrap();
+        let out = r1()
+            .select_items(&Predicate::eq("V", "dui").into())
+            .unwrap();
         assert_eq!(out.items, ItemSet::from_items(["J55", "T80"]));
         assert_eq!(out.tuples_examined, 3);
     }

@@ -89,12 +89,11 @@ impl Schema {
                 });
             }
         }
-        let merge_idx = attrs
-            .iter()
-            .position(|a| a.name == merge)
-            .ok_or_else(|| FusionError::UnknownAttribute {
+        let merge_idx = attrs.iter().position(|a| a.name == merge).ok_or_else(|| {
+            FusionError::UnknownAttribute {
                 name: merge.to_string(),
-            })?;
+            }
+        })?;
         Ok(Schema {
             attrs: Arc::new(attrs),
             merge_idx,

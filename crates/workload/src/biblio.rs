@@ -11,9 +11,8 @@ use crate::scenario::Scenario;
 use fusion_core::query::FusionQuery;
 use fusion_net::{LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+use fusion_stats::SplitMix64;
 use fusion_types::{Attribute, Condition, Predicate, Relation, Schema, Tuple, ValueType};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Keyword vocabulary, most common first.
 pub const KEYWORDS: [&str; 10] = [
@@ -52,15 +51,15 @@ pub fn biblio_relations(
     seed: u64,
 ) -> Vec<Relation> {
     let schema = biblio_schema();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let weights: Vec<f64> = (1..=KEYWORDS.len()).map(|k| 1.0 / k as f64).collect();
     let total_w: f64 = weights.iter().sum();
     (0..n_libraries)
         .map(|_| {
             let rows: Vec<Tuple> = (0..rows_per_library)
                 .map(|_| {
-                    let d = rng.random_range(0..documents);
-                    let mut pick = rng.random_range(0.0..total_w);
+                    let d = rng.next_below(documents);
+                    let mut pick = rng.next_f64_range(0.0, total_w);
                     let mut kw = KEYWORDS[0];
                     for (k, w) in weights.iter().enumerate() {
                         if pick < *w {
@@ -69,12 +68,8 @@ pub fn biblio_relations(
                         }
                         pick -= w;
                     }
-                    let year = rng.random_range(1985..1999) as i64;
-                    Tuple::new(vec![
-                        format!("D{d:05}").into(),
-                        kw.into(),
-                        year.into(),
-                    ])
+                    let year = rng.next_i64_range(1985, 1999);
+                    Tuple::new(vec![format!("D{d:05}").into(), kw.into(), year.into()])
                 })
                 .collect();
             Relation::from_rows(schema.clone(), rows)

@@ -230,7 +230,10 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         let bad_col = parse_csv("L,V,Z\nJ55,dui,1\n", &dmv_schema()).unwrap_err();
-        assert!(bad_col.to_string().contains("unknown CSV column"), "{bad_col}");
+        assert!(
+            bad_col.to_string().contains("unknown CSV column"),
+            "{bad_col}"
+        );
         let missing = parse_csv("L,V\nJ55,dui\n", &dmv_schema()).unwrap_err();
         assert!(missing.to_string().contains("missing column"), "{missing}");
         let bad_int = parse_csv("L,V,D\nJ55,dui,abc\n", &dmv_schema()).unwrap_err();
@@ -238,7 +241,10 @@ mod tests {
         let bad_width = parse_csv("L,V,D\nJ55,dui\n", &dmv_schema()).unwrap_err();
         assert!(bad_width.to_string().contains("fields"), "{bad_width}");
         let unterminated = parse_csv("L,V,D\n\"J55,dui,1\n", &dmv_schema()).unwrap_err();
-        assert!(unterminated.to_string().contains("unterminated"), "{unterminated}");
+        assert!(
+            unterminated.to_string().contains("unterminated"),
+            "{unterminated}"
+        );
     }
 
     #[test]

@@ -4,11 +4,9 @@ use crate::scenario::Scenario;
 use fusion_core::query::FusionQuery;
 use fusion_net::{LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+use fusion_stats::SplitMix64;
 use fusion_types::schema::dmv_schema;
 use fusion_types::{tuple, Predicate, Relation, Tuple};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
 
 /// The three relations of Figure 1, exactly as printed.
 pub fn figure1_relations() -> Vec<Relation> {
@@ -92,7 +90,7 @@ pub fn scaled_dmv_relations(
     seed: u64,
 ) -> Vec<Relation> {
     let schema = dmv_schema();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Zipf-ish weights 1/k.
     let weights: Vec<f64> = (1..=VIOLATIONS.len()).map(|k| 1.0 / k as f64).collect();
     let total_w: f64 = weights.iter().sum();
@@ -100,8 +98,8 @@ pub fn scaled_dmv_relations(
         .map(|_| {
             let rows: Vec<Tuple> = (0..rows_per_state)
                 .map(|_| {
-                    let d = rng.random_range(0..drivers);
-                    let mut pick = rng.random_range(0.0..total_w);
+                    let d = rng.next_below(drivers);
+                    let mut pick = rng.next_f64_range(0.0, total_w);
                     let mut v = VIOLATIONS[0];
                     for (k, w) in weights.iter().enumerate() {
                         if pick < *w {
@@ -110,7 +108,7 @@ pub fn scaled_dmv_relations(
                         }
                         pick -= w;
                     }
-                    let year = rng.random_range(1985..2000) as i64;
+                    let year = rng.next_i64_range(1985, 2000);
                     tuple![format!("L{d:06}"), v, year]
                 })
                 .collect();
@@ -128,10 +126,10 @@ pub fn scaled_dmv_scenario(
     seed: u64,
 ) -> Scenario {
     let relations = scaled_dmv_relations(n_states, drivers, rows_per_state, seed);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut rng = SplitMix64::new(seed.wrapping_add(1));
     let profiles = LinkProfile::all();
     let links = (0..n_states)
-        .map(|_| profiles.choose(&mut rng).expect("non-empty").link())
+        .map(|_| rng.choose(&profiles).link())
         .collect();
     let sources = SourceSet::new(
         relations
@@ -165,7 +163,10 @@ mod tests {
     #[test]
     fn figure1_answer() {
         let s = figure1_scenario();
-        assert_eq!(s.ground_truth().unwrap(), ItemSet::from_items(["J55", "T21"]));
+        assert_eq!(
+            s.ground_truth().unwrap(),
+            ItemSet::from_items(["J55", "T21"])
+        );
         assert_eq!(s.n(), 3);
         assert_eq!(s.m(), 2);
         assert_eq!(s.domain_size, 5.0, "J55, T21, T80, T11, S07");

@@ -11,11 +11,10 @@ use crate::scenario::Scenario;
 use fusion_core::query::FusionQuery;
 use fusion_net::{Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+use fusion_stats::SplitMix64;
 use fusion_types::{
     Attribute, CmpOp, Condition, Predicate, Relation, Schema, Tuple, Value, ValueType,
 };
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Number of independent numeric attributes in the synthetic schema
 /// (bounding the number of mutually independent conditions).
@@ -111,7 +110,7 @@ pub fn synth_query(selectivities: &[f64]) -> FusionQuery {
 /// Generates the source relations of a population.
 pub fn synth_relations(spec: &SynthSpec) -> Vec<Relation> {
     let schema = synth_schema();
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     (0..spec.n_sources)
         .map(|_| {
             // Each source holds a random subset of the universe, chosen by
@@ -119,7 +118,7 @@ pub fn synth_relations(spec: &SynthSpec) -> Vec<Relation> {
             let rows = spec.rows_per_source.min(spec.domain_size);
             let mut ids: Vec<usize> = (0..spec.domain_size).collect();
             for i in 0..rows {
-                let j = rng.random_range(i..spec.domain_size);
+                let j = rng.next_range(i, spec.domain_size);
                 ids.swap(i, j);
             }
             let tuples: Vec<Tuple> = ids[..rows]
@@ -128,7 +127,7 @@ pub fn synth_relations(spec: &SynthSpec) -> Vec<Relation> {
                     let mut values = Vec::with_capacity(1 + NUM_ATTRS);
                     values.push(Value::Str(format!("E{item:07}")));
                     for _ in 0..NUM_ATTRS {
-                        values.push(Value::Int(rng.random_range(0..ATTR_RANGE)));
+                        values.push(Value::Int(rng.next_i64_range(0, ATTR_RANGE)));
                     }
                     Tuple::new(values)
                 })
@@ -225,12 +224,9 @@ mod tests {
         let rels = synth_relations(&spec);
         for target in [0.05, 0.3, 0.7] {
             let cond = condition_with_selectivity(1, target);
-            let got = rels[0].select_items(&cond).unwrap().items.len() as f64
-                / rels[0].len() as f64;
-            assert!(
-                (got - target).abs() < 0.05,
-                "target {target}, got {got}"
-            );
+            let got =
+                rels[0].select_items(&cond).unwrap().items.len() as f64 / rels[0].len() as f64;
+            assert!((got - target).abs() < 0.05, "target {target}, got {got}");
         }
     }
 

@@ -50,11 +50,9 @@ fn main() {
     );
 
     // Phase two: fetch the records, "usually a few at a time".
-    let first_few = fusion::types::ItemSet::from_items(
-        outcome.answer.iter().take(5).cloned(),
-    );
-    let fetched = fetch_records(&first_few, &scenario.sources, &mut network)
-        .expect("fetch succeeds");
+    let first_few = fusion::types::ItemSet::from_items(outcome.answer.iter().take(5).cloned());
+    let fetched =
+        fetch_records(&first_few, &scenario.sources, &mut network).expect("fetch succeeds");
     println!(
         "Phase 2: fetched {} keyword records for the first {} documents (cost {})",
         fetched.records.len(),

@@ -34,7 +34,11 @@ fn main() {
     let outcome = execute_plan(&sja.plan, &scenario.query, &scenario.sources, &mut network)
         .expect("execution succeeds");
     assert_eq!(outcome.answer, truth);
-    println!("Executed: answer {}, cost {}", outcome.answer, outcome.total_cost());
+    println!(
+        "Executed: answer {}, cost {}",
+        outcome.answer,
+        outcome.total_cost()
+    );
 
     // ---- Part 2: 20 states, 500k drivers ------------------------------
     // A more selective query: drivers with a 1993 hit-and-run AND any

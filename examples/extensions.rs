@@ -50,8 +50,7 @@ fn main() {
     );
     let run = |plan: &fusion::core::plan::Plan| {
         let mut network = scenario.network();
-        execute_plan(plan, &scenario.query, &scenario.sources, &mut network)
-            .expect("plan executes")
+        execute_plan(plan, &scenario.query, &scenario.sources, &mut network).expect("plan executes")
     };
     let (e_out, b_out) = (run(&explicit.plan), run(&bloom.plan));
     assert_eq!(e_out.answer, b_out.answer, "bloom stays exact");
@@ -67,13 +66,24 @@ fn main() {
     // the first round's result: semijoins at the fast sources serialize
     // behind it, selections overlap with it.
     println!("== Response-time objective (§6 future work) ==\n");
-    let mut straggler = fusion::core::TableCostModel::uniform(2, 4, 1.0, 200.0, 0.0, 1e9, 5.0, 1000.0);
+    let mut straggler =
+        fusion::core::TableCostModel::uniform(2, 4, 1.0, 200.0, 0.0, 1e9, 5.0, 1000.0);
     straggler.set_sq_cost(fusion::types::CondId(0), fusion::types::SourceId(3), 40.0);
     for j in 0..4 {
         straggler.set_sq_cost(fusion::types::CondId(1), fusion::types::SourceId(j), 20.0);
-        straggler.set_sjq_cost(fusion::types::CondId(1), fusion::types::SourceId(j), 10.0, 0.0);
+        straggler.set_sjq_cost(
+            fusion::types::CondId(1),
+            fusion::types::SourceId(j),
+            10.0,
+            0.0,
+        );
     }
-    straggler.set_sjq_cost(fusion::types::CondId(1), fusion::types::SourceId(3), 0.5, 0.0);
+    straggler.set_sjq_cost(
+        fusion::types::CondId(1),
+        fusion::types::SourceId(3),
+        0.5,
+        0.0,
+    );
     let work_opt = sja_optimal(&straggler);
     let rt_opt = sja_response_optimal(&straggler);
     println!(

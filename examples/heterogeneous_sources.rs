@@ -68,7 +68,12 @@ fn main() {
                 SourceChoice::Semijoin => "sjq",
             })
             .collect();
-        println!("  round {} ({}): {}", r + 1, sja.spec.order[r], marks.join(" "));
+        println!(
+            "  round {} ({}): {}",
+            r + 1,
+            sja.spec.order[r],
+            marks.join(" ")
+        );
     }
     println!(
         "\nNote how SJA uses semijoins only at the natively capable sources \

@@ -51,8 +51,8 @@ fn main() {
     );
 
     // Phase two (§1): fetch the full records of the matching drivers.
-    let fetched = fetch_records(&outcome.answer, &scenario.sources, &mut network)
-        .expect("fetch succeeds");
+    let fetched =
+        fetch_records(&outcome.answer, &scenario.sources, &mut network).expect("fetch succeeds");
     println!("Phase-two records (cost {}):", fetched.cost);
     for record in &fetched.records {
         println!("  {record}");

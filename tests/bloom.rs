@@ -129,7 +129,9 @@ fn low_bit_filters_trade_fpr_for_size() {
 
 #[test]
 fn filter_wire_size_beats_explicit_set() {
-    let items: ItemSet = (0..5_000i64).map(|i| Item::new(format!("E{i:07}"))).collect();
+    let items: ItemSet = (0..5_000i64)
+        .map(|i| Item::new(format!("E{i:07}")))
+        .collect();
     let filter = BloomFilter::build(&items, 10.0);
     assert!(filter.wire_size() * 5 < items.wire_size());
 }

@@ -39,9 +39,7 @@ fn fitting_observed_exchanges_recovers_link_parameters() {
         for fitted in [cal.send_per_byte, cal.recv_per_byte] {
             assert!(
                 (fitted - true_per_byte).abs() < 0.05 * true_per_byte,
-                "{profile:?}: per-byte {} vs {}",
-                fitted,
-                true_per_byte
+                "{profile:?}: per-byte {fitted} vs {true_per_byte}"
             );
         }
         // The fitted model predicts unseen exchanges accurately.
@@ -55,10 +53,7 @@ fn fitting_observed_exchanges_recovers_link_parameters() {
 fn calibration_supports_heterogeneous_sources() {
     // Two very different links; calibrate each from its own trace and
     // verify the models are distinguishable.
-    let mut network = Network::new(vec![
-        LinkProfile::Lan.link(),
-        LinkProfile::Slow.link(),
-    ]);
+    let mut network = Network::new(vec![LinkProfile::Lan.link(), LinkProfile::Slow.link()]);
     let mut rng = SplitMix64::new(21);
     let mut obs0 = Vec::new();
     let mut obs1 = Vec::new();

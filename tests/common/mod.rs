@@ -1,0 +1,162 @@
+//! Deterministic random generators shared by the property tests.
+//!
+//! The build environment resolves no external crates, so the property
+//! tests drive the same invariants a shrinking framework would, but from
+//! an in-tree PRNG over a fixed battery of seeds. Failures print the
+//! seed, which reproduces the exact case.
+
+#![allow(dead_code)]
+
+use fusion::core::plan::{SimplePlanSpec, SourceChoice};
+use fusion::core::query::FusionQuery;
+use fusion::core::TableCostModel;
+use fusion::stats::SplitMix64;
+use fusion::types::schema::dmv_schema;
+use fusion::types::{
+    CmpOp, CondId, Condition, Item, ItemSet, Predicate, Relation, SourceId, Tuple, Value,
+};
+
+/// Violation vocabulary used by the DMV-shaped generators.
+pub const VIOLATIONS: [&str; 3] = ["dui", "sp", "park"];
+
+/// A deterministic generator of test inputs, seeded per test case.
+pub struct Gen(pub SplitMix64);
+
+impl Gen {
+    pub fn new(seed: u64) -> Gen {
+        Gen(SplitMix64::new(seed))
+    }
+
+    /// An item set of up to 30 integer items drawn from `0..40` (small
+    /// domain to force overlap).
+    pub fn items(&mut self) -> ItemSet {
+        let len = self.0.next_below(30);
+        (0..len)
+            .map(|_| self.0.next_i64_range(0, 40))
+            .collect::<Vec<i64>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// A DMV-like tuple: license from a small pool (to force overlap),
+    /// violation from a fixed vocabulary, year in the 90s.
+    pub fn tuple(&mut self) -> Tuple {
+        let l = self.0.next_below(25);
+        let v = *self.0.choose(&VIOLATIONS);
+        let d = self.0.next_i64_range(1990, 2000);
+        Tuple::new(vec![
+            Value::Str(format!("L{l:02}")),
+            Value::str(v),
+            Value::Int(d),
+        ])
+    }
+
+    /// A DMV-schema relation of up to 24 rows.
+    pub fn relation(&mut self) -> Relation {
+        let rows = self.0.next_below(25);
+        Relation::from_rows(dmv_schema(), (0..rows).map(|_| self.tuple()).collect())
+    }
+
+    /// `count` relations.
+    pub fn relations(&mut self, count: usize) -> Vec<Relation> {
+        (0..count).map(|_| self.relation()).collect()
+    }
+
+    /// A random condition over the DMV schema: an equality on `V`, a
+    /// range on `D`, or a BETWEEN on `D`.
+    pub fn condition(&mut self) -> Condition {
+        match self.0.next_below(3) {
+            0 => Predicate::eq("V", *self.0.choose(&VIOLATIONS)).into(),
+            1 => Predicate::cmp("D", CmpOp::Lt, self.0.next_i64_range(1990, 2000)).into(),
+            _ => {
+                let lo = self.0.next_i64_range(1990, 1996);
+                let w = self.0.next_i64_range(0, 6);
+                Predicate::Between {
+                    attr: "D".into(),
+                    lo: Value::Int(lo),
+                    hi: Value::Int(lo + w),
+                }
+                .into()
+            }
+        }
+    }
+
+    /// A fusion query with `m` random conditions.
+    pub fn query(&mut self, m: usize) -> FusionQuery {
+        let conds = (0..m).map(|_| self.condition()).collect();
+        FusionQuery::new(dmv_schema(), conds).expect("generated query is valid")
+    }
+
+    /// A random table cost model with finite positive costs.
+    pub fn model(&mut self, m: usize, n: usize) -> TableCostModel {
+        let mut model = TableCostModel::uniform(m, n, 1.0, 1.0, 0.1, 1e6, 1.0, 200.0);
+        for i in 0..m {
+            for j in 0..n {
+                let sq = self.0.next_f64_range(0.1, 100.0);
+                let sjb = self.0.next_f64_range(0.1, 50.0);
+                let sjp = self.0.next_f64_range(0.0, 2.0);
+                let est = self.0.next_f64_range(0.0, 60.0);
+                model.set_sq_cost(CondId(i), SourceId(j), sq);
+                model.set_sjq_cost(CondId(i), SourceId(j), sjb, sjp);
+                model.set_est_sq_items(CondId(i), SourceId(j), est);
+            }
+        }
+        model
+    }
+
+    /// A random condition-at-a-time spec for `m` conditions, `n` sources:
+    /// shuffled condition order, each (round, source) cell independently
+    /// a selection or (past round 0) a semijoin.
+    pub fn spec(&mut self, m: usize, n: usize) -> SimplePlanSpec {
+        let mut order: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            let j = self.0.next_below(i + 1);
+            order.swap(i, j);
+        }
+        let choices = (0..m)
+            .map(|r| {
+                (0..n)
+                    .map(|_| {
+                        if r > 0 && self.0.next_below(2) == 1 {
+                            SourceChoice::Semijoin
+                        } else {
+                            SourceChoice::Selection
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        SimplePlanSpec {
+            order: order.into_iter().map(CondId).collect(),
+            choices,
+        }
+    }
+
+    /// A random item: an integer or a short alphanumeric string.
+    pub fn item(&mut self) -> Item {
+        if self.0.next_below(2) == 0 {
+            Item::new(self.0.next_u64() as i64)
+        } else {
+            const ALPHABET: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+            let len = self.0.next_below(13);
+            let s: String = (0..len)
+                .map(|_| ALPHABET[self.0.next_below(ALPHABET.len())] as char)
+                .collect();
+            Item::new(s)
+        }
+    }
+}
+
+/// Runs `body` once per seed in `0..cases`, reporting the failing seed.
+pub fn for_seeds(cases: u64, mut body: impl FnMut(&mut Gen)) {
+    for seed in 0..cases {
+        // Decorrelate consecutive seeds through the generator itself.
+        let mut g = Gen::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut g)));
+        if let Err(payload) = caught {
+            eprintln!("property failed for seed {seed}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

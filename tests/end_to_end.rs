@@ -20,7 +20,10 @@ fn scenarios() -> Vec<Scenario> {
                 domain_size: 4_000,
                 rows_per_source: 1_000,
                 seed: 29,
-                capability_mix: CapabilityMix::FractionEmulated { frac: 0.6, batch: 5 },
+                capability_mix: CapabilityMix::FractionEmulated {
+                    frac: 0.6,
+                    batch: 5,
+                },
                 link: None,
                 processing: ProcessingProfile::scan_bound(),
             },
@@ -78,7 +81,11 @@ fn estimated_cost_ordering_holds() {
         );
         // Greedy is valid but may be suboptimal.
         let greedy = greedy_sja(&model).cost.value();
-        assert!(greedy + eps >= sja, "{}: greedy {greedy} < SJA {sja}", scenario.name);
+        assert!(
+            greedy + eps >= sja,
+            "{}: greedy {greedy} < SJA {sja}",
+            scenario.name
+        );
     }
 }
 
@@ -91,8 +98,8 @@ fn estimates_track_executed_costs() {
         for opt in [filter_plan(&model), sja_optimal(&model)] {
             let est = estimate_plan_cost(&opt.plan, &model).cost.value();
             let mut network = scenario.network();
-            let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
-                .unwrap();
+            let out =
+                execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
             let actual = out.total_cost().value();
             let ratio = est / actual;
             assert!(

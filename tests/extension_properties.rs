@@ -1,6 +1,10 @@
 //! Property tests for the beyond-the-paper extensions: Bloom filters,
-//! adaptive execution, CSV round-trips, and the makespan estimator.
+//! adaptive execution, CSV round-trips, and the makespan estimator —
+//! driven by the deterministic in-tree generator (see `common::for_seeds`).
 
+mod common;
+
+use common::{for_seeds, Gen};
 use fusion::core::evaluate_plan;
 use fusion::core::postopt::apply_bloom;
 use fusion::core::query::FusionQuery;
@@ -9,72 +13,54 @@ use fusion::exec::execute_adaptive;
 use fusion::net::{LinkProfile, Network};
 use fusion::source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
 use fusion::types::schema::dmv_schema;
-use fusion::types::{BloomFilter, CmpOp, Condition, Item, ItemSet, Predicate, Relation, Tuple, Value};
+use fusion::types::{BloomFilter, Condition, ItemSet};
 use fusion::workload::csv::{parse_csv, to_csv};
-use proptest::prelude::*;
 
-fn arb_item() -> impl Strategy<Value = Item> {
-    prop_oneof![
-        any::<i64>().prop_map(Item::new),
-        "[a-zA-Z0-9]{0,12}".prop_map(Item::new),
-    ]
-}
-
-fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    (
-        0u8..25,
-        prop::sample::select(vec!["dui", "sp", "park"]),
-        1990i64..2000,
-    )
-        .prop_map(|(l, v, d)| {
-            Tuple::new(vec![
-                Value::Str(format!("L{l:02}")),
-                Value::str(v),
-                Value::Int(d),
-            ])
+/// Conditions restricted to the shapes the extension tests exercise
+/// (equality on `V` or a range on `D`).
+fn ext_conditions(g: &mut Gen, m: usize) -> Vec<Condition> {
+    (0..m)
+        .map(|_| loop {
+            let c = g.condition();
+            if !matches!(c.pred, fusion::types::Predicate::Between { .. }) {
+                break c;
+            }
         })
+        .collect()
 }
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    prop::collection::vec(arb_tuple(), 0..25)
-        .prop_map(|rows| Relation::from_rows(dmv_schema(), rows))
-}
-
-fn arb_condition() -> impl Strategy<Value = Condition> {
-    prop_oneof![
-        prop::sample::select(vec!["dui", "sp", "park"]).prop_map(|v| Predicate::eq("V", v).into()),
-        (1990i64..2000).prop_map(|y| Predicate::cmp("D", CmpOp::Lt, y).into()),
-    ]
-}
-
-proptest! {
-    /// Bloom filters never yield false negatives and report consistent
-    /// structural parameters.
-    #[test]
-    fn bloom_has_no_false_negatives(
-        items in prop::collection::vec(arb_item(), 0..200),
-        bits in 1u8..16,
-    ) {
-        let set = ItemSet::from_items(items);
-        let filter = BloomFilter::build(&set, bits as f64);
+/// Bloom filters never yield false negatives and report consistent
+/// structural parameters.
+#[test]
+fn bloom_has_no_false_negatives() {
+    for_seeds(96, |g| {
+        let count = g.0.next_below(200);
+        let set: ItemSet = (0..count)
+            .map(|_| g.item())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        let bits = g.0.next_range(1, 16) as f64;
+        let filter = BloomFilter::build(&set, bits);
         for item in &set {
-            prop_assert!(filter.may_contain(item));
+            assert!(filter.may_contain(item));
         }
-        prop_assert!(filter.n_bits() >= 64);
-        prop_assert!(filter.n_hashes() >= 1);
-    }
+        assert!(filter.n_bits() >= 64);
+        assert!(filter.n_hashes() >= 1);
+    });
+}
 
-    /// The Bloom rewrite preserves plan semantics on arbitrary data: the
-    /// rewritten plan's result equals the original plan's result exactly
-    /// (the local re-intersection removes every false positive).
-    #[test]
-    fn bloom_rewrite_preserves_semantics(
-        rels in prop::collection::vec(arb_relation(), 2..4),
-        conds in prop::collection::vec(arb_condition(), 2..4),
-        bits in 2u8..14,
-    ) {
-        let n = rels.len();
-        let m = conds.len();
+/// The Bloom rewrite preserves plan semantics on arbitrary data: the
+/// rewritten plan's result equals the original plan's result exactly
+/// (the local re-intersection removes every false positive).
+#[test]
+fn bloom_rewrite_preserves_semantics() {
+    for_seeds(96, |g| {
+        let n = 2 + g.0.next_below(2);
+        let m = 2 + g.0.next_below(2);
+        let rels = g.relations(n);
+        let conds = ext_conditions(g, m);
+        let bits = g.0.next_range(2, 14) as u8;
         let query = FusionQuery::new(dmv_schema(), conds).unwrap();
         // A model that makes semijoins attractive so rewrites happen.
         let model = TableCostModel::uniform(m, n, 50.0, 1.0, 0.5, 1e9, 5.0, 60.0);
@@ -82,16 +68,19 @@ proptest! {
         let rewritten = apply_bloom(base.clone(), &bloom_friendly_model(m, n), bits);
         let a = evaluate_plan(&base, query.conditions(), &rels).unwrap();
         let b = evaluate_plan(&rewritten, query.conditions(), &rels).unwrap();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Adaptive execution computes exactly the naive answer on arbitrary
-    /// populations and conditions.
-    #[test]
-    fn adaptive_matches_naive_semantics(
-        rels in prop::collection::vec(arb_relation(), 2..4),
-        conds in prop::collection::vec(arb_condition(), 1..4),
-    ) {
+/// Adaptive execution computes exactly the naive answer on arbitrary
+/// populations and conditions.
+#[test]
+fn adaptive_matches_naive_semantics() {
+    for_seeds(96, |g| {
+        let n = 2 + g.0.next_below(2);
+        let m = 1 + g.0.next_below(3);
+        let rels = g.relations(n);
+        let conds = ext_conditions(g, m);
         let query = FusionQuery::new(dmv_schema(), conds).unwrap();
         let truth = query.naive_answer(&rels).unwrap();
         let sources = SourceSet::new(
@@ -111,17 +100,20 @@ proptest! {
         let mut network = Network::uniform(rels.len(), LinkProfile::Wan.link());
         let model = NetworkCostModel::new(&sources, &network, &query, None);
         let out = execute_adaptive(&query, &sources, &mut network, &model).unwrap();
-        prop_assert_eq!(out.answer, truth);
-        prop_assert_eq!(out.rounds.len(), query.m());
-    }
+        assert_eq!(out.answer, truth);
+        assert_eq!(out.rounds.len(), query.m());
+    });
+}
 
-    /// CSV render → parse is the identity on relations.
-    #[test]
-    fn csv_round_trip(rel in arb_relation()) {
+/// CSV render → parse is the identity on relations.
+#[test]
+fn csv_round_trip() {
+    for_seeds(256, |g| {
+        let rel = g.relation();
         let text = to_csv(&rel);
         let back = parse_csv(&text, &dmv_schema()).unwrap();
-        prop_assert_eq!(rel.rows(), back.rows());
-    }
+        assert_eq!(rel.rows(), back.rows());
+    });
 }
 
 /// A model where Bloom semijoins are estimated cheaper than explicit
@@ -136,7 +128,11 @@ fn bloom_friendly_model(m: usize, n: usize) -> impl fusion::core::CostModel {
         fn n_sources(&self) -> usize {
             self.0.n_sources()
         }
-        fn sq_cost(&self, c: fusion::types::CondId, s: fusion::types::SourceId) -> fusion::types::Cost {
+        fn sq_cost(
+            &self,
+            c: fusion::types::CondId,
+            s: fusion::types::SourceId,
+        ) -> fusion::types::Cost {
             self.0.sq_cost(c, s)
         }
         fn sjq_cost(
@@ -167,5 +163,7 @@ fn bloom_friendly_model(m: usize, n: usize) -> impl fusion::core::CostModel {
             self.0.domain_size()
         }
     }
-    BloomModel(TableCostModel::uniform(m, n, 50.0, 1.0, 0.5, 1e9, 5.0, 60.0))
+    BloomModel(TableCostModel::uniform(
+        m, n, 50.0, 1.0, 0.5, 1e9, 5.0, 60.0,
+    ))
 }

@@ -16,7 +16,7 @@ fn figure1_dmv_example() {
     let r1_rows: Vec<String> = scenario.relations[0]
         .rows()
         .iter()
-        .map(|t| t.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     assert_eq!(
         r1_rows,
@@ -34,8 +34,8 @@ fn figure1_dmv_example() {
     let model = scenario.cost_model();
     for opt in [filter_plan(&model), sja_optimal(&model)] {
         let mut network = scenario.network();
-        let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
-            .unwrap();
+        let out =
+            execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
         assert_eq!(out.answer, truth);
     }
 }
@@ -58,7 +58,11 @@ fn section1_plan_p1_intermediate_sets() {
     assert_eq!(out.answer, ItemSet::from_items(["J55", "T21"]));
     // The first-round union is exactly the X1 the paper names.
     // (Step 4 is the Union; its ledger entry reports 3 items out.)
-    assert_eq!(out.ledger.entries()[3].items_out, 3, "X1 = {{J55, T80, T21}}");
+    assert_eq!(
+        out.ledger.entries()[3].items_out,
+        3,
+        "X1 = {{J55, T80, T21}}"
+    );
 }
 
 /// Figure 2(a): the filter plan for 3 conditions and 2 sources.

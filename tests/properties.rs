@@ -1,306 +1,243 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property tests on the core invariants, driven by a deterministic
+//! in-tree generator (see `common::for_seeds`) over many seeds.
 
+mod common;
+
+use common::for_seeds;
 use fusion::core::evaluate_plan;
-use fusion::core::plan::{SimplePlanSpec, SourceChoice};
 use fusion::core::postopt::{build_with_difference, sja_plus};
-use fusion::core::query::FusionQuery;
 use fusion::core::sampler::random_simple_plan;
-use fusion::core::{estimate_plan_cost, filter_plan, greedy_sja, sj_optimal, sja_optimal};
-use fusion::core::{CostModel, TableCostModel};
+use fusion::core::{
+    estimate_plan_cost, filter_plan, greedy_sja, sj_optimal, sja_optimal, CostModel,
+};
 use fusion::parse_fusion_query;
 use fusion::types::schema::dmv_schema;
-use fusion::types::{CmpOp, CondId, Condition, ItemSet, Predicate, Relation, Tuple, Value};
-use proptest::prelude::*;
-
-// ---------- strategies ----------------------------------------------------
-
-fn arb_items() -> impl Strategy<Value = ItemSet> {
-    prop::collection::vec(0i64..40, 0..30).prop_map(ItemSet::from_items)
-}
-
-/// A DMV-like tuple: license from a small pool (to force overlap),
-/// violation from a fixed vocabulary, year in the 90s.
-fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    (0u8..25, prop::sample::select(vec!["dui", "sp", "park"]), 1990i64..2000).prop_map(
-        |(l, v, d)| {
-            Tuple::new(vec![
-                Value::Str(format!("L{l:02}")),
-                Value::str(v),
-                Value::Int(d),
-            ])
-        },
-    )
-}
-
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    prop::collection::vec(arb_tuple(), 0..25)
-        .prop_map(|rows| Relation::from_rows(dmv_schema(), rows))
-}
-
-fn arb_condition() -> impl Strategy<Value = Condition> {
-    prop_oneof![
-        prop::sample::select(vec!["dui", "sp", "park"]).prop_map(|v| Predicate::eq("V", v).into()),
-        (1990i64..2000).prop_map(|y| Predicate::cmp("D", CmpOp::Lt, y).into()),
-        (1990i64..1996, 0i64..6).prop_map(|(lo, w)| {
-            Predicate::Between {
-                attr: "D".into(),
-                lo: Value::Int(lo),
-                hi: Value::Int(lo + w),
-            }
-            .into()
-        }),
-    ]
-}
-
-fn arb_query(m: usize) -> impl Strategy<Value = FusionQuery> {
-    prop::collection::vec(arb_condition(), m..=m)
-        .prop_map(|conds| FusionQuery::new(dmv_schema(), conds).expect("valid"))
-}
-
-/// A random table cost model with finite positive costs.
-fn arb_model(m: usize, n: usize) -> impl Strategy<Value = TableCostModel> {
-    let entry = (0.1f64..100.0, 0.1f64..50.0, 0.0f64..2.0, 0.0f64..60.0);
-    prop::collection::vec(entry, m * n).prop_map(move |cells| {
-        let mut model = TableCostModel::uniform(m, n, 1.0, 1.0, 0.1, 1e6, 1.0, 200.0);
-        for (k, (sq, sjb, sjp, est)) in cells.into_iter().enumerate() {
-            let (i, j) = (k / n, k % n);
-            model.set_sq_cost(CondId(i), fusion::types::SourceId(j), sq);
-            model.set_sjq_cost(CondId(i), fusion::types::SourceId(j), sjb, sjp);
-            model.set_est_sq_items(CondId(i), fusion::types::SourceId(j), est);
-        }
-        model
-    })
-}
-
-/// A random condition-at-a-time spec for m conditions, n sources.
-fn arb_spec(m: usize, n: usize) -> impl Strategy<Value = SimplePlanSpec> {
-    let order = Just((0..m).collect::<Vec<usize>>()).prop_shuffle();
-    let choices = prop::collection::vec(
-        prop::collection::vec(prop::bool::ANY, n..=n),
-        m..=m,
-    );
-    (order, choices).prop_map(move |(order, bits)| SimplePlanSpec {
-        order: order.into_iter().map(CondId).collect(),
-        choices: bits
-            .into_iter()
-            .enumerate()
-            .map(|(r, row)| {
-                row.into_iter()
-                    .map(|b| {
-                        if b && r > 0 {
-                            SourceChoice::Semijoin
-                        } else {
-                            SourceChoice::Selection
-                        }
-                    })
-                    .collect()
-            })
-            .collect(),
-    })
-}
+use fusion::types::{CondId, ItemSet, SourceId};
 
 // ---------- item-set algebra ----------------------------------------------
 
-proptest! {
-    #[test]
-    fn union_commutative_associative(a in arb_items(), b in arb_items(), c in arb_items()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-    }
+#[test]
+fn union_commutative_associative() {
+    for_seeds(256, |g| {
+        let (a, b, c) = (g.items(), g.items(), g.items());
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    });
+}
 
-    #[test]
-    fn intersect_commutative_associative(a in arb_items(), b in arb_items(), c in arb_items()) {
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
-        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
-    }
+#[test]
+fn intersect_commutative_associative() {
+    for_seeds(256, |g| {
+        let (a, b, c) = (g.items(), g.items(), g.items());
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+        assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+    });
+}
 
-    #[test]
-    fn distributivity(a in arb_items(), b in arb_items(), c in arb_items()) {
-        prop_assert_eq!(
+#[test]
+fn distributivity() {
+    for_seeds(256, |g| {
+        let (a, b, c) = (g.items(), g.items(), g.items());
+        assert_eq!(
             a.intersect(&b.union(&c)),
             a.intersect(&b).union(&a.intersect(&c))
         );
-        prop_assert_eq!(
+        assert_eq!(
             a.union(&b.intersect(&c)),
             a.union(&b).intersect(&a.union(&c))
         );
-    }
+    });
+}
 
-    #[test]
-    fn difference_laws(a in arb_items(), b in arb_items()) {
+#[test]
+fn difference_laws() {
+    for_seeds(256, |g| {
+        let (a, b) = (g.items(), g.items());
         let d = a.difference(&b);
-        prop_assert!(d.is_subset_of(&a));
-        prop_assert!(d.intersect(&b).is_empty());
+        assert!(d.is_subset_of(&a));
+        assert!(d.intersect(&b).is_empty());
         // (A − B) ∪ (A ∩ B) = A
-        prop_assert_eq!(d.union(&a.intersect(&b)), a.clone());
+        assert_eq!(d.union(&a.intersect(&b)), a);
         // Difference then union with B covers A.
-        prop_assert!(a.is_subset_of(&d.union(&b)));
-    }
+        assert!(a.is_subset_of(&d.union(&b)));
+    });
+}
 
-    #[test]
-    fn idempotence_and_identity(a in arb_items()) {
-        prop_assert_eq!(a.union(&a), a.clone());
-        prop_assert_eq!(a.intersect(&a), a.clone());
-        prop_assert_eq!(a.union(&ItemSet::empty()), a.clone());
-        prop_assert_eq!(a.intersect(&ItemSet::empty()), ItemSet::empty());
-        prop_assert_eq!(a.difference(&ItemSet::empty()), a.clone());
-        prop_assert_eq!(a.difference(&a), ItemSet::empty());
-    }
+#[test]
+fn idempotence_and_identity() {
+    for_seeds(256, |g| {
+        let a = g.items();
+        assert_eq!(a.union(&a), a);
+        assert_eq!(a.intersect(&a), a);
+        assert_eq!(a.union(&ItemSet::empty()), a);
+        assert_eq!(a.intersect(&ItemSet::empty()), ItemSet::empty());
+        assert_eq!(a.difference(&ItemSet::empty()), a);
+        assert_eq!(a.difference(&a), ItemSet::empty());
+    });
 }
 
 // ---------- plan semantics --------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every spec-built plan computes the naive answer, on arbitrary data.
-    #[test]
-    fn spec_plans_compute_naive_answer(
-        query in arb_query(3),
-        rels in prop::collection::vec(arb_relation(), 2..4),
-        seed in 0u64..1000,
-    ) {
-        let n = rels.len();
-        let sampled = random_simple_plan(3, n, seed);
+/// Every sampled simple plan computes the naive answer, on arbitrary data.
+#[test]
+fn spec_plans_compute_naive_answer() {
+    for_seeds(64, |g| {
+        let query = g.query(3);
+        let n = 2 + g.0.next_below(2);
+        let rels = g.relations(n);
+        let sampled = random_simple_plan(3, n, g.0.next_u64());
         let truth = query.naive_answer(&rels).unwrap();
         let got = evaluate_plan(&sampled.plan, query.conditions(), &rels).unwrap();
-        prop_assert_eq!(got, truth);
-    }
+        assert_eq!(got, truth);
+    });
+}
 
-    /// Difference pruning preserves semantics for arbitrary specs & data.
-    #[test]
-    fn difference_pruning_preserves_semantics(
-        query in arb_query(3),
-        rels in prop::collection::vec(arb_relation(), 2..4),
-        spec in arb_spec(3, 3),
-    ) {
-        // Match spec width to the relation count by regenerating when
-        // they disagree (cheap filter).
-        prop_assume!(rels.len() == 3);
+/// Difference pruning preserves semantics for arbitrary specs & data.
+#[test]
+fn difference_pruning_preserves_semantics() {
+    for_seeds(64, |g| {
+        let query = g.query(3);
+        let rels = g.relations(3);
+        let spec = g.spec(3, 3);
         let base = spec.build(3).unwrap();
         let pruned = build_with_difference(&spec, 3);
         let a = evaluate_plan(&base, query.conditions(), &rels).unwrap();
         let b = evaluate_plan(&pruned, query.conditions(), &rels).unwrap();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }
 
 // ---------- optimizer invariants -------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// OPT(SJA) ≤ OPT(SJ) ≤ FILTER on arbitrary cost models, and all
-    /// produced plans validate.
-    #[test]
-    fn optimizer_dominance(model in arb_model(3, 3)) {
+/// OPT(SJA) ≤ OPT(SJ) ≤ FILTER on arbitrary cost models, and all
+/// produced plans validate.
+#[test]
+fn optimizer_dominance() {
+    for_seeds(64, |g| {
+        let model = g.model(3, 3);
         let f = filter_plan(&model);
         let sj = sj_optimal(&model);
         let sja = sja_optimal(&model);
-        let g = greedy_sja(&model);
+        let gr = greedy_sja(&model);
         let eps = 1e-9 * f.cost.value().max(1.0);
-        prop_assert!(sj.cost.value() <= f.cost.value() + eps);
-        prop_assert!(sja.cost.value() <= sj.cost.value() + eps);
-        prop_assert!(g.cost.value() + eps >= sja.cost.value());
-        for opt in [f, sj, sja, g] {
+        assert!(sj.cost.value() <= f.cost.value() + eps);
+        assert!(sja.cost.value() <= sj.cost.value() + eps);
+        assert!(gr.cost.value() + eps >= sja.cost.value());
+        for opt in [f, sj, sja, gr] {
             opt.plan.validate().unwrap();
         }
-    }
+    });
+}
 
-    /// SJA+ never regresses the (walker-priced) SJA cost, and its plan
-    /// validates.
-    #[test]
-    fn sja_plus_never_regresses(model in arb_model(3, 3)) {
+/// SJA+ never regresses the (walker-priced) SJA cost, and its plan
+/// validates.
+#[test]
+fn sja_plus_never_regresses() {
+    for_seeds(64, |g| {
+        let model = g.model(3, 3);
         let plus = sja_plus(&model);
-        prop_assert!(plus.cost.value() <= plus.base_estimate.value() + 1e-9);
+        assert!(plus.cost.value() <= plus.base_estimate.value() + 1e-9);
         plus.plan.validate().unwrap();
-    }
+    });
+}
 
-    /// The plan-walker estimate of a spec-built plan is finite and
-    /// accounts every remote step.
-    #[test]
-    fn estimator_covers_all_remote_steps(model in arb_model(3, 2), spec in arb_spec(3, 2)) {
+/// The plan-walker estimate of a spec-built plan is finite and accounts
+/// every remote step.
+#[test]
+fn estimator_covers_all_remote_steps() {
+    for_seeds(64, |g| {
+        let model = g.model(3, 2);
+        let spec = g.spec(3, 2);
         let plan = spec.build(2).unwrap();
         let est = estimate_plan_cost(&plan, &model);
-        prop_assert!(est.cost.is_finite());
+        assert!(est.cost.is_finite());
         let remote = plan.steps.iter().filter(|s| s.is_remote()).count();
         let nonzero = est.step_costs.iter().filter(|c| c.value() > 0.0).count();
-        prop_assert!(nonzero <= remote);
-        prop_assert!(est.result_items >= 0.0);
-    }
+        assert!(nonzero <= remote);
+        assert!(est.result_items >= 0.0);
+    });
+}
 
-    /// gsel and source_sel stay within [0, 1] for arbitrary models.
-    #[test]
-    fn selectivities_bounded(model in arb_model(2, 3)) {
+/// gsel and source_sel stay within [0, 1] for arbitrary models.
+#[test]
+fn selectivities_bounded() {
+    for_seeds(64, |g| {
+        let model = g.model(2, 3);
         for i in 0..2 {
-            let g = model.gsel(CondId(i));
-            prop_assert!((0.0..=1.0).contains(&g));
+            let gs = model.gsel(CondId(i));
+            assert!((0.0..=1.0).contains(&gs));
             for j in 0..3 {
-                let s = model.source_sel(CondId(i), fusion::types::SourceId(j));
-                prop_assert!((0.0..=1.0).contains(&s));
+                let s = model.source_sel(CondId(i), SourceId(j));
+                assert!((0.0..=1.0).contains(&s));
             }
         }
-    }
+    });
 }
 
 // ---------- SQL round trip ---------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// to_sql → parse is the identity on conditions.
-    #[test]
-    fn sql_round_trip(query in arb_query(2)) {
+/// to_sql → parse is the identity on conditions.
+#[test]
+fn sql_round_trip() {
+    for_seeds(128, |g| {
+        let query = g.query(2);
         let sql = query.to_sql();
         let parsed = parse_fusion_query(&sql, &dmv_schema()).unwrap();
-        prop_assert_eq!(parsed.conditions(), query.conditions(), "sql was: {}", sql);
-    }
+        assert_eq!(parsed.conditions(), query.conditions(), "sql was: {sql}");
+    });
 }
 
 // ---------- branch-and-bound exactness ---------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Branch-and-bound SJA matches the exhaustive SJA cost on arbitrary
-    /// models.
-    #[test]
-    fn bnb_matches_exhaustive(model in arb_model(4, 3)) {
+/// Branch-and-bound SJA matches the exhaustive SJA cost on arbitrary
+/// models.
+#[test]
+fn bnb_matches_exhaustive() {
+    for_seeds(48, |g| {
+        let model = g.model(4, 3);
         let exact = sja_optimal(&model);
         let (bnb, _) = fusion::core::optimizer::sja_branch_and_bound(&model);
-        prop_assert!(
-            (bnb.cost.value() - exact.cost.value()).abs()
-                <= 1e-9 * exact.cost.value().max(1.0),
+        assert!(
+            (bnb.cost.value() - exact.cost.value()).abs() <= 1e-9 * exact.cost.value().max(1.0),
             "bnb {} vs exact {}",
             bnb.cost,
             exact.cost
         );
-    }
+    });
 }
 
 // ---------- parser robustness -------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// The SQL front end never panics, whatever bytes arrive.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,120}") {
+/// The SQL front end never panics, whatever bytes arrive.
+#[test]
+fn parser_never_panics() {
+    for_seeds(512, |g| {
+        let len = g.0.next_below(121);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable-ish ASCII plus a few multi-byte characters.
+                match g.0.next_below(20) {
+                    0 => 'λ',
+                    1 => '→',
+                    2 => '\u{7f}',
+                    _ => (0x20 + g.0.next_below(95) as u8) as char,
+                }
+            })
+            .collect();
         let _ = fusion::sql::parse_query(&input);
-    }
+    });
+}
 
-    /// ...including on inputs that lex but are structurally broken.
-    #[test]
-    fn parser_never_panics_on_sqlish_soup(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN",
-                "IN", "LIKE", "IS", "NULL", "u1", "u1.L", "U", "=", "<",
-                "(", ")", ",", "'x'", "42", "-", ".",
-            ]),
-            0..25,
-        )
-    ) {
-        let _ = fusion::sql::parse_query(&words.join(" "));
-    }
+/// ...including on inputs that lex but are structurally broken.
+#[test]
+fn parser_never_panics_on_sqlish_soup() {
+    const WORDS: [&str; 22] = [
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "IS", "NULL", "u1",
+        "u1.L", "U", "=", "<", "(", ")", ",", "'x'", "42", "-",
+    ];
+    for_seeds(512, |g| {
+        let len = g.0.next_below(25);
+        let soup: Vec<&str> = (0..len).map(|_| *g.0.choose(&WORDS)).collect();
+        let _ = fusion::sql::parse_query(&soup.join(" "));
+    });
 }

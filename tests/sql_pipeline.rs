@@ -68,33 +68,20 @@ fn biblio_query_from_text() {
 #[test]
 fn schema_validation_happens_at_parse_time() {
     // Unknown attribute.
-    assert!(parse_fusion_query(
-        "SELECT u1.L FROM U u1 WHERE u1.NOPE = 'x'",
-        &dmv_schema()
-    )
-    .is_err());
+    assert!(
+        parse_fusion_query("SELECT u1.L FROM U u1 WHERE u1.NOPE = 'x'", &dmv_schema()).is_err()
+    );
     // Type mismatch (string attribute vs integer literal).
-    assert!(parse_fusion_query(
-        "SELECT u1.L FROM U u1 WHERE u1.V = 7",
-        &dmv_schema()
-    )
-    .is_err());
+    assert!(parse_fusion_query("SELECT u1.L FROM U u1 WHERE u1.V = 7", &dmv_schema()).is_err());
     // Projection must be the merge attribute.
-    assert!(parse_fusion_query(
-        "SELECT u1.D FROM U u1 WHERE u1.V = 'dui'",
-        &dmv_schema()
-    )
-    .is_err());
+    assert!(parse_fusion_query("SELECT u1.D FROM U u1 WHERE u1.V = 'dui'", &dmv_schema()).is_err());
 }
 
 #[test]
 fn single_variable_query_is_a_union() {
     let scenario = dmv::figure1_scenario();
-    let query = parse_fusion_query(
-        "SELECT u1.L FROM U u1 WHERE u1.V = 'sp'",
-        &dmv_schema(),
-    )
-    .unwrap();
+    let query =
+        parse_fusion_query("SELECT u1.L FROM U u1 WHERE u1.V = 'sp'", &dmv_schema()).unwrap();
     let ans = query.naive_answer(&scenario.relations).unwrap();
     assert_eq!(ans, ItemSet::from_items(["T21", "J55", "T11", "S07"]));
 }
