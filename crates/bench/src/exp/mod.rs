@@ -1,5 +1,6 @@
 //! Experiment implementations and the dispatch table.
 
+pub mod availability;
 pub mod bloom;
 pub mod calibration_exp;
 pub mod correlation;
@@ -65,7 +66,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "fig1",
     "fig2",
     "fig5",
@@ -85,6 +86,7 @@ pub const ALL: [&str; 19] = [
     "e14-adaptive",
     "e15-calibration",
     "e16-one-phase",
+    "e17-availability",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -172,6 +174,10 @@ pub fn run(name: &str) -> bool {
         }
         "e16-one-phase" => {
             one_phase::e16_one_phase();
+            true
+        }
+        "e17-availability" => {
+            availability::e17_availability();
             true
         }
         _ => false,

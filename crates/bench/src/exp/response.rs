@@ -38,7 +38,7 @@ pub fn e9_response_time() {
         let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network)
             .expect("experiment plans execute");
         let work = out.total_cost().value();
-        let rt = response_time(&opt.plan, &out.ledger);
+        let rt = response_time(&opt.plan, &out.ledger).unwrap();
         t.row(vec![n.to_string(), fmt3(work), fmt3(rt), fmtx(work / rt)]);
     }
     t.print();
@@ -66,7 +66,7 @@ mod tests {
             let mut network = scenario.network();
             let out =
                 execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
-            out.total_cost().value() / response_time(&opt.plan, &out.ledger)
+            out.total_cost().value() / response_time(&opt.plan, &out.ledger).unwrap()
         };
         let p2 = ratio(2);
         let p16 = ratio(16);

@@ -21,11 +21,11 @@ use fusion_core::{
     analyze_plan, explain, filter_plan, greedy_sja, lint_plan, sj_optimal, sja_optimal,
     NetworkCostModel, Plan, Verdict,
 };
-use fusion_exec::{execute_plan, fetch_records};
-use fusion_net::{Link, LinkProfile, Network};
+use fusion_exec::{execute_plan, execute_plan_ft, fetch_records, RetryPolicy};
+use fusion_net::{FaultPlan, FaultSpec, Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{Attribute, Relation, Schema, ValueType};
+use fusion_types::{Attribute, Relation, Schema, SourceId, ValueType};
 
 /// One registered source.
 struct SourceEntry {
@@ -36,11 +36,42 @@ struct SourceEntry {
     processing: ProcessingProfile,
 }
 
+/// Session-level fault injection settings (see `\faults`).
+struct FaultSettings {
+    seed: u64,
+    spec: FaultSpec,
+    /// Hard outage: `(source index, down from attempt)`.
+    outage: Option<(usize, usize)>,
+}
+
+impl FaultSettings {
+    fn describe(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        if self.spec.transient_rate > 0.0 {
+            parts.push(format!("transient={}", self.spec.transient_rate));
+        }
+        if self.spec.timeout_rate > 0.0 {
+            parts.push(format!("timeout={}", self.spec.timeout_rate));
+        }
+        if self.spec.slowdown_rate > 0.0 {
+            parts.push(format!(
+                "slow={}x{}",
+                self.spec.slowdown_rate, self.spec.slowdown_factor
+            ));
+        }
+        if let Some((j, from)) = self.outage {
+            parts.push(format!("outage=R{}@{from}", j + 1));
+        }
+        format!("faults on: {}", parts.join(" "))
+    }
+}
+
 /// The shell state: a schema and the registered sources.
 #[derive(Default)]
 pub struct Session {
     schema: Option<Schema>,
     sources: Vec<SourceEntry>,
+    faults: Option<FaultSettings>,
 }
 
 /// What the caller should do after a command.
@@ -101,6 +132,7 @@ impl Session {
             "gantt" => self.cmd_gantt(arg),
             "trace" => self.cmd_trace(arg),
             "adaptive" => self.cmd_adaptive(arg),
+            "faults" => self.cmd_faults(arg),
             "plan" => {
                 let mut p = arg.splitn(2, char::is_whitespace);
                 let algo = p.next().unwrap_or_default().to_string();
@@ -365,7 +397,7 @@ impl Session {
         let model = NetworkCostModel::new(&sources, &network, &query, None);
         let plus = sja_plus(&model);
         let outcome = execute_plan(&plus.plan, &query, &sources, &mut network)?;
-        let (placements, makespan) = fusion_exec::schedule(&plus.plan, &outcome.ledger);
+        let (placements, makespan) = fusion_exec::schedule(&plus.plan, &outcome.ledger)?;
         if makespan <= 0.0 {
             return Ok("nothing to schedule".into());
         }
@@ -441,7 +473,13 @@ impl Session {
     fn cmd_adaptive(&mut self, sql: &str) -> Result<String> {
         let (query, sources, mut network) = self.materialize(sql)?;
         let model = NetworkCostModel::new(&sources, &network, &query, None);
-        let out = fusion_exec::execute_adaptive(&query, &sources, &mut network, &model)?;
+        let faults_on = self.faults.is_some();
+        let out = if faults_on {
+            let policy = RetryPolicy::default();
+            fusion_exec::execute_adaptive_ft(&query, &sources, &mut network, &model, &policy)?
+        } else {
+            fusion_exec::execute_adaptive(&query, &sources, &mut network, &model)?
+        };
         let mut text = format!(
             "answer ({} items): {}
 executed cost {} with per-round re-optimization:",
@@ -449,6 +487,9 @@ executed cost {} with per-round re-optimization:",
             out.answer,
             out.total_cost()
         );
+        if faults_on {
+            text.push_str(&format!("\ncompleteness: {}", out.completeness));
+        }
         for round in &out.rounds {
             let kinds: Vec<&str> = round
                 .choices
@@ -468,6 +509,98 @@ executed cost {} with per-round re-optimization:",
             ));
         }
         Ok(text)
+    }
+
+    /// Configures deterministic fault injection for query execution.
+    ///
+    /// `\faults` shows the settings, `\faults off` disables injection,
+    /// and `\faults [seed=N] [transient=P] [timeout=P] [slow=PxF]
+    /// [outage=J@K]` enables it: every exchange draws from a seeded
+    /// schedule, failed queries are retried with backoff, and when a
+    /// source stays down the query degrades to a partial answer.
+    fn cmd_faults(&mut self, arg: &str) -> Result<String> {
+        if arg.is_empty() {
+            return Ok(match &self.faults {
+                Some(f) => f.describe(),
+                None => "faults off".into(),
+            });
+        }
+        if arg == "off" {
+            self.faults = None;
+            return Ok("faults off".into());
+        }
+        let mut seed = 0u64;
+        let mut spec = FaultSpec::none();
+        let mut outage = None;
+        for tok in arg.split_whitespace() {
+            let (key, val) = tok.split_once('=').ok_or_else(|| {
+                FusionError::parse(format!(
+                    "bad fault option `{tok}` (seed=N transient=P timeout=P \
+                     slow=PxF outage=J@K, or `off`)"
+                ))
+            })?;
+            let bad = |what: &str| FusionError::parse(format!("bad {what} in `{tok}`"));
+            match key {
+                "seed" => seed = val.parse().map_err(|_| bad("seed"))?,
+                "transient" => {
+                    spec.transient_rate = val.parse().map_err(|_| bad("rate"))?;
+                }
+                "timeout" => spec.timeout_rate = val.parse().map_err(|_| bad("rate"))?,
+                "slow" => {
+                    let (rate, factor) = val.split_once('x').ok_or_else(|| bad("slow spec"))?;
+                    spec.slowdown_rate = rate.parse().map_err(|_| bad("rate"))?;
+                    spec.slowdown_factor = factor.parse().map_err(|_| bad("factor"))?;
+                }
+                "outage" => {
+                    let (j, from) = val.split_once('@').ok_or_else(|| bad("outage spec"))?;
+                    let j: usize = j.parse().map_err(|_| bad("source number"))?;
+                    if j == 0 {
+                        return Err(bad("source number (sources are 1-based)"));
+                    }
+                    let from: usize = from.parse().map_err(|_| bad("attempt index"))?;
+                    outage = Some((j - 1, from));
+                }
+                other => {
+                    return Err(FusionError::parse(format!(
+                        "unknown fault option `{other}`"
+                    )));
+                }
+            }
+        }
+        let rates_valid = [spec.transient_rate, spec.timeout_rate, spec.slowdown_rate]
+            .iter()
+            .all(|r| (0.0..=1.0).contains(r))
+            && spec.transient_rate + spec.timeout_rate + spec.slowdown_rate <= 1.0
+            && spec.slowdown_factor >= 1.0;
+        if !rates_valid {
+            return Err(FusionError::parse(
+                "fault rates must lie in [0, 1], sum to at most 1, and the \
+                 slowdown factor must be at least 1",
+            ));
+        }
+        let settings = FaultSettings { seed, spec, outage };
+        let text = settings.describe();
+        self.faults = Some(settings);
+        Ok(text)
+    }
+
+    /// The session's fault plan for `n` sources, if faults are on.
+    fn fault_plan(&self, n: usize) -> Result<Option<FaultPlan>> {
+        let Some(f) = &self.faults else {
+            return Ok(None);
+        };
+        let mut plan = FaultPlan::uniform(n, f.seed, f.spec.validated());
+        if let Some((j, from)) = f.outage {
+            if j >= n {
+                return Err(FusionError::execution(format!(
+                    "fault outage names source R{} but only {n} sources are \
+                     registered",
+                    j + 1
+                )));
+            }
+            plan = plan.with_outage(SourceId(j), from);
+        }
+        Ok(Some(plan))
     }
 
     fn query(&mut self, sql: &str, mode: QueryMode) -> Result<String> {
@@ -513,7 +646,13 @@ executed cost {} with per-round re-optimization:",
             }
             QueryMode::Execute | QueryMode::Fetch => {
                 let plus = sja_plus(&model);
-                let outcome = execute_plan(&plus.plan, &query, &sources, &mut network)?;
+                let faults_on = self.faults.is_some();
+                let outcome = if faults_on {
+                    let policy = RetryPolicy::default();
+                    execute_plan_ft(&plus.plan, &query, &sources, &mut network, &policy)?
+                } else {
+                    execute_plan(&plus.plan, &query, &sources, &mut network)?
+                };
                 let mut out = format!(
                     "answer ({} items): {}\nexecuted cost {} over {} round trips",
                     outcome.answer.len(),
@@ -521,6 +660,18 @@ executed cost {} with per-round re-optimization:",
                     outcome.total_cost(),
                     outcome.ledger.round_trips()
                 );
+                if faults_on {
+                    out.push_str(&format!(
+                        "\ncompleteness: {}\nattempts {} ({} failed), failed-attempt cost {}",
+                        outcome.completeness,
+                        outcome.ledger.attempts_total(),
+                        outcome
+                            .ledger
+                            .attempts_total()
+                            .saturating_sub(outcome.ledger.round_trips()),
+                        outcome.ledger.failed_total()
+                    ));
+                }
                 if mode == QueryMode::Fetch && !outcome.answer.is_empty() {
                     let fetched = fetch_records(&outcome.answer, &sources, &mut network)?;
                     out.push_str(&format!(
@@ -572,7 +723,10 @@ executed cost {} with per-round re-optimization:",
                 })
                 .collect(),
         );
-        let network = Network::new(self.sources.iter().map(|s| s.link).collect());
+        let mut network = Network::new(self.sources.iter().map(|s| s.link).collect());
+        if let Some(plan) = self.fault_plan(self.sources.len())? {
+            network.set_fault_plan(plan);
+        }
         Ok((query, sources, network))
     }
 }
@@ -591,6 +745,11 @@ commands:
   \\lint <sql>                            analyze + lint every algorithm's plan
   \\plan <filter|sj|sja|sja+|greedy|rt> <sql>   show one algorithm's plan
   \\fetch <sql>                           execute, then fetch full records
+  \\faults [off | seed=N transient=P timeout=P slow=PxF outage=J@K]
+         deterministic fault injection: failed exchanges are retried with
+         backoff; a source that stays down degrades the query to a
+         partial (subset) answer. outage=J@K downs source J (1-based)
+         from its K-th attempt.
   \\help                                  this text
   \\quit                                  exit
 anything else is parsed as a fusion query and executed with SJA+";
@@ -730,6 +889,43 @@ mod tests {
         run(&mut s, "\\scenario dmv");
         let out = run(&mut s, "SELECT u1.Z FROM U u1 WHERE u1.Z = 'x'");
         assert!(out.starts_with("error:"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_roundtrip() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        assert_eq!(run(&mut s, "\\faults"), "faults off");
+        // A permanent outage at R3 from the first attempt: the answer
+        // degrades to a subset computed from the surviving sources.
+        let out = run(&mut s, "\\faults seed=7 outage=3@0");
+        assert!(out.contains("outage=R3@0"), "{out}");
+        let out = run(&mut s, DMV_SQL);
+        assert!(out.contains("completeness: subset"), "{out}");
+        assert!(out.contains("missing sources: R3"), "{out}");
+        // Determinism: the same seed yields the same report.
+        assert_eq!(out, run(&mut s, DMV_SQL));
+        // Transient faults with retries still reach the exact answer.
+        run(&mut s, "\\faults seed=7 transient=0.3");
+        let out = run(&mut s, DMV_SQL);
+        assert!(out.contains("{J55, T21}"), "{out}");
+        assert!(out.contains("completeness: exact"), "{out}");
+        let out = run(&mut s, "\\faults off");
+        assert_eq!(out, "faults off");
+        let out = run(&mut s, DMV_SQL);
+        assert!(!out.contains("completeness"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_rejects_nonsense() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        assert!(run(&mut s, "\\faults transient=1.5").starts_with("error:"));
+        assert!(run(&mut s, "\\faults whatever").starts_with("error:"));
+        assert!(run(&mut s, "\\faults outage=0@0").starts_with("error:"));
+        // Outage at a source that does not exist fails at query time.
+        run(&mut s, "\\faults outage=9@0");
+        assert!(run(&mut s, DMV_SQL).starts_with("error:"));
     }
 
     #[test]

@@ -243,7 +243,7 @@ pub fn analyze_plan(plan: &Plan) -> Result<Analysis> {
     plan.validate()?;
     let mut mgr = BddManager::new();
     let atoms = AtomMap::new(plan, &mut mgr);
-    let (values, rel_source) = interpret(plan, &mut mgr, &atoms, None);
+    let (values, rel_source) = interpret(plan, &mut mgr, &atoms, None, &[]);
     let target = fusion_target(plan, &mut mgr, &atoms);
     let result_value = values[plan.result.0];
     let verdict = decide(plan, &mut mgr, &atoms, &values, result_value, target);
@@ -261,16 +261,38 @@ pub fn analyze_plan(plan: &Plan) -> Result<Analysis> {
 /// Runs the transfer function over the step list. With
 /// `substitute = Some((t, z))`, step `t`'s semijoin input is replaced by
 /// variable `z` (used by the superset-input lint to test whether a
-/// smaller set provably suffices).
+/// smaller set provably suffices). Steps listed in `dropped` are modeled
+/// as producing the empty set (`FALSE`), which is exactly what the
+/// fault-tolerant executor substitutes when a source dies: a dropped `lq`
+/// leaves an empty loaded relation, so local selections over it are empty
+/// too.
 fn interpret(
     plan: &Plan,
     mgr: &mut BddManager,
     atoms: &AtomMap,
     substitute: Option<(usize, VarId)>,
+    dropped: &[usize],
 ) -> (Vec<NodeId>, Vec<Option<usize>>) {
     let mut values = vec![FALSE; plan.var_names.len()];
     let mut rel_source = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
     for (t, step) in plan.steps.iter().enumerate() {
+        if dropped.contains(&t) {
+            match step {
+                Step::Lq { out, .. } => rel_dropped[out.0] = true,
+                _ => {
+                    let out = step.defined_var().expect("non-Lq steps define a var");
+                    values[out.0] = FALSE;
+                }
+            }
+            continue;
+        }
+        if let Step::LocalSq { out, rel, .. } = step {
+            if rel_dropped[rel.0] {
+                values[out.0] = FALSE;
+                continue;
+            }
+        }
         let input_of = |v: VarId| match substitute {
             Some((at, z)) if at == t => z,
             _ => v,
@@ -479,8 +501,26 @@ impl Analysis {
     /// `z`, returning the new result predicate. Hash-consing makes this
     /// cheap: unchanged prefixes reuse existing nodes.
     pub fn result_with_semijoin_input(&mut self, plan: &Plan, t: usize, z: VarId) -> NodeId {
-        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, Some((t, z)));
+        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, Some((t, z)), &[]);
         values[plan.result.0]
+    }
+
+    /// Re-interprets the plan with the listed steps producing the empty
+    /// set — the abstraction of a fault-tolerant executor that drops the
+    /// steps of a dead source — and returns the new result predicate.
+    pub fn result_with_steps_empty(&mut self, plan: &Plan, dropped: &[usize]) -> NodeId {
+        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, None, dropped);
+        values[plan.result.0]
+    }
+
+    /// True when executing the plan with the listed steps producing the
+    /// empty set yields a *subset* of the fusion answer in every possible
+    /// world — i.e. the steps are droppable and the degraded answer is a
+    /// sound partial answer. Dropping a union term always passes; dropping
+    /// a set that something is subtracted *from* is where this refuses.
+    pub fn droppable(&mut self, plan: &Plan, dropped: &[usize]) -> bool {
+        let degraded = self.result_with_steps_empty(plan, dropped);
+        self.mgr.implies(degraded, self.target)
     }
 
     /// The result variable's membership predicate.
@@ -777,5 +817,94 @@ mod tests {
         let target = a.target();
         assert!(a.is_subset(result, target));
         assert!(a.is_subset(target, result));
+    }
+
+    /// Step indices of all remote steps touching `source`.
+    fn steps_at(plan: &Plan, source: SourceId) -> Vec<usize> {
+        plan.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.source() == Some(source))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn dropping_one_source_from_filter_plan_is_droppable() {
+        // Each union term loses one operand: a strict but sound subset.
+        let plan = SimplePlanSpec::filter(3, 3).build(3).unwrap();
+        let mut a = analyze_plan(&plan).unwrap();
+        for j in 0..3 {
+            let dropped = steps_at(&plan, SourceId(j));
+            assert!(!dropped.is_empty());
+            assert!(a.droppable(&plan, &dropped), "source {j}");
+        }
+        // Dropping everything yields the empty answer — still a subset.
+        let all: Vec<usize> = (0..plan.steps.len()).collect();
+        assert!(a.droppable(&plan, &all));
+        // And the degraded result must be strictly below the target.
+        let degraded = a.result_with_steps_empty(&plan, &steps_at(&plan, SourceId(0)));
+        let target = a.target();
+        assert!(a.is_subset(degraded, target));
+        assert!(!a.is_subset(target, degraded));
+    }
+
+    #[test]
+    fn dropping_sources_from_semijoin_and_diff_plans_is_droppable() {
+        for (m, n) in [(2, 2), (3, 3)] {
+            let sj = sja_spec(m, n).build(n).unwrap();
+            let diff = build_with_difference(&sja_spec(m, n), n);
+            for plan in [&sj, &diff] {
+                let mut a = analyze_plan(plan).unwrap();
+                for j in 0..n {
+                    let dropped = steps_at(plan, SourceId(j));
+                    assert!(a.droppable(plan, &dropped), "m={m} n={n} source {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_drop_mid_plan_is_droppable() {
+        // A source can die between two of its own steps; only the not-yet
+        // executed tail is dropped. Check every suffix of each source's
+        // step list on a difference-pruned plan (the hardest algebra:
+        // dropped values feed Diff subtrahends).
+        let plan = build_with_difference(&sja_spec(3, 2), 2);
+        let mut a = analyze_plan(&plan).unwrap();
+        for j in 0..2 {
+            let at = steps_at(&plan, SourceId(j));
+            for start in 0..at.len() {
+                assert!(a.droppable(&plan, &at[start..]), "source {j} from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn antitone_use_of_a_dropped_step_is_not_droppable() {
+        // result := sq(c1,R1) − sq(c2,R1). Dropping the subtrahend makes
+        // the degraded result a *superset*: the BDD check must refuse.
+        let steps = vec![
+            Step::Sq {
+                out: VarId(0),
+                cond: CondId(0),
+                source: SourceId(0),
+            },
+            Step::Sq {
+                out: VarId(1),
+                cond: CondId(1),
+                source: SourceId(0),
+            },
+            Step::Diff {
+                out: VarId(2),
+                left: VarId(0),
+                right: VarId(1),
+            },
+        ];
+        let plan = Plan::new(steps, VarId(2), 2, 2);
+        let mut a = analyze_plan(&plan).unwrap();
+        assert!(!a.droppable(&plan, &[1]), "dropping the subtrahend");
+        // Dropping the minuend (and hence the whole result) is fine: ∅.
+        assert!(a.droppable(&plan, &[0, 1]));
     }
 }

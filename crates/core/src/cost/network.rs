@@ -136,6 +136,11 @@ impl CostModel for NetworkCostModel {
     fn sjq_cost(&self, cond: CondId, source: SourceId, est_items: f64) -> Cost {
         let p = self.profile(source);
         let k = est_items.max(0.0);
+        if k == 0.0 {
+            // The executor short-circuits a semijoin over ∅ to a free
+            // local no-op (no round trip); price it the same way.
+            return Cost::ZERO;
+        }
         let hit = self.source_sel(cond, source);
         let returned = k * hit;
         if p.caps.native_semijoin {

@@ -10,8 +10,9 @@
 //! correctness argument as condition-at-a-time simple plans, with truth
 //! instead of estimates in the cost comparisons.
 
-use crate::interp::run_semijoin;
+use crate::interp::{dropped_entry, run_semijoin, run_semijoin_ft, Attempted, FtState, SjResult};
 use crate::ledger::{CostLedger, LedgerEntry, StepKind};
+use crate::retry::{Completeness, RetryPolicy};
 use fusion_core::optimizer::adaptive_next;
 use fusion_core::plan::SourceChoice;
 use fusion_core::query::FusionQuery;
@@ -43,6 +44,10 @@ pub struct AdaptiveOutcome {
     pub ledger: CostLedger,
     /// The rounds, in execution order.
     pub rounds: Vec<AdaptiveRound>,
+    /// Whether the answer is exact or a sound subset (sources were given
+    /// up on). Always [`Completeness::Exact`] outside fault-tolerant
+    /// execution.
+    pub completeness: Completeness,
 }
 
 impl AdaptiveOutcome {
@@ -101,6 +106,8 @@ pub fn execute_adaptive<M: CostModel>(
                         proc,
                         round_trips: 1,
                         items_out: resp.payload.len(),
+                        attempts: 1,
+                        failed_cost: Cost::ZERO,
                     });
                     resp.payload
                 }
@@ -137,6 +144,187 @@ pub fn execute_adaptive<M: CostModel>(
         answer: current.expect("m >= 1"),
         ledger,
         rounds,
+        completeness: Completeness::Exact,
+    })
+}
+
+/// Fault-tolerant [`execute_adaptive`]: each source query goes through
+/// the retry loop of `policy`, and sources that are given up on are
+/// excluded from all later rounds — mid-query re-planning around dead
+/// sources.
+///
+/// Dropping a source here is *always* sound, with no analyzer consult:
+/// every adaptive round is a union over sources folded into a running
+/// intersection, so losing an operand can only shrink the answer. The
+/// outcome reports [`Completeness::Subset`] listing the dead sources and
+/// the conditions whose rounds were degraded.
+///
+/// # Errors
+/// Propagates wrapper and capability failures.
+pub fn execute_adaptive_ft<M: CostModel>(
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    model: &M,
+    policy: &RetryPolicy,
+) -> Result<AdaptiveOutcome> {
+    if query.m() != model.n_conditions() || sources.len() != model.n_sources() {
+        return Err(FusionError::invalid_plan(
+            "cost model does not match query/sources",
+        ));
+    }
+    let conditions = query.conditions();
+    let mut remaining: Vec<CondId> = (0..query.m()).map(CondId).collect();
+    let mut current: Option<ItemSet> = None;
+    let mut ledger = CostLedger::new();
+    let mut rounds = Vec::with_capacity(query.m());
+    let mut st = FtState::new(policy, sources.len());
+    let mut missing_conds: Vec<CondId> = Vec::new();
+    let mut any_dropped = false;
+    let mut step = 0usize;
+    while !remaining.is_empty() {
+        let next = adaptive_next(model, &remaining, current.as_ref().map(|s| s.len() as f64));
+        let cond = &conditions[next.cond.0];
+        let mut round_union = ItemSet::empty();
+        let mut any_selection = false;
+        let mut round_degraded = false;
+        for (j, choice) in next.choices.iter().enumerate() {
+            let source = SourceId(j);
+            if st.dead[j] {
+                // Re-planned around: the dead source's union operand is
+                // skipped, shrinking (never growing) the round.
+                ledger.push(dropped_entry(
+                    step,
+                    match choice {
+                        SourceChoice::Selection => StepKind::Selection,
+                        SourceChoice::Semijoin => StepKind::Semijoin,
+                    },
+                    source,
+                    0,
+                    Cost::ZERO,
+                ));
+                round_degraded = true;
+                step += 1;
+                continue;
+            }
+            match choice {
+                SourceChoice::Selection => {
+                    any_selection = true;
+                    let w = sources.get(source);
+                    let resp = w.select(cond)?;
+                    let req_bytes = MessageSize::sq_request(cond);
+                    let resp_bytes = MessageSize::items_response(&resp.payload);
+                    match st.try_with_retry(
+                        network,
+                        source,
+                        ExchangeKind::Selection,
+                        req_bytes,
+                        resp_bytes,
+                        ledger.total(),
+                    ) {
+                        Attempted::Delivered {
+                            comm,
+                            attempts,
+                            failed,
+                        } => {
+                            let proc = Cost::new(
+                                w.processing()
+                                    .cost(resp.tuples_examined, resp.payload.len()),
+                            );
+                            ledger.push(LedgerEntry {
+                                step,
+                                kind: StepKind::Selection,
+                                source: Some(source),
+                                comm,
+                                proc,
+                                round_trips: 1,
+                                items_out: resp.payload.len(),
+                                attempts,
+                                failed_cost: failed,
+                            });
+                            round_union = round_union.union(&resp.payload);
+                        }
+                        Attempted::Exhausted { attempts, failed } => {
+                            ledger.push(dropped_entry(
+                                step,
+                                StepKind::Selection,
+                                source,
+                                attempts,
+                                failed,
+                            ));
+                            round_degraded = true;
+                        }
+                    }
+                }
+                SourceChoice::Semijoin => {
+                    let bindings = current
+                        .as_ref()
+                        .expect("planner only semijoins with a running set")
+                        .clone();
+                    match run_semijoin_ft(
+                        step,
+                        source,
+                        cond,
+                        &bindings,
+                        sources,
+                        network,
+                        &mut st,
+                        ledger.total(),
+                    )? {
+                        SjResult::Done(items, entry) => {
+                            ledger.push(entry);
+                            round_union = round_union.union(&items);
+                        }
+                        SjResult::Dropped(entry) => {
+                            ledger.push(entry);
+                            round_degraded = true;
+                        }
+                    }
+                }
+            }
+            step += 1;
+        }
+        if round_degraded {
+            any_dropped = true;
+            missing_conds.push(next.cond);
+        }
+        current = Some(match current {
+            None => round_union,
+            Some(prev) if any_selection => prev.intersect(&round_union),
+            Some(prev) if round_degraded => prev.intersect(&round_union),
+            Some(_) => round_union,
+        });
+        rounds.push(AdaptiveRound {
+            cond: next.cond,
+            choices: next.choices,
+            predicted_size: next.predicted_size,
+            actual_size: current.as_ref().expect("just set").len(),
+        });
+        remaining.retain(|c| *c != next.cond);
+    }
+    let completeness = if any_dropped {
+        let mut missing_sources: Vec<SourceId> = st
+            .dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(|(j, _)| SourceId(j))
+            .collect();
+        missing_sources.sort_unstable();
+        missing_conds.sort_unstable();
+        missing_conds.dedup();
+        Completeness::Subset {
+            missing_sources,
+            missing_conditions: missing_conds,
+        }
+    } else {
+        Completeness::Exact
+    };
+    Ok(AdaptiveOutcome {
+        answer: current.expect("m >= 1"),
+        ledger,
+        rounds,
+        completeness,
     })
 }
 

@@ -1,12 +1,13 @@
 //! Sequential plan interpretation with cost accounting.
 
 use crate::ledger::{CostLedger, LedgerEntry, StepKind};
+use crate::retry::{Completeness, RetryPolicy};
 use fusion_core::plan::{Plan, Step};
 use fusion_core::query::FusionQuery;
-use fusion_net::{ExchangeKind, MessageSize, Network};
+use fusion_net::{ExchangeKind, FailedExchange, FaultKind, MessageSize, Network};
 use fusion_source::SourceSet;
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{Cost, ItemSet, Relation, SourceId};
+use fusion_types::{CondId, Cost, ItemSet, Relation, SourceId};
 
 /// The result of executing a plan.
 #[derive(Debug, Clone)]
@@ -15,6 +16,10 @@ pub struct ExecutionOutcome {
     pub answer: ItemSet,
     /// Per-step executed costs.
     pub ledger: CostLedger,
+    /// Whether the answer is exact or a sound subset (steps were dropped
+    /// after a source was given up on). Always [`Completeness::Exact`]
+    /// outside fault-tolerant execution.
+    pub completeness: Completeness,
 }
 
 impl ExecutionOutcome {
@@ -112,6 +117,8 @@ pub fn execute_plan_unchecked(
                     proc,
                     round_trips: 1,
                     items_out: resp.payload.len(),
+                    attempts: 1,
+                    failed_cost: Cost::ZERO,
                 });
                 vars[out.0] = Some(resp.payload);
             }
@@ -160,6 +167,8 @@ pub fn execute_plan_unchecked(
                     proc,
                     round_trips: 1,
                     items_out: resp.payload.len(),
+                    attempts: 1,
+                    failed_cost: Cost::ZERO,
                 });
                 vars[out.0] = Some(resp.payload);
             }
@@ -181,6 +190,8 @@ pub fn execute_plan_unchecked(
                     proc,
                     round_trips: 1,
                     items_out: resp.payload.len(),
+                    attempts: 1,
+                    failed_cost: Cost::ZERO,
                 });
                 rels[out.0] = Some(Relation::from_rows(query.schema().clone(), resp.payload));
             }
@@ -222,7 +233,11 @@ pub fn execute_plan_unchecked(
     let answer = vars[plan.result.0]
         .clone()
         .expect("validated: result defined");
-    Ok(ExecutionOutcome { answer, ledger })
+    Ok(ExecutionOutcome {
+        answer,
+        ledger,
+        completeness: Completeness::Exact,
+    })
 }
 
 fn local_entry(step: usize, items_out: usize) -> LedgerEntry {
@@ -234,6 +249,8 @@ fn local_entry(step: usize, items_out: usize) -> LedgerEntry {
         proc: Cost::ZERO,
         round_trips: 0,
         items_out,
+        attempts: 0,
+        failed_cost: Cost::ZERO,
     }
 }
 
@@ -248,6 +265,28 @@ pub(crate) fn run_semijoin(
 ) -> Result<(ItemSet, LedgerEntry)> {
     let w = sources.get(source);
     let caps = *w.capabilities();
+    if bindings.is_empty() {
+        // X ⋉ ∅ = ∅: both the native and the emulated path resolve this
+        // at the mediator for free — no round trip, no source work. The
+        // cost estimator agrees (NetworkCostModel::sjq_cost at k = 0).
+        let kind = if caps.native_semijoin {
+            StepKind::Semijoin
+        } else {
+            StepKind::EmulatedSemijoin
+        };
+        let entry = LedgerEntry {
+            step,
+            kind,
+            source: Some(source),
+            comm: Cost::ZERO,
+            proc: Cost::ZERO,
+            round_trips: 0,
+            items_out: 0,
+            attempts: 0,
+            failed_cost: Cost::ZERO,
+        };
+        return Ok((ItemSet::empty(), entry));
+    }
     if caps.native_semijoin {
         let resp = w.semijoin(cond, bindings)?;
         let req_bytes = MessageSize::sjq_request(cond, bindings);
@@ -265,6 +304,8 @@ pub(crate) fn run_semijoin(
             proc,
             round_trips: 1,
             items_out: resp.payload.len(),
+            attempts: 1,
+            failed_cost: Cost::ZERO,
         };
         return Ok((resp.payload, entry));
     }
@@ -304,8 +345,642 @@ pub(crate) fn run_semijoin(
         proc,
         round_trips,
         items_out: result.len(),
+        attempts: round_trips,
+        failed_cost: Cost::ZERO,
     };
     Ok((result, entry))
+}
+
+/// Per-query fault-handling state for [`execute_plan_ft`].
+pub(crate) struct FtState<'a> {
+    policy: &'a RetryPolicy,
+    /// Sources given up on (outage, tripped breaker, retry exhaustion).
+    pub(crate) dead: Vec<bool>,
+    /// Consecutive failures per source (circuit-breaker input).
+    consecutive: Vec<usize>,
+}
+
+/// Result of pushing one exchange through the retry loop.
+pub(crate) enum Attempted {
+    /// The exchange went through; `failed` covers earlier failed tries
+    /// and backoff waits.
+    Delivered {
+        comm: Cost,
+        attempts: usize,
+        failed: Cost,
+    },
+    /// The policy's patience ran out; the source is now dead.
+    Exhausted { attempts: usize, failed: Cost },
+}
+
+impl<'a> FtState<'a> {
+    /// Fresh state: all sources alive, breakers reset.
+    pub(crate) fn new(policy: &'a RetryPolicy, n_sources: usize) -> FtState<'a> {
+        FtState {
+            policy,
+            dead: vec![false; n_sources],
+            consecutive: vec![0; n_sources],
+        }
+    }
+
+    /// Attempts one exchange under the retry policy. `spent` is the cost
+    /// executed so far, checked against the policy deadline: once the
+    /// budget is gone, failures are final (no more retries).
+    pub(crate) fn try_with_retry(
+        &mut self,
+        network: &mut Network,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+        spent: Cost,
+    ) -> Attempted {
+        let mut failed = Cost::ZERO;
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match network.try_exchange(source, kind, req_bytes, resp_bytes) {
+                Ok(comm) => {
+                    self.consecutive[source.0] = 0;
+                    return Attempted::Delivered {
+                        comm,
+                        attempts,
+                        failed,
+                    };
+                }
+                Err(FailedExchange { kind: fault, cost }) => {
+                    failed += cost;
+                    self.consecutive[source.0] += 1;
+                    let give_up = fault == FaultKind::Outage
+                        || self.consecutive[source.0] >= self.policy.breaker_threshold
+                        || attempts >= self.policy.max_attempts
+                        || self
+                            .policy
+                            .deadline
+                            .is_some_and(|budget| spent + failed >= budget);
+                    if give_up {
+                        self.dead[source.0] = true;
+                        return Attempted::Exhausted { attempts, failed };
+                    }
+                    // Wait before retrying; the wait is charged as
+                    // failure cost (the mediator sits idle).
+                    failed += self.policy.backoff(source, attempts);
+                }
+            }
+        }
+    }
+}
+
+/// A ledger entry for a dropped remote step: nothing delivered, but the
+/// failed attempts that led to giving up are still charged.
+pub(crate) fn dropped_entry(
+    step: usize,
+    kind: StepKind,
+    source: SourceId,
+    attempts: usize,
+    failed: Cost,
+) -> LedgerEntry {
+    LedgerEntry {
+        step,
+        kind,
+        source: Some(source),
+        comm: Cost::ZERO,
+        proc: Cost::ZERO,
+        round_trips: 0,
+        items_out: 0,
+        attempts,
+        failed_cost: failed,
+    }
+}
+
+/// Fault-tolerant variant of [`execute_plan`]: retries failed exchanges
+/// under `policy`, gives up on sources whose faults persist, and — when
+/// giving up is provably sound — degrades to a partial answer instead of
+/// failing the query.
+///
+/// Failure handling per exchange: a failed attempt charges its request
+/// cost (plus the configured timeout wait) to the step's `failed_cost`,
+/// then the policy decides between a backoff-priced retry and giving up.
+/// A hard outage, `breaker_threshold` consecutive failures, retry
+/// exhaustion, or a blown cost deadline all mark the source *dead* for
+/// the rest of the query.
+///
+/// Every step of a dead source is dropped: it contributes ∅ (for a
+/// dropped load, an empty relation) and a zero-cost ledger entry, so the
+/// ledger still matches the plan step-for-step and [`crate::schedule`]
+/// can replay it. Before dropping, the plan's BDD analysis confirms the
+/// degraded plan still computes a subset of the fusion answer in every
+/// world ([`fusion_core::analyze::Analysis::droppable`]); if it cannot —
+/// e.g. the dropped value feeds a difference subtrahend — the execution
+/// errors rather than risk a superset.
+///
+/// The outcome's [`Completeness`] reports `Exact` when nothing was
+/// dropped, otherwise `Subset` with the dead sources and weakened
+/// conditions. With a trivial fault plan (or none), the outcome is
+/// byte-identical to [`execute_plan`]'s apart from the attempt counters.
+///
+/// # Errors
+/// Fails on structurally invalid or semantically unsound plans,
+/// capability violations, predicate evaluation errors, and source
+/// failures whose steps are not droppable.
+pub fn execute_plan_ft(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    policy: &RetryPolicy,
+) -> Result<ExecutionOutcome> {
+    let mut analysis = fusion_core::analyze::analyze_plan(plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to execute a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    plan.validate()?;
+    if query.m() != plan.n_conditions {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} conditions, query has {}",
+            plan.n_conditions,
+            query.m()
+        )));
+    }
+    if sources.len() != plan.n_sources {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} sources, got {}",
+            plan.n_sources,
+            sources.len()
+        )));
+    }
+    let conditions = query.conditions();
+    let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
+    let mut ledger = CostLedger::new();
+    let mut st = FtState::new(policy, plan.n_sources);
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut missing_conds: Vec<CondId> = Vec::new();
+
+    // Drops `idx`, verifying via the BDD analysis that the cumulative
+    // degraded plan still computes a subset of the fusion answer.
+    let drop_step = |idx: usize,
+                     dropped: &mut Vec<usize>,
+                     analysis: &mut fusion_core::analyze::Analysis|
+     -> Result<()> {
+        dropped.push(idx);
+        if analysis.droppable(plan, dropped) {
+            Ok(())
+        } else {
+            Err(FusionError::execution(format!(
+                "source failure at step #{idx}: dropping it would not \
+                 yield a sound subset of the fusion answer (the step's \
+                 value is used non-monotonically); aborting instead"
+            )))
+        }
+    };
+
+    for (idx, step) in plan.steps.iter().enumerate() {
+        match step {
+            Step::Sq { out, cond, source } => {
+                let kind = StepKind::Selection;
+                if st.dead[source.0] {
+                    ledger.push(dropped_entry(idx, kind, *source, 0, Cost::ZERO));
+                    drop_step(idx, &mut dropped, &mut analysis)?;
+                    missing_conds.push(*cond);
+                    vars[out.0] = Some(ItemSet::empty());
+                    continue;
+                }
+                let w = sources.get(*source);
+                let resp = w.select(&conditions[cond.0])?;
+                let req_bytes = MessageSize::sq_request(&conditions[cond.0]);
+                let resp_bytes = MessageSize::items_response(&resp.payload);
+                match st.try_with_retry(
+                    network,
+                    *source,
+                    ExchangeKind::Selection,
+                    req_bytes,
+                    resp_bytes,
+                    ledger.total(),
+                ) {
+                    Attempted::Delivered {
+                        comm,
+                        attempts,
+                        failed,
+                    } => {
+                        let proc = Cost::new(
+                            w.processing()
+                                .cost(resp.tuples_examined, resp.payload.len()),
+                        );
+                        ledger.push(LedgerEntry {
+                            step: idx,
+                            kind,
+                            source: Some(*source),
+                            comm,
+                            proc,
+                            round_trips: 1,
+                            items_out: resp.payload.len(),
+                            attempts,
+                            failed_cost: failed,
+                        });
+                        vars[out.0] = Some(resp.payload);
+                    }
+                    Attempted::Exhausted { attempts, failed } => {
+                        ledger.push(dropped_entry(idx, kind, *source, attempts, failed));
+                        drop_step(idx, &mut dropped, &mut analysis)?;
+                        missing_conds.push(*cond);
+                        vars[out.0] = Some(ItemSet::empty());
+                    }
+                }
+            }
+            Step::Sjq {
+                out,
+                cond,
+                source,
+                input,
+            } => {
+                let bindings = vars[input.0].clone().expect("validated: def before use");
+                match run_semijoin_ft(
+                    idx,
+                    *source,
+                    &conditions[cond.0],
+                    &bindings,
+                    sources,
+                    network,
+                    &mut st,
+                    ledger.total(),
+                )? {
+                    SjResult::Done(items, entry) => {
+                        ledger.push(entry);
+                        vars[out.0] = Some(items);
+                    }
+                    SjResult::Dropped(entry) => {
+                        ledger.push(entry);
+                        drop_step(idx, &mut dropped, &mut analysis)?;
+                        missing_conds.push(*cond);
+                        vars[out.0] = Some(ItemSet::empty());
+                    }
+                }
+            }
+            Step::SjqBloom {
+                out,
+                cond,
+                source,
+                input,
+                bits,
+            } => {
+                let kind = StepKind::BloomSemijoin;
+                if st.dead[source.0] {
+                    ledger.push(dropped_entry(idx, kind, *source, 0, Cost::ZERO));
+                    drop_step(idx, &mut dropped, &mut analysis)?;
+                    missing_conds.push(*cond);
+                    vars[out.0] = Some(ItemSet::empty());
+                    continue;
+                }
+                let bindings = vars[input.0].clone().expect("validated: def before use");
+                let w = sources.get(*source);
+                let filter = fusion_types::BloomFilter::build(&bindings, *bits as f64);
+                let resp = w.bloom_semijoin(&conditions[cond.0], &filter)?;
+                let req_bytes = MessageSize::sq_request(&conditions[cond.0]) + filter.wire_size();
+                let resp_bytes = MessageSize::items_response(&resp.payload);
+                match st.try_with_retry(
+                    network,
+                    *source,
+                    ExchangeKind::BloomSemijoin,
+                    req_bytes,
+                    resp_bytes,
+                    ledger.total(),
+                ) {
+                    Attempted::Delivered {
+                        comm,
+                        attempts,
+                        failed,
+                    } => {
+                        let proc = Cost::new(
+                            w.processing()
+                                .cost(resp.tuples_examined, resp.payload.len()),
+                        );
+                        ledger.push(LedgerEntry {
+                            step: idx,
+                            kind,
+                            source: Some(*source),
+                            comm,
+                            proc,
+                            round_trips: 1,
+                            items_out: resp.payload.len(),
+                            attempts,
+                            failed_cost: failed,
+                        });
+                        vars[out.0] = Some(resp.payload);
+                    }
+                    Attempted::Exhausted { attempts, failed } => {
+                        ledger.push(dropped_entry(idx, kind, *source, attempts, failed));
+                        drop_step(idx, &mut dropped, &mut analysis)?;
+                        missing_conds.push(*cond);
+                        vars[out.0] = Some(ItemSet::empty());
+                    }
+                }
+            }
+            Step::Lq { out, source } => {
+                let kind = StepKind::Load;
+                let drop_load = |rels: &mut Vec<Option<Relation>>, rel_dropped: &mut Vec<bool>| {
+                    // Later local selections over the relation run
+                    // against an empty table and yield ∅ — exactly the
+                    // degraded semantics the BDD check verified.
+                    rels[out.0] = Some(Relation::from_rows(query.schema().clone(), vec![]));
+                    rel_dropped[out.0] = true;
+                };
+                if st.dead[source.0] {
+                    ledger.push(dropped_entry(idx, kind, *source, 0, Cost::ZERO));
+                    drop_step(idx, &mut dropped, &mut analysis)?;
+                    drop_load(&mut rels, &mut rel_dropped);
+                    continue;
+                }
+                let w = sources.get(*source);
+                let resp = w.load()?;
+                let req_bytes = MessageSize::lq_request();
+                let resp_bytes = MessageSize::tuples_response(&resp.payload);
+                match st.try_with_retry(
+                    network,
+                    *source,
+                    ExchangeKind::Load,
+                    req_bytes,
+                    resp_bytes,
+                    ledger.total(),
+                ) {
+                    Attempted::Delivered {
+                        comm,
+                        attempts,
+                        failed,
+                    } => {
+                        let proc = Cost::new(
+                            w.processing()
+                                .cost(resp.tuples_examined, resp.payload.len()),
+                        );
+                        ledger.push(LedgerEntry {
+                            step: idx,
+                            kind,
+                            source: Some(*source),
+                            comm,
+                            proc,
+                            round_trips: 1,
+                            items_out: resp.payload.len(),
+                            attempts,
+                            failed_cost: failed,
+                        });
+                        rels[out.0] =
+                            Some(Relation::from_rows(query.schema().clone(), resp.payload));
+                    }
+                    Attempted::Exhausted { attempts, failed } => {
+                        ledger.push(dropped_entry(idx, kind, *source, attempts, failed));
+                        drop_step(idx, &mut dropped, &mut analysis)?;
+                        drop_load(&mut rels, &mut rel_dropped);
+                    }
+                }
+            }
+            Step::LocalSq { out, cond, rel } => {
+                let relation = rels[rel.0].as_ref().expect("validated: loaded before use");
+                let r = relation.select_items(&conditions[cond.0])?;
+                ledger.push(local_entry(idx, r.items.len()));
+                if rel_dropped[rel.0] {
+                    missing_conds.push(*cond);
+                }
+                vars[out.0] = Some(r.items);
+            }
+            Step::Union { out, inputs } => {
+                let sets: Vec<&ItemSet> = inputs
+                    .iter()
+                    .map(|v| vars[v.0].as_ref().expect("validated"))
+                    .collect();
+                let u = ItemSet::union_all(sets);
+                ledger.push(local_entry(idx, u.len()));
+                vars[out.0] = Some(u);
+            }
+            Step::Intersect { out, inputs } => {
+                let mut iter = inputs.iter();
+                let first = vars[iter.next().expect("validated").0]
+                    .clone()
+                    .expect("validated");
+                let acc = iter.fold(first, |acc, v| {
+                    acc.intersect(vars[v.0].as_ref().expect("validated"))
+                });
+                ledger.push(local_entry(idx, acc.len()));
+                vars[out.0] = Some(acc);
+            }
+            Step::Diff { out, left, right } => {
+                let l = vars[left.0].as_ref().expect("validated");
+                let r = vars[right.0].as_ref().expect("validated");
+                let d = l.difference(r);
+                ledger.push(local_entry(idx, d.len()));
+                vars[out.0] = Some(d);
+            }
+        }
+    }
+    let answer = vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined");
+    let completeness = if dropped.is_empty() {
+        Completeness::Exact
+    } else {
+        let mut missing_sources: Vec<SourceId> = dropped
+            .iter()
+            .filter_map(|&i| plan.steps[i].source())
+            .collect();
+        missing_sources.sort_unstable();
+        missing_sources.dedup();
+        missing_conds.sort_unstable();
+        missing_conds.dedup();
+        Completeness::Subset {
+            missing_sources,
+            missing_conditions: missing_conds,
+        }
+    };
+    Ok(ExecutionOutcome {
+        answer,
+        ledger,
+        completeness,
+    })
+}
+
+/// What a fault-aware semijoin came back with.
+pub(crate) enum SjResult {
+    /// The semijoin completed; push the entry and bind the items.
+    Done(ItemSet, LedgerEntry),
+    /// The source was given up on. The entry carries the costs already
+    /// paid (delivered batches and failed attempts); the step's value
+    /// degrades to ∅ — a partially-probed semijoin is not a sound value.
+    Dropped(LedgerEntry),
+}
+
+/// Fault-aware semijoin: like [`run_semijoin`] but every exchange goes
+/// through the retry loop, and giving up yields [`SjResult::Dropped`]
+/// instead of an error.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_semijoin_ft(
+    step: usize,
+    source: SourceId,
+    cond: &fusion_types::Condition,
+    bindings: &ItemSet,
+    sources: &SourceSet,
+    network: &mut Network,
+    st: &mut FtState<'_>,
+    spent: Cost,
+) -> Result<SjResult> {
+    let w = sources.get(source);
+    let caps = *w.capabilities();
+    let kind = if caps.native_semijoin {
+        StepKind::Semijoin
+    } else {
+        StepKind::EmulatedSemijoin
+    };
+    if bindings.is_empty() {
+        // Free local no-op — no network, so no fault exposure.
+        let entry = LedgerEntry {
+            step,
+            kind,
+            source: Some(source),
+            comm: Cost::ZERO,
+            proc: Cost::ZERO,
+            round_trips: 0,
+            items_out: 0,
+            attempts: 0,
+            failed_cost: Cost::ZERO,
+        };
+        return Ok(SjResult::Done(ItemSet::empty(), entry));
+    }
+    if st.dead[source.0] {
+        return Ok(SjResult::Dropped(dropped_entry(
+            step,
+            kind,
+            source,
+            0,
+            Cost::ZERO,
+        )));
+    }
+    if caps.native_semijoin {
+        let resp = w.semijoin(cond, bindings)?;
+        let req_bytes = MessageSize::sjq_request(cond, bindings);
+        let resp_bytes = MessageSize::items_response(&resp.payload);
+        return Ok(
+            match st.try_with_retry(
+                network,
+                source,
+                ExchangeKind::Semijoin,
+                req_bytes,
+                resp_bytes,
+                spent,
+            ) {
+                Attempted::Delivered {
+                    comm,
+                    attempts,
+                    failed,
+                } => {
+                    let proc = Cost::new(
+                        w.processing()
+                            .cost(resp.tuples_examined, resp.payload.len()),
+                    );
+                    SjResult::Done(
+                        resp.payload.clone(),
+                        LedgerEntry {
+                            step,
+                            kind: StepKind::Semijoin,
+                            source: Some(source),
+                            comm,
+                            proc,
+                            round_trips: 1,
+                            items_out: resp.payload.len(),
+                            attempts,
+                            failed_cost: failed,
+                        },
+                    )
+                }
+                Attempted::Exhausted { attempts, failed } => SjResult::Dropped(dropped_entry(
+                    step,
+                    StepKind::Semijoin,
+                    source,
+                    attempts,
+                    failed,
+                )),
+            },
+        );
+    }
+    if !caps.passed_bindings {
+        return Err(FusionError::Unsupported {
+            detail: format!(
+                "source `{}` supports neither native nor emulated semijoins",
+                w.name()
+            ),
+        });
+    }
+    let batch_size = caps.binding_batch.max(1);
+    let mut result = ItemSet::empty();
+    let mut comm = Cost::ZERO;
+    let mut proc = Cost::ZERO;
+    let mut round_trips = 0usize;
+    let mut attempts = 0usize;
+    let mut failed = Cost::ZERO;
+    let items: Vec<_> = bindings.iter().cloned().collect();
+    for chunk in items.chunks(batch_size) {
+        let batch = ItemSet::from_items(chunk.iter().cloned());
+        let resp = w.probe(cond, &batch)?;
+        let req_bytes = MessageSize::sjq_request(cond, &batch);
+        let resp_bytes = MessageSize::items_response(&resp.payload);
+        match st.try_with_retry(
+            network,
+            source,
+            ExchangeKind::BindingProbe,
+            req_bytes,
+            resp_bytes,
+            spent + comm + proc + failed,
+        ) {
+            Attempted::Delivered {
+                comm: c,
+                attempts: a,
+                failed: f,
+            } => {
+                comm += c;
+                proc += Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
+                round_trips += 1;
+                attempts += a;
+                failed += f;
+                result = result.union(&resp.payload);
+            }
+            Attempted::Exhausted {
+                attempts: a,
+                failed: f,
+            } => {
+                // Batches already delivered stay paid for; the value is
+                // discarded (items_out = 0) and the caller drops the step.
+                attempts += a;
+                failed += f;
+                return Ok(SjResult::Dropped(LedgerEntry {
+                    step,
+                    kind: StepKind::EmulatedSemijoin,
+                    source: Some(source),
+                    comm,
+                    proc,
+                    round_trips,
+                    items_out: 0,
+                    attempts,
+                    failed_cost: failed,
+                }));
+            }
+        }
+    }
+    let entry = LedgerEntry {
+        step,
+        kind: StepKind::EmulatedSemijoin,
+        source: Some(source),
+        comm,
+        proc,
+        round_trips,
+        items_out: result.len(),
+        attempts,
+        failed_cost: failed,
+    };
+    Ok(SjResult::Done(result, entry))
 }
 
 #[cfg(test)]

@@ -51,12 +51,23 @@ pub struct LedgerEntry {
     pub round_trips: usize,
     /// Items (or tuples, for loads) produced by the step.
     pub items_out: usize,
+    /// Network attempts made, including failed ones. Equals
+    /// `round_trips` when no fault was injected; 0 for local steps.
+    pub attempts: usize,
+    /// Communication cost paid on failed attempts (requests that drew an
+    /// injected error, timeout, or outage). Zero when faults are off.
+    pub failed_cost: Cost,
 }
 
 impl LedgerEntry {
-    /// Total cost of the step.
+    /// Total cost of the step, failed attempts included.
     pub fn total(&self) -> Cost {
-        self.comm + self.proc
+        self.comm + self.proc + self.failed_cost
+    }
+
+    /// Failed attempts (attempts that did not complete a round trip).
+    pub fn failed_attempts(&self) -> usize {
+        self.attempts.saturating_sub(self.round_trips)
     }
 }
 
@@ -115,6 +126,16 @@ impl CostLedger {
     pub fn round_trips(&self) -> usize {
         self.entries.iter().map(|e| e.round_trips).sum()
     }
+
+    /// Total network attempts, failed ones included.
+    pub fn attempts_total(&self) -> usize {
+        self.entries.iter().map(|e| e.attempts).sum()
+    }
+
+    /// Total communication cost paid on failed attempts.
+    pub fn failed_total(&self) -> Cost {
+        self.entries.iter().map(|e| e.failed_cost).sum()
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +157,8 @@ mod tests {
             proc: Cost::new(proc),
             round_trips: usize::from(source.is_some()),
             items_out: 0,
+            attempts: usize::from(source.is_some()),
+            failed_cost: Cost::ZERO,
         }
     }
 
@@ -153,6 +176,22 @@ mod tests {
         assert_eq!(l.count_kind(StepKind::Local), 1);
         assert_eq!(l.round_trips(), 2);
         assert_eq!(l.entries().len(), 3);
+        assert_eq!(l.attempts_total(), 2);
+        assert_eq!(l.failed_total(), Cost::ZERO);
+    }
+
+    #[test]
+    fn failed_attempts_itemized() {
+        let mut e = entry(0, StepKind::Selection, Some(0), 1.0, 0.5);
+        e.attempts = 3;
+        e.failed_cost = Cost::new(0.75);
+        assert_eq!(e.failed_attempts(), 2);
+        assert_eq!(e.total(), Cost::new(2.25));
+        let mut l = CostLedger::new();
+        l.push(e);
+        assert_eq!(l.attempts_total(), 3);
+        assert_eq!(l.failed_total(), Cost::new(0.75));
+        assert_eq!(l.total(), Cost::new(2.25));
     }
 
     #[test]

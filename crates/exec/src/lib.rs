@@ -21,6 +21,14 @@
 //!   round it re-plans the remaining conditions from the *observed*
 //!   running-set size (mid-query re-optimization), which repairs the
 //!   estimate drift correlated conditions cause.
+//! * [`execute_plan_ft`] and [`execute_adaptive_ft`] add fault tolerance:
+//!   exchanges failed by the network's [`FaultPlan`] are retried under a
+//!   [`RetryPolicy`] (bounded attempts, seeded-jitter backoff, circuit
+//!   breaker, cost deadline), and when a source stays down its steps are
+//!   dropped — guarded by the BDD analyzer's droppability check — to
+//!   return a partial answer tagged [`Completeness::Subset`].
+//!
+//! [`FaultPlan`]: fusion_net::FaultPlan
 //!
 //! [`Network`]: fusion_net::Network
 
@@ -28,12 +36,14 @@ pub mod adaptive;
 pub mod interp;
 pub mod ledger;
 pub mod piggyback;
+pub mod retry;
 pub mod schedule;
 pub mod two_phase;
 
-pub use adaptive::{execute_adaptive, AdaptiveOutcome, AdaptiveRound};
-pub use interp::{execute_plan, execute_plan_unchecked, ExecutionOutcome};
+pub use adaptive::{execute_adaptive, execute_adaptive_ft, AdaptiveOutcome, AdaptiveRound};
+pub use interp::{execute_plan, execute_plan_ft, execute_plan_unchecked, ExecutionOutcome};
 pub use ledger::{CostLedger, LedgerEntry, StepKind};
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
+pub use retry::{Completeness, RetryPolicy};
 pub use schedule::{response_time, schedule, ScheduledStep};
 pub use two_phase::fetch_records;

@@ -97,6 +97,8 @@ pub fn execute_piggyback(
                         proc,
                         round_trips: 1,
                         items_out: resp.payload.len(),
+                        attempts: 1,
+                        failed_cost: Cost::ZERO,
                     });
                     resp.payload
                 }
@@ -162,6 +164,8 @@ pub fn execute_piggyback(
             proc,
             round_trips: 1,
             items_out: resp.payload.len(),
+            attempts: 1,
+            failed_cost: Cost::ZERO,
         });
         records.extend(resp.payload);
         step += 1;

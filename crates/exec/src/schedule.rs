@@ -15,8 +15,9 @@
 //! result variable — the critical path through data dependencies and
 //! per-source queues.
 
-use crate::ledger::CostLedger;
+use crate::ledger::{CostLedger, StepKind};
 use fusion_core::plan::{Plan, Step};
+use fusion_types::error::{FusionError, Result};
 
 /// One remote step's placement in the parallel schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,15 +36,14 @@ pub struct ScheduledStep {
 /// remote step's `(start, finish)` placement plus the overall response
 /// time.
 ///
-/// # Panics
-/// Panics if the ledger does not cover every plan step (it must come from
-/// executing this very plan).
-pub fn schedule(plan: &Plan, ledger: &CostLedger) -> (Vec<ScheduledStep>, f64) {
-    assert_eq!(
-        ledger.entries().len(),
-        plan.steps.len(),
-        "ledger does not match plan"
-    );
+/// The ledger must come from executing this very plan: it is checked
+/// entry by entry — length, step indices, step/entry kind agreement, and
+/// source agreement — and any mismatch is an error, not a panic.
+///
+/// # Errors
+/// Fails if the ledger does not match the plan step for step.
+pub fn schedule(plan: &Plan, ledger: &CostLedger) -> Result<(Vec<ScheduledStep>, f64)> {
+    validate_ledger(plan, ledger)?;
     let mut var_avail: Vec<f64> = vec![0.0; plan.var_names.len()];
     let mut rel_avail: Vec<f64> = vec![0.0; plan.rel_names.len()];
     let mut source_free: Vec<f64> = vec![0.0; plan.n_sources];
@@ -83,7 +83,56 @@ pub fn schedule(plan: &Plan, ledger: &CostLedger) -> (Vec<ScheduledStep>, f64) {
             rel_avail[out.0] = finish;
         }
     }
-    (placements, result_time)
+    Ok((placements, result_time))
+}
+
+/// Checks that `ledger` replays `plan`: one entry per step, in order,
+/// with agreeing kinds and sources.
+fn validate_ledger(plan: &Plan, ledger: &CostLedger) -> Result<()> {
+    if ledger.entries().len() != plan.steps.len() {
+        return Err(FusionError::execution(format!(
+            "ledger does not match plan: {} entries for {} steps",
+            ledger.entries().len(),
+            plan.steps.len()
+        )));
+    }
+    for (idx, (step, entry)) in plan.steps.iter().zip(ledger.entries()).enumerate() {
+        if entry.step != idx {
+            return Err(FusionError::execution(format!(
+                "ledger does not match plan: entry {idx} records step {}",
+                entry.step
+            )));
+        }
+        let (expected, kind_ok) = match step {
+            Step::Sq { .. } => ("sq", entry.kind == StepKind::Selection),
+            Step::Sjq { .. } => (
+                "sjq",
+                entry.kind == StepKind::Semijoin || entry.kind == StepKind::EmulatedSemijoin,
+            ),
+            Step::SjqBloom { .. } => ("sjq(bloom)", entry.kind == StepKind::BloomSemijoin),
+            Step::Lq { .. } => ("lq", entry.kind == StepKind::Load),
+            Step::LocalSq { .. }
+            | Step::Union { .. }
+            | Step::Intersect { .. }
+            | Step::Diff { .. } => ("local", entry.kind == StepKind::Local),
+        };
+        if !kind_ok {
+            return Err(FusionError::execution(format!(
+                "ledger does not match plan: step {idx} is a `{expected}` \
+                 step but the entry records `{}`",
+                entry.kind
+            )));
+        }
+        if entry.source != step.source() {
+            return Err(FusionError::execution(format!(
+                "ledger does not match plan: step {idx} touches {:?} but the \
+                 entry records {:?}",
+                step.source(),
+                entry.source
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Computes the parallel response time of an executed plan, in the same
@@ -93,11 +142,10 @@ pub fn schedule(plan: &Plan, ledger: &CostLedger) -> (Vec<ScheduledStep>, f64) {
 /// for the fork-join round structure optimizer plans have and a good
 /// heuristic for arbitrary shapes.
 ///
-/// # Panics
-/// Panics if the ledger does not cover every plan step (it must come from
-/// executing this very plan).
-pub fn response_time(plan: &Plan, ledger: &CostLedger) -> f64 {
-    schedule(plan, ledger).1
+/// # Errors
+/// Fails if the ledger does not match the plan step for step.
+pub fn response_time(plan: &Plan, ledger: &CostLedger) -> Result<f64> {
+    Ok(schedule(plan, ledger)?.1)
 }
 
 #[cfg(test)]
@@ -150,7 +198,7 @@ mod tests {
         let (q, sources, mut net) = setup(4);
         let plan = SimplePlanSpec::filter(2, 4).build(4).unwrap();
         let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
-        let rt = response_time(&plan, &out.ledger);
+        let rt = response_time(&plan, &out.ledger).unwrap();
         let total = out.total_cost().value();
         // 4 sources work in parallel: response time must be well below
         // total work but at least the two sequential rounds at one source.
@@ -163,7 +211,7 @@ mod tests {
         let (q, sources, mut net) = setup(1);
         let plan = SimplePlanSpec::filter(2, 1).build(1).unwrap();
         let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
-        let rt = response_time(&plan, &out.ledger);
+        let rt = response_time(&plan, &out.ledger).unwrap();
         assert!((rt - out.total_cost().value()).abs() < 1e-9);
     }
 
@@ -179,7 +227,7 @@ mod tests {
         };
         let plan = spec.build(2).unwrap();
         let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
-        let rt = response_time(&plan, &out.ledger);
+        let rt = response_time(&plan, &out.ledger).unwrap();
         // Round 2 cannot start before the slowest round-1 query finishes:
         // response time ≥ max round-1 entry + max round-2 entry.
         let entries = out.ledger.entries();
@@ -189,12 +237,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ledger does not match")]
-    fn mismatched_ledger_panics() {
+    fn mismatched_ledger_is_an_error() {
         let (q, sources, mut net) = setup(2);
         let plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
         let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        // Wrong length: a smaller plan's step count.
         let other = SimplePlanSpec::filter(1, 2).build(2).unwrap();
-        let _ = response_time(&other, &out.ledger);
+        let err = response_time(&other, &out.ledger).unwrap_err();
+        assert!(err.to_string().contains("ledger does not match"), "{err}");
+    }
+
+    #[test]
+    fn entry_level_mismatches_are_errors() {
+        use crate::ledger::{LedgerEntry, StepKind};
+        let (q, sources, mut net) = setup(2);
+        let plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+
+        // Same length, wrong step index.
+        let mut shifted = CostLedger::new();
+        for e in out.ledger.entries() {
+            let mut e = e.clone();
+            e.step = e.step.wrapping_add(1);
+            shifted.push(e);
+        }
+        let err = response_time(&plan, &shifted).unwrap_err();
+        assert!(err.to_string().contains("records step"), "{err}");
+
+        // Right indices, wrong kind on a remote step.
+        let mut rekinded = CostLedger::new();
+        for e in out.ledger.entries() {
+            let mut e = e.clone();
+            if e.kind == StepKind::Selection {
+                e.kind = StepKind::Load;
+            }
+            rekinded.push(e);
+        }
+        let err = response_time(&plan, &rekinded).unwrap_err();
+        assert!(err.to_string().contains("`sq`"), "{err}");
+
+        // Right kinds, wrong source.
+        let mut resourced = CostLedger::new();
+        for e in out.ledger.entries() {
+            let mut e: LedgerEntry = e.clone();
+            if let Some(src) = e.source {
+                e.source = Some(fusion_types::SourceId((src.0 + 1) % 2));
+            }
+            resourced.push(e);
+        }
+        let err = response_time(&plan, &resourced).unwrap_err();
+        assert!(err.to_string().contains("touches"), "{err}");
     }
 }

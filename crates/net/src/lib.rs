@@ -9,14 +9,19 @@
 //! records an exchange trace.
 //!
 //! The simulator is a pure cost calculator — no clocks, threads, or I/O —
-//! so every run is exactly reproducible.
+//! so every run is exactly reproducible. That extends to failure: a
+//! [`FaultPlan`] injects transient errors, timeouts, slowdowns, and hard
+//! outages from a seeded schedule that is a pure function of
+//! `(seed, source, attempt)`, so every faulty run replays identically.
 //!
 //! [`Cost`]: fusion_types::Cost
 
+pub mod fault;
 pub mod link;
 pub mod message;
 pub mod network;
 
+pub use fault::{FaultDecision, FaultKind, FaultPlan, FaultSpec};
 pub use link::{Link, LinkProfile};
 pub use message::MessageSize;
-pub use network::{Exchange, ExchangeKind, Network};
+pub use network::{Exchange, ExchangeKind, ExchangeStatus, FailedExchange, Network};

@@ -1,6 +1,7 @@
 //! The mediator's view of the network: one link per source, plus a trace
 //! of every exchange performed.
 
+use crate::fault::{FaultDecision, FaultKind, FaultPlan};
 use crate::link::Link;
 use fusion_types::{Cost, SourceId};
 
@@ -35,6 +36,22 @@ impl std::fmt::Display for ExchangeKind {
     }
 }
 
+/// Whether a traced exchange delivered its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeStatus {
+    /// The response arrived.
+    Ok,
+    /// The attempt failed; its cost was still charged.
+    Failed(FaultKind),
+}
+
+impl ExchangeStatus {
+    /// True for delivered exchanges.
+    pub fn is_ok(self) -> bool {
+        matches!(self, ExchangeStatus::Ok)
+    }
+}
+
 /// One recorded request/response exchange.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Exchange {
@@ -44,27 +61,51 @@ pub struct Exchange {
     pub kind: ExchangeKind,
     /// Request payload bytes.
     pub req_bytes: usize,
-    /// Response payload bytes.
+    /// Response payload bytes (0 for failed attempts — nothing arrived).
     pub resp_bytes: usize,
     /// Communication cost charged.
     pub cost: Cost,
+    /// Whether the response was delivered.
+    pub status: ExchangeStatus,
 }
 
-/// The simulated network: per-source links and an exchange trace.
+/// A failed attempt reported by [`Network::try_exchange`]: the fault that
+/// occurred and the communication cost the attempt still charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailedExchange {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Cost charged for the failed attempt (request shipping, and for
+    /// timeouts the abandoned wait).
+    pub cost: Cost,
+}
+
+/// The simulated network: per-source links, an exchange trace, and an
+/// optional deterministic [`FaultPlan`].
 #[derive(Debug, Clone)]
 pub struct Network {
     links: Vec<Link>,
     trace: Vec<Exchange>,
     total: Cost,
+    /// Per-source accumulated cost, kept in sync with the trace so
+    /// [`Network::cost_for_source`] is O(1) in hot experiment loops.
+    per_source: Vec<Cost>,
+    /// Per-source attempt counters — the position in the fault schedule.
+    attempts: Vec<usize>,
+    faults: Option<FaultPlan>,
 }
 
 impl Network {
     /// Creates a network with one link per source.
     pub fn new(links: Vec<Link>) -> Network {
+        let n = links.len();
         Network {
             links,
             trace: Vec::new(),
             total: Cost::ZERO,
+            per_source: vec![Cost::ZERO; n],
+            attempts: vec![0; n],
+            faults: None,
         }
     }
 
@@ -86,7 +127,38 @@ impl Network {
         &self.links[source.0]
     }
 
+    /// Installs a fault plan; subsequent [`Network::try_exchange`] calls
+    /// consult it. The per-source schedules start from the current attempt
+    /// counters (zero on a fresh or reset network).
+    ///
+    /// # Panics
+    /// Panics if the plan does not cover exactly this network's sources.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.n_sources(),
+            self.links.len(),
+            "fault plan covers {} sources, network has {}",
+            plan.n_sources(),
+            self.links.len()
+        );
+        self.faults = Some(plan);
+    }
+
+    /// Removes the fault plan; every later attempt succeeds.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Performs (accounts for) one exchange and returns its cost.
+    ///
+    /// This is the infallible legacy entry point: it bypasses the fault
+    /// plan and does not advance the fault schedule. Fault-aware callers
+    /// use [`Network::try_exchange`].
     ///
     /// # Panics
     /// Panics if `source` is out of range.
@@ -98,15 +170,101 @@ impl Network {
         resp_bytes: usize,
     ) -> Cost {
         let cost = self.links[source.0].exchange_cost(req_bytes, resp_bytes);
+        self.record(
+            source,
+            kind,
+            req_bytes,
+            resp_bytes,
+            cost,
+            ExchangeStatus::Ok,
+        );
+        cost
+    }
+
+    /// Performs one exchange under the fault plan.
+    ///
+    /// Consumes the next slot of `source`'s fault schedule. On success,
+    /// returns the (possibly slowed) cost. On failure, returns the fault
+    /// kind and the cost the attempt still charged — the request was
+    /// shipped (and, for timeouts, the wait endured) even though nothing
+    /// came back. Either way the attempt is recorded in the trace and in
+    /// all cost accumulators.
+    ///
+    /// Without a fault plan this is exactly [`Network::exchange`] (but it
+    /// still advances the attempt counter).
+    ///
+    /// # Errors
+    /// Returns a [`FailedExchange`] when the fault plan fails the attempt.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn try_exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Result<Cost, FailedExchange> {
+        let attempt = self.attempts[source.0];
+        self.attempts[source.0] += 1;
+        let decision = match &self.faults {
+            Some(plan) => plan.decide(source, attempt),
+            None => FaultDecision::Deliver { cost_factor: 1.0 },
+        };
+        let link = &self.links[source.0];
+        match decision {
+            FaultDecision::Deliver { cost_factor } => {
+                let cost = link.exchange_cost(req_bytes, resp_bytes) * cost_factor;
+                self.record(
+                    source,
+                    kind,
+                    req_bytes,
+                    resp_bytes,
+                    cost,
+                    ExchangeStatus::Ok,
+                );
+                Ok(cost)
+            }
+            FaultDecision::Fail(fault) => {
+                // The request went out; no payload came back.
+                let mut cost = link.exchange_cost(req_bytes, 0);
+                if fault == FaultKind::Timeout {
+                    if let Some(plan) = &self.faults {
+                        cost += Cost::new(plan.spec(source).timeout_wait);
+                    }
+                }
+                self.record(
+                    source,
+                    kind,
+                    req_bytes,
+                    0,
+                    cost,
+                    ExchangeStatus::Failed(fault),
+                );
+                Err(FailedExchange { kind: fault, cost })
+            }
+        }
+    }
+
+    fn record(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+        cost: Cost,
+        status: ExchangeStatus,
+    ) {
         self.trace.push(Exchange {
             source,
             kind,
             req_bytes,
             resp_bytes,
             cost,
+            status,
         });
         self.total += cost;
-        cost
+        self.per_source[source.0] += cost;
     }
 
     /// Every exchange so far, in order.
@@ -114,18 +272,18 @@ impl Network {
         &self.trace
     }
 
-    /// Total communication cost so far.
+    /// Total communication cost so far (failed attempts included).
     pub fn total_cost(&self) -> Cost {
         self.total
     }
 
-    /// Total cost of exchanges with one source.
+    /// Total cost of exchanges with one source. O(1): maintained
+    /// incrementally rather than rescanning the trace.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
     pub fn cost_for_source(&self, source: SourceId) -> Cost {
-        self.trace
-            .iter()
-            .filter(|e| e.source == source)
-            .map(|e| e.cost)
-            .sum()
+        self.per_source[source.0]
     }
 
     /// Number of exchanges of a given kind.
@@ -133,16 +291,35 @@ impl Network {
         self.trace.iter().filter(|e| e.kind == kind).count()
     }
 
-    /// Clears the trace and accumulated total (links stay).
+    /// Number of failed attempts in the trace.
+    pub fn failed_count(&self) -> usize {
+        self.trace.iter().filter(|e| !e.status.is_ok()).count()
+    }
+
+    /// Total cost charged by failed attempts.
+    pub fn failed_cost(&self) -> Cost {
+        self.trace
+            .iter()
+            .filter(|e| !e.status.is_ok())
+            .map(|e| e.cost)
+            .sum()
+    }
+
+    /// Clears the trace, accumulated totals, and fault-schedule positions
+    /// (links and the fault plan stay) — a reset network replays the same
+    /// fault schedule from the top.
     pub fn reset(&mut self) {
         self.trace.clear();
         self.total = Cost::ZERO;
+        self.per_source.fill(Cost::ZERO);
+        self.attempts.fill(0);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use crate::link::LinkProfile;
 
     fn net() -> Network {
@@ -160,6 +337,25 @@ mod tests {
         assert_eq!(n.cost_for_source(SourceId(1)), c2);
         assert_eq!(n.count_kind(ExchangeKind::Selection), 1);
         assert_eq!(n.count_kind(ExchangeKind::Load), 0);
+        assert_eq!(n.failed_count(), 0);
+    }
+
+    #[test]
+    fn per_source_accumulators_match_trace_rescan() {
+        let mut n = net();
+        for i in 0..10 {
+            n.exchange(SourceId(i % 2), ExchangeKind::Selection, 100 + i, 50);
+            let _ = n.try_exchange(SourceId(i % 2), ExchangeKind::BindingProbe, 10, 10);
+        }
+        for j in 0..2 {
+            let rescan: Cost = n
+                .trace()
+                .iter()
+                .filter(|e| e.source == SourceId(j))
+                .map(|e| e.cost)
+                .sum();
+            assert_eq!(n.cost_for_source(SourceId(j)), rescan);
+        }
     }
 
     #[test]
@@ -177,6 +373,7 @@ mod tests {
         n.reset();
         assert!(n.trace().is_empty());
         assert_eq!(n.total_cost(), Cost::ZERO);
+        assert_eq!(n.cost_for_source(SourceId(0)), Cost::ZERO);
         assert_eq!(n.source_count(), 2);
     }
 
@@ -191,5 +388,102 @@ mod tests {
     fn exchange_kind_display() {
         assert_eq!(ExchangeKind::Selection.to_string(), "sq");
         assert_eq!(ExchangeKind::BindingProbe.to_string(), "probe");
+    }
+
+    #[test]
+    fn try_exchange_without_plan_equals_exchange() {
+        let mut a = net();
+        let mut b = net();
+        let ca = a.exchange(SourceId(0), ExchangeKind::Selection, 100, 200);
+        let cb = b
+            .try_exchange(SourceId(0), ExchangeKind::Selection, 100, 200)
+            .unwrap();
+        assert_eq!(ca, cb);
+        assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn failed_attempts_charge_and_trace() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan::none(2).with_outage(SourceId(0), 0));
+        let err = n
+            .try_exchange(SourceId(0), ExchangeKind::Selection, 100, 200)
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Outage);
+        assert!(err.cost > Cost::ZERO, "request shipping is still charged");
+        assert_eq!(n.trace().len(), 1);
+        assert_eq!(
+            n.trace()[0].status,
+            ExchangeStatus::Failed(FaultKind::Outage)
+        );
+        assert_eq!(n.trace()[0].resp_bytes, 0, "nothing came back");
+        assert_eq!(n.failed_count(), 1);
+        assert_eq!(n.failed_cost(), err.cost);
+        assert_eq!(n.total_cost(), err.cost);
+        assert_eq!(n.cost_for_source(SourceId(0)), err.cost);
+        // The healthy source is unaffected.
+        assert!(n
+            .try_exchange(SourceId(1), ExchangeKind::Selection, 10, 10)
+            .is_ok());
+    }
+
+    #[test]
+    fn timeouts_charge_the_abandoned_wait() {
+        let mut n = net();
+        let spec = FaultSpec {
+            timeout_rate: 1.0,
+            timeout_wait: 5.0,
+            ..FaultSpec::none()
+        };
+        n.set_fault_plan(FaultPlan::uniform(2, 3, spec));
+        let err = n
+            .try_exchange(SourceId(0), ExchangeKind::Selection, 100, 200)
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Timeout);
+        let base = LinkProfile::Lan.link().exchange_cost(100, 0);
+        assert_eq!(err.cost, base + Cost::new(5.0));
+    }
+
+    #[test]
+    fn reset_replays_the_same_fault_schedule() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan::uniform(2, 42, FaultSpec::transient(0.5)));
+        let run = |n: &mut Network| -> Vec<bool> {
+            (0..32)
+                .map(|_| {
+                    n.try_exchange(SourceId(0), ExchangeKind::Selection, 50, 50)
+                        .is_ok()
+                })
+                .collect()
+        };
+        let first = run(&mut n);
+        n.reset();
+        let second = run(&mut n);
+        assert_eq!(first, second);
+        assert!(first.iter().any(|b| *b) && first.iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn slowdown_multiplies_cost() {
+        let mut n = net();
+        let spec = FaultSpec {
+            slowdown_rate: 1.0,
+            slowdown_factor: 3.0,
+            ..FaultSpec::none()
+        };
+        n.set_fault_plan(FaultPlan::uniform(2, 0, spec));
+        let slowed = n
+            .try_exchange(SourceId(0), ExchangeKind::Selection, 100, 200)
+            .unwrap();
+        let base = LinkProfile::Lan.link().exchange_cost(100, 200);
+        assert_eq!(slowed, base * 3.0);
+        assert!(n.trace()[0].status.is_ok(), "slowdowns still deliver");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan covers")]
+    fn mismatched_fault_plan_rejected() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan::none(5));
     }
 }

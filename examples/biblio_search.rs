@@ -36,7 +36,7 @@ fn main() {
     let mut network = scenario.network();
     let outcome = execute_plan(&plus.plan, &scenario.query, &scenario.sources, &mut network)
         .expect("execution succeeds");
-    let rt = response_time(&plus.plan, &outcome.ledger);
+    let rt = response_time(&plus.plan, &outcome.ledger).expect("ledger matches plan");
     println!(
         "Phase 1: {} matching documents, total work {}, parallel response time {:.3}",
         outcome.answer.len(),

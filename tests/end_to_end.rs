@@ -143,7 +143,7 @@ fn response_time_and_two_phase() {
     let opt = sja_optimal(&model);
     let mut network = scenario.network();
     let out = execute_plan(&opt.plan, &scenario.query, &scenario.sources, &mut network).unwrap();
-    let rt = response_time(&opt.plan, &out.ledger);
+    let rt = response_time(&opt.plan, &out.ledger).unwrap();
     assert!(rt <= out.total_cost().value() + 1e-9);
     assert!(rt > 0.0);
     let fetched = fetch_records(&out.answer, &scenario.sources, &mut network).unwrap();
