@@ -5,6 +5,8 @@
 //! cargo run -p fusion-bench --release --bin experiments -- e4-heterogeneity
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -11,6 +11,7 @@ pub mod heterogeneity;
 pub mod one_phase;
 pub mod optimality;
 pub mod postopt;
+pub mod pruning;
 pub mod response;
 pub mod response_opt;
 pub mod sweeps;
@@ -66,7 +67,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 21] = [
     "fig1",
     "fig2",
     "fig5",
@@ -87,6 +88,7 @@ pub const ALL: [&str; 20] = [
     "e15-calibration",
     "e16-one-phase",
     "e17-availability",
+    "e18-pruning",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -178,6 +180,10 @@ pub fn run(name: &str) -> bool {
         }
         "e17-availability" => {
             availability::e17_availability();
+            true
+        }
+        "e18-pruning" => {
+            pruning::e18_pruning();
             true
         }
         _ => false,

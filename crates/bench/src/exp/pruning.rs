@@ -1,0 +1,112 @@
+//! E18: optimizer-time interval pruning for the SJ/SJA searches.
+//!
+//! The exhaustive SJ/SJA optimizers price all `m!` condition orderings
+//! (every prefix of every ordering). The branch-and-bound variants prune
+//! an ordering prefix as soon as its cost plus the dataflow module's
+//! admissible remaining-cost lower bound already exceeds the incumbent —
+//! returning **byte-identical plans** (shared tie-breaking) while
+//! expanding strictly fewer prefixes. This experiment measures both
+//! effects on the m = 6..8 sweeps where the factorial starts to bite.
+
+use crate::table::{fmt3, Table};
+use fusion_core::optimizer::{sj_branch_and_bound, sja_branch_and_bound, BnbStats};
+use fusion_core::{sj_optimal, sja_optimal};
+use std::time::Instant;
+
+use super::optimality::random_model;
+
+/// Aggregated measurements for one (algorithm, m) cell.
+struct Cell {
+    exact_time: std::time::Duration,
+    bnb_time: std::time::Duration,
+    explored: usize,
+    full: usize,
+    identical: bool,
+}
+
+fn measure(m: usize, n: usize, seeds: u64, sja: bool) -> Cell {
+    let mut exact_time = std::time::Duration::ZERO;
+    let mut bnb_time = std::time::Duration::ZERO;
+    let mut explored = 0usize;
+    let mut identical = true;
+    for seed in 0..seeds {
+        let model = random_model(m, n, 1800 + seed);
+        let start = Instant::now();
+        let exact = if sja {
+            sja_optimal(&model)
+        } else {
+            sj_optimal(&model)
+        };
+        exact_time += start.elapsed();
+        let start = Instant::now();
+        let (bnb, stats) = if sja {
+            sja_branch_and_bound(&model)
+        } else {
+            sj_branch_and_bound(&model)
+        };
+        bnb_time += start.elapsed();
+        explored += stats.prefixes_explored;
+        identical &= bnb.plan.listing() == exact.plan.listing();
+    }
+    Cell {
+        exact_time,
+        bnb_time,
+        explored,
+        full: BnbStats::exhaustive_prefixes(m) * seeds as usize,
+        identical,
+    }
+}
+
+/// E18: exhaustive vs branch-and-bound, SJ and SJA, m = 6..8 at n = 8.
+pub fn e18_pruning() {
+    const SEEDS: u64 = 10;
+    for (name, sja) in [("SJ", false), ("SJA", true)] {
+        let mut t = Table::new(
+            format!("E18: {name} branch-and-bound pruning (n=8, {SEEDS} random models per m)"),
+            &[
+                "m",
+                "prefixes (exhaustive)",
+                "prefixes (B&B)",
+                "expanded",
+                "exact time",
+                "B&B time",
+                "speedup",
+                "plans identical",
+            ],
+        );
+        for m in 6..=8 {
+            let c = measure(m, 8, SEEDS, sja);
+            t.row(vec![
+                m.to_string(),
+                c.full.to_string(),
+                c.explored.to_string(),
+                format!("{:.1}%", 100.0 * c.explored as f64 / c.full as f64),
+                format!("{:.2?}", c.exact_time),
+                format!("{:.2?}", c.bnb_time),
+                fmt3(c.exact_time.as_secs_f64() / c.bnb_time.as_secs_f64().max(1e-12)),
+                c.identical.to_string(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bnb_expands_fewer_prefixes_and_matches_exact() {
+        for sja in [false, true] {
+            let c = measure(6, 8, 3, sja);
+            assert!(c.identical, "sja={sja}: plans diverged");
+            assert!(
+                c.explored < c.full,
+                "sja={sja}: {} !< {}",
+                c.explored,
+                c.full
+            );
+        }
+    }
+}

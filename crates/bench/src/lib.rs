@@ -22,6 +22,8 @@
 //!
 //! Run with `cargo run -p fusion-bench --release --bin experiments -- all`.
 
+#![forbid(unsafe_code)]
+
 pub mod exp;
 pub mod microbench;
 pub mod table;

@@ -14,16 +14,19 @@
 //! executed cost 1.417 over 7 round trips
 //! ```
 
+#![forbid(unsafe_code)]
+
 use fusion_core::optimizer::sja_response_optimal;
 use fusion_core::postopt::sja_plus;
 use fusion_core::query::FusionQuery;
 use fusion_core::{
-    analyze_plan, explain, filter_plan, greedy_sja, lint_plan, sj_optimal, sja_optimal,
-    NetworkCostModel, Plan, Verdict,
+    analyze_plan, dataflow_lint_plan, explain, filter_plan, greedy_sja, sj_optimal, sja_optimal,
+    Dataflow, Diagnostic, NetworkCostModel, Plan, SourceBounds, Verdict,
 };
 use fusion_exec::{execute_plan, execute_plan_ft, fetch_records, RetryPolicy};
 use fusion_net::{FaultPlan, FaultSpec, Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
+use fusion_stats::TableStats;
 use fusion_types::error::{FusionError, Result};
 use fusion_types::{Attribute, Relation, Schema, SourceId, ValueType};
 
@@ -120,14 +123,9 @@ impl Session {
             "schema" => self.cmd_schema(arg),
             "load" => self.cmd_load(arg),
             "sources" => Ok(self.cmd_sources()),
-            "explain" => {
-                if let Some(rest) = arg.strip_prefix("--analyze") {
-                    self.query(rest.trim(), QueryMode::ExplainAnalyze)
-                } else {
-                    self.query(arg, QueryMode::Explain)
-                }
-            }
+            "explain" => self.cmd_explain(arg),
             "lint" => self.cmd_lint(arg),
+            "dataflow" => self.cmd_dataflow(arg),
             "fetch" => self.query(arg, QueryMode::Fetch),
             "gantt" => self.cmd_gantt(arg),
             "trace" => self.cmd_trace(arg),
@@ -351,11 +349,14 @@ impl Session {
         ))
     }
 
-    /// Runs the semantic analyzer and lint registry over every
-    /// algorithm's plan for the query.
-    fn cmd_lint(&mut self, sql: &str) -> Result<String> {
+    /// Runs the semantic analyzer and the full lint registry (structural
+    /// + dataflow rules) over every algorithm's plan for the query.
+    fn cmd_lint(&mut self, arg: &str) -> Result<String> {
+        let (flags, sql) = split_flags(arg);
+        let json = parse_flags(&flags, &["--json"])?[0];
         let (query, sources, network) = self.materialize(sql)?;
         let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let bounds = self.source_bounds(&query);
         let plans: Vec<(&str, Plan)> = vec![
             ("filter", filter_plan(&model).plan),
             ("sj", sj_optimal(&model).plan),
@@ -363,6 +364,15 @@ impl Session {
             ("greedy", greedy_sja(&model).plan),
             ("sja+", sja_plus(&model).plan),
         ];
+        if json {
+            let mut rows = Vec::new();
+            for (name, plan) in &plans {
+                for d in dataflow_lint_plan(plan, &model, &bounds)? {
+                    rows.push(diagnostic_json(Some(name), &d));
+                }
+            }
+            return Ok(json_array(&rows));
+        }
         let mut out = String::new();
         let mut findings = 0usize;
         for (name, plan) in &plans {
@@ -372,7 +382,7 @@ impl Session {
             } else {
                 "REFUTED"
             };
-            let diags = lint_plan(plan)?;
+            let diags = dataflow_lint_plan(plan, &model, &bounds)?;
             out.push_str(&format!("{name}: {} steps, {verdict}", plan.steps.len()));
             if diags.is_empty() {
                 out.push_str(", no lint findings\n");
@@ -389,6 +399,112 @@ impl Session {
             plans.len()
         ));
         Ok(out)
+    }
+
+    /// `\explain [--analyze] [--bounds] [--json] <sql>`: optimizer cost
+    /// comparison and the annotated SJA+ plan, optionally with the
+    /// semantic proof + lints (`--analyze`), static cardinality/cost
+    /// intervals (`--bounds`), or machine-readable diagnostics
+    /// (`--json`, requires `--analyze`).
+    fn cmd_explain(&mut self, arg: &str) -> Result<String> {
+        let (flags, sql) = split_flags(arg);
+        let parsed = parse_flags(&flags, &["--analyze", "--bounds", "--json"])?;
+        let (analyze, bounds_mode, json) = (parsed[0], parsed[1], parsed[2]);
+        if json && !analyze {
+            return Err(FusionError::execution(
+                "\\explain --json requires --analyze (it emits the diagnostics)",
+            ));
+        }
+        if sql.is_empty() {
+            return Err(FusionError::execution("empty query"));
+        }
+        let (query, sources, network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let f = filter_plan(&model);
+        let sj = sj_optimal(&model);
+        let sja = sja_optimal(&model);
+        let plus = sja_plus(&model);
+        let bounds = self.source_bounds(&query);
+        if json {
+            let rows: Vec<String> = dataflow_lint_plan(&plus.plan, &model, &bounds)?
+                .iter()
+                .map(|d| diagnostic_json(None, d))
+                .collect();
+            return Ok(json_array(&rows));
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "estimated costs: FILTER {} | SJ {} | SJA {} | SJA+ {}\n\n",
+            f.cost, sj.cost, sja.cost, plus.cost
+        ));
+        out.push_str(&explain(&plus.plan, &model, Some(query.conditions())));
+        if analyze {
+            let analysis = analyze_plan(&plus.plan)?;
+            match analysis.verdict() {
+                Verdict::Proved => out.push_str(
+                    "\nsemantic analysis: proved — the plan computes \
+                     ⋂_i ⋃_j sq(c_i, R_j)",
+                ),
+                Verdict::Refuted(cx) => {
+                    out.push_str(&format!("\nsemantic analysis: REFUTED\n{cx}"));
+                }
+            }
+            let diags = dataflow_lint_plan(&plus.plan, &model, &bounds)?;
+            if diags.is_empty() {
+                out.push_str("\nlint: no findings");
+            } else {
+                out.push_str("\nlint:");
+                for d in &diags {
+                    out.push_str(&format!("\n  {d}"));
+                }
+            }
+        }
+        if bounds_mode {
+            let df = fusion_core::analyze_dataflow(&plus.plan, &model, &bounds)?;
+            out.push('\n');
+            out.push_str(&render_bounds(&plus.plan, &df));
+        }
+        Ok(out)
+    }
+
+    /// `\dataflow <sql>`: the SJA+ plan's def-use/liveness summary, its
+    /// certified parallel-stage decomposition, and the static
+    /// cardinality and cost intervals seeded from real per-source
+    /// statistics.
+    fn cmd_dataflow(&mut self, sql: &str) -> Result<String> {
+        let (query, sources, network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let plus = sja_plus(&model);
+        let bounds = self.source_bounds(&query);
+        let df = fusion_core::analyze_dataflow(&plus.plan, &model, &bounds)?;
+        let dead = df.live.iter().filter(|l| !**l).count();
+        let mut out = format!(
+            "SJA+ plan: {} steps, {} live, {} dead\n",
+            plus.plan.steps.len(),
+            plus.plan.steps.len() - dead,
+            dead
+        );
+        out.push_str(&format!(
+            "parallel stages (certificate checked against the BDD analyzer): {}\n",
+            df.stages.stages.len()
+        ));
+        for (i, steps) in df.stages.stages.iter().enumerate() {
+            let list: Vec<String> = steps.iter().map(|t| (t + 1).to_string()).collect();
+            out.push_str(&format!("  stage {}: steps {}\n", i + 1, list.join(", ")));
+        }
+        out.push_str(&render_bounds(&plus.plan, &df));
+        Ok(out)
+    }
+
+    /// Per-source statistics-seeded interval bounds for the query.
+    fn source_bounds(&self, query: &FusionQuery) -> SourceBounds {
+        let stats: Vec<TableStats> = self
+            .sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| TableStats::build(&s.relation, i as u64))
+            .collect();
+        SourceBounds::from_stats(query.conditions(), &stats)
     }
 
     /// Renders an ASCII Gantt chart of the SJA+ plan's parallel schedule.
@@ -610,40 +726,6 @@ executed cost {} with per-round re-optimization:",
         let (query, sources, mut network) = self.materialize(sql)?;
         let model = NetworkCostModel::new(&sources, &network, &query, None);
         match mode {
-            QueryMode::Explain | QueryMode::ExplainAnalyze => {
-                let mut out = String::new();
-                let f = filter_plan(&model);
-                let sj = sj_optimal(&model);
-                let sja = sja_optimal(&model);
-                let plus = sja_plus(&model);
-                out.push_str(&format!(
-                    "estimated costs: FILTER {} | SJ {} | SJA {} | SJA+ {}\n\n",
-                    f.cost, sj.cost, sja.cost, plus.cost
-                ));
-                out.push_str(&explain(&plus.plan, &model, Some(query.conditions())));
-                if mode == QueryMode::ExplainAnalyze {
-                    let analysis = analyze_plan(&plus.plan)?;
-                    match analysis.verdict() {
-                        Verdict::Proved => out.push_str(
-                            "\nsemantic analysis: proved — the plan computes \
-                             ⋂_i ⋃_j sq(c_i, R_j)",
-                        ),
-                        Verdict::Refuted(cx) => {
-                            out.push_str(&format!("\nsemantic analysis: REFUTED\n{cx}"));
-                        }
-                    }
-                    let diags = lint_plan(&plus.plan)?;
-                    if diags.is_empty() {
-                        out.push_str("\nlint: no findings");
-                    } else {
-                        out.push_str("\nlint:");
-                        for d in &diags {
-                            out.push_str(&format!("\n  {d}"));
-                        }
-                    }
-                }
-                Ok(out)
-            }
             QueryMode::Execute | QueryMode::Fetch => {
                 let plus = sja_plus(&model);
                 let faults_on = self.faults.is_some();
@@ -740,9 +822,14 @@ commands:
          caps: full | emulated:N | selection-only
          link: lan | wan | inter | slow
   \\sources                               list registered sources
-  \\explain [--analyze] <sql>             optimizer costs + annotated plan
+  \\explain [--analyze] [--bounds] [--json] <sql>
+         optimizer costs + annotated plan
          --analyze: also prove the plan computes the fusion query + lint it
-  \\lint <sql>                            analyze + lint every algorithm's plan
+         --bounds:  static cardinality/cost intervals + response-time bound
+         --json:    with --analyze, emit the diagnostics as JSON
+  \\lint [--json] <sql>                   analyze + lint every algorithm's plan
+  \\dataflow <sql>                        liveness, certified parallel stages,
+         and statistics-seeded interval bounds for the SJA+ plan
   \\plan <filter|sj|sja|sja+|greedy|rt> <sql>   show one algorithm's plan
   \\fetch <sql>                           execute, then fetch full records
   \\faults [off | seed=N transient=P timeout=P slow=PxF outage=J@K]
@@ -757,9 +844,98 @@ anything else is parsed as a fusion query and executed with SJA+";
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum QueryMode {
     Execute,
-    Explain,
-    ExplainAnalyze,
     Fetch,
+}
+
+/// Splits leading `--flag` tokens off a command argument.
+fn split_flags(arg: &str) -> (Vec<&str>, &str) {
+    let mut rest = arg.trim();
+    let mut flags = Vec::new();
+    while rest.starts_with("--") {
+        let (flag, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        flags.push(flag);
+        rest = tail.trim();
+    }
+    (flags, rest)
+}
+
+/// Matches the given flags against the `known` set; returns one bool per
+/// known flag and rejects anything else.
+fn parse_flags(flags: &[&str], known: &[&str]) -> Result<Vec<bool>> {
+    let mut on = vec![false; known.len()];
+    for f in flags {
+        match known.iter().position(|k| k == f) {
+            Some(i) => on[i] = true,
+            None => {
+                return Err(FusionError::execution(format!(
+                    "unknown flag `{f}` (expected {})",
+                    known.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(on)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One diagnostic as a JSON object (with an optional `algo` tag).
+fn diagnostic_json(algo: Option<&str>, d: &Diagnostic) -> String {
+    let mut fields = Vec::new();
+    if let Some(a) = algo {
+        fields.push(format!("\"algo\": \"{}\"", json_escape(a)));
+    }
+    fields.push(format!("\"rule\": \"{}\"", json_escape(d.rule)));
+    fields.push(format!("\"severity\": \"{}\"", d.severity));
+    fields.push(format!("\"step\": {}", d.step));
+    fields.push(format!("\"message\": \"{}\"", json_escape(&d.message)));
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Renders a JSON array, one element per line.
+fn json_array(rows: &[String]) -> String {
+    if rows.is_empty() {
+        return "[]".into();
+    }
+    format!("[\n  {}\n]", rows.join(",\n  "))
+}
+
+/// Renders the per-step interval table of a dataflow analysis.
+fn render_bounds(plan: &Plan, df: &Dataflow) -> String {
+    let listing = plan.listing();
+    let lines: Vec<&str> = listing.lines().collect();
+    let width = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::from("static bounds (|out| and cost per step):\n");
+    for (t, line) in lines.iter().enumerate() {
+        let pad = width - line.chars().count();
+        out.push_str(&format!(
+            "  {}{}  |out| ∈ {}  cost ∈ {}{}\n",
+            line,
+            " ".repeat(pad),
+            df.step_bounds[t],
+            df.step_costs[t],
+            if df.live[t] { "" } else { "  (dead)" }
+        ));
+    }
+    out.push_str(&format!(
+        "plan cost ∈ {}; response time ≥ {:.3}",
+        df.total_cost, df.response_lb
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -807,6 +983,79 @@ mod tests {
         assert!(out.contains("estimated costs"), "{out}");
         assert!(out.contains("semantic analysis: proved"), "{out}");
         assert!(out.contains("lint:"), "{out}");
+    }
+
+    #[test]
+    fn explain_bounds_prints_intervals() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\explain --bounds {DMV_SQL}"));
+        assert!(out.contains("static bounds"), "{out}");
+        assert!(out.contains("|out| ∈ ["), "{out}");
+        assert!(out.contains("plan cost ∈ ["), "{out}");
+        assert!(out.contains("response time ≥"), "{out}");
+        // Flags compose: --analyze --bounds shows both sections.
+        let out = run(&mut s, &format!("\\explain --analyze --bounds {DMV_SQL}"));
+        assert!(out.contains("semantic analysis: proved"), "{out}");
+        assert!(out.contains("static bounds"), "{out}");
+    }
+
+    #[test]
+    fn explain_json_emits_diagnostics() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\explain --analyze --json {DMV_SQL}"));
+        // The optimizer's plan is clean, so the array is empty — but it
+        // must still be valid JSON.
+        assert_eq!(out, "[]", "{out}");
+        let out = run(&mut s, &format!("\\explain --json {DMV_SQL}"));
+        assert!(out.contains("error"), "{out}");
+        let out = run(&mut s, &format!("\\explain --nope {DMV_SQL}"));
+        assert!(out.contains("unknown flag"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_mode_is_machine_readable() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        // The toy DMV relations are so small that shipping queries over
+        // the WAN costs more than loading them outright, so the
+        // dataflow cost lint fires on the query-only plans — and the
+        // JSON mode reports each finding as one object.
+        let out = run(&mut s, &format!("\\lint --json {DMV_SQL}"));
+        assert!(out.starts_with("[\n"), "{out}");
+        assert!(out.ends_with("\n]"), "{out}");
+        assert!(
+            out.contains("{\"algo\": \"filter\", \"rule\": \"transfer-exceeds-load\", \"severity\": \"warning\", \"step\": 1, \"message\": "),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn dataflow_command_reports_stages_and_bounds() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\dataflow {DMV_SQL}"));
+        assert!(out.contains("certificate checked"), "{out}");
+        assert!(out.contains("stage 1: steps"), "{out}");
+        assert!(out.contains("|out| ∈ ["), "{out}");
+        assert!(out.contains("response time ≥"), "{out}");
+        assert!(!out.contains("(dead)"), "{out}");
+    }
+
+    #[test]
+    fn diagnostic_json_escapes_and_tags() {
+        let d = Diagnostic {
+            rule: "dead-step",
+            severity: fusion_core::analyze::Severity::Warning,
+            step: 3,
+            message: "say \"hi\"\\".into(),
+        };
+        assert_eq!(
+            diagnostic_json(Some("sja"), &d),
+            "{\"algo\": \"sja\", \"rule\": \"dead-step\", \"severity\": \"warning\", \
+             \"step\": 3, \"message\": \"say \\\"hi\\\"\\\\\"}"
+        );
     }
 
     #[test]

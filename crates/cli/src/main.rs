@@ -4,6 +4,8 @@
 //! cargo run -p fusion-cli --bin fusionq
 //! ```
 
+#![forbid(unsafe_code)]
+
 use fusion_cli::{Control, Session};
 use std::io::{BufRead, Write};
 

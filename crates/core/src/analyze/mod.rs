@@ -243,7 +243,7 @@ pub fn analyze_plan(plan: &Plan) -> Result<Analysis> {
     plan.validate()?;
     let mut mgr = BddManager::new();
     let atoms = AtomMap::new(plan, &mut mgr);
-    let (values, rel_source) = interpret(plan, &mut mgr, &atoms, None, &[]);
+    let (values, rel_source) = interpret(plan, &mut mgr, &atoms, None, &[], None);
     let target = fusion_target(plan, &mut mgr, &atoms);
     let result_value = values[plan.result.0];
     let verdict = decide(plan, &mut mgr, &atoms, &values, result_value, target);
@@ -265,18 +265,31 @@ pub fn analyze_plan(plan: &Plan) -> Result<Analysis> {
 /// as producing the empty set (`FALSE`), which is exactly what the
 /// fault-tolerant executor substitutes when a source dies: a dropped `lq`
 /// leaves an empty loaded relation, so local selections over it are empty
-/// too.
+/// too. With `order = Some(o)`, the steps are interpreted in that order
+/// instead of listing order (the dataflow stage certificate uses this to
+/// prove a reordering semantics-preserving); Bloom collision atoms stay
+/// keyed by *original* step index, so reorderings compare like for like.
 fn interpret(
     plan: &Plan,
     mgr: &mut BddManager,
     atoms: &AtomMap,
     substitute: Option<(usize, VarId)>,
     dropped: &[usize],
+    order: Option<&[usize]>,
 ) -> (Vec<NodeId>, Vec<Option<usize>>) {
     let mut values = vec![FALSE; plan.var_names.len()];
     let mut rel_source = vec![None; plan.rel_names.len()];
     let mut rel_dropped = vec![false; plan.rel_names.len()];
-    for (t, step) in plan.steps.iter().enumerate() {
+    let listing_order: Vec<usize>;
+    let indices: &[usize] = match order {
+        Some(o) => o,
+        None => {
+            listing_order = (0..plan.steps.len()).collect();
+            &listing_order
+        }
+    };
+    for &t in indices {
+        let step = &plan.steps[t];
         if dropped.contains(&t) {
             match step {
                 Step::Lq { out, .. } => rel_dropped[out.0] = true,
@@ -501,7 +514,17 @@ impl Analysis {
     /// `z`, returning the new result predicate. Hash-consing makes this
     /// cheap: unchanged prefixes reuse existing nodes.
     pub fn result_with_semijoin_input(&mut self, plan: &Plan, t: usize, z: VarId) -> NodeId {
-        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, Some((t, z)), &[]);
+        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, Some((t, z)), &[], None);
+        values[plan.result.0]
+    }
+
+    /// Re-interprets the plan with its steps executed in `order` (a
+    /// permutation of step indices) and returns the result predicate.
+    /// Equality with [`result_value`](Analysis::result_value) proves the
+    /// reordering semantics-preserving in every possible world — the
+    /// machine check behind the dataflow stage certificate.
+    pub fn result_with_step_order(&mut self, plan: &Plan, order: &[usize]) -> NodeId {
+        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, None, &[], Some(order));
         values[plan.result.0]
     }
 
@@ -509,7 +532,7 @@ impl Analysis {
     /// set — the abstraction of a fault-tolerant executor that drops the
     /// steps of a dead source — and returns the new result predicate.
     pub fn result_with_steps_empty(&mut self, plan: &Plan, dropped: &[usize]) -> NodeId {
-        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, None, dropped);
+        let (values, _) = interpret(plan, &mut self.mgr, &self.atoms, None, dropped, None);
         values[plan.result.0]
     }
 

@@ -62,7 +62,14 @@ pub fn estimate_plan_cost<M: CostModel>(plan: &Plan, model: &M) -> PlanEstimate 
             } => {
                 let k = var_est[input.0];
                 var_est[out.0] = k * model.source_sel(*cond, *source);
-                model.sjq_cost(*cond, *source, k)
+                if k == 0.0 {
+                    // The executor never ships an empty binding set: the
+                    // semijoin degenerates to a free local no-op (the
+                    // ledger records zero), and the estimate must agree.
+                    Cost::ZERO
+                } else {
+                    model.sjq_cost(*cond, *source, k)
+                }
             }
             Step::SjqBloom {
                 out,
@@ -233,6 +240,33 @@ mod tests {
         assert_eq!(est.cost, Cost::new(120.0));
         // Result: est_sq_items of (c2, R1) = 5.
         assert_eq!(est.result_items, 5.0);
+    }
+
+    #[test]
+    fn empty_input_semijoin_is_priced_free() {
+        // When the running set is estimated empty, the executor's
+        // semijoin no-op ships nothing and the ledger records zero; the
+        // estimator must price the step identically.
+        let mut m = model();
+        for j in 0..2 {
+            m.set_est_sq_items(CondId(0), SourceId(j), 0.0);
+        }
+        let spec = SimplePlanSpec {
+            order: vec![CondId(0), CondId(1)],
+            choices: vec![
+                vec![crate::plan::SourceChoice::Selection; 2],
+                vec![crate::plan::SourceChoice::Semijoin; 2],
+            ],
+        };
+        let plan = spec.build(2).unwrap();
+        let est = estimate_plan_cost(&plan, &m);
+        for (step, cost) in plan.steps.iter().zip(&est.step_costs) {
+            if matches!(step, Step::Sjq { .. }) {
+                assert_eq!(*cost, Cost::ZERO);
+            }
+        }
+        // Only the two first-round selections are charged.
+        assert_eq!(est.cost, Cost::new(20.0));
     }
 
     #[test]

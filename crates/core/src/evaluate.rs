@@ -23,6 +23,25 @@ pub fn evaluate_plan(
     conditions: &[Condition],
     sources: &[Relation],
 ) -> Result<ItemSet> {
+    let vars = evaluate_plan_vars(plan, conditions, sources)?;
+    Ok(vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined"))
+}
+
+/// Evaluates `plan` and returns every item-set variable's final value
+/// (`None` for variables the plan never defines). The dataflow soundness
+/// battery uses this to compare observed cardinalities against static
+/// intervals, variable by variable.
+///
+/// # Errors
+/// Fails if the plan is structurally invalid or a predicate fails to
+/// evaluate.
+pub fn evaluate_plan_vars(
+    plan: &Plan,
+    conditions: &[Condition],
+    sources: &[Relation],
+) -> Result<Vec<Option<ItemSet>>> {
     plan.validate()?;
     if conditions.len() != plan.n_conditions {
         return Err(FusionError::invalid_plan(format!(
@@ -102,9 +121,7 @@ pub fn evaluate_plan(
             }
         }
     }
-    Ok(vars[plan.result.0]
-        .clone()
-        .expect("validated: result defined"))
+    Ok(vars)
 }
 
 #[cfg(test)]

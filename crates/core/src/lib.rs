@@ -29,8 +29,11 @@
 //!   framework flagging dead steps, duplicate queries, oversized
 //!   semijoin inputs, unused loads, and un-re-intersected Bloom results.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod cost;
+pub mod dataflow;
 pub mod estimate;
 pub mod evaluate;
 pub mod explain;
@@ -42,8 +45,12 @@ pub mod sampler;
 
 pub use analyze::{analyze_plan, lint_plan, Analysis, Counterexample, Diagnostic, Verdict};
 pub use cost::{calibrate, CalibratedCostModel, CostModel, NetworkCostModel, TableCostModel};
+pub use dataflow::{
+    analyze_dataflow, dataflow_lint_plan, stage_decomposition, CostInterval, Dataflow, Interval,
+    SourceBounds, StageDecomposition,
+};
 pub use estimate::{estimate_plan_cost, PlanEstimate};
-pub use evaluate::evaluate_plan;
+pub use evaluate::{evaluate_plan, evaluate_plan_vars};
 pub use explain::explain;
 pub use optimizer::{filter_plan, greedy_sja, sj_optimal, sja_optimal, OptimizedPlan};
 pub use plan::{Plan, PlanClass, RelVar, SimplePlanSpec, SourceChoice, Step, VarId};

@@ -1,23 +1,31 @@
-//! Branch-and-bound SJA: the exact optimum without visiting all `m!`
-//! orderings.
+//! Branch-and-bound SJ and SJA: the exact optimum without visiting all
+//! `m!` orderings.
 //!
-//! The paper accepts SJA's factorial ordering enumeration because "the
+//! The paper accepts the factorial ordering enumeration because "the
 //! number of conditions ... is usually small". When it is not, the greedy
 //! variant trades optimality for speed. Branch-and-bound keeps exactness:
 //! orderings are explored as a prefix tree, every prefix is priced
-//! incrementally (the same loop-B arithmetic as Figure 4), and a subtree
-//! is pruned as soon as its prefix cost alone reaches the best complete
-//! plan found so far — sound because round costs are non-negative (§2.4).
-//! Prefix costs and semijoin-set estimates depend only on the prefix, so
-//! the incremental state threads naturally through the DFS.
+//! incrementally (the same loop-B arithmetic as Figures 3 and 4), and a
+//! subtree is pruned as soon as its prefix cost plus an *admissible*
+//! completion bound reaches the best complete plan found so far. The
+//! bound comes from the static dataflow pass
+//! ([`remaining_cost_lower_bound`]): each unplaced condition must still
+//! pay, per source, at least the cheaper of its selection cost and its
+//! semijoin cost at the most-shrunk running set it could possibly see —
+//! an underestimate by the §2.4 monotonicity axiom, so pruning on it
+//! preserves exactness for both the uniform (SJ) and per-source (SJA)
+//! round rules.
 //!
 //! Seeding the bound with the greedy plan (already near-optimal in
 //! practice, E7) makes typical-case pruning drastic while the worst case
 //! stays `O(m!·n)`.
+//!
+//! [`remaining_cost_lower_bound`]: crate::dataflow::remaining_cost_lower_bound
 
-use super::greedy::greedy_sja;
-use super::{cost_ordering_sja, OptimizedPlan};
+use super::greedy::{greedy_sj, greedy_sja};
+use super::{cost_ordering_sj, cost_ordering_sja, OptimizedPlan};
 use crate::cost::CostModel;
+use crate::dataflow::remaining_cost_lower_bound;
 use crate::plan::SimplePlanSpec;
 use fusion_types::{CondId, Cost, SourceId};
 
@@ -28,6 +36,52 @@ pub struct BnbStats {
     pub prefixes_explored: usize,
     /// Subtrees cut by the bound.
     pub prunes: usize,
+}
+
+impl BnbStats {
+    /// Prefixes a full enumeration of `m` conditions prices:
+    /// `Σ_{k=1..m} m!/(m−k)!`.
+    pub fn exhaustive_prefixes(m: usize) -> usize {
+        let mut total = 0usize;
+        let mut partial = 1usize;
+        for k in 0..m {
+            partial *= m - k;
+            total += partial;
+        }
+        total
+    }
+}
+
+/// How a round is priced from the running-set estimate — the only
+/// difference between the SJ (Figure 3, uniform) and SJA (Figure 4,
+/// per-source) search spaces.
+#[derive(Clone, Copy)]
+enum RoundRule {
+    Uniform,
+    PerSource,
+}
+
+impl RoundRule {
+    fn price<M: CostModel>(self, model: &M, n: usize, cond: CondId, x_est: Option<f64>) -> Cost {
+        let Some(k) = x_est else {
+            // First round: selections everywhere, under both rules.
+            return (0..n).map(|j| model.sq_cost(cond, SourceId(j))).sum();
+        };
+        match self {
+            RoundRule::Uniform => {
+                let sel: Cost = (0..n).map(|j| model.sq_cost(cond, SourceId(j))).sum();
+                let semi: Cost = (0..n).map(|j| model.sjq_cost(cond, SourceId(j), k)).sum();
+                sel.min(semi)
+            }
+            RoundRule::PerSource => (0..n)
+                .map(|j| {
+                    model
+                        .sq_cost(cond, SourceId(j))
+                        .min(model.sjq_cost(cond, SourceId(j), k))
+                })
+                .sum(),
+        }
+    }
 }
 
 /// Exact SJA via branch-and-bound over condition orderings.
@@ -42,10 +96,54 @@ pub struct BnbStats {
 /// Panics if the model has no conditions.
 pub fn sja_branch_and_bound<M: CostModel>(model: &M) -> (OptimizedPlan, BnbStats) {
     assert!(model.n_conditions() > 0, "no conditions to optimize");
-    let m = model.n_conditions();
-    let n = model.n_sources();
-    // Seed the bound with the greedy plan.
     let seed = greedy_sja(model);
+    let (best_order, stats) = search(model, RoundRule::PerSource, &seed);
+    let (choices, cost, sizes) = cost_ordering_sja(model, &best_order);
+    let spec = SimplePlanSpec {
+        order: best_order.into_iter().map(CondId).collect(),
+        choices,
+    };
+    (
+        OptimizedPlan::from_spec(spec, cost, sizes, model.n_sources()),
+        stats,
+    )
+}
+
+/// Exact SJ via branch-and-bound over condition orderings.
+///
+/// Produces a plan with the same cost as [`sj_optimal`] under the same
+/// admissible bound as the SJA search: the uniform round price
+/// `min(Σ sq, Σ sjq)` never drops below the per-source sum of minima,
+/// which in turn never drops below the bound's pricing at the
+/// most-shrunk running set.
+///
+/// [`sj_optimal`]: super::sj_optimal
+///
+/// # Panics
+/// Panics if the model has no conditions.
+pub fn sj_branch_and_bound<M: CostModel>(model: &M) -> (OptimizedPlan, BnbStats) {
+    assert!(model.n_conditions() > 0, "no conditions to optimize");
+    let seed = greedy_sj(model);
+    let (best_order, stats) = search(model, RoundRule::Uniform, &seed);
+    let (choices, cost, sizes) = cost_ordering_sj(model, &best_order);
+    let spec = SimplePlanSpec {
+        order: best_order.into_iter().map(CondId).collect(),
+        choices,
+    };
+    (
+        OptimizedPlan::from_spec(spec, cost, sizes, model.n_sources()),
+        stats,
+    )
+}
+
+/// Runs the bounded DFS seeded with a greedy plan; returns the winning
+/// ordering and the search statistics.
+fn search<M: CostModel>(
+    model: &M,
+    rule: RoundRule,
+    seed: &OptimizedPlan,
+) -> (Vec<usize>, BnbStats) {
+    let m = model.n_conditions();
     let mut best_cost = seed.cost;
     let mut best_order: Vec<usize> = seed.spec.order.iter().map(|c| c.0).collect();
     let mut stats = BnbStats::default();
@@ -53,7 +151,7 @@ pub fn sja_branch_and_bound<M: CostModel>(model: &M) -> (OptimizedPlan, BnbStats
     let mut used = vec![false; m];
     dfs(
         model,
-        n,
+        rule,
         &mut prefix,
         &mut used,
         Cost::ZERO,
@@ -62,13 +160,7 @@ pub fn sja_branch_and_bound<M: CostModel>(model: &M) -> (OptimizedPlan, BnbStats
         &mut best_order,
         &mut stats,
     );
-    // Rebuild the winning plan with the standard pricing pass.
-    let (choices, cost, sizes) = cost_ordering_sja(model, &best_order);
-    let spec = SimplePlanSpec {
-        order: best_order.into_iter().map(CondId).collect(),
-        choices,
-    };
-    (OptimizedPlan::from_spec(spec, cost, sizes, n), stats)
+    (best_order, stats)
 }
 
 /// Extends `prefix` by every unused condition, pricing incrementally.
@@ -77,7 +169,7 @@ pub fn sja_branch_and_bound<M: CostModel>(model: &M) -> (OptimizedPlan, BnbStats
 #[allow(clippy::too_many_arguments)] // DFS state is naturally wide
 fn dfs<M: CostModel>(
     model: &M,
-    n: usize,
+    rule: RoundRule,
     prefix: &mut Vec<usize>,
     used: &mut [bool],
     prefix_cost: Cost,
@@ -87,52 +179,38 @@ fn dfs<M: CostModel>(
     stats: &mut BnbStats,
 ) {
     let m = used.len();
+    let n = model.n_sources();
     for cond_idx in 0..m {
         if used[cond_idx] {
             continue;
         }
         let cond = CondId(cond_idx);
         stats.prefixes_explored += 1;
-        // Price this round under the prefix (Figure 4's rules).
-        let mut round_cost = Cost::ZERO;
-        match x_est {
-            None => {
-                // First round: selections everywhere.
-                for j in 0..n {
-                    round_cost += model.sq_cost(cond, SourceId(j));
-                }
-            }
-            Some(k) => {
-                for j in 0..n {
-                    let sq = model.sq_cost(cond, SourceId(j));
-                    let sjq = model.sjq_cost(cond, SourceId(j), k);
-                    round_cost += sq.min(sjq);
-                }
-            }
-        }
-        let cost = prefix_cost + round_cost;
+        let cost = prefix_cost + rule.price(model, n, cond, x_est);
         let next_x = match x_est {
             None => model.est_condition_union(cond),
             Some(k) => k * model.gsel(cond),
         };
-        // Admissible bound: every remaining condition still costs at
-        // least its per-source minimum at the most-shrunk running set it
-        // could possibly see (sjq_cost is monotone in the set size).
-        let bound = cost + lower_bound_remaining(model, n, used, cond_idx, next_x);
-        if bound >= *best_cost {
+        let bound = cost + remaining_cost_lower_bound(model, used, cond_idx, next_x);
+        // Prune strictly-worse subtrees only: a subtree whose bound ties
+        // the incumbent may still hold an equally cheap ordering that the
+        // shared tie-break (lexicographically smaller order) prefers, and
+        // exactness-with-identical-tie-breaking requires visiting it.
+        if bound.value() > best_cost.value() + super::ordering_tie_tolerance(*best_cost) {
             stats.prunes += 1;
             continue;
         }
         prefix.push(cond_idx);
         used[cond_idx] = true;
         if prefix.len() == m {
-            // Complete ordering strictly under the bound.
-            *best_cost = cost;
-            best_order.clone_from(prefix);
+            if super::improves(cost, prefix, *best_cost, best_order) {
+                *best_cost = (*best_cost).min(cost);
+                best_order.clone_from(prefix);
+            }
         } else {
             dfs(
                 model,
-                n,
+                rule,
                 prefix,
                 used,
                 cost,
@@ -147,45 +225,11 @@ fn dfs<M: CostModel>(
     }
 }
 
-/// Admissible lower bound for the conditions still unplaced after
-/// tentatively placing `placing`: each is priced at the per-source
-/// minimum of its selection cost and its semijoin cost at `x_min` — the
-/// running-set size after *every* other remaining condition has already
-/// shrunk it. Monotone `sjq_cost` makes this an underestimate.
-fn lower_bound_remaining<M: CostModel>(
-    model: &M,
-    n: usize,
-    used: &[bool],
-    placing: usize,
-    x_after: f64,
-) -> Cost {
-    let remaining: Vec<usize> = (0..used.len())
-        .filter(|&i| !used[i] && i != placing)
-        .collect();
-    if remaining.is_empty() {
-        return Cost::ZERO;
-    }
-    let mut x_min = x_after;
-    for &u in &remaining {
-        x_min *= model.gsel(CondId(u));
-    }
-    let mut lb = Cost::ZERO;
-    for &u in &remaining {
-        let cond = CondId(u);
-        for j in 0..n {
-            let sq = model.sq_cost(cond, SourceId(j));
-            let sjq = model.sjq_cost(cond, SourceId(j), x_min);
-            lb += sq.min(sjq);
-        }
-    }
-    lb
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::TableCostModel;
-    use crate::optimizer::sja_optimal;
+    use crate::optimizer::{sj_optimal, sja_optimal};
     use fusion_stats::SplitMix64;
 
     fn random_model(m: usize, n: usize, seed: u64) -> TableCostModel {
@@ -208,11 +252,12 @@ mod tests {
 
     #[test]
     fn matches_exhaustive_sja_on_random_models() {
+        let (mut explored, mut full) = (0usize, 0usize);
         for seed in 0..25u64 {
             for m in 2..=5 {
                 let model = random_model(m, 4, 31_000 + seed);
                 let exact = sja_optimal(&model);
-                let (bnb, _) = sja_branch_and_bound(&model);
+                let (bnb, stats) = sja_branch_and_bound(&model);
                 assert!(
                     (bnb.cost.value() - exact.cost.value()).abs()
                         <= 1e-9 * exact.cost.value().max(1.0),
@@ -220,7 +265,72 @@ mod tests {
                     bnb.cost,
                     exact.cost
                 );
+                // Continuous random costs never tie, so the optimum is
+                // unique and the plans must be byte-identical.
+                assert_eq!(
+                    bnb.plan.listing(),
+                    exact.plan.listing(),
+                    "seed {seed} m {m}"
+                );
+                explored += stats.prefixes_explored;
+                full += BnbStats::exhaustive_prefixes(m);
                 bnb.plan.validate().unwrap();
+            }
+        }
+        // Over the battery the bound must cut real work (individual tiny
+        // instances can degenerate to full enumeration).
+        assert!(explored < full, "explored {explored} of {full}");
+    }
+
+    #[test]
+    fn matches_exhaustive_sj_on_random_models() {
+        let (mut explored, mut full) = (0usize, 0usize);
+        for seed in 0..25u64 {
+            for m in 2..=5 {
+                let model = random_model(m, 4, 47_000 + seed);
+                let exact = sj_optimal(&model);
+                let (bnb, stats) = sj_branch_and_bound(&model);
+                assert!(
+                    (bnb.cost.value() - exact.cost.value()).abs()
+                        <= 1e-9 * exact.cost.value().max(1.0),
+                    "seed {seed} m {m}: bnb {} vs exact {}",
+                    bnb.cost,
+                    exact.cost
+                );
+                assert_eq!(
+                    bnb.plan.listing(),
+                    exact.plan.listing(),
+                    "seed {seed} m {m}"
+                );
+                explored += stats.prefixes_explored;
+                full += BnbStats::exhaustive_prefixes(m);
+                bnb.plan.validate().unwrap();
+            }
+        }
+        assert!(explored < full, "explored {explored} of {full}");
+    }
+
+    #[test]
+    fn strictly_fewer_prefixes_at_sweep_sizes() {
+        // The E18 regime: m = 6..8 is where enumeration hurts and the
+        // bound must strictly cut the space, for both searches, on every
+        // seed.
+        for seed in 0..5u64 {
+            for m in 6..=7 {
+                let model = random_model(m, 4, 88_000 + seed);
+                let full = BnbStats::exhaustive_prefixes(m);
+                let (_, sja_stats) = sja_branch_and_bound(&model);
+                let (_, sj_stats) = sj_branch_and_bound(&model);
+                assert!(
+                    sja_stats.prefixes_explored < full,
+                    "seed {seed} m {m}: SJA explored {} of {full}",
+                    sja_stats.prefixes_explored
+                );
+                assert!(
+                    sj_stats.prefixes_explored < full,
+                    "seed {seed} m {m}: SJ explored {} of {full}",
+                    sj_stats.prefixes_explored
+                );
             }
         }
     }
@@ -231,6 +341,7 @@ mod tests {
         let (_, stats) = sja_branch_and_bound(&model);
         // Full enumeration prices Σ_{k=1..8} 8!/(8-k)! = 109,600 prefixes;
         // the bound should cut the vast majority.
+        assert_eq!(BnbStats::exhaustive_prefixes(8), 109_600);
         assert!(
             stats.prefixes_explored < 30_000,
             "explored {}",
@@ -245,5 +356,7 @@ mod tests {
         let (bnb, stats) = sja_branch_and_bound(&model);
         assert_eq!(bnb.cost, sja_optimal(&model).cost);
         assert_eq!(stats.prefixes_explored, 1);
+        let (bnb_sj, _) = sj_branch_and_bound(&model);
+        assert_eq!(bnb_sj.cost, sj_optimal(&model).cost);
     }
 }

@@ -17,7 +17,7 @@ mod sj;
 mod sja;
 
 pub use adaptive::{adaptive_next, NextRound};
-pub use bnb::{sja_branch_and_bound, BnbStats};
+pub use bnb::{sj_branch_and_bound, sja_branch_and_bound, BnbStats};
 pub use filter::filter_plan;
 pub use greedy::{greedy_sj, greedy_sja};
 pub use response::{estimate_makespan, sja_response_optimal, ResponseOptimized};
@@ -31,6 +31,29 @@ use fusion_types::{CondId, Cost, SourceId};
 /// The best ordering found so far during search: the condition order,
 /// per-round choices, total cost, and per-round size estimates.
 pub(crate) type BestOrdering = (Vec<usize>, Vec<Vec<SourceChoice>>, Cost, Vec<f64>);
+
+/// Tie-breaking rule shared by the exhaustive and branch-and-bound
+/// searches: strictly cheaper wins, and costs tied within float noise
+/// fall back to the lexicographically smaller ordering. Sharing the rule
+/// makes both searches return byte-identical plans even when several
+/// orderings are equally cheap (e.g. when every round picks selections
+/// and the total is order-independent).
+pub(crate) fn improves(cost: Cost, order: &[usize], best_cost: Cost, best_order: &[usize]) -> bool {
+    let tol = ordering_tie_tolerance(best_cost);
+    if cost.value() < best_cost.value() - tol {
+        return true;
+    }
+    (cost.value() - best_cost.value()).abs() <= tol && order < best_order
+}
+
+/// Absolute cost tolerance under which two orderings count as tied.
+pub(crate) fn ordering_tie_tolerance(best_cost: Cost) -> f64 {
+    if best_cost.is_finite() {
+        1e-12 * best_cost.value().abs().max(1.0)
+    } else {
+        0.0
+    }
+}
 
 /// The output of an optimization algorithm: the chosen plan, the
 /// specification it was built from, and its estimated cost.

@@ -21,7 +21,10 @@ pub fn sj_optimal<M: CostModel>(model: &M) -> OptimizedPlan {
     let mut best: Option<BestOrdering> = None;
     for_each_permutation(model.n_conditions(), |order| {
         let (choices, cost, sizes) = cost_ordering_sj(model, order);
-        if best.as_ref().is_none_or(|(_, _, c, _)| cost < *c) {
+        if best
+            .as_ref()
+            .is_none_or(|(o, _, c, _)| super::improves(cost, order, *c, o))
+        {
             best = Some((order.to_vec(), choices, cost, sizes));
         }
     });

@@ -25,7 +25,10 @@ pub fn sja_optimal<M: CostModel>(model: &M) -> OptimizedPlan {
     let mut best: Option<BestOrdering> = None;
     for_each_permutation(model.n_conditions(), |order| {
         let (choices, cost, sizes) = cost_ordering_sja(model, order);
-        if best.as_ref().is_none_or(|(_, _, c, _)| cost < *c) {
+        if best
+            .as_ref()
+            .is_none_or(|(o, _, c, _)| super::improves(cost, order, *c, o))
+        {
             best = Some((order.to_vec(), choices, cost, sizes));
         }
     });

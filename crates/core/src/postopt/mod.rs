@@ -109,7 +109,7 @@ pub fn postoptimize<M: CostModel>(
         base.plan.clone()
     };
     let plan = if config.use_bloom {
-        apply_bloom(plan, model, config.bloom_bits)
+        apply_bloom(&plan, model, config.bloom_bits)
     } else {
         plan
     };
@@ -282,8 +282,8 @@ pub fn build_with_difference(spec: &SimplePlanSpec, n_sources: usize) -> Plan {
 /// Each rewritten `X := sjq(c, R, Y)` becomes
 /// `Raw := sjq(c, R, bloom(Y)); X := Raw ∩ Y`, restoring exact semantics
 /// at the mediator.
-pub fn apply_bloom<M: CostModel>(plan: Plan, model: &M, bits: u8) -> Plan {
-    let est = estimate_plan_cost(&plan, model);
+pub fn apply_bloom<M: CostModel>(plan: &Plan, model: &M, bits: u8) -> Plan {
+    let est = estimate_plan_cost(plan, model);
     let mut new = Plan {
         steps: Vec::new(),
         result: plan.result,
@@ -347,13 +347,13 @@ pub fn apply_loading<M: CostModel>(plan: Plan, model: &M) -> (Plan, Vec<SourceId
     }
     let mut out = plan;
     for &source in &to_load {
-        out = load_one_source(out, source);
+        out = load_one_source(&out, source);
     }
     (out, to_load)
 }
 
 /// Rewrites every query at `source` into local evaluation over one `lq`.
-fn load_one_source(plan: Plan, source: SourceId) -> Plan {
+fn load_one_source(plan: &Plan, source: SourceId) -> Plan {
     let mut new = Plan {
         steps: Vec::new(),
         result: plan.result,
@@ -567,7 +567,7 @@ mod tests {
             ],
         };
         let plan = spec.build(2).unwrap();
-        let loaded = load_one_source(plan, SourceId(1));
+        let loaded = load_one_source(&plan, SourceId(1));
         loaded.validate().unwrap();
         let got = evaluate_plan(&loaded, q.conditions(), &sources).unwrap();
         assert_eq!(got, q.naive_answer(&sources).unwrap());

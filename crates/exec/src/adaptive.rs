@@ -410,6 +410,63 @@ mod tests {
     }
 
     #[test]
+    fn empty_bindings_semijoin_costs_zero_and_estimator_agrees() {
+        // Conditions that match nothing: round 1's selections leave an
+        // empty running set, so round 2's semijoins ship nothing and the
+        // executor's no-op must cost zero — and the static estimator must
+        // price the corresponding plan identically (the PR-2 parity that
+        // previously only covered `execute_plan_ft`).
+        let (_, sources, mut net) = setup();
+        let q = FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "nosuch-a").into(),
+                Predicate::eq("V", "nosuch-b").into(),
+            ],
+        )
+        .unwrap();
+        let model = NetworkCostModel::new(&sources, &net, &q, None);
+        let out = execute_adaptive(&q, &sources, &mut net, &model).unwrap();
+        assert!(out.answer.is_empty());
+        // Round 2 re-planned from the observed empty set: semijoins,
+        // recorded at exactly zero cost.
+        let round2 = &out.rounds[1];
+        assert!(
+            round2.choices.iter().all(|c| *c == SourceChoice::Semijoin),
+            "{:?}",
+            round2.choices
+        );
+        for entry in &out.ledger.entries()[2..] {
+            assert_eq!(entry.kind, StepKind::Semijoin);
+            assert_eq!(entry.total(), Cost::ZERO, "entry {:?}", entry);
+        }
+        // The estimator prices the same shape the same way: with the
+        // running set estimated empty, every semijoin step is free.
+        let spec = fusion_core::plan::SimplePlanSpec {
+            order: out.rounds.iter().map(|r| r.cond).collect(),
+            choices: out.rounds.iter().map(|r| r.choices.clone()).collect(),
+        };
+        let plan = spec.build(2).unwrap();
+        let mut est_model =
+            fusion_core::TableCostModel::uniform(2, 2, 10.0, 1.0, 0.1, 1e9, 5.0, 1000.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                est_model.set_est_sq_items(CondId(i), SourceId(j), 0.0);
+            }
+        }
+        let est = fusion_core::estimate_plan_cost(&plan, &est_model);
+        for (step, cost) in plan.steps.iter().zip(&est.step_costs) {
+            if matches!(step, fusion_core::plan::Step::Sjq { .. }) {
+                assert_eq!(*cost, Cost::ZERO, "estimator charges for the no-op");
+            }
+        }
+        // Both sides agree: everything after round 1 is free.
+        let round2_ledger: Cost = out.ledger.entries()[2..].iter().map(|e| e.total()).sum();
+        assert_eq!(round2_ledger, Cost::ZERO);
+        assert_eq!(est.cost, Cost::new(20.0)); // round 1's two selections only
+    }
+
+    #[test]
     fn model_mismatch_rejected() {
         let (q, sources, mut net) = setup();
         let model = fusion_core::TableCostModel::uniform(5, 2, 1.0, 1.0, 0.1, 1e9, 2.0, 10.0);

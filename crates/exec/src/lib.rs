@@ -32,6 +32,8 @@
 //!
 //! [`Network`]: fusion_net::Network
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod interp;
 pub mod ledger;
@@ -45,5 +47,7 @@ pub use interp::{execute_plan, execute_plan_ft, execute_plan_unchecked, Executio
 pub use ledger::{CostLedger, LedgerEntry, StepKind};
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
 pub use retry::{Completeness, RetryPolicy};
-pub use schedule::{response_time, schedule, ScheduledStep};
+pub use schedule::{
+    response_time, schedule, stage_schedule, verify_stage_trace, ScheduledStep, StageTraceEntry,
+};
 pub use two_phase::fetch_records;

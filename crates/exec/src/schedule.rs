@@ -16,6 +16,7 @@
 //! per-source queues.
 
 use crate::ledger::{CostLedger, StepKind};
+use fusion_core::dataflow::stage_decomposition;
 use fusion_core::plan::{Plan, Step};
 use fusion_types::error::{FusionError, Result};
 
@@ -135,6 +136,93 @@ fn validate_ledger(plan: &Plan, ledger: &CostLedger) -> Result<()> {
     Ok(())
 }
 
+/// One wavefront of the certified stage schedule: the steps that ran
+/// concurrently, and when the wavefront started and finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTraceEntry {
+    /// Stage index (0-based).
+    pub stage: usize,
+    /// Plan step indices executed in this stage, ascending.
+    pub steps: Vec<usize>,
+    /// Stage start time (the previous stage's finish).
+    pub start: f64,
+    /// Stage finish time: `start` plus the longest step in the stage.
+    pub finish: f64,
+}
+
+impl std::fmt::Display for StageTraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let steps: Vec<String> = self.steps.iter().map(|t| (t + 1).to_string()).collect();
+        write!(
+            f,
+            "stage {}: steps [{}] @ {:.2}..{:.2}",
+            self.stage,
+            steps.join(", "),
+            self.start,
+            self.finish
+        )
+    }
+}
+
+/// Replays an executed plan under the dataflow pass's *certified* stage
+/// decomposition and returns the stage trace plus the barrier-synchronous
+/// makespan.
+///
+/// Unlike [`schedule`], which greedily list-schedules individual steps,
+/// this execution model runs stage wavefronts with a barrier between
+/// them: stage `s` starts when stage `s − 1` finishes, and lasts as long
+/// as its slowest step. Within a stage, concurrency is safe by the
+/// machine-checked certificate — no two steps of a stage touch the same
+/// source or exchange data ([`stage_decomposition`]). The trace is
+/// deterministic and replayable: re-deriving it from the same plan and
+/// ledger reproduces it bit for bit ([`verify_stage_trace`]).
+///
+/// # Errors
+/// Fails if the ledger does not match the plan, or if the certificate
+/// check fails.
+pub fn stage_schedule(plan: &Plan, ledger: &CostLedger) -> Result<(Vec<StageTraceEntry>, f64)> {
+    validate_ledger(plan, ledger)?;
+    let decomposition = stage_decomposition(plan)?;
+    let entries = ledger.entries();
+    let mut trace = Vec::with_capacity(decomposition.stages.len());
+    let mut clock = 0.0f64;
+    for (s, steps) in decomposition.stages.iter().enumerate() {
+        let duration = steps
+            .iter()
+            .map(|&t| entries[t].total().value())
+            .fold(0.0, f64::max);
+        trace.push(StageTraceEntry {
+            stage: s,
+            steps: steps.clone(),
+            start: clock,
+            finish: clock + duration,
+        });
+        clock += duration;
+    }
+    Ok((trace, clock))
+}
+
+/// Re-derives the stage trace from the same plan and ledger and checks
+/// it is identical to `trace` — the replayability guarantee consumers
+/// (e.g. the CLI's stage view) rely on.
+///
+/// # Errors
+/// Fails if the ledger mismatches the plan or the trace is not the one
+/// this plan and ledger produce.
+pub fn verify_stage_trace(
+    plan: &Plan,
+    ledger: &CostLedger,
+    trace: &[StageTraceEntry],
+) -> Result<()> {
+    let (expected, _) = stage_schedule(plan, ledger)?;
+    if expected != trace {
+        return Err(FusionError::execution(
+            "stage trace does not replay: recorded and re-derived traces differ".to_string(),
+        ));
+    }
+    Ok(())
+}
+
 /// Computes the parallel response time of an executed plan, in the same
 /// units as the ledger's costs.
 ///
@@ -234,6 +322,80 @@ mod tests {
         let r1 = entries[0].total().value().max(entries[1].total().value());
         let r2 = entries[3].total().value().max(entries[4].total().value());
         assert!(rt >= r1 + r2 - 1e-9, "rt {rt} < {r1} + {r2}");
+    }
+
+    #[test]
+    fn stage_schedule_bounds_and_replays() {
+        let (q, sources, mut net) = setup(4);
+        let plan = SimplePlanSpec::filter(2, 4).build(4).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let (trace, makespan) = stage_schedule(&plan, &out.ledger).unwrap();
+        // Each source appears at most once per stage, so the barrier
+        // makespan is at most total work and at least any single source's
+        // serial share of it.
+        let total = out.total_cost().value();
+        assert!(makespan <= total + 1e-9, "makespan {makespan} > {total}");
+        let mut per_source = vec![0.0f64; 4];
+        for e in out.ledger.entries() {
+            if let Some(src) = e.source {
+                per_source[src.0] += e.total().value();
+            }
+        }
+        let busiest = per_source.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            makespan >= busiest - 1e-9,
+            "makespan {makespan} < {busiest}"
+        );
+        // Stages are contiguous in time and cover every step once.
+        let mut all: Vec<usize> = trace.iter().flat_map(|e| e.steps.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..plan.steps.len()).collect::<Vec<_>>());
+        for w in trace.windows(2) {
+            assert!((w[0].finish - w[1].start).abs() < 1e-12);
+        }
+        // The trace replays bit for bit.
+        verify_stage_trace(&plan, &out.ledger, &trace).unwrap();
+        let (again, m2) = stage_schedule(&plan, &out.ledger).unwrap();
+        assert_eq!(trace, again);
+        assert!((makespan - m2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_schedule_parallelizes_filter_rounds() {
+        // 4 sources, filter plan: the selections of one condition land in
+        // one stage each, so the barrier makespan beats total work by
+        // roughly the source count.
+        let (q, sources, mut net) = setup(4);
+        let plan = SimplePlanSpec::filter(2, 4).build(4).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let (_, makespan) = stage_schedule(&plan, &out.ledger).unwrap();
+        let total = out.total_cost().value();
+        assert!(makespan < total * 0.6, "makespan {makespan} vs {total}");
+    }
+
+    #[test]
+    fn tampered_stage_trace_is_rejected() {
+        let (q, sources, mut net) = setup(2);
+        let plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let (mut trace, _) = stage_schedule(&plan, &out.ledger).unwrap();
+        trace[0].finish += 1.0;
+        let err = verify_stage_trace(&plan, &out.ledger, &trace).unwrap_err();
+        assert!(err.to_string().contains("does not replay"), "{err}");
+        // A mismatched ledger fails before the trace is even compared.
+        let other = SimplePlanSpec::filter(1, 2).build(2).unwrap();
+        assert!(stage_schedule(&other, &out.ledger).is_err());
+    }
+
+    #[test]
+    fn stage_trace_entries_render_for_replay_logs() {
+        let (q, sources, mut net) = setup(2);
+        let plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
+        let out = execute_plan(&plan, &q, &sources, &mut net).unwrap();
+        let (trace, _) = stage_schedule(&plan, &out.ledger).unwrap();
+        let line = trace[0].to_string();
+        assert!(line.starts_with("stage 0: steps ["), "{line}");
+        assert!(line.contains(".."), "{line}");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!
 //! [`Cost`]: fusion_types::Cost
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod link;
 pub mod message;

@@ -18,6 +18,8 @@
 //! link parameters of `fusion-net` drive both actual cost accounting and
 //! the optimizer's cost estimates.
 
+#![forbid(unsafe_code)]
+
 pub mod capability;
 pub mod engine;
 pub mod registry;

@@ -17,6 +17,8 @@
 //! variables, and every remaining conjunct must reference exactly one
 //! variable — those conjuncts become the conditions `c_1..c_m`.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

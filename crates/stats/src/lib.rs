@@ -18,6 +18,8 @@
 //!   gathering "the relevant statistical information that the cost
 //!   functions need".
 
+#![forbid(unsafe_code)]
+
 pub mod calibration;
 pub mod cardinality;
 pub mod estimator;

@@ -19,6 +19,8 @@
 //!   general cost model (§2.4).
 //! * [`FusionError`] — the shared error type.
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod condition;
 pub mod cost;

@@ -18,6 +18,8 @@
 //!
 //! Everything is seeded and exactly reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod biblio;
 pub mod csv;
 pub mod dmv;

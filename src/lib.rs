@@ -41,6 +41,8 @@
 //! assert_eq!(outcome.answer.to_string(), "{J55, T21}");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use fusion_core as core;
 pub use fusion_exec as exec;
 pub use fusion_net as net;

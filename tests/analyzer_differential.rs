@@ -335,7 +335,7 @@ fn mutant_corpus() -> Vec<(&'static str, Plan)> {
         push("union-smuggles-foreign-operand", s, fr);
     }
     {
-        let mut s = f.clone();
+        let mut s = f;
         s[6] = Step::Diff {
             out: VarId(6),
             left: VarId(2),
@@ -385,7 +385,7 @@ fn mutant_corpus() -> Vec<(&'static str, Plan)> {
         push("bloom-superset-never-reintersected", s, sjr);
     }
     {
-        let mut s = sj.clone();
+        let mut s = sj;
         for (t, j) in [(3usize, 0usize), (4, 1)] {
             let (cond, source) = (CondId(1), SourceId(j));
             s[t] = Step::SjqBloom {
@@ -415,7 +415,7 @@ fn mutant_corpus() -> Vec<(&'static str, Plan)> {
         push("local-selection-wrong-condition", s, lqr);
     }
     {
-        let mut s = lq.clone();
+        let mut s = lq;
         s[0] = Step::Lq {
             out: RelVar(0),
             source: SourceId(1),

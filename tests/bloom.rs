@@ -33,7 +33,7 @@ fn apply_bloom_rewrites_profitable_semijoins() {
     let base = sja_optimal(&model);
     let (_, sjq_count, _) = base.plan.remote_op_counts();
     assert!(sjq_count > 0, "scenario must choose semijoins");
-    let rewritten = apply_bloom(base.plan.clone(), &model, 10);
+    let rewritten = apply_bloom(&base.plan, &model, 10);
     let blooms = rewritten
         .steps
         .iter()

@@ -65,7 +65,7 @@ fn bloom_rewrite_preserves_semantics() {
         // A model that makes semijoins attractive so rewrites happen.
         let model = TableCostModel::uniform(m, n, 50.0, 1.0, 0.5, 1e9, 5.0, 60.0);
         let base = sja_optimal(&model).plan;
-        let rewritten = apply_bloom(base.clone(), &bloom_friendly_model(m, n), bits);
+        let rewritten = apply_bloom(&base, &bloom_friendly_model(m, n), bits);
         let a = evaluate_plan(&base, query.conditions(), &rels).unwrap();
         let b = evaluate_plan(&rewritten, query.conditions(), &rels).unwrap();
         assert_eq!(a, b);

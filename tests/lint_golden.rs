@@ -1,0 +1,237 @@
+//! Golden-file regression test for the lint corpus.
+//!
+//! Runs the full registry (semantic + dataflow rules) over a fixed
+//! corpus of plans and compares the diagnostics — rendered as JSON —
+//! against `tests/golden/lint_corpus.json`. Any change to a rule's
+//! trigger condition, severity, ordering, or message shows up as a
+//! byte-level diff here; run with `BLESS=1` to re-bless intentional
+//! changes.
+
+use fusion::core::dataflow::{dataflow_lint_plan, Interval, SourceBounds};
+use fusion::core::plan::{SimplePlanSpec, Step, VarId};
+use fusion::core::{Diagnostic, Plan, TableCostModel};
+use fusion::types::{CondId, SourceId};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint_corpus.json");
+
+/// One corpus entry: a named plan, its cost model, and interval seeds.
+struct Case {
+    name: &'static str,
+    plan: Plan,
+    model: TableCostModel,
+    bounds: SourceBounds,
+}
+
+fn case(name: &'static str, plan: Plan, model: TableCostModel) -> Case {
+    let bounds = SourceBounds::from_model(&model);
+    Case {
+        name,
+        plan,
+        model,
+        bounds,
+    }
+}
+
+/// `sq(c1, R1) − sq(c2, R1)`: an antitone use of R1's second answer.
+fn antitone_plan() -> Plan {
+    let mut plan = Plan::new(vec![], VarId(0), 2, 1);
+    let a = plan.fresh_var("A");
+    let b = plan.fresh_var("B");
+    let d = plan.fresh_var("D");
+    plan.steps = vec![
+        Step::Sq {
+            out: a,
+            cond: CondId(0),
+            source: SourceId(0),
+        },
+        Step::Sq {
+            out: b,
+            cond: CondId(1),
+            source: SourceId(0),
+        },
+        Step::Diff {
+            out: d,
+            left: a,
+            right: b,
+        },
+    ];
+    plan.result = d;
+    plan
+}
+
+/// A difference re-widened by a union before being shipped.
+fn narrow_widen_plan() -> Plan {
+    let mut plan = Plan::new(vec![], VarId(0), 2, 2);
+    let x = plan.fresh_var("X");
+    let z = plan.fresh_var("Z");
+    let d = plan.fresh_var("D");
+    let w = plan.fresh_var("W");
+    let out = plan.fresh_var("OUT");
+    plan.steps = vec![
+        Step::Sq {
+            out: x,
+            cond: CondId(0),
+            source: SourceId(0),
+        },
+        Step::Sq {
+            out: z,
+            cond: CondId(1),
+            source: SourceId(1),
+        },
+        Step::Diff {
+            out: d,
+            left: x,
+            right: z,
+        },
+        Step::Union {
+            out: w,
+            inputs: vec![d, x],
+        },
+        Step::Sjq {
+            out,
+            cond: CondId(1),
+            source: SourceId(0),
+            input: w,
+        },
+    ];
+    plan.result = out;
+    plan
+}
+
+/// A valid filter plan with an extra query nothing consumes.
+fn dead_step_plan() -> Plan {
+    let mut plan = SimplePlanSpec::filter(2, 2).build(2).unwrap();
+    let ghost = plan.fresh_var("G");
+    plan.steps.push(Step::Sq {
+        out: ghost,
+        cond: CondId(0),
+        source: SourceId(1),
+    });
+    plan
+}
+
+/// The same selection issued twice at the same source.
+fn duplicate_query_plan() -> Plan {
+    let mut plan = Plan::new(vec![], VarId(0), 1, 1);
+    let a = plan.fresh_var("A");
+    let b = plan.fresh_var("B");
+    let u = plan.fresh_var("U");
+    plan.steps = vec![
+        Step::Sq {
+            out: a,
+            cond: CondId(0),
+            source: SourceId(0),
+        },
+        Step::Sq {
+            out: b,
+            cond: CondId(0),
+            source: SourceId(0),
+        },
+        Step::Union {
+            out: u,
+            inputs: vec![a, b],
+        },
+    ];
+    plan.result = u;
+    plan
+}
+
+fn corpus() -> Vec<Case> {
+    let quiet_model = TableCostModel::uniform(3, 2, 10.0, 1.0, 0.1, 100.0, 5.0, 1000.0);
+    let small = |m, n, lq| TableCostModel::uniform(m, n, 10.0, 1.0, 0.1, lq, 5.0, 1000.0);
+    let mut narrow = case("narrow-then-widen", narrow_widen_plan(), small(2, 2, 100.0));
+    // Exact-style seeds so the difference provably narrows: D inherits
+    // |sq(c1,R1)| = 10 minus at least |sq(c2,R2)| = 4's overlap.
+    narrow.bounds.sq[0][0] = Interval::point(10.0);
+    narrow.bounds.sq[1][1] = Interval::point(4.0);
+    vec![
+        case(
+            "filter-3x2-quiet",
+            SimplePlanSpec::filter(3, 2).build(2).unwrap(),
+            quiet_model,
+        ),
+        case(
+            "filter-cheap-load",
+            SimplePlanSpec::filter(2, 2).build(2).unwrap(),
+            small(2, 2, 5.0),
+        ),
+        case("antitone-diff", antitone_plan(), small(2, 1, 100.0)),
+        narrow,
+        case("dead-step", dead_step_plan(), small(2, 2, 100.0)),
+        case(
+            "duplicate-query",
+            duplicate_query_plan(),
+            small(1, 1, 100.0),
+        ),
+    ]
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render(rows: &[(String, Diagnostic)]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|(plan, d)| {
+            format!(
+                "  {{\"plan\": \"{}\", \"rule\": \"{}\", \"severity\": \"{}\", \
+                 \"step\": {}, \"message\": \"{}\"}}",
+                escape(plan),
+                escape(d.rule),
+                d.severity,
+                d.step,
+                escape(&d.message)
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+#[test]
+fn lint_corpus_matches_golden_file() {
+    let mut rows = Vec::new();
+    for c in corpus() {
+        for d in dataflow_lint_plan(&c.plan, &c.model, &c.bounds).unwrap() {
+            rows.push((c.name.to_string(), d));
+        }
+    }
+    let rendered = render(&rows);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(GOLDEN, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("missing tests/golden/lint_corpus.json — run with BLESS=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "lint diagnostics changed; if intentional, re-bless with \
+         BLESS=1 cargo test --test lint_golden"
+    );
+}
+
+#[test]
+fn corpus_exercises_every_dataflow_rule() {
+    let mut rows = Vec::new();
+    for c in corpus() {
+        for d in dataflow_lint_plan(&c.plan, &c.model, &c.bounds).unwrap() {
+            rows.push(d.rule);
+        }
+    }
+    for rule in [
+        "retry-non-idempotent-step",
+        "narrow-then-widen",
+        "transfer-exceeds-load",
+        "dead-step",
+        "duplicate-query",
+    ] {
+        assert!(rows.contains(&rule), "corpus never triggers {rule}");
+    }
+}
