@@ -186,7 +186,7 @@ pub fn e14_adaptive() {
             .max_by(|a, b| {
                 let da = (a.actual_size as f64 - a.predicted_size).abs();
                 let db = (b.actual_size as f64 - b.predicted_size).abs();
-                da.partial_cmp(&db).expect("finite")
+                da.total_cmp(&db)
             })
             .map(|r| format!("{:.0} → {}", r.predicted_size, r.actual_size))
             .unwrap_or_default();

@@ -10,6 +10,7 @@ pub mod greedy;
 pub mod heterogeneity;
 pub mod one_phase;
 pub mod optimality;
+pub mod parallel_exp;
 pub mod postopt;
 pub mod pruning;
 pub mod response;
@@ -67,7 +68,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "fig1",
     "fig2",
     "fig5",
@@ -89,6 +90,7 @@ pub const ALL: [&str; 21] = [
     "e16-one-phase",
     "e17-availability",
     "e18-pruning",
+    "e19-parallel",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -184,6 +186,10 @@ pub fn run(name: &str) -> bool {
         }
         "e18-pruning" => {
             pruning::e18_pruning();
+            true
+        }
+        "e19-parallel" => {
+            parallel_exp::e19_parallel();
             true
         }
         _ => false,

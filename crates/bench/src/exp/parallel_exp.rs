@@ -1,0 +1,174 @@
+//! E19: measured wall-clock speedup of true parallel execution.
+//!
+//! The parallel executor runs the certified stage schedule on real
+//! threads; with a *pace* (wall-clock seconds per simulated cost unit)
+//! each worker physically sleeps its step's simulated cost, making the
+//! cost model's parallelism claims measurable. This experiment sweeps
+//! scenarios and thread counts and reports, per run:
+//!
+//! * the sequential **total work** (sum of all step costs),
+//! * the **predicted makespan** (barrier-synchronous stage schedule of
+//!   the executed ledger) and the speedup it promises,
+//! * the **measured wall clock** and the speedup actually obtained over
+//!   the single-threaded paced run,
+//! * the relative **model error** |measured − predicted·pace| /
+//!   (predicted·pace) at full thread width.
+//!
+//! Ledger identity across thread counts is asserted on every run — the
+//! experiment doubles as a parity check at bench scale.
+
+use crate::table::{fmt3, Table};
+use fusion_core::filter_plan;
+use fusion_core::postopt::sja_plus;
+use fusion_exec::{execute_plan, execute_plan_parallel, ParallelConfig, ParallelOutcome};
+use fusion_workload::synth::{synth_scenario, SynthSpec};
+use fusion_workload::{dmv, Scenario};
+
+/// Wall-clock budget for one paced sequential run. Small enough to keep
+/// `all` fast, large enough to dominate thread-spawn noise.
+const TARGET_SECS: f64 = 0.25;
+
+struct Sweep {
+    label: String,
+    scenario: Scenario,
+}
+
+fn sweeps() -> Vec<Sweep> {
+    let mut v = vec![Sweep {
+        label: "dmv n=3".into(),
+        scenario: dmv::figure1_scenario(),
+    }];
+    for n in [4usize, 8] {
+        v.push(Sweep {
+            label: format!("synth n={n} m=3"),
+            scenario: synth_scenario(&SynthSpec::default_with(n, 17), &[0.05, 0.4, 0.6]),
+        });
+    }
+    v
+}
+
+fn paced_run(
+    s: &Sweep,
+    plan: &fusion_core::plan::Plan,
+    pace: f64,
+    threads: usize,
+) -> ParallelOutcome {
+    let mut network = s.scenario.network();
+    execute_plan_parallel(
+        plan,
+        &s.scenario.query,
+        &s.scenario.sources,
+        &mut network,
+        &ParallelConfig::with_threads(threads).paced(pace),
+    )
+    .expect("experiment plans execute")
+}
+
+/// E19: predicted vs measured parallel speedup across scenarios, plan
+/// shapes, and thread counts.
+pub fn e19_parallel() {
+    let mut t = Table::new(
+        "E19: parallel execution — predicted vs measured makespan (paced wall clock)".to_string(),
+        &[
+            "scenario",
+            "plan",
+            "threads",
+            "total work",
+            "pred makespan",
+            "pred speedup",
+            "wall",
+            "speedup",
+            "model err",
+        ],
+    );
+    for s in sweeps() {
+        let model = s.scenario.cost_model();
+        for (shape, plan) in [
+            ("FILTER", filter_plan(&model).plan),
+            ("SJA+", sja_plus(&model).plan),
+        ] {
+            let mut seq_net = s.scenario.network();
+            let seq = execute_plan(&plan, &s.scenario.query, &s.scenario.sources, &mut seq_net)
+                .expect("experiment plans execute");
+            let work = seq.total_cost().value();
+            let pace = TARGET_SECS / work;
+            let solo = paced_run(&s, &plan, pace, 1);
+            assert_eq!(solo.outcome.ledger, seq.ledger, "paced parity broke");
+            let predicted = solo.makespan;
+            for threads in [1usize, 2, 8] {
+                let run = if threads == 1 {
+                    None
+                } else {
+                    Some(paced_run(&s, &plan, pace, threads))
+                };
+                let run = run.as_ref().unwrap_or(&solo);
+                assert_eq!(run.outcome.ledger, seq.ledger, "paced parity broke");
+                let wall = run.wall.as_secs_f64();
+                let pred_wall = predicted * pace;
+                let err = (wall - pred_wall).abs() / pred_wall;
+                t.row(vec![
+                    s.label.clone(),
+                    shape.to_string(),
+                    threads.to_string(),
+                    fmt3(work),
+                    fmt3(predicted),
+                    fmt3(work / predicted),
+                    format!("{:.0} ms", wall * 1e3),
+                    fmt3(solo.wall.as_secs_f64() / wall),
+                    format!("{:.0}%", err * 100.0),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!();
+    println!(
+        "pace = {TARGET_SECS} s of sleep per sequential run; `pred speedup` is total \
+         work / stage-schedule makespan; `model err` compares measured wall \
+         against predicted makespan × pace (meaningful at full thread width)."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bench-scale smoke: on the widest synthetic scenario, 8 paced
+    /// threads must finish measurably faster than 1, with identical
+    /// ledgers, and land within a loose band of the predicted makespan.
+    #[test]
+    fn paced_speedup_is_real_and_predicted() {
+        let s = Sweep {
+            label: "synth n=8".into(),
+            scenario: synth_scenario(&SynthSpec::default_with(8, 17), &[0.05, 0.4, 0.6]),
+        };
+        let model = s.scenario.cost_model();
+        let plan = filter_plan(&model).plan;
+        let mut seq_net = s.scenario.network();
+        let seq =
+            execute_plan(&plan, &s.scenario.query, &s.scenario.sources, &mut seq_net).unwrap();
+        let pace = 0.2 / seq.total_cost().value();
+        let solo = paced_run(&s, &plan, pace, 1);
+        let wide = paced_run(&s, &plan, pace, 8);
+        assert_eq!(solo.outcome.ledger, wide.outcome.ledger);
+        assert_eq!(wide.outcome.ledger, seq.ledger);
+        assert!(
+            wide.wall < solo.wall,
+            "8 threads {:?} !< 1 thread {:?}",
+            wide.wall,
+            solo.wall
+        );
+        // Predicted physical makespan, with generous CI headroom: the
+        // wide run must sit between it and twice it plus scheduling slack.
+        let pred_wall = wide.makespan * pace;
+        let measured = wide.wall.as_secs_f64();
+        assert!(
+            measured >= pred_wall * 0.9,
+            "measured {measured} below prediction {pred_wall}"
+        );
+        assert!(
+            measured <= pred_wall * 2.0 + 0.1,
+            "measured {measured} far above prediction {pred_wall}"
+        );
+    }
+}

@@ -23,7 +23,7 @@ use fusion_core::{
     analyze_plan, dataflow_lint_plan, explain, filter_plan, greedy_sja, sj_optimal, sja_optimal,
     Dataflow, Diagnostic, NetworkCostModel, Plan, SourceBounds, Verdict,
 };
-use fusion_exec::{execute_plan, execute_plan_ft, fetch_records, RetryPolicy};
+use fusion_exec::{execute_plan, execute_plan_ft, fetch_records, ParallelConfig, RetryPolicy};
 use fusion_net::{FaultPlan, FaultSpec, Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
 use fusion_stats::TableStats;
@@ -127,6 +127,7 @@ impl Session {
             "lint" => self.cmd_lint(arg),
             "dataflow" => self.cmd_dataflow(arg),
             "fetch" => self.query(arg, QueryMode::Fetch),
+            "exec" => self.cmd_exec(arg),
             "gantt" => self.cmd_gantt(arg),
             "trace" => self.cmd_trace(arg),
             "adaptive" => self.cmd_adaptive(arg),
@@ -700,6 +701,88 @@ executed cost {} with per-round re-optimization:",
         Ok(text)
     }
 
+    /// `\exec [--parallel[=T]] <sql>`: execute explicitly, optionally on
+    /// the multi-threaded executor with makespan measurements.
+    fn cmd_exec(&mut self, arg: &str) -> Result<String> {
+        let arg = arg.trim();
+        let (threads, sql) = if let Some(rest) = arg.strip_prefix("--parallel") {
+            let (spec, sql) = match rest.split_once(char::is_whitespace) {
+                Some((spec, sql)) => (spec, sql.trim()),
+                None => (rest, ""),
+            };
+            let threads = match spec.strip_prefix('=') {
+                None if spec.is_empty() => ParallelConfig::default().threads,
+                Some(t) => t.parse::<usize>().map_err(|_| {
+                    FusionError::execution(format!("bad thread count `{t}` in --parallel={t}"))
+                })?,
+                None => {
+                    return Err(FusionError::execution(format!(
+                        "unknown option `--parallel{spec}` (try --parallel or --parallel=T)"
+                    )));
+                }
+            };
+            if threads == 0 {
+                return Err(FusionError::execution("--parallel needs at least 1 thread"));
+            }
+            (Some(threads), sql)
+        } else {
+            (None, arg)
+        };
+        let Some(threads) = threads else {
+            return self.query(sql, QueryMode::Execute);
+        };
+        if sql.is_empty() {
+            return Err(FusionError::execution("empty query"));
+        }
+        let (query, sources, mut network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let plus = sja_plus(&model);
+        let faults_on = self.faults.is_some();
+        let config = ParallelConfig::with_threads(threads);
+        let par = if faults_on {
+            let policy = RetryPolicy::default();
+            fusion_exec::execute_plan_parallel_ft(
+                &plus.plan,
+                &query,
+                &sources,
+                &mut network,
+                &policy,
+                &config,
+            )?
+        } else {
+            fusion_exec::execute_plan_parallel(&plus.plan, &query, &sources, &mut network, &config)?
+        };
+        let outcome = &par.outcome;
+        let total = outcome.total_cost();
+        let mut out = format!(
+            "answer ({} items): {}\nexecuted cost {} over {} round trips\n\
+             parallel: {} threads over {} stages, simulated makespan {:.3} \
+             ({:.2}x over total work), wall clock {:.1} ms",
+            outcome.answer.len(),
+            outcome.answer,
+            total,
+            outcome.ledger.round_trips(),
+            par.threads,
+            par.stages,
+            par.makespan,
+            total.value() / par.makespan.max(f64::MIN_POSITIVE),
+            par.wall.as_secs_f64() * 1e3,
+        );
+        if faults_on {
+            out.push_str(&format!(
+                "\ncompleteness: {}\nattempts {} ({} failed), failed-attempt cost {}",
+                outcome.completeness,
+                outcome.ledger.attempts_total(),
+                outcome
+                    .ledger
+                    .attempts_total()
+                    .saturating_sub(outcome.ledger.round_trips()),
+                outcome.ledger.failed_total()
+            ));
+        }
+        Ok(out)
+    }
+
     /// The session's fault plan for `n` sources, if faults are on.
     fn fault_plan(&self, n: usize) -> Result<Option<FaultPlan>> {
         let Some(f) = &self.faults else {
@@ -831,6 +914,10 @@ commands:
   \\dataflow <sql>                        liveness, certified parallel stages,
          and statistics-seeded interval bounds for the SJA+ plan
   \\plan <filter|sj|sja|sja+|greedy|rt> <sql>   show one algorithm's plan
+  \\exec [--parallel[=T]] <sql>           execute the SJA+ plan; --parallel
+         runs the certified stage schedule on T worker threads (default:
+         available cores) and reports the simulated makespan and measured
+         wall clock — answers and costs are identical to sequential runs
   \\fetch <sql>                           execute, then fetch full records
   \\faults [off | seed=N transient=P timeout=P slow=PxF outage=J@K]
          deterministic fault injection: failed exchanges are retried with
@@ -959,6 +1046,57 @@ mod tests {
         let out = run(&mut s, DMV_SQL);
         assert!(out.contains("{J55, T21}"), "{out}");
         assert!(out.contains("executed cost"), "{out}");
+    }
+
+    #[test]
+    fn exec_parallel_matches_sequential_answer() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let seq = run(&mut s, &format!("\\exec {DMV_SQL}"));
+        assert!(seq.contains("{J55, T21}"), "{seq}");
+        assert!(seq.contains("executed cost"), "{seq}");
+        for spec in ["--parallel", "--parallel=2", "--parallel=8"] {
+            let out = run(&mut s, &format!("\\exec {spec} {DMV_SQL}"));
+            assert!(out.contains("{J55, T21}"), "{spec}: {out}");
+            assert!(out.contains("simulated makespan"), "{spec}: {out}");
+            assert!(out.contains("wall clock"), "{spec}: {out}");
+            // Identical executed cost line as the sequential run.
+            let cost = |o: &str| {
+                o.lines()
+                    .find(|l| l.starts_with("executed cost"))
+                    .map(str::to_string)
+            };
+            assert_eq!(cost(&out), cost(&seq), "{spec}");
+        }
+    }
+
+    #[test]
+    fn exec_parallel_with_faults_reports_completeness() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        run(&mut s, "\\faults seed=7 transient=0.4");
+        let seq = run(&mut s, &format!("\\exec {DMV_SQL}"));
+        let par = run(&mut s, &format!("\\exec --parallel=4 {DMV_SQL}"));
+        assert!(par.contains("completeness:"), "{par}");
+        assert!(par.contains("simulated makespan"), "{par}");
+        let line = |o: &str, tag: &str| o.lines().find(|l| l.starts_with(tag)).map(str::to_string);
+        for tag in ["answer", "executed cost", "completeness", "attempts"] {
+            assert_eq!(line(&par, tag), line(&seq, tag), "{tag}");
+        }
+    }
+
+    #[test]
+    fn exec_rejects_bad_parallel_specs() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\exec --parallel=zero {DMV_SQL}"));
+        assert!(out.contains("bad thread count"), "{out}");
+        let out = run(&mut s, &format!("\\exec --parallel=0 {DMV_SQL}"));
+        assert!(out.contains("at least 1 thread"), "{out}");
+        let out = run(&mut s, &format!("\\exec --parallelism {DMV_SQL}"));
+        assert!(out.contains("unknown option"), "{out}");
+        let out = run(&mut s, "\\exec --parallel");
+        assert!(out.contains("empty query"), "{out}");
     }
 
     #[test]

@@ -19,14 +19,20 @@ use crate::cost::CostModel;
 use crate::plan::SimplePlanSpec;
 use fusion_types::CondId;
 
-/// Orders conditions by ascending estimated union size.
+/// Orders conditions by ascending estimated union size, condition index
+/// breaking ties.
+///
+/// Uses [`f64::total_cmp`], so a NaN estimate (a corrupt statistics table
+/// under a custom [`CostModel`]) degrades to a deterministic — if
+/// arbitrary — position instead of panicking mid-optimization, and the
+/// explicit tie-break keeps the order independent of the sort algorithm.
 fn selectivity_order<M: CostModel>(model: &M) -> Vec<usize> {
     let mut order: Vec<usize> = (0..model.n_conditions()).collect();
     order.sort_by(|&a, &b| {
         model
             .est_condition_union(CondId(a))
-            .partial_cmp(&model.est_condition_union(CondId(b)))
-            .expect("estimates are never NaN")
+            .total_cmp(&model.est_condition_union(CondId(b)))
+            .then(a.cmp(&b))
     });
     order
 }
@@ -80,6 +86,26 @@ mod tests {
             m.set_est_sq_items(CondId(3), SourceId(s), 40.0);
         }
         m
+    }
+
+    #[test]
+    fn nan_estimate_does_not_panic_the_ordering() {
+        // A corrupt statistics table (NaN selectivity estimate) must
+        // degrade deterministically, not panic mid-optimization: under
+        // total_cmp, NaN orders above every number, so the poisoned
+        // condition sorts last and the rest keep their selectivity order.
+        let mut m = varied_model();
+        for s in 0..3 {
+            m.set_est_sq_items(CondId(0), SourceId(s), f64::NAN);
+        }
+        let order = selectivity_order(&m);
+        assert_eq!(order, vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn equal_estimates_tie_break_by_condition_index() {
+        let m = TableCostModel::uniform(4, 3, 10.0, 1.0, 0.05, 1e9, 30.0, 500.0);
+        assert_eq!(selectivity_order(&m), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! variant of SJA:
 //!
 //! * the execution model matches the executor's scheduler
-//!   ([`response_time`]): one queue per source, rounds coupled only
-//!   through semijoin inputs — *selection* queries of any round may start
-//!   immediately, semijoin queries must wait for the previous round's
-//!   result;
+//!   (`fusion_exec::schedule::response_time` — `fusion-core` sits below
+//!   the executor, so no intra-doc link): one queue per source, rounds
+//!   coupled only through semijoin inputs — *selection* queries of any
+//!   round may start immediately, semijoin queries must wait for the
+//!   previous round's result;
 //! * for every condition ordering, per-source choices greedily minimize
 //!   each source's completion time (a selection may beat a cheaper
 //!   semijoin because it overlaps with earlier rounds);
@@ -18,8 +19,6 @@
 //! Unlike total work, the makespan objective does not decompose per
 //! source, so this is a heuristic rather than an exact optimum — the
 //! trade the paper's own greedy variants make for tractability.
-//!
-//! [`response_time`]: https://docs.rs/fusion-exec
 
 use super::perm::for_each_permutation;
 use super::OptimizedPlan;

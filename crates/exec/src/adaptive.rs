@@ -190,7 +190,7 @@ pub fn execute_adaptive_ft<M: CostModel>(
         let mut round_degraded = false;
         for (j, choice) in next.choices.iter().enumerate() {
             let source = SourceId(j);
-            if st.dead[j] {
+            if st.dead(source) {
                 // Re-planned around: the dead source's union operand is
                 // skipped, shrinking (never growing) the round.
                 ledger.push(dropped_entry(
@@ -268,7 +268,8 @@ pub fn execute_adaptive_ft<M: CostModel>(
                         &bindings,
                         sources,
                         network,
-                        &mut st,
+                        policy,
+                        st.src_mut(source),
                         ledger.total(),
                     )? {
                         SjResult::Done(items, entry) => {
@@ -304,10 +305,10 @@ pub fn execute_adaptive_ft<M: CostModel>(
     }
     let completeness = if any_dropped {
         let mut missing_sources: Vec<SourceId> = st
-            .dead
+            .srcs
             .iter()
             .enumerate()
-            .filter(|(_, d)| **d)
+            .filter(|(_, s)| s.dead)
             .map(|(j, _)| SourceId(j))
             .collect();
         missing_sources.sort_unstable();

@@ -1,4 +1,11 @@
 //! Sequential plan interpretation with cost accounting.
+//!
+//! The per-step execution logic (wrapper call, message sizing, exchange,
+//! ledger entry) lives in helpers generic over an [`Exchanger`] — the
+//! exclusive legacy [`Network`] API for sequential execution, or a
+//! step-tagged shared handle for [`crate::parallel`] workers — so both
+//! executors run the *same* code and byte-identical ledgers fall out by
+//! construction.
 
 use crate::ledger::{CostLedger, LedgerEntry, StepKind};
 use crate::retry::{Completeness, RetryPolicy};
@@ -7,7 +14,85 @@ use fusion_core::query::FusionQuery;
 use fusion_net::{ExchangeKind, FailedExchange, FaultKind, MessageSize, Network};
 use fusion_source::SourceSet;
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{CondId, Cost, ItemSet, Relation, SourceId};
+use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId, Tuple};
+
+/// How a step reaches the network: exclusively (sequential execution) or
+/// through a shared, step-tagged source handle (parallel workers).
+pub(crate) trait Exchanger {
+    /// Infallible exchange — see [`Network::exchange`].
+    fn exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Cost;
+
+    /// Fault-aware exchange — see [`Network::try_exchange`].
+    fn try_exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> std::result::Result<Cost, FailedExchange>;
+}
+
+impl Exchanger for Network {
+    fn exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Cost {
+        Network::exchange(self, source, kind, req_bytes, resp_bytes)
+    }
+
+    fn try_exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> std::result::Result<Cost, FailedExchange> {
+        Network::try_exchange(self, source, kind, req_bytes, resp_bytes)
+    }
+}
+
+/// The [`Exchanger`] parallel workers use: exchanges go through a shared
+/// [`fusion_net::SourceHandle`], tagged with the executing step so
+/// [`Network::commit`] can restore sequential trace order.
+pub(crate) struct SharedExchanger<'a> {
+    pub(crate) net: &'a Network,
+    pub(crate) step: usize,
+}
+
+impl Exchanger for SharedExchanger<'_> {
+    fn exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Cost {
+        self.net
+            .handle(source)
+            .exchange(self.step, kind, req_bytes, resp_bytes)
+    }
+
+    fn try_exchange(
+        &mut self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> std::result::Result<Cost, FailedExchange> {
+        self.net
+            .handle(source)
+            .try_exchange(self.step, kind, req_bytes, resp_bytes)
+    }
+}
 
 /// The result of executing a plan.
 #[derive(Debug, Clone)]
@@ -99,28 +184,9 @@ pub fn execute_plan_unchecked(
     for (idx, step) in plan.steps.iter().enumerate() {
         match step {
             Step::Sq { out, cond, source } => {
-                let w = sources.get(*source);
-                let resp = w.select(&conditions[cond.0])?;
-                let req_bytes = MessageSize::sq_request(&conditions[cond.0]);
-                let resp_bytes = MessageSize::items_response(&resp.payload);
-                let comm =
-                    network.exchange(*source, ExchangeKind::Selection, req_bytes, resp_bytes);
-                let proc = Cost::new(
-                    w.processing()
-                        .cost(resp.tuples_examined, resp.payload.len()),
-                );
-                ledger.push(LedgerEntry {
-                    step: idx,
-                    kind: StepKind::Selection,
-                    source: Some(*source),
-                    comm,
-                    proc,
-                    round_trips: 1,
-                    items_out: resp.payload.len(),
-                    attempts: 1,
-                    failed_cost: Cost::ZERO,
-                });
-                vars[out.0] = Some(resp.payload);
+                let (items, entry) = exec_sq(idx, *source, &conditions[cond.0], sources, network)?;
+                ledger.push(entry);
+                vars[out.0] = Some(items);
             }
             Step::Sjq {
                 out,
@@ -148,85 +214,26 @@ pub fn execute_plan_unchecked(
                 bits,
             } => {
                 let bindings = vars[input.0].clone().expect("validated: def before use");
-                let w = sources.get(*source);
-                let filter = fusion_types::BloomFilter::build(&bindings, *bits as f64);
-                let resp = w.bloom_semijoin(&conditions[cond.0], &filter)?;
-                let req_bytes = MessageSize::sq_request(&conditions[cond.0]) + filter.wire_size();
-                let resp_bytes = MessageSize::items_response(&resp.payload);
-                let comm =
-                    network.exchange(*source, ExchangeKind::BloomSemijoin, req_bytes, resp_bytes);
-                let proc = Cost::new(
-                    w.processing()
-                        .cost(resp.tuples_examined, resp.payload.len()),
-                );
-                ledger.push(LedgerEntry {
-                    step: idx,
-                    kind: StepKind::BloomSemijoin,
-                    source: Some(*source),
-                    comm,
-                    proc,
-                    round_trips: 1,
-                    items_out: resp.payload.len(),
-                    attempts: 1,
-                    failed_cost: Cost::ZERO,
-                });
-                vars[out.0] = Some(resp.payload);
+                let (items, entry) = exec_bloom(
+                    idx,
+                    *source,
+                    &conditions[cond.0],
+                    &bindings,
+                    *bits,
+                    sources,
+                    network,
+                )?;
+                ledger.push(entry);
+                vars[out.0] = Some(items);
             }
             Step::Lq { out, source } => {
-                let w = sources.get(*source);
-                let resp = w.load()?;
-                let req_bytes = MessageSize::lq_request();
-                let resp_bytes = MessageSize::tuples_response(&resp.payload);
-                let comm = network.exchange(*source, ExchangeKind::Load, req_bytes, resp_bytes);
-                let proc = Cost::new(
-                    w.processing()
-                        .cost(resp.tuples_examined, resp.payload.len()),
-                );
-                ledger.push(LedgerEntry {
-                    step: idx,
-                    kind: StepKind::Load,
-                    source: Some(*source),
-                    comm,
-                    proc,
-                    round_trips: 1,
-                    items_out: resp.payload.len(),
-                    attempts: 1,
-                    failed_cost: Cost::ZERO,
-                });
-                rels[out.0] = Some(Relation::from_rows(query.schema().clone(), resp.payload));
+                let (rows, entry) = exec_lq(idx, *source, sources, network)?;
+                ledger.push(entry);
+                rels[out.0] = Some(Relation::from_rows(query.schema().clone(), rows));
             }
-            Step::LocalSq { out, cond, rel } => {
-                let relation = rels[rel.0].as_ref().expect("validated: loaded before use");
-                let r = relation.select_items(&conditions[cond.0])?;
-                ledger.push(local_entry(idx, r.items.len()));
-                vars[out.0] = Some(r.items);
-            }
-            Step::Union { out, inputs } => {
-                let sets: Vec<&ItemSet> = inputs
-                    .iter()
-                    .map(|v| vars[v.0].as_ref().expect("validated"))
-                    .collect();
-                let u = ItemSet::union_all(sets);
-                ledger.push(local_entry(idx, u.len()));
-                vars[out.0] = Some(u);
-            }
-            Step::Intersect { out, inputs } => {
-                let mut iter = inputs.iter();
-                let first = vars[iter.next().expect("validated").0]
-                    .clone()
-                    .expect("validated");
-                let acc = iter.fold(first, |acc, v| {
-                    acc.intersect(vars[v.0].as_ref().expect("validated"))
-                });
-                ledger.push(local_entry(idx, acc.len()));
-                vars[out.0] = Some(acc);
-            }
-            Step::Diff { out, left, right } => {
-                let l = vars[left.0].as_ref().expect("validated");
-                let r = vars[right.0].as_ref().expect("validated");
-                let d = l.difference(r);
-                ledger.push(local_entry(idx, d.len()));
-                vars[out.0] = Some(d);
+            _ => {
+                let entry = exec_local_step(idx, step, conditions, &mut vars, &rels)?;
+                ledger.push(entry);
             }
         }
     }
@@ -238,6 +245,157 @@ pub fn execute_plan_unchecked(
         ledger,
         completeness: Completeness::Exact,
     })
+}
+
+/// Executes one selection step: `sq(c, R)` plus its ledger entry.
+pub(crate) fn exec_sq<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    cond: &Condition,
+    sources: &SourceSet,
+    network: &mut E,
+) -> Result<(ItemSet, LedgerEntry)> {
+    let w = sources.get(source);
+    let resp = w.select(cond)?;
+    let req_bytes = MessageSize::sq_request(cond);
+    let resp_bytes = MessageSize::items_response(&resp.payload);
+    let comm = network.exchange(source, ExchangeKind::Selection, req_bytes, resp_bytes);
+    let proc = Cost::new(
+        w.processing()
+            .cost(resp.tuples_examined, resp.payload.len()),
+    );
+    let entry = LedgerEntry {
+        step: idx,
+        kind: StepKind::Selection,
+        source: Some(source),
+        comm,
+        proc,
+        round_trips: 1,
+        items_out: resp.payload.len(),
+        attempts: 1,
+        failed_cost: Cost::ZERO,
+    };
+    Ok((resp.payload, entry))
+}
+
+/// Executes one Bloom-filter semijoin step plus its ledger entry.
+pub(crate) fn exec_bloom<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    cond: &Condition,
+    bindings: &ItemSet,
+    bits: u8,
+    sources: &SourceSet,
+    network: &mut E,
+) -> Result<(ItemSet, LedgerEntry)> {
+    let w = sources.get(source);
+    let filter = fusion_types::BloomFilter::build(bindings, bits as f64);
+    let resp = w.bloom_semijoin(cond, &filter)?;
+    let req_bytes = MessageSize::sq_request(cond) + filter.wire_size();
+    let resp_bytes = MessageSize::items_response(&resp.payload);
+    let comm = network.exchange(source, ExchangeKind::BloomSemijoin, req_bytes, resp_bytes);
+    let proc = Cost::new(
+        w.processing()
+            .cost(resp.tuples_examined, resp.payload.len()),
+    );
+    let entry = LedgerEntry {
+        step: idx,
+        kind: StepKind::BloomSemijoin,
+        source: Some(source),
+        comm,
+        proc,
+        round_trips: 1,
+        items_out: resp.payload.len(),
+        attempts: 1,
+        failed_cost: Cost::ZERO,
+    };
+    Ok((resp.payload, entry))
+}
+
+/// Executes one full-load step `lq(R)` plus its ledger entry; the caller
+/// turns the rows into a [`Relation`] under the query schema.
+pub(crate) fn exec_lq<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    sources: &SourceSet,
+    network: &mut E,
+) -> Result<(Vec<Tuple>, LedgerEntry)> {
+    let w = sources.get(source);
+    let resp = w.load()?;
+    let req_bytes = MessageSize::lq_request();
+    let resp_bytes = MessageSize::tuples_response(&resp.payload);
+    let comm = network.exchange(source, ExchangeKind::Load, req_bytes, resp_bytes);
+    let proc = Cost::new(
+        w.processing()
+            .cost(resp.tuples_examined, resp.payload.len()),
+    );
+    let entry = LedgerEntry {
+        step: idx,
+        kind: StepKind::Load,
+        source: Some(source),
+        comm,
+        proc,
+        round_trips: 1,
+        items_out: resp.payload.len(),
+        attempts: 1,
+        failed_cost: Cost::ZERO,
+    };
+    Ok((resp.payload, entry))
+}
+
+/// Executes one mediator-local step (`LocalSq`, `Union`, `Intersect`,
+/// `Diff`), writing its output variable and returning the (free) ledger
+/// entry.
+///
+/// # Panics
+/// Panics if called with a remote step.
+pub(crate) fn exec_local_step(
+    idx: usize,
+    step: &Step,
+    conditions: &[Condition],
+    vars: &mut [Option<ItemSet>],
+    rels: &[Option<Relation>],
+) -> Result<LedgerEntry> {
+    match step {
+        Step::LocalSq { out, cond, rel } => {
+            let relation = rels[rel.0].as_ref().expect("validated: loaded before use");
+            let r = relation.select_items(&conditions[cond.0])?;
+            let entry = local_entry(idx, r.items.len());
+            vars[out.0] = Some(r.items);
+            Ok(entry)
+        }
+        Step::Union { out, inputs } => {
+            let sets: Vec<&ItemSet> = inputs
+                .iter()
+                .map(|v| vars[v.0].as_ref().expect("validated"))
+                .collect();
+            let u = ItemSet::union_all(sets);
+            let entry = local_entry(idx, u.len());
+            vars[out.0] = Some(u);
+            Ok(entry)
+        }
+        Step::Intersect { out, inputs } => {
+            let mut iter = inputs.iter();
+            let first = vars[iter.next().expect("validated").0]
+                .clone()
+                .expect("validated");
+            let acc = iter.fold(first, |acc, v| {
+                acc.intersect(vars[v.0].as_ref().expect("validated"))
+            });
+            let entry = local_entry(idx, acc.len());
+            vars[out.0] = Some(acc);
+            Ok(entry)
+        }
+        Step::Diff { out, left, right } => {
+            let l = vars[left.0].as_ref().expect("validated");
+            let r = vars[right.0].as_ref().expect("validated");
+            let d = l.difference(r);
+            let entry = local_entry(idx, d.len());
+            vars[out.0] = Some(d);
+            Ok(entry)
+        }
+        remote => panic!("exec_local_step called with remote step {remote:?}"),
+    }
 }
 
 fn local_entry(step: usize, items_out: usize) -> LedgerEntry {
@@ -255,13 +413,13 @@ fn local_entry(step: usize, items_out: usize) -> LedgerEntry {
 }
 
 /// Executes one semijoin query, natively or by emulation.
-pub(crate) fn run_semijoin(
+pub(crate) fn run_semijoin<E: Exchanger>(
     step: usize,
     source: SourceId,
     cond: &fusion_types::Condition,
     bindings: &ItemSet,
     sources: &SourceSet,
-    network: &mut Network,
+    network: &mut E,
 ) -> Result<(ItemSet, LedgerEntry)> {
     let w = sources.get(source);
     let caps = *w.capabilities();
@@ -351,13 +509,18 @@ pub(crate) fn run_semijoin(
     Ok((result, entry))
 }
 
-/// Per-query fault-handling state for [`execute_plan_ft`].
-pub(crate) struct FtState<'a> {
-    policy: &'a RetryPolicy,
-    /// Sources given up on (outage, tripped breaker, retry exhaustion).
-    pub(crate) dead: Vec<bool>,
-    /// Consecutive failures per source (circuit-breaker input).
-    consecutive: Vec<usize>,
+/// One source's fault-handling state: whether it was given up on, and
+/// the consecutive-failure count feeding its circuit breaker.
+///
+/// The parallel executor keeps one of these per source behind a mutex;
+/// the sequential executors keep a plain vector inside [`FtState`]. The
+/// retry logic itself ([`retry_loop`]) is shared.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SourceFt {
+    /// Given up on (outage, tripped breaker, retry exhaustion).
+    pub(crate) dead: bool,
+    /// Consecutive failures (circuit-breaker input).
+    pub(crate) consecutive: usize,
 }
 
 /// Result of pushing one exchange through the retry loop.
@@ -373,61 +536,100 @@ pub(crate) enum Attempted {
     Exhausted { attempts: usize, failed: Cost },
 }
 
+/// Attempts one exchange under the retry policy. `spent` is the cost
+/// executed so far, checked against the policy deadline: once the budget
+/// is gone, failures are final (no more retries).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn retry_loop<E: Exchanger>(
+    policy: &RetryPolicy,
+    network: &mut E,
+    ft: &mut SourceFt,
+    source: SourceId,
+    kind: ExchangeKind,
+    req_bytes: usize,
+    resp_bytes: usize,
+    spent: Cost,
+) -> Attempted {
+    let mut failed = Cost::ZERO;
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        match network.try_exchange(source, kind, req_bytes, resp_bytes) {
+            Ok(comm) => {
+                ft.consecutive = 0;
+                return Attempted::Delivered {
+                    comm,
+                    attempts,
+                    failed,
+                };
+            }
+            Err(FailedExchange { kind: fault, cost }) => {
+                failed += cost;
+                ft.consecutive += 1;
+                let give_up = fault == FaultKind::Outage
+                    || ft.consecutive >= policy.breaker_threshold
+                    || attempts >= policy.max_attempts
+                    || policy
+                        .deadline
+                        .is_some_and(|budget| spent + failed >= budget);
+                if give_up {
+                    ft.dead = true;
+                    return Attempted::Exhausted { attempts, failed };
+                }
+                // Wait before retrying; the wait is charged as
+                // failure cost (the mediator sits idle).
+                failed += policy.backoff(source, attempts);
+            }
+        }
+    }
+}
+
+/// Per-query fault-handling state for [`execute_plan_ft`].
+pub(crate) struct FtState<'a> {
+    pub(crate) policy: &'a RetryPolicy,
+    /// Per-source breaker/death state.
+    pub(crate) srcs: Vec<SourceFt>,
+}
+
 impl<'a> FtState<'a> {
     /// Fresh state: all sources alive, breakers reset.
     pub(crate) fn new(policy: &'a RetryPolicy, n_sources: usize) -> FtState<'a> {
         FtState {
             policy,
-            dead: vec![false; n_sources],
-            consecutive: vec![0; n_sources],
+            srcs: vec![SourceFt::default(); n_sources],
         }
     }
 
-    /// Attempts one exchange under the retry policy. `spent` is the cost
-    /// executed so far, checked against the policy deadline: once the
-    /// budget is gone, failures are final (no more retries).
-    pub(crate) fn try_with_retry(
+    /// Whether `source` has been given up on.
+    pub(crate) fn dead(&self, source: SourceId) -> bool {
+        self.srcs[source.0].dead
+    }
+
+    /// Mutable access to one source's state.
+    pub(crate) fn src_mut(&mut self, source: SourceId) -> &mut SourceFt {
+        &mut self.srcs[source.0]
+    }
+
+    /// See [`retry_loop`].
+    pub(crate) fn try_with_retry<E: Exchanger>(
         &mut self,
-        network: &mut Network,
+        network: &mut E,
         source: SourceId,
         kind: ExchangeKind,
         req_bytes: usize,
         resp_bytes: usize,
         spent: Cost,
     ) -> Attempted {
-        let mut failed = Cost::ZERO;
-        let mut attempts = 0usize;
-        loop {
-            attempts += 1;
-            match network.try_exchange(source, kind, req_bytes, resp_bytes) {
-                Ok(comm) => {
-                    self.consecutive[source.0] = 0;
-                    return Attempted::Delivered {
-                        comm,
-                        attempts,
-                        failed,
-                    };
-                }
-                Err(FailedExchange { kind: fault, cost }) => {
-                    failed += cost;
-                    self.consecutive[source.0] += 1;
-                    let give_up = fault == FaultKind::Outage
-                        || self.consecutive[source.0] >= self.policy.breaker_threshold
-                        || attempts >= self.policy.max_attempts
-                        || self
-                            .policy
-                            .deadline
-                            .is_some_and(|budget| spent + failed >= budget);
-                    if give_up {
-                        self.dead[source.0] = true;
-                        return Attempted::Exhausted { attempts, failed };
-                    }
-                    // Wait before retrying; the wait is charged as
-                    // failure cost (the mediator sits idle).
-                    failed += self.policy.backoff(source, attempts);
-                }
-            }
-        }
+        retry_loop(
+            self.policy,
+            network,
+            &mut self.srcs[source.0],
+            source,
+            kind,
+            req_bytes,
+            resp_bytes,
+            spent,
+        )
     }
 }
 
@@ -451,6 +653,219 @@ pub(crate) fn dropped_entry(
         attempts,
         failed_cost: failed,
     }
+}
+
+/// What a fault-aware remote step came back with: the delivered value
+/// plus its entry, or the entry of a dropped step (dead source or retry
+/// exhaustion — the caller decides whether dropping is sound).
+pub(crate) enum FtFetched<T> {
+    Done(T, LedgerEntry),
+    Dropped(LedgerEntry),
+}
+
+/// Fault-aware selection step: dead sources are dropped up front;
+/// otherwise the exchange runs through the retry loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_sq_ft<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    cond: &Condition,
+    sources: &SourceSet,
+    network: &mut E,
+    policy: &RetryPolicy,
+    ft: &mut SourceFt,
+    spent: Cost,
+) -> Result<FtFetched<ItemSet>> {
+    let kind = StepKind::Selection;
+    if ft.dead {
+        return Ok(FtFetched::Dropped(dropped_entry(
+            idx,
+            kind,
+            source,
+            0,
+            Cost::ZERO,
+        )));
+    }
+    let w = sources.get(source);
+    let resp = w.select(cond)?;
+    let req_bytes = MessageSize::sq_request(cond);
+    let resp_bytes = MessageSize::items_response(&resp.payload);
+    Ok(
+        match retry_loop(
+            policy,
+            network,
+            ft,
+            source,
+            ExchangeKind::Selection,
+            req_bytes,
+            resp_bytes,
+            spent,
+        ) {
+            Attempted::Delivered {
+                comm,
+                attempts,
+                failed,
+            } => {
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
+                FtFetched::Done(
+                    resp.payload.clone(),
+                    LedgerEntry {
+                        step: idx,
+                        kind,
+                        source: Some(source),
+                        comm,
+                        proc,
+                        round_trips: 1,
+                        items_out: resp.payload.len(),
+                        attempts,
+                        failed_cost: failed,
+                    },
+                )
+            }
+            Attempted::Exhausted { attempts, failed } => {
+                FtFetched::Dropped(dropped_entry(idx, kind, source, attempts, failed))
+            }
+        },
+    )
+}
+
+/// Fault-aware Bloom semijoin step.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_bloom_ft<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    cond: &Condition,
+    bindings: &ItemSet,
+    bits: u8,
+    sources: &SourceSet,
+    network: &mut E,
+    policy: &RetryPolicy,
+    ft: &mut SourceFt,
+    spent: Cost,
+) -> Result<FtFetched<ItemSet>> {
+    let kind = StepKind::BloomSemijoin;
+    if ft.dead {
+        return Ok(FtFetched::Dropped(dropped_entry(
+            idx,
+            kind,
+            source,
+            0,
+            Cost::ZERO,
+        )));
+    }
+    let w = sources.get(source);
+    let filter = fusion_types::BloomFilter::build(bindings, bits as f64);
+    let resp = w.bloom_semijoin(cond, &filter)?;
+    let req_bytes = MessageSize::sq_request(cond) + filter.wire_size();
+    let resp_bytes = MessageSize::items_response(&resp.payload);
+    Ok(
+        match retry_loop(
+            policy,
+            network,
+            ft,
+            source,
+            ExchangeKind::BloomSemijoin,
+            req_bytes,
+            resp_bytes,
+            spent,
+        ) {
+            Attempted::Delivered {
+                comm,
+                attempts,
+                failed,
+            } => {
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
+                FtFetched::Done(
+                    resp.payload.clone(),
+                    LedgerEntry {
+                        step: idx,
+                        kind,
+                        source: Some(source),
+                        comm,
+                        proc,
+                        round_trips: 1,
+                        items_out: resp.payload.len(),
+                        attempts,
+                        failed_cost: failed,
+                    },
+                )
+            }
+            Attempted::Exhausted { attempts, failed } => {
+                FtFetched::Dropped(dropped_entry(idx, kind, source, attempts, failed))
+            }
+        },
+    )
+}
+
+/// Fault-aware full-load step; the caller turns delivered rows into a
+/// [`Relation`] (or an empty one for a dropped load).
+pub(crate) fn exec_lq_ft<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    sources: &SourceSet,
+    network: &mut E,
+    policy: &RetryPolicy,
+    ft: &mut SourceFt,
+    spent: Cost,
+) -> Result<FtFetched<Vec<Tuple>>> {
+    let kind = StepKind::Load;
+    if ft.dead {
+        return Ok(FtFetched::Dropped(dropped_entry(
+            idx,
+            kind,
+            source,
+            0,
+            Cost::ZERO,
+        )));
+    }
+    let w = sources.get(source);
+    let resp = w.load()?;
+    let req_bytes = MessageSize::lq_request();
+    let resp_bytes = MessageSize::tuples_response(&resp.payload);
+    Ok(
+        match retry_loop(
+            policy,
+            network,
+            ft,
+            source,
+            ExchangeKind::Load,
+            req_bytes,
+            resp_bytes,
+            spent,
+        ) {
+            Attempted::Delivered {
+                comm,
+                attempts,
+                failed,
+            } => {
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
+                let entry = LedgerEntry {
+                    step: idx,
+                    kind,
+                    source: Some(source),
+                    comm,
+                    proc,
+                    round_trips: 1,
+                    items_out: resp.payload.len(),
+                    attempts,
+                    failed_cost: failed,
+                };
+                FtFetched::Done(resp.payload, entry)
+            }
+            Attempted::Exhausted { attempts, failed } => {
+                FtFetched::Dropped(dropped_entry(idx, kind, source, attempts, failed))
+            }
+        },
+    )
 }
 
 /// Fault-tolerant variant of [`execute_plan`]: retries failed exchanges
@@ -542,50 +957,23 @@ pub fn execute_plan_ft(
     for (idx, step) in plan.steps.iter().enumerate() {
         match step {
             Step::Sq { out, cond, source } => {
-                let kind = StepKind::Selection;
-                if st.dead[source.0] {
-                    ledger.push(dropped_entry(idx, kind, *source, 0, Cost::ZERO));
-                    drop_step(idx, &mut dropped, &mut analysis)?;
-                    missing_conds.push(*cond);
-                    vars[out.0] = Some(ItemSet::empty());
-                    continue;
-                }
-                let w = sources.get(*source);
-                let resp = w.select(&conditions[cond.0])?;
-                let req_bytes = MessageSize::sq_request(&conditions[cond.0]);
-                let resp_bytes = MessageSize::items_response(&resp.payload);
-                match st.try_with_retry(
-                    network,
+                let spent = ledger.total();
+                match exec_sq_ft(
+                    idx,
                     *source,
-                    ExchangeKind::Selection,
-                    req_bytes,
-                    resp_bytes,
-                    ledger.total(),
-                ) {
-                    Attempted::Delivered {
-                        comm,
-                        attempts,
-                        failed,
-                    } => {
-                        let proc = Cost::new(
-                            w.processing()
-                                .cost(resp.tuples_examined, resp.payload.len()),
-                        );
-                        ledger.push(LedgerEntry {
-                            step: idx,
-                            kind,
-                            source: Some(*source),
-                            comm,
-                            proc,
-                            round_trips: 1,
-                            items_out: resp.payload.len(),
-                            attempts,
-                            failed_cost: failed,
-                        });
-                        vars[out.0] = Some(resp.payload);
+                    &conditions[cond.0],
+                    sources,
+                    network,
+                    policy,
+                    st.src_mut(*source),
+                    spent,
+                )? {
+                    FtFetched::Done(items, entry) => {
+                        ledger.push(entry);
+                        vars[out.0] = Some(items);
                     }
-                    Attempted::Exhausted { attempts, failed } => {
-                        ledger.push(dropped_entry(idx, kind, *source, attempts, failed));
+                    FtFetched::Dropped(entry) => {
+                        ledger.push(entry);
                         drop_step(idx, &mut dropped, &mut analysis)?;
                         missing_conds.push(*cond);
                         vars[out.0] = Some(ItemSet::empty());
@@ -599,6 +987,7 @@ pub fn execute_plan_ft(
                 input,
             } => {
                 let bindings = vars[input.0].clone().expect("validated: def before use");
+                let spent = ledger.total();
                 match run_semijoin_ft(
                     idx,
                     *source,
@@ -606,8 +995,9 @@ pub fn execute_plan_ft(
                     &bindings,
                     sources,
                     network,
-                    &mut st,
-                    ledger.total(),
+                    policy,
+                    st.src_mut(*source),
+                    spent,
                 )? {
                     SjResult::Done(items, entry) => {
                         ledger.push(entry);
@@ -628,52 +1018,26 @@ pub fn execute_plan_ft(
                 input,
                 bits,
             } => {
-                let kind = StepKind::BloomSemijoin;
-                if st.dead[source.0] {
-                    ledger.push(dropped_entry(idx, kind, *source, 0, Cost::ZERO));
-                    drop_step(idx, &mut dropped, &mut analysis)?;
-                    missing_conds.push(*cond);
-                    vars[out.0] = Some(ItemSet::empty());
-                    continue;
-                }
                 let bindings = vars[input.0].clone().expect("validated: def before use");
-                let w = sources.get(*source);
-                let filter = fusion_types::BloomFilter::build(&bindings, *bits as f64);
-                let resp = w.bloom_semijoin(&conditions[cond.0], &filter)?;
-                let req_bytes = MessageSize::sq_request(&conditions[cond.0]) + filter.wire_size();
-                let resp_bytes = MessageSize::items_response(&resp.payload);
-                match st.try_with_retry(
-                    network,
+                let spent = ledger.total();
+                match exec_bloom_ft(
+                    idx,
                     *source,
-                    ExchangeKind::BloomSemijoin,
-                    req_bytes,
-                    resp_bytes,
-                    ledger.total(),
-                ) {
-                    Attempted::Delivered {
-                        comm,
-                        attempts,
-                        failed,
-                    } => {
-                        let proc = Cost::new(
-                            w.processing()
-                                .cost(resp.tuples_examined, resp.payload.len()),
-                        );
-                        ledger.push(LedgerEntry {
-                            step: idx,
-                            kind,
-                            source: Some(*source),
-                            comm,
-                            proc,
-                            round_trips: 1,
-                            items_out: resp.payload.len(),
-                            attempts,
-                            failed_cost: failed,
-                        });
-                        vars[out.0] = Some(resp.payload);
+                    &conditions[cond.0],
+                    &bindings,
+                    *bits,
+                    sources,
+                    network,
+                    policy,
+                    st.src_mut(*source),
+                    spent,
+                )? {
+                    FtFetched::Done(items, entry) => {
+                        ledger.push(entry);
+                        vars[out.0] = Some(items);
                     }
-                    Attempted::Exhausted { attempts, failed } => {
-                        ledger.push(dropped_entry(idx, kind, *source, attempts, failed));
+                    FtFetched::Dropped(entry) => {
+                        ledger.push(entry);
                         drop_step(idx, &mut dropped, &mut analysis)?;
                         missing_conds.push(*cond);
                         vars[out.0] = Some(ItemSet::empty());
@@ -681,97 +1045,39 @@ pub fn execute_plan_ft(
                 }
             }
             Step::Lq { out, source } => {
-                let kind = StepKind::Load;
-                let drop_load = |rels: &mut Vec<Option<Relation>>, rel_dropped: &mut Vec<bool>| {
-                    // Later local selections over the relation run
-                    // against an empty table and yield ∅ — exactly the
-                    // degraded semantics the BDD check verified.
-                    rels[out.0] = Some(Relation::from_rows(query.schema().clone(), vec![]));
-                    rel_dropped[out.0] = true;
-                };
-                if st.dead[source.0] {
-                    ledger.push(dropped_entry(idx, kind, *source, 0, Cost::ZERO));
-                    drop_step(idx, &mut dropped, &mut analysis)?;
-                    drop_load(&mut rels, &mut rel_dropped);
-                    continue;
-                }
-                let w = sources.get(*source);
-                let resp = w.load()?;
-                let req_bytes = MessageSize::lq_request();
-                let resp_bytes = MessageSize::tuples_response(&resp.payload);
-                match st.try_with_retry(
-                    network,
+                let spent = ledger.total();
+                match exec_lq_ft(
+                    idx,
                     *source,
-                    ExchangeKind::Load,
-                    req_bytes,
-                    resp_bytes,
-                    ledger.total(),
-                ) {
-                    Attempted::Delivered {
-                        comm,
-                        attempts,
-                        failed,
-                    } => {
-                        let proc = Cost::new(
-                            w.processing()
-                                .cost(resp.tuples_examined, resp.payload.len()),
-                        );
-                        ledger.push(LedgerEntry {
-                            step: idx,
-                            kind,
-                            source: Some(*source),
-                            comm,
-                            proc,
-                            round_trips: 1,
-                            items_out: resp.payload.len(),
-                            attempts,
-                            failed_cost: failed,
-                        });
-                        rels[out.0] =
-                            Some(Relation::from_rows(query.schema().clone(), resp.payload));
+                    sources,
+                    network,
+                    policy,
+                    st.src_mut(*source),
+                    spent,
+                )? {
+                    FtFetched::Done(rows, entry) => {
+                        ledger.push(entry);
+                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), rows));
                     }
-                    Attempted::Exhausted { attempts, failed } => {
-                        ledger.push(dropped_entry(idx, kind, *source, attempts, failed));
+                    FtFetched::Dropped(entry) => {
+                        ledger.push(entry);
                         drop_step(idx, &mut dropped, &mut analysis)?;
-                        drop_load(&mut rels, &mut rel_dropped);
+                        // Later local selections over the relation run
+                        // against an empty table and yield ∅ — exactly
+                        // the degraded semantics the BDD check verified.
+                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), vec![]));
+                        rel_dropped[out.0] = true;
                     }
                 }
             }
-            Step::LocalSq { out, cond, rel } => {
-                let relation = rels[rel.0].as_ref().expect("validated: loaded before use");
-                let r = relation.select_items(&conditions[cond.0])?;
-                ledger.push(local_entry(idx, r.items.len()));
-                if rel_dropped[rel.0] {
-                    missing_conds.push(*cond);
+            _ => {
+                if let Step::LocalSq { cond, rel, .. } = step {
+                    if rel_dropped[rel.0] {
+                        missing_conds.push(*cond);
+                    }
                 }
-                vars[out.0] = Some(r.items);
-            }
-            Step::Union { out, inputs } => {
-                let sets: Vec<&ItemSet> = inputs
-                    .iter()
-                    .map(|v| vars[v.0].as_ref().expect("validated"))
-                    .collect();
-                let u = ItemSet::union_all(sets);
-                ledger.push(local_entry(idx, u.len()));
-                vars[out.0] = Some(u);
-            }
-            Step::Intersect { out, inputs } => {
-                let mut iter = inputs.iter();
-                let first = vars[iter.next().expect("validated").0]
-                    .clone()
-                    .expect("validated");
-                let acc = iter.fold(first, |acc, v| {
-                    acc.intersect(vars[v.0].as_ref().expect("validated"))
-                });
-                ledger.push(local_entry(idx, acc.len()));
-                vars[out.0] = Some(acc);
-            }
-            Step::Diff { out, left, right } => {
-                let l = vars[left.0].as_ref().expect("validated");
-                let r = vars[right.0].as_ref().expect("validated");
-                let d = l.difference(r);
-                ledger.push(local_entry(idx, d.len()));
-                vars[out.0] = Some(d);
+                let entry = exec_local_step(idx, step, conditions, &mut vars, &rels)?;
+                ledger.push(entry);
             }
         }
     }
@@ -815,14 +1121,15 @@ pub(crate) enum SjResult {
 /// through the retry loop, and giving up yields [`SjResult::Dropped`]
 /// instead of an error.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_semijoin_ft(
+pub(crate) fn run_semijoin_ft<E: Exchanger>(
     step: usize,
     source: SourceId,
     cond: &fusion_types::Condition,
     bindings: &ItemSet,
     sources: &SourceSet,
-    network: &mut Network,
-    st: &mut FtState<'_>,
+    network: &mut E,
+    policy: &RetryPolicy,
+    ft: &mut SourceFt,
     spent: Cost,
 ) -> Result<SjResult> {
     let w = sources.get(source);
@@ -847,7 +1154,7 @@ pub(crate) fn run_semijoin_ft(
         };
         return Ok(SjResult::Done(ItemSet::empty(), entry));
     }
-    if st.dead[source.0] {
+    if ft.dead {
         return Ok(SjResult::Dropped(dropped_entry(
             step,
             kind,
@@ -861,8 +1168,10 @@ pub(crate) fn run_semijoin_ft(
         let req_bytes = MessageSize::sjq_request(cond, bindings);
         let resp_bytes = MessageSize::items_response(&resp.payload);
         return Ok(
-            match st.try_with_retry(
+            match retry_loop(
+                policy,
                 network,
+                ft,
                 source,
                 ExchangeKind::Semijoin,
                 req_bytes,
@@ -924,8 +1233,10 @@ pub(crate) fn run_semijoin_ft(
         let resp = w.probe(cond, &batch)?;
         let req_bytes = MessageSize::sjq_request(cond, &batch);
         let resp_bytes = MessageSize::items_response(&resp.payload);
-        match st.try_with_retry(
+        match retry_loop(
+            policy,
             network,
+            ft,
             source,
             ExchangeKind::BindingProbe,
             req_bytes,

@@ -21,6 +21,11 @@
 //!   round it re-plans the remaining conditions from the *observed*
 //!   running-set size (mid-query re-optimization), which repairs the
 //!   estimate drift correlated conditions cause.
+//! * [`execute_plan_parallel`] (and [`execute_plan_parallel_ft`]) run the
+//!   certified stage decomposition on real threads — one serial queue per
+//!   source, results merged at stage barriers — producing answers,
+//!   ledgers, and network traces byte-identical to sequential execution
+//!   while measuring actual wall-clock makespan.
 //! * [`execute_plan_ft`] and [`execute_adaptive_ft`] add fault tolerance:
 //!   exchanges failed by the network's [`FaultPlan`] are retried under a
 //!   [`RetryPolicy`] (bounded attempts, seeded-jitter backoff, circuit
@@ -37,6 +42,7 @@
 pub mod adaptive;
 pub mod interp;
 pub mod ledger;
+pub mod parallel;
 pub mod piggyback;
 pub mod retry;
 pub mod schedule;
@@ -45,6 +51,9 @@ pub mod two_phase;
 pub use adaptive::{execute_adaptive, execute_adaptive_ft, AdaptiveOutcome, AdaptiveRound};
 pub use interp::{execute_plan, execute_plan_ft, execute_plan_unchecked, ExecutionOutcome};
 pub use ledger::{CostLedger, LedgerEntry, StepKind};
+pub use parallel::{
+    execute_plan_parallel, execute_plan_parallel_ft, ParallelConfig, ParallelOutcome,
+};
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
 pub use retry::{Completeness, RetryPolicy};
 pub use schedule::{

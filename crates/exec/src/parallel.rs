@@ -1,0 +1,989 @@
+//! True multi-threaded execution of certified stage schedules.
+//!
+//! [`execute_plan_parallel`] (and its fault-tolerant variant) turn the
+//! simulated parallel execution model of [`crate::schedule`] into real
+//! concurrency: the plan's certified stage decomposition
+//! ([`fusion_core::dataflow::stage_decomposition`]) is refined with one
+//! *serial queue per source* — autonomous Internet sources answer one
+//! mediator request at a time (§6) — and each stage's remote steps run on
+//! [`std::thread::scope`] workers.
+//!
+//! # Determinism contract
+//!
+//! Parallel execution is **byte-identical** to sequential execution:
+//!
+//! * The ledger has one entry per plan step in step order, each entry
+//!   equal to the one [`crate::execute_plan`] / [`crate::execute_plan_ft`]
+//!   would have produced, so [`crate::schedule::schedule`] replays and
+//!   [`crate::schedule::stage_schedule`] verification work unchanged.
+//! * Workers exchange through shared [`fusion_net::SourceHandle`]s that
+//!   buffer per-source trace segments; one [`fusion_net::Network::commit`]
+//!   at the end merges them sorted by step index, reproducing the
+//!   sequential exchange trace exactly.
+//! * Fault injection stays deterministic under concurrency: the fault
+//!   schedule is positional per source, and the per-source serial queues
+//!   guarantee each source's steps consume schedule slots in plan order —
+//!   the same-seed replay property survives any thread interleaving.
+//!
+//! Why this is sound: the stage certificate proves that within a stage no
+//! two steps exchange data or share a source, and that every data
+//! dependency lands in a strictly earlier stage. Workers therefore read
+//! earlier-stage variables immutably, write disjoint outputs, and never
+//! contend on a source's fault schedule. The serial-queue refinement adds
+//! the per-source total order on top, which is what makes the *accounting*
+//! (not just the answers) order-independent.
+//!
+//! One deliberate divergence: the retry deadline
+//! ([`RetryPolicy::deadline`]) is checked against the cost committed at
+//! the last stage *barrier*, not the running per-step total — mid-stage
+//! there is no meaningful global "cost so far" when steps overlap. With no
+//! deadline set (the default), fault-tolerant parallel execution is
+//! byte-identical to sequential; with one, it may retry slightly more.
+
+use crate::interp::{
+    exec_bloom, exec_bloom_ft, exec_local_step, exec_lq, exec_lq_ft, exec_sq, exec_sq_ft,
+    run_semijoin, run_semijoin_ft, ExecutionOutcome, FtFetched, SharedExchanger, SjResult,
+    SourceFt,
+};
+use crate::ledger::{CostLedger, LedgerEntry};
+use crate::retry::{Completeness, RetryPolicy};
+use crate::schedule::stage_schedule;
+use fusion_core::plan::{Plan, Step};
+use fusion_core::query::FusionQuery;
+use fusion_net::Network;
+use fusion_source::SourceSet;
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId, Tuple};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelConfig {
+    /// Worker threads per stage (at least 1; capped per stage by the
+    /// number of remote steps in it).
+    pub threads: usize,
+    /// Wall-clock seconds each worker sleeps per simulated cost unit of
+    /// its step. `None` runs at full speed. Pacing makes the simulated
+    /// cost model physically real, so measured makespans can be compared
+    /// against the predicted [`crate::schedule::stage_schedule`] makespan
+    /// (bench E19).
+    pub pace: Option<f64>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            pace: None,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config with an explicit thread count.
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// Sets the pace (wall-clock seconds per cost unit).
+    pub fn paced(mut self, pace: f64) -> ParallelConfig {
+        self.pace = Some(pace);
+        self
+    }
+}
+
+/// The result of a parallel execution: the sequential-identical outcome
+/// plus concurrency measurements.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Answer, ledger, and completeness — byte-identical to what the
+    /// sequential executor produces for the same inputs.
+    pub outcome: ExecutionOutcome,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+    /// Execution stages (certified stages refined by per-source serial
+    /// queues).
+    pub stages: usize,
+    /// Measured wall-clock time of the stage loop.
+    pub wall: Duration,
+    /// Simulated barrier-synchronous makespan of the executed ledger
+    /// ([`crate::schedule::stage_schedule`]) — the model's prediction of
+    /// what `wall / pace` should be with enough threads.
+    pub makespan: f64,
+}
+
+impl ParallelOutcome {
+    /// Total executed (simulated) cost — the sequential total work.
+    pub fn total_cost(&self) -> Cost {
+        self.outcome.ledger.total()
+    }
+}
+
+/// Executes `plan` concurrently, producing an outcome byte-identical to
+/// [`crate::execute_plan`]. See the module docs for the contract.
+///
+/// # Errors
+/// Fails on structurally invalid or semantically unsound plans,
+/// capability violations, and predicate evaluation errors. When a worker
+/// fails, the error of the lowest-indexed failing step is reported;
+/// exchanges already performed by the stage stay committed to the trace.
+pub fn execute_plan_parallel(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome> {
+    run_parallel(plan, query, sources, network, Mode::Plain, config)
+}
+
+/// Fault-tolerant [`execute_plan_parallel`]: byte-identical to
+/// [`crate::execute_plan_ft`] under the same fault plan and policy
+/// (deadline caveat in the module docs).
+///
+/// # Errors
+/// As [`crate::execute_plan_ft`]: additionally fails when a dead source's
+/// step cannot be soundly dropped.
+pub fn execute_plan_parallel_ft(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    policy: &RetryPolicy,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome> {
+    run_parallel(plan, query, sources, network, Mode::Ft(policy), config)
+}
+
+#[derive(Clone, Copy)]
+enum Mode<'a> {
+    Plain,
+    Ft(&'a RetryPolicy),
+}
+
+/// What a worker hands back across the stage barrier.
+struct StepDone {
+    value: StepValue,
+    entry: LedgerEntry,
+}
+
+enum StepValue {
+    /// A delivered item-set step (`sq` / `sjq` / Bloom `sjq`).
+    Items(ItemSet),
+    /// A delivered full load.
+    Rows(Vec<Tuple>),
+    /// A dropped item-set step (fault-tolerant mode only).
+    DroppedItems,
+    /// A dropped full load (fault-tolerant mode only).
+    DroppedRows,
+}
+
+/// Data dependencies of every step (variables read, plus the load behind
+/// a local selection).
+fn step_deps(plan: &Plan) -> Vec<Vec<usize>> {
+    let mut def_var: Vec<Option<usize>> = vec![None; plan.var_names.len()];
+    let mut def_rel: Vec<Option<usize>> = vec![None; plan.rel_names.len()];
+    let mut deps = Vec::with_capacity(plan.steps.len());
+    for (idx, step) in plan.steps.iter().enumerate() {
+        let mut d: Vec<usize> = Vec::new();
+        match step {
+            Step::Sq { out, .. } => def_var[out.0] = Some(idx),
+            Step::Sjq { out, input, .. } | Step::SjqBloom { out, input, .. } => {
+                d.extend(def_var[input.0]);
+                def_var[out.0] = Some(idx);
+            }
+            Step::Lq { out, .. } => def_rel[out.0] = Some(idx),
+            Step::LocalSq { out, rel, .. } => {
+                d.extend(def_rel[rel.0]);
+                def_var[out.0] = Some(idx);
+            }
+            Step::Union { out, inputs } | Step::Intersect { out, inputs } => {
+                d.extend(inputs.iter().filter_map(|v| def_var[v.0]));
+                def_var[out.0] = Some(idx);
+            }
+            Step::Diff { out, left, right } => {
+                d.extend(def_var[left.0]);
+                d.extend(def_var[right.0]);
+                def_var[out.0] = Some(idx);
+            }
+        }
+        deps.push(d);
+    }
+    deps
+}
+
+/// Refines the certified decomposition into *execution* stages: the
+/// wavefronts of the dependency DAG augmented with one serial-queue edge
+/// chaining each source's steps in plan order.
+///
+/// The extra edges give every stage the same invariants the certificate
+/// proves (source-disjoint, dependencies strictly earlier) *plus* the
+/// guarantee that each source consumes its fault-schedule slots in plan
+/// order — which is what makes fault injection replay identically under
+/// concurrency. For plans whose step order follows dependency levels
+/// (everything the optimizers emit), this is exactly the certified
+/// decomposition.
+fn serial_queue_stages(plan: &Plan) -> Vec<Vec<usize>> {
+    let deps = step_deps(plan);
+    let n = plan.steps.len();
+    let mut level = vec![0usize; n];
+    let mut last_of_source: Vec<Option<usize>> = vec![None; plan.n_sources];
+    for idx in 0..n {
+        let mut lv = 0;
+        for &d in &deps[idx] {
+            lv = lv.max(level[d] + 1);
+        }
+        if let Some(src) = plan.steps[idx].source() {
+            if let Some(prev) = last_of_source[src.0] {
+                lv = lv.max(level[prev] + 1);
+            }
+            last_of_source[src.0] = Some(idx);
+        }
+        level[idx] = lv;
+    }
+    let n_stages = level.iter().max().map_or(0, |m| m + 1);
+    let mut stages = vec![Vec::new(); n_stages];
+    for (idx, lv) in level.iter().enumerate() {
+        stages[*lv].push(idx);
+    }
+    #[cfg(debug_assertions)]
+    for stage in &stages {
+        let mut seen = std::collections::HashSet::new();
+        for &i in stage {
+            if let Some(s) = plan.steps[i].source() {
+                assert!(
+                    seen.insert(s),
+                    "serial queues must keep stages source-disjoint"
+                );
+            }
+        }
+    }
+    stages
+}
+
+/// Executes one remote step against the shared network. Runs on a worker
+/// thread: reads earlier-stage variables immutably, locks only the step's
+/// source (its fault state, and — inside the exchange — its trace shard).
+#[allow(clippy::too_many_arguments)]
+fn run_remote_step(
+    idx: usize,
+    step: &Step,
+    conditions: &[Condition],
+    sources: &SourceSet,
+    net: &Network,
+    vars: &[Option<ItemSet>],
+    mode: &Mode<'_>,
+    fts: &[Mutex<SourceFt>],
+    spent: Cost,
+) -> Result<StepDone> {
+    let mut ex = SharedExchanger { net, step: idx };
+    let items_done = |value: FtFetched<ItemSet>| match value {
+        FtFetched::Done(items, entry) => StepDone {
+            value: StepValue::Items(items),
+            entry,
+        },
+        FtFetched::Dropped(entry) => StepDone {
+            value: StepValue::DroppedItems,
+            entry,
+        },
+    };
+    match (step, mode) {
+        (Step::Sq { cond, source, .. }, Mode::Plain) => {
+            let (items, entry) = exec_sq(idx, *source, &conditions[cond.0], sources, &mut ex)?;
+            Ok(StepDone {
+                value: StepValue::Items(items),
+                entry,
+            })
+        }
+        (Step::Sq { cond, source, .. }, Mode::Ft(policy)) => {
+            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
+            let fetched = exec_sq_ft(
+                idx,
+                *source,
+                &conditions[cond.0],
+                sources,
+                &mut ex,
+                policy,
+                &mut ft,
+                spent,
+            )?;
+            Ok(items_done(fetched))
+        }
+        (
+            Step::Sjq {
+                cond,
+                source,
+                input,
+                ..
+            },
+            Mode::Plain,
+        ) => {
+            let bindings = vars[input.0].clone().expect("validated: def before use");
+            let (items, entry) = run_semijoin(
+                idx,
+                *source,
+                &conditions[cond.0],
+                &bindings,
+                sources,
+                &mut ex,
+            )?;
+            Ok(StepDone {
+                value: StepValue::Items(items),
+                entry,
+            })
+        }
+        (
+            Step::Sjq {
+                cond,
+                source,
+                input,
+                ..
+            },
+            Mode::Ft(policy),
+        ) => {
+            let bindings = vars[input.0].clone().expect("validated: def before use");
+            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
+            let result = run_semijoin_ft(
+                idx,
+                *source,
+                &conditions[cond.0],
+                &bindings,
+                sources,
+                &mut ex,
+                policy,
+                &mut ft,
+                spent,
+            )?;
+            Ok(match result {
+                SjResult::Done(items, entry) => StepDone {
+                    value: StepValue::Items(items),
+                    entry,
+                },
+                SjResult::Dropped(entry) => StepDone {
+                    value: StepValue::DroppedItems,
+                    entry,
+                },
+            })
+        }
+        (
+            Step::SjqBloom {
+                cond,
+                source,
+                input,
+                bits,
+                ..
+            },
+            Mode::Plain,
+        ) => {
+            let bindings = vars[input.0].clone().expect("validated: def before use");
+            let (items, entry) = exec_bloom(
+                idx,
+                *source,
+                &conditions[cond.0],
+                &bindings,
+                *bits,
+                sources,
+                &mut ex,
+            )?;
+            Ok(StepDone {
+                value: StepValue::Items(items),
+                entry,
+            })
+        }
+        (
+            Step::SjqBloom {
+                cond,
+                source,
+                input,
+                bits,
+                ..
+            },
+            Mode::Ft(policy),
+        ) => {
+            let bindings = vars[input.0].clone().expect("validated: def before use");
+            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
+            let fetched = exec_bloom_ft(
+                idx,
+                *source,
+                &conditions[cond.0],
+                &bindings,
+                *bits,
+                sources,
+                &mut ex,
+                policy,
+                &mut ft,
+                spent,
+            )?;
+            Ok(items_done(fetched))
+        }
+        (Step::Lq { source, .. }, Mode::Plain) => {
+            let (rows, entry) = exec_lq(idx, *source, sources, &mut ex)?;
+            Ok(StepDone {
+                value: StepValue::Rows(rows),
+                entry,
+            })
+        }
+        (Step::Lq { source, .. }, Mode::Ft(policy)) => {
+            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
+            let fetched = exec_lq_ft(idx, *source, sources, &mut ex, policy, &mut ft, spent)?;
+            Ok(match fetched {
+                FtFetched::Done(rows, entry) => StepDone {
+                    value: StepValue::Rows(rows),
+                    entry,
+                },
+                FtFetched::Dropped(entry) => StepDone {
+                    value: StepValue::DroppedRows,
+                    entry,
+                },
+            })
+        }
+        (local, _) => unreachable!("remote worker got local step {local:?}"),
+    }
+}
+
+fn run_parallel(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    mode: Mode<'_>,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome> {
+    let mut analysis = fusion_core::analyze::analyze_plan(plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to execute a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    plan.validate()?;
+    if query.m() != plan.n_conditions {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} conditions, query has {}",
+            plan.n_conditions,
+            query.m()
+        )));
+    }
+    if sources.len() != plan.n_sources {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} sources, got {}",
+            plan.n_sources,
+            sources.len()
+        )));
+    }
+    // The certificate gate: validates the plan's dataflow and proves (BDD)
+    // that stage-parallel execution is race-free before any thread spawns.
+    // Execution then runs the certified stages refined by per-source
+    // serial queues.
+    fusion_core::dataflow::stage_decomposition(plan)?;
+    let stages = serial_queue_stages(plan);
+
+    let threads = config.threads.max(1);
+    let conditions = query.conditions();
+    let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
+    let mut entries: Vec<Option<LedgerEntry>> = vec![None; plan.steps.len()];
+    let fts: Vec<Mutex<SourceFt>> = (0..plan.n_sources)
+        .map(|_| Mutex::new(SourceFt::default()))
+        .collect();
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut missing_conds: Vec<CondId> = Vec::new();
+    // Ledger cost committed through the last stage barrier — the
+    // deadline basis (see module docs).
+    let mut spent = Cost::ZERO;
+
+    // Drops `idx`, verifying via the BDD analysis that the cumulative
+    // degraded plan still computes a subset of the fusion answer.
+    let drop_step = |idx: usize,
+                     dropped: &mut Vec<usize>,
+                     analysis: &mut fusion_core::analyze::Analysis|
+     -> Result<()> {
+        dropped.push(idx);
+        if analysis.droppable(plan, dropped) {
+            Ok(())
+        } else {
+            Err(FusionError::execution(format!(
+                "source failure at step #{idx}: dropping it would not \
+                 yield a sound subset of the fusion answer (the step's \
+                 value is used non-monotonically); aborting instead"
+            )))
+        }
+    };
+
+    let start = Instant::now();
+    for stage in &stages {
+        let remote: Vec<usize> = stage
+            .iter()
+            .copied()
+            .filter(|&i| plan.steps[i].source().is_some())
+            .collect();
+        if !remote.is_empty() {
+            let cursor = AtomicUsize::new(0);
+            let results: Mutex<Vec<(usize, Result<StepDone>)>> =
+                Mutex::new(Vec::with_capacity(remote.len()));
+            let workers = threads.min(remote.len());
+            let shared_net: &Network = network;
+            let vars_ref: &[Option<ItemSet>] = &vars;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= remote.len() {
+                            break;
+                        }
+                        let idx = remote[i];
+                        let r = run_remote_step(
+                            idx,
+                            &plan.steps[idx],
+                            conditions,
+                            sources,
+                            shared_net,
+                            vars_ref,
+                            &mode,
+                            &fts,
+                            spent,
+                        );
+                        if let (Some(pace), Ok(done)) = (config.pace, &r) {
+                            let secs = done.entry.total().value() * pace;
+                            if secs > 0.0 {
+                                std::thread::sleep(Duration::from_secs_f64(secs));
+                            }
+                        }
+                        results.lock().expect("results poisoned").push((idx, r));
+                    });
+                }
+            });
+            let mut results = results.into_inner().expect("results poisoned");
+            // The barrier restores determinism: results are folded in
+            // step order no matter which worker finished first.
+            results.sort_by_key(|(idx, _)| *idx);
+            for (idx, r) in results {
+                let done = match r {
+                    Ok(done) => done,
+                    Err(e) => {
+                        network.commit();
+                        return Err(e);
+                    }
+                };
+                entries[idx] = Some(done.entry);
+                match (done.value, &plan.steps[idx]) {
+                    (
+                        StepValue::Items(items),
+                        Step::Sq { out, .. } | Step::Sjq { out, .. } | Step::SjqBloom { out, .. },
+                    ) => {
+                        vars[out.0] = Some(items);
+                    }
+                    (StepValue::Rows(rows), Step::Lq { out, .. }) => {
+                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), rows));
+                    }
+                    (
+                        StepValue::DroppedItems,
+                        Step::Sq { out, cond, .. }
+                        | Step::Sjq { out, cond, .. }
+                        | Step::SjqBloom { out, cond, .. },
+                    ) => {
+                        if let Err(e) = drop_step(idx, &mut dropped, &mut analysis) {
+                            network.commit();
+                            return Err(e);
+                        }
+                        missing_conds.push(*cond);
+                        vars[out.0] = Some(ItemSet::empty());
+                    }
+                    (StepValue::DroppedRows, Step::Lq { out, .. }) => {
+                        if let Err(e) = drop_step(idx, &mut dropped, &mut analysis) {
+                            network.commit();
+                            return Err(e);
+                        }
+                        // Later local selections over the relation run
+                        // against an empty table and yield ∅ — exactly
+                        // the degraded semantics the BDD check verified.
+                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), vec![]));
+                        rel_dropped[out.0] = true;
+                    }
+                    (_, step) => unreachable!("step/value shape mismatch at {step:?}"),
+                }
+            }
+        }
+        for &idx in stage.iter().filter(|&&i| plan.steps[i].source().is_none()) {
+            let step = &plan.steps[idx];
+            if matches!(mode, Mode::Ft(_)) {
+                if let Step::LocalSq { cond, rel, .. } = step {
+                    if rel_dropped[rel.0] {
+                        missing_conds.push(*cond);
+                    }
+                }
+            }
+            match exec_local_step(idx, step, conditions, &mut vars, &rels) {
+                Ok(entry) => entries[idx] = Some(entry),
+                Err(e) => {
+                    network.commit();
+                    return Err(e);
+                }
+            }
+        }
+        spent = entries.iter().flatten().map(LedgerEntry::total).sum();
+    }
+    let wall = start.elapsed();
+    network.commit();
+
+    let mut ledger = CostLedger::new();
+    for e in entries {
+        ledger.push(e.expect("every stage step executed"));
+    }
+    let answer = vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined");
+    let completeness = if dropped.is_empty() {
+        Completeness::Exact
+    } else {
+        let mut missing_sources: Vec<SourceId> = dropped
+            .iter()
+            .filter_map(|&i| plan.steps[i].source())
+            .collect();
+        missing_sources.sort_unstable();
+        missing_sources.dedup();
+        missing_conds.sort_unstable();
+        missing_conds.dedup();
+        Completeness::Subset {
+            missing_sources,
+            missing_conditions: missing_conds,
+        }
+    };
+    let (_, makespan) = stage_schedule(plan, &ledger)?;
+    Ok(ParallelOutcome {
+        outcome: ExecutionOutcome {
+            answer,
+            ledger,
+            completeness,
+        },
+        threads,
+        stages: stages.len(),
+        wall,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute_plan, execute_plan_ft};
+    use fusion_core::cost::TableCostModel;
+    use fusion_core::optimizer::{filter_plan, sja_optimal};
+    use fusion_core::plan::VarId;
+    use fusion_net::{FaultPlan, FaultSpec, LinkProfile};
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, CondId, Predicate};
+
+    fn figure1_relations() -> Vec<Relation> {
+        let s = dmv_schema();
+        vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ]
+    }
+
+    fn dmv_sources(caps: Capabilities) -> SourceSet {
+        SourceSet::new(
+            figure1_relations()
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        caps,
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bytes() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let sources = dmv_sources(Capabilities::full());
+        for opt in [filter_plan(&model), sja_optimal(&model)] {
+            let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+            let seq = execute_plan(&opt.plan, &q, &sources, &mut seq_net).unwrap();
+            for threads in [1, 2, 8] {
+                let mut par_net = Network::uniform(3, LinkProfile::Wan.link());
+                let par = execute_plan_parallel(
+                    &opt.plan,
+                    &q,
+                    &sources,
+                    &mut par_net,
+                    &ParallelConfig::with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(par.outcome.answer, seq.answer);
+                assert_eq!(par.outcome.ledger, seq.ledger);
+                assert_eq!(par.outcome.completeness, seq.completeness);
+                assert_eq!(par_net.trace(), seq_net.trace());
+                assert_eq!(par_net.total_cost(), seq_net.total_cost());
+                assert!(par.stages >= 1);
+                assert!(par.makespan > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ft_matches_sequential_under_faults() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let plan = sja_optimal(&model).plan;
+        let sources = dmv_sources(Capabilities::full());
+        let policy = RetryPolicy::default();
+        for seed in 0..16u64 {
+            let faults = FaultPlan::uniform(3, seed, FaultSpec::transient(0.45));
+            let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+            seq_net.set_fault_plan(faults.clone());
+            let seq = execute_plan_ft(&plan, &q, &sources, &mut seq_net, &policy).unwrap();
+            for threads in [2, 8] {
+                let mut par_net = Network::uniform(3, LinkProfile::Wan.link());
+                par_net.set_fault_plan(faults.clone());
+                let par = execute_plan_parallel_ft(
+                    &plan,
+                    &q,
+                    &sources,
+                    &mut par_net,
+                    &policy,
+                    &ParallelConfig::with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(par.outcome.answer, seq.answer, "seed {seed}");
+                assert_eq!(par.outcome.ledger, seq.ledger, "seed {seed}");
+                assert_eq!(par.outcome.completeness, seq.completeness, "seed {seed}");
+                assert_eq!(par_net.trace(), seq_net.trace(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_queues_preserve_per_source_step_order() {
+        // A sound plan where a later step has a *smaller* dependency
+        // level than an earlier step on the same source: step 6 below
+        // (`sq(c2, R3)`, level 0 by data deps) follows step 2
+        // (`sq(c1, R3)`, also level 0). Without the serial-queue edges
+        // both would land in stage 0 and race for R3's fault-schedule
+        // slots; the refinement must push step 6 to a later stage.
+        //
+        //   result = sjq(c2,R1,U1) ∪ sjq(c2,R2,U1) ∪ (U1 ∩ sq(c2,R3))
+        // with U1 the condition-1 union — equal to the fusion answer.
+        let q = dmv_query();
+        let mut plan = Plan::new(vec![], VarId(0), 2, 3);
+        let x0 = plan.fresh_var("X0");
+        let x1 = plan.fresh_var("X1");
+        let x2 = plan.fresh_var("X2");
+        let u1 = plan.fresh_var("U1");
+        let y0 = plan.fresh_var("Y0");
+        let y1 = plan.fresh_var("Y1");
+        let y2 = plan.fresh_var("Y2");
+        let y2r = plan.fresh_var("Y2R");
+        let r = plan.fresh_var("R");
+        plan.steps = vec![
+            Step::Sq {
+                out: x0,
+                cond: CondId(0),
+                source: SourceId(0),
+            },
+            Step::Sq {
+                out: x1,
+                cond: CondId(0),
+                source: SourceId(1),
+            },
+            Step::Sq {
+                out: x2,
+                cond: CondId(0),
+                source: SourceId(2),
+            },
+            Step::Union {
+                out: u1,
+                inputs: vec![x0, x1, x2],
+            },
+            Step::Sjq {
+                out: y0,
+                cond: CondId(1),
+                source: SourceId(0),
+                input: u1,
+            },
+            Step::Sjq {
+                out: y1,
+                cond: CondId(1),
+                source: SourceId(1),
+                input: u1,
+            },
+            // Data-dependency level 0, but R3's serial queue must order
+            // it after step 2.
+            Step::Sq {
+                out: y2,
+                cond: CondId(1),
+                source: SourceId(2),
+            },
+            Step::Intersect {
+                out: y2r,
+                inputs: vec![u1, y2],
+            },
+            Step::Union {
+                out: r,
+                inputs: vec![y0, y1, y2r],
+            },
+        ];
+        plan.result = r;
+        let sources = dmv_sources(Capabilities::full());
+        let stages = serial_queue_stages(&plan);
+        // Per-source order: within each source, step indices ascend with
+        // stage index.
+        let mut stage_of = vec![0usize; plan.steps.len()];
+        for (si, stage) in stages.iter().enumerate() {
+            for &i in stage {
+                stage_of[i] = si;
+            }
+        }
+        for src in 0..3 {
+            let steps_of_src: Vec<usize> = (0..plan.steps.len())
+                .filter(|&i| plan.steps[i].source() == Some(SourceId(src)))
+                .collect();
+            for w in steps_of_src.windows(2) {
+                assert!(
+                    stage_of[w[0]] < stage_of[w[1]],
+                    "source {src}: steps {} and {} share or invert stages",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // And execution agrees with sequential, faults on.
+        let policy = RetryPolicy::default();
+        for seed in [3u64, 11, 19] {
+            let faults = FaultPlan::uniform(3, seed, FaultSpec::transient(0.5));
+            let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+            seq_net.set_fault_plan(faults.clone());
+            let seq = execute_plan_ft(&plan, &q, &sources, &mut seq_net, &policy);
+            let mut par_net = Network::uniform(3, LinkProfile::Wan.link());
+            par_net.set_fault_plan(faults);
+            let par = execute_plan_parallel_ft(
+                &plan,
+                &q,
+                &sources,
+                &mut par_net,
+                &policy,
+                &ParallelConfig::with_threads(4),
+            );
+            match (seq, par) {
+                (Ok(seq), Ok(par)) => {
+                    assert_eq!(par.outcome.ledger, seq.ledger, "seed {seed}");
+                    assert_eq!(par_net.trace(), seq_net.trace(), "seed {seed}");
+                }
+                (Err(se), Err(pe)) => {
+                    assert_eq!(se.to_string(), pe.to_string(), "seed {seed}")
+                }
+                (seq, par) => panic!("divergent outcomes at seed {seed}: {seq:?} vs {par:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn paced_parallel_beats_paced_single_thread() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let plan = filter_plan(&model).plan;
+        let sources = dmv_sources(Capabilities::full());
+        // Pace so the whole sequential run sleeps ~240 ms: slow enough to
+        // dominate scheduling noise, fast enough for CI.
+        let mut probe_net = Network::uniform(3, LinkProfile::Wan.link());
+        let total = execute_plan(&plan, &q, &sources, &mut probe_net)
+            .unwrap()
+            .total_cost()
+            .value();
+        let pace = 0.24 / total;
+        let run = |threads: usize| {
+            let mut net = Network::uniform(3, LinkProfile::Wan.link());
+            execute_plan_parallel(
+                &plan,
+                &q,
+                &sources,
+                &mut net,
+                &ParallelConfig::with_threads(threads).paced(pace),
+            )
+            .unwrap()
+        };
+        let solo = run(1);
+        let wide = run(8);
+        assert_eq!(solo.outcome.ledger, wide.outcome.ledger);
+        assert!(
+            wide.wall < solo.wall,
+            "8 threads {:?} should beat 1 thread {:?}",
+            wide.wall,
+            solo.wall
+        );
+        // The simulated makespan predicts the paced wall under full
+        // parallelism: measured must land within a loose factor-2 band.
+        let predicted = wide.makespan * pace;
+        let measured = wide.wall.as_secs_f64();
+        assert!(
+            measured < predicted * 2.0 + 0.05,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn guard_refuses_unsound_plans() {
+        use fusion_core::plan::SimplePlanSpec;
+        let q = dmv_query();
+        let mut plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        for step in plan.steps.iter_mut().rev() {
+            if let Step::Union { inputs, .. } = step {
+                inputs.truncate(2);
+                break;
+            }
+        }
+        let sources = dmv_sources(Capabilities::full());
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan_parallel(&plan, &q, &sources, &mut net, &ParallelConfig::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("refusing to execute"), "{err}");
+    }
+}

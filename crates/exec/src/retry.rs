@@ -95,9 +95,14 @@ impl RetryPolicy {
     /// The backoff cost charged before retry number `retry` (1-based) of
     /// an exchange against `source`. Deterministic in
     /// `(seed, source, attempt)`, so replays are exact.
+    ///
+    /// `retry == 0` is defined as [`Cost::ZERO`]: no retry has happened,
+    /// so nothing is waited for. (Callers are expected to pass 1-based
+    /// retry numbers; the debug assert flags the slip, but release builds
+    /// must not wrap `retry - 1` into a garbage `powi` exponent.)
     pub fn backoff(&self, source: SourceId, retry: usize) -> Cost {
         debug_assert!(retry >= 1);
-        if self.backoff_base == 0.0 {
+        if retry == 0 || self.backoff_base == 0.0 {
             return Cost::ZERO;
         }
         let exp = self.backoff_factor.powi((retry - 1) as i32);
@@ -186,6 +191,22 @@ mod tests {
         assert!(a3 > a2);
         // Different sources draw different jitter.
         assert_ne!(p.backoff(SourceId(1), 1), a1);
+    }
+
+    /// Release-profile regression test: `backoff(_, 0)` used to compute
+    /// `0usize - 1`, which only the debug assert caught; in release it
+    /// wrapped to `usize::MAX` and produced a garbage exponent. The
+    /// boundary is defined as zero cost. (Debug builds keep the assert,
+    /// so the definition is only observable — and this test only runs —
+    /// without debug assertions, e.g. under `cargo test --release`.)
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zeroth_retry_backs_off_zero_in_release() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(SourceId(0), 0), Cost::ZERO);
+        assert_eq!(p.backoff(SourceId(7), 0), Cost::ZERO);
+        // And the well-formed calls are unaffected.
+        assert!(p.backoff(SourceId(0), 1) > Cost::ZERO);
     }
 
     #[test]

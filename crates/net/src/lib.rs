@@ -26,4 +26,4 @@ pub mod network;
 pub use fault::{FaultDecision, FaultKind, FaultPlan, FaultSpec};
 pub use link::{Link, LinkProfile};
 pub use message::MessageSize;
-pub use network::{Exchange, ExchangeKind, ExchangeStatus, FailedExchange, Network};
+pub use network::{Exchange, ExchangeKind, ExchangeStatus, FailedExchange, Network, SourceHandle};

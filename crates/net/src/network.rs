@@ -1,9 +1,16 @@
 //! The mediator's view of the network: one link per source, plus a trace
 //! of every exchange performed.
+//!
+//! Per-source mutable state (fault-schedule attempt counters and
+//! uncommitted trace segments) lives in independently lockable shards, so
+//! concurrent executors can exchange with *different* sources through
+//! shared [`SourceHandle`]s while the legacy exclusive (`&mut self`) API
+//! keeps working unchanged on top of the same counters.
 
 use crate::fault::{FaultDecision, FaultKind, FaultPlan};
 use crate::link::Link;
 use fusion_types::{Cost, SourceId};
+use std::sync::Mutex;
 
 /// What kind of interaction an exchange was, for trace analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,9 +87,22 @@ pub struct FailedExchange {
     pub cost: Cost,
 }
 
+/// Per-source lockable state: the fault-schedule position and the
+/// exchanges performed through a [`SourceHandle`] that have not yet been
+/// merged into the global trace. Each buffered exchange is tagged with
+/// the plan step that performed it, so [`Network::commit`] can restore
+/// the deterministic sequential trace order.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Attempt counter — the position in the fault schedule.
+    attempts: usize,
+    /// Uncommitted exchanges, tagged with their step index.
+    pending: Vec<(usize, Exchange)>,
+}
+
 /// The simulated network: per-source links, an exchange trace, and an
 /// optional deterministic [`FaultPlan`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Network {
     links: Vec<Link>,
     trace: Vec<Exchange>,
@@ -90,9 +110,26 @@ pub struct Network {
     /// Per-source accumulated cost, kept in sync with the trace so
     /// [`Network::cost_for_source`] is O(1) in hot experiment loops.
     per_source: Vec<Cost>,
-    /// Per-source attempt counters — the position in the fault schedule.
-    attempts: Vec<usize>,
+    /// Per-source lockable state (attempt counters, pending exchanges).
+    shards: Vec<Mutex<Shard>>,
     faults: Option<FaultPlan>,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Network {
+        Network {
+            links: self.links.clone(),
+            trace: self.trace.clone(),
+            total: self.total,
+            per_source: self.per_source.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Mutex::new(s.lock().expect("network shard lock poisoned").clone()))
+                .collect(),
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 impl Network {
@@ -104,7 +141,7 @@ impl Network {
             trace: Vec::new(),
             total: Cost::ZERO,
             per_source: vec![Cost::ZERO; n],
-            attempts: vec![0; n],
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             faults: None,
         }
     }
@@ -169,15 +206,9 @@ impl Network {
         req_bytes: usize,
         resp_bytes: usize,
     ) -> Cost {
-        let cost = self.links[source.0].exchange_cost(req_bytes, resp_bytes);
-        self.record(
-            source,
-            kind,
-            req_bytes,
-            resp_bytes,
-            cost,
-            ExchangeStatus::Ok,
-        );
+        let e = self.build_ok(source, kind, req_bytes, resp_bytes);
+        let cost = e.cost;
+        self.record(e);
         cost
     }
 
@@ -205,8 +236,48 @@ impl Network {
         req_bytes: usize,
         resp_bytes: usize,
     ) -> Result<Cost, FailedExchange> {
-        let attempt = self.attempts[source.0];
-        self.attempts[source.0] += 1;
+        let attempt = {
+            let shard = self.shards[source.0]
+                .get_mut()
+                .expect("network shard lock poisoned");
+            let a = shard.attempts;
+            shard.attempts += 1;
+            a
+        };
+        let (e, result) = self.build_attempt(source, attempt, kind, req_bytes, resp_bytes);
+        self.record(e);
+        result
+    }
+
+    /// Builds the exchange record for the infallible path.
+    fn build_ok(
+        &self,
+        source: SourceId,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Exchange {
+        let cost = self.links[source.0].exchange_cost(req_bytes, resp_bytes);
+        Exchange {
+            source,
+            kind,
+            req_bytes,
+            resp_bytes,
+            cost,
+            status: ExchangeStatus::Ok,
+        }
+    }
+
+    /// Builds the exchange record for attempt number `attempt` under the
+    /// fault plan, plus the outcome the caller sees.
+    fn build_attempt(
+        &self,
+        source: SourceId,
+        attempt: usize,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> (Exchange, Result<Cost, FailedExchange>) {
         let decision = match &self.faults {
             Some(plan) => plan.decide(source, attempt),
             None => FaultDecision::Deliver { cost_factor: 1.0 },
@@ -215,15 +286,15 @@ impl Network {
         match decision {
             FaultDecision::Deliver { cost_factor } => {
                 let cost = link.exchange_cost(req_bytes, resp_bytes) * cost_factor;
-                self.record(
+                let e = Exchange {
                     source,
                     kind,
                     req_bytes,
                     resp_bytes,
                     cost,
-                    ExchangeStatus::Ok,
-                );
-                Ok(cost)
+                    status: ExchangeStatus::Ok,
+                };
+                (e, Ok(cost))
             }
             FaultDecision::Fail(fault) => {
                 // The request went out; no payload came back.
@@ -233,38 +304,72 @@ impl Network {
                         cost += Cost::new(plan.spec(source).timeout_wait);
                     }
                 }
-                self.record(
+                let e = Exchange {
                     source,
                     kind,
                     req_bytes,
-                    0,
+                    resp_bytes: 0,
                     cost,
-                    ExchangeStatus::Failed(fault),
-                );
-                Err(FailedExchange { kind: fault, cost })
+                    status: ExchangeStatus::Failed(fault),
+                };
+                (e, Err(FailedExchange { kind: fault, cost }))
             }
         }
     }
 
-    fn record(
-        &mut self,
-        source: SourceId,
-        kind: ExchangeKind,
-        req_bytes: usize,
-        resp_bytes: usize,
-        cost: Cost,
-        status: ExchangeStatus,
-    ) {
-        self.trace.push(Exchange {
-            source,
-            kind,
-            req_bytes,
-            resp_bytes,
-            cost,
-            status,
-        });
-        self.total += cost;
-        self.per_source[source.0] += cost;
+    fn record(&mut self, e: Exchange) {
+        self.total += e.cost;
+        self.per_source[e.source.0] += e.cost;
+        self.trace.push(e);
+    }
+
+    /// A shareable handle for exchanging with one source. Handles to
+    /// *different* sources can be used from different threads at the same
+    /// time; exchanges through a handle are buffered in the source's
+    /// shard (tagged with the performing step) until [`Network::commit`]
+    /// merges them into the global trace in step order.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn handle(&self, source: SourceId) -> SourceHandle<'_> {
+        assert!(
+            source.0 < self.links.len(),
+            "source {} out of range ({} links)",
+            source.0,
+            self.links.len()
+        );
+        SourceHandle { net: self, source }
+    }
+
+    /// Merges every exchange buffered by [`SourceHandle`]s into the
+    /// global trace, ordered by the step tag (stable: a step's own
+    /// exchanges keep their order), and folds their costs into the total
+    /// and per-source accumulators. Returns how many exchanges were
+    /// committed.
+    ///
+    /// Because each plan step exchanges with exactly one source and each
+    /// source serializes its steps, the committed trace is byte-identical
+    /// to the one sequential execution would have produced.
+    pub fn commit(&mut self) -> usize {
+        let mut pending: Vec<(usize, Exchange)> = Vec::new();
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("network shard lock poisoned");
+            pending.append(&mut shard.pending);
+        }
+        pending.sort_by_key(|(step, _)| *step);
+        let n = pending.len();
+        for (_, e) in pending {
+            self.record(e);
+        }
+        n
+    }
+
+    /// Exchanges buffered behind [`SourceHandle`]s and not yet committed.
+    pub fn pending_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("network shard lock poisoned").pending.len())
+            .sum()
     }
 
     /// Every exchange so far, in order.
@@ -305,14 +410,89 @@ impl Network {
             .sum()
     }
 
-    /// Clears the trace, accumulated totals, and fault-schedule positions
-    /// (links and the fault plan stay) — a reset network replays the same
-    /// fault schedule from the top.
+    /// Clears the trace, accumulated totals, pending shard buffers, and
+    /// fault-schedule positions (links and the fault plan stay) — a reset
+    /// network replays the same fault schedule from the top.
     pub fn reset(&mut self) {
         self.trace.clear();
         self.total = Cost::ZERO;
         self.per_source.fill(Cost::ZERO);
-        self.attempts.fill(0);
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("network shard lock poisoned");
+            shard.attempts = 0;
+            shard.pending.clear();
+        }
+    }
+}
+
+/// A shared-access view of one source's serial queue, created by
+/// [`Network::handle`].
+///
+/// Exchanges performed through a handle take `&self`: they lock only the
+/// source's shard, so workers driving *different* sources never contend.
+/// Every exchange is tagged with the plan step performing it and buffered
+/// in the shard; [`Network::commit`] later merges all buffers into the
+/// global trace in step order, reproducing the sequential trace exactly.
+/// The fault-schedule attempt counter is shared with the legacy
+/// `&mut self` API, so mixing the two styles keeps fault injection
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceHandle<'a> {
+    net: &'a Network,
+    source: SourceId,
+}
+
+impl SourceHandle<'_> {
+    /// The source this handle reaches.
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// The link to this source.
+    pub fn link(&self) -> &Link {
+        &self.net.links[self.source.0]
+    }
+
+    /// Shared-access [`Network::exchange`]: accounts for one infallible
+    /// exchange performed by `step`, buffering it in the source's shard.
+    pub fn exchange(
+        &self,
+        step: usize,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Cost {
+        let e = self.net.build_ok(self.source, kind, req_bytes, resp_bytes);
+        let cost = e.cost;
+        let mut shard = self.net.shards[self.source.0]
+            .lock()
+            .expect("network shard lock poisoned");
+        shard.pending.push((step, e));
+        cost
+    }
+
+    /// Shared-access [`Network::try_exchange`]: consumes the next slot of
+    /// the source's fault schedule and buffers the attempt in the shard.
+    ///
+    /// # Errors
+    /// Returns a [`FailedExchange`] when the fault plan fails the attempt.
+    pub fn try_exchange(
+        &self,
+        step: usize,
+        kind: ExchangeKind,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Result<Cost, FailedExchange> {
+        let mut shard = self.net.shards[self.source.0]
+            .lock()
+            .expect("network shard lock poisoned");
+        let attempt = shard.attempts;
+        shard.attempts += 1;
+        let (e, result) = self
+            .net
+            .build_attempt(self.source, attempt, kind, req_bytes, resp_bytes);
+        shard.pending.push((step, e));
+        result
     }
 }
 
@@ -485,5 +665,114 @@ mod tests {
     fn mismatched_fault_plan_rejected() {
         let mut n = net();
         n.set_fault_plan(FaultPlan::none(5));
+    }
+
+    #[test]
+    fn handle_exchanges_commit_in_step_order() {
+        // Sequential reference: steps 0..4 in order, alternating sources.
+        let mut seq = net();
+        for step in 0..4 {
+            seq.exchange(SourceId(step % 2), ExchangeKind::Selection, 100 + step, 50);
+        }
+        // Shared-handle run, performed deliberately out of step order.
+        let mut par = net();
+        for step in [3usize, 1, 2, 0] {
+            par.handle(SourceId(step % 2))
+                .exchange(step, ExchangeKind::Selection, 100 + step, 50);
+        }
+        assert!(par.trace().is_empty(), "buffered until commit");
+        assert_eq!(par.pending_count(), 4);
+        assert_eq!(par.total_cost(), Cost::ZERO);
+        assert_eq!(par.commit(), 4);
+        assert_eq!(par.pending_count(), 0);
+        assert_eq!(par.trace(), seq.trace());
+        assert_eq!(par.total_cost(), seq.total_cost());
+        assert_eq!(
+            par.cost_for_source(SourceId(0)),
+            seq.cost_for_source(SourceId(0))
+        );
+        assert_eq!(
+            par.cost_for_source(SourceId(1)),
+            seq.cost_for_source(SourceId(1))
+        );
+    }
+
+    #[test]
+    fn handle_and_legacy_share_the_fault_schedule() {
+        let mut a = net();
+        a.set_fault_plan(FaultPlan::uniform(2, 42, FaultSpec::transient(0.5)));
+        let mut b = a.clone();
+        // Run the same 32 attempts through the legacy path and through a
+        // handle; the per-source schedule position must agree.
+        let legacy: Vec<bool> = (0..32)
+            .map(|_| {
+                a.try_exchange(SourceId(0), ExchangeKind::Selection, 50, 50)
+                    .is_ok()
+            })
+            .collect();
+        let shared: Vec<bool> = (0..32)
+            .map(|step| {
+                b.handle(SourceId(0))
+                    .try_exchange(step, ExchangeKind::Selection, 50, 50)
+                    .is_ok()
+            })
+            .collect();
+        assert_eq!(legacy, shared);
+        b.commit();
+        assert_eq!(a.trace(), b.trace());
+        // Mixing styles continues the same schedule.
+        let via_handle = b
+            .handle(SourceId(0))
+            .try_exchange(32, ExchangeKind::Selection, 50, 50)
+            .is_ok();
+        let via_legacy = a
+            .try_exchange(SourceId(0), ExchangeKind::Selection, 50, 50)
+            .is_ok();
+        assert_eq!(via_handle, via_legacy);
+    }
+
+    #[test]
+    fn handles_to_different_sources_work_across_threads() {
+        let n = Network::uniform(4, LinkProfile::Lan.link());
+        std::thread::scope(|s| {
+            for j in 0..4 {
+                let h = n.handle(SourceId(j));
+                s.spawn(move || {
+                    for k in 0..8 {
+                        h.exchange(j * 8 + k, ExchangeKind::Selection, 10, 10);
+                    }
+                });
+            }
+        });
+        let mut n = n;
+        assert_eq!(n.commit(), 32);
+        // Committed in step order: strictly increasing tags per source
+        // and globally sorted by step.
+        let steps: Vec<usize> = n.trace().iter().map(|e| e.req_bytes).collect();
+        assert_eq!(steps.len(), 32);
+        for j in 1..4 {
+            assert_eq!(
+                n.cost_for_source(SourceId(j)),
+                n.cost_for_source(SourceId(0))
+            );
+        }
+        assert!(n.total_cost() > Cost::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_pending_and_shard_positions() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan::uniform(2, 7, FaultSpec::transient(0.5)));
+        let first = n
+            .handle(SourceId(0))
+            .try_exchange(0, ExchangeKind::Selection, 50, 50)
+            .is_ok();
+        n.reset();
+        assert_eq!(n.pending_count(), 0, "pending cleared without commit");
+        let replay = n
+            .handle(SourceId(0))
+            .try_exchange(0, ExchangeKind::Selection, 50, 50)
+            .is_ok();
+        assert_eq!(first, replay, "schedule replays from the top");
     }
 }

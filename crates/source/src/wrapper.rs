@@ -20,7 +20,12 @@ pub struct WrapperResponse<T> {
 /// Implementations must respect their advertised [`Capabilities`]: calling
 /// an unsupported operation is an error, mirroring the paper's treatment of
 /// unsupported queries as infinitely expensive.
-pub trait Wrapper {
+///
+/// Wrappers are `Send + Sync`: the parallel executor issues queries to
+/// different sources from worker threads through a shared
+/// [`crate::SourceSet`]. Every operation already takes `&self`, so a
+/// wrapper without interior mutability satisfies the bounds for free.
+pub trait Wrapper: Send + Sync {
     /// Human-readable source name.
     fn name(&self) -> &str;
 

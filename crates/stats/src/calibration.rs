@@ -96,12 +96,10 @@ impl CostCalibration {
 /// pivoting. Returns `None` for (near-)singular systems.
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
-        let pivot = (col..3).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("finite")
-        })?;
+        // total_cmp keeps pivoting deterministic even if an observation
+        // slipped a NaN into the normal equations (the singularity check
+        // below still rejects the system).
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

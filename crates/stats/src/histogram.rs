@@ -33,7 +33,9 @@ impl NumericHistogram {
         if values.is_empty() || buckets == 0 {
             return None;
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN numeric values"));
+        // total_cmp: a stray NaN (e.g. from a corrupt numeric column)
+        // sorts to the top instead of panicking the histogram build.
+        values.sort_by(f64::total_cmp);
         let n = values.len();
         let buckets = buckets.min(n);
         let depth = n as f64 / buckets as f64;
