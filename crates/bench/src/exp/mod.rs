@@ -2,6 +2,7 @@
 
 pub mod availability;
 pub mod bloom;
+pub mod cache_exp;
 pub mod calibration_exp;
 pub mod correlation;
 pub mod fidelity;
@@ -68,7 +69,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "fig1",
     "fig2",
     "fig5",
@@ -91,6 +92,7 @@ pub const ALL: [&str; 22] = [
     "e17-availability",
     "e18-pruning",
     "e19-parallel",
+    "e20-cache",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -190,6 +192,10 @@ pub fn run(name: &str) -> bool {
         }
         "e19-parallel" => {
             parallel_exp::e19_parallel();
+            true
+        }
+        "e20-cache" => {
+            cache_exp::e20_cache();
             true
         }
         _ => false,

@@ -1,0 +1,556 @@
+//! Semantic answer cache for selection-query results.
+//!
+//! The mediator of the paper re-issues `sq(c_i, R_j)` for every query,
+//! even under heavy repeated traffic. This crate adds the missing
+//! memory: a cache keyed by `(source, condition)` that stores the
+//! **full records** a selection returned, so a later query can be
+//! answered locally — either exactly (same condition) or by
+//! *subsumption*: a cached broader condition answers a narrower one
+//! after a local residual filter, with containment proved by the
+//! [`subsume`] module's BDD + order-theory prover.
+//!
+//! Three mechanisms keep reuse honest:
+//!
+//! * **Epochs** — every source has a monotone epoch counter; an entry
+//!   records the epoch it was fetched under and is invalidated the
+//!   moment the source's epoch advances (simulated update, fault
+//!   recovery).
+//! * **Completeness tagging** — entries harvested from an execution
+//!   that finished with `Completeness::Subset` are stored as
+//!   non-exact and never served.
+//! * **Cost-based admission/eviction** — the cache is byte-budgeted;
+//!   when over budget it evicts the entry with the lowest
+//!   re-fetch-price-per-byte (ties broken LRU), so expensive-to-refetch
+//!   answers survive.
+//!
+//! [`CacheSnapshot`] and [`CachedCostModel`] feed the optimizer: warm
+//! `(c, R)` pairs cost their local-residual price (zero under the
+//! paper's free-local-work axiom), which provably re-orders plans.
+
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod lint;
+pub mod subsume;
+
+pub use cost::{CacheSnapshot, CachedCostModel};
+pub use lint::{stale_cache_findings, StaleCacheServe};
+pub use subsume::subsumes;
+
+use fusion_types::error::Result;
+use fusion_types::{Condition, Cost, ItemSet, Schema, SourceId, Tuple};
+
+/// One cached selection answer: the full records `sq(c, R)` returned.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Source the answer came from.
+    pub source: SourceId,
+    /// The condition the records satisfy.
+    pub cond: Condition,
+    /// Full records, in the order the wrapper returned them.
+    tuples: Vec<Tuple>,
+    /// Source epoch the records were fetched under.
+    pub epoch: u64,
+    /// False when harvested from a `Subset`-complete execution; such
+    /// entries are retained for inspection but never served.
+    pub exact: bool,
+    /// Wire bytes the records occupy (admission/eviction weight).
+    pub bytes: usize,
+    /// The price actually paid to fetch the answer (eviction weight).
+    pub refetch: Cost,
+    /// Logical timestamp of the last lookup that used this entry.
+    last_used: u64,
+}
+
+impl CacheEntry {
+    /// The cached records.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Eviction score: re-fetch price per cached byte. Lower scores are
+    /// evicted first.
+    fn score(&self) -> f64 {
+        self.refetch.value() / self.bytes.max(1) as f64
+    }
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitKind {
+    /// The exact condition was cached.
+    Exact,
+    /// A cached broader condition was residual-filtered locally.
+    Subsumed,
+}
+
+/// A successful lookup: the answer plus how it was produced.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The answer items, byte-identical to what `sq` would return.
+    pub items: ItemSet,
+    /// Exact hit or subsumption residual.
+    pub kind: HitKind,
+}
+
+/// Monotone counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-condition hits served.
+    pub hits: u64,
+    /// Subsumption hits served via a residual filter.
+    pub residual_hits: u64,
+    /// Lookups that found nothing servable.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Resident entries evicted to meet the byte budget.
+    pub evictions: u64,
+    /// Fresh entries rejected at admission (budget would not fit them).
+    pub rejections: u64,
+    /// Entries dropped because their source epoch advanced.
+    pub invalidations: u64,
+}
+
+/// The semantic answer cache.
+#[derive(Debug)]
+pub struct AnswerCache {
+    entries: Vec<CacheEntry>,
+    /// Per-source epoch counters, grown on demand.
+    epochs: Vec<u64>,
+    budget: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> AnswerCache {
+        AnswerCache {
+            entries: Vec::new(),
+            epochs: Vec::new(),
+            budget: budget_bytes,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of resident entries (including non-exact ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total wire bytes of resident entries.
+    pub fn bytes_used(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resident entries, in admission order.
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.iter()
+    }
+
+    /// The current epoch of a source (0 until first bump).
+    pub fn epoch(&self, source: SourceId) -> u64 {
+        self.epochs.get(source.0).copied().unwrap_or(0)
+    }
+
+    /// Epochs for sources `0..n`, padding unknown sources with 0.
+    pub fn epochs(&self, n_sources: usize) -> Vec<u64> {
+        (0..n_sources).map(|j| self.epoch(SourceId(j))).collect()
+    }
+
+    /// Advances a source's epoch, invalidating its resident entries.
+    pub fn bump_epoch(&mut self, source: SourceId) {
+        if self.epochs.len() <= source.0 {
+            self.epochs.resize(source.0 + 1, 0);
+        }
+        self.epochs[source.0] += 1;
+        let epoch = self.epochs[source.0];
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| e.source != source || e.epoch >= epoch);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Drops every entry and resets all epochs (stats are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.epochs.clear();
+    }
+
+    /// True when a lookup for `(source, cond)` would be served — the
+    /// side-effect-free probe the optimizer snapshot uses.
+    pub fn would_serve(&self, source: SourceId, cond: &Condition) -> bool {
+        self.find_servable(source, cond).is_some()
+    }
+
+    fn servable(&self, e: &CacheEntry) -> bool {
+        e.exact && e.epoch == self.epoch(e.source)
+    }
+
+    /// Index of the entry a lookup would use: an exact match if one
+    /// exists, else the smallest subsuming entry (fewest residual
+    /// tuples to filter).
+    fn find_servable(&self, source: SourceId, cond: &Condition) -> Option<(usize, HitKind)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.source != source || !self.servable(e) {
+                continue;
+            }
+            if e.cond == *cond {
+                return Some((i, HitKind::Exact));
+            }
+            if subsume::subsumes(&e.cond.pred, &cond.pred)
+                && best.is_none_or(|(_, n)| e.tuples.len() < n)
+            {
+                best = Some((i, e.tuples.len()));
+            }
+        }
+        best.map(|(i, _)| (i, HitKind::Subsumed))
+    }
+
+    /// Looks up `(source, cond)`, serving an exact hit or a residual-
+    /// filtered subsumption hit. Records hit/miss statistics and LRU
+    /// recency.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors from the residual filter.
+    pub fn lookup(
+        &mut self,
+        source: SourceId,
+        cond: &Condition,
+        schema: &Schema,
+    ) -> Result<Option<Served>> {
+        self.clock += 1;
+        let Some((idx, kind)) = self.find_servable(source, cond) else {
+            self.stats.misses += 1;
+            return Ok(None);
+        };
+        let items = {
+            let e = &self.entries[idx];
+            match kind {
+                HitKind::Exact => project(&e.tuples, cond, schema, false)?,
+                HitKind::Subsumed => project(&e.tuples, cond, schema, true)?,
+            }
+        };
+        self.entries[idx].last_used = self.clock;
+        match kind {
+            HitKind::Exact => self.stats.hits += 1,
+            HitKind::Subsumed => self.stats.residual_hits += 1,
+        }
+        Ok(Some(Served { items, kind }))
+    }
+
+    /// Admits an answer fetched at price `refetch`. Replaces any entry
+    /// with the same key; then evicts lowest-score entries (re-fetch
+    /// price per byte, ties broken least-recently-used) until the
+    /// budget holds. A fresh entry that is itself evicted counts as an
+    /// admission rejection.
+    pub fn insert(
+        &mut self,
+        source: SourceId,
+        cond: Condition,
+        tuples: Vec<Tuple>,
+        exact: bool,
+        refetch: Cost,
+    ) {
+        self.clock += 1;
+        let bytes = tuples.iter().map(Tuple::wire_size).sum::<usize>().max(1);
+        self.entries
+            .retain(|e| !(e.source == source && e.cond == cond));
+        let entry = CacheEntry {
+            source,
+            cond,
+            tuples,
+            epoch: self.epoch(source),
+            exact,
+            bytes,
+            refetch,
+            last_used: self.clock,
+        };
+        self.entries.push(entry);
+        self.stats.insertions += 1;
+        let fresh = self.entries.len() - 1;
+        let mut fresh_alive = true;
+        while self.bytes_used() > self.budget && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.score()
+                        .total_cmp(&b.score())
+                        .then(a.last_used.cmp(&b.last_used))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            if victim == fresh && fresh_alive {
+                self.stats.insertions -= 1;
+                self.stats.rejections += 1;
+                fresh_alive = false;
+            } else {
+                self.stats.evictions += 1;
+            }
+            self.entries.remove(victim);
+        }
+    }
+
+    /// The optimizer's view: which `(condition, source)` pairs are warm
+    /// right now, plus the epochs the view was taken under (for the
+    /// `stale-cache-serve` lint).
+    pub fn snapshot(&self, conditions: &[Condition], n_sources: usize) -> CacheSnapshot {
+        let covered = conditions
+            .iter()
+            .map(|c| {
+                (0..n_sources)
+                    .map(|j| self.would_serve(SourceId(j), c))
+                    .collect()
+            })
+            .collect();
+        CacheSnapshot::new(covered, self.epochs(n_sources))
+    }
+}
+
+/// Projects cached records to the answer item set, optionally applying
+/// the (narrower) condition as a residual filter. The engine's own
+/// `select` sorts and deduplicates through [`ItemSet::from_items`], so
+/// the result is byte-identical to a cold `sq`.
+fn project(tuples: &[Tuple], cond: &Condition, schema: &Schema, residual: bool) -> Result<ItemSet> {
+    let mut items = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        if !residual || cond.eval(t, schema)? {
+            items.push(t.item(schema));
+        }
+    }
+    Ok(ItemSet::from_items(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::{Attribute, CmpOp, Predicate, Value, ValueType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::new("M", ValueType::Str),
+                Attribute::new("A1", ValueType::Int),
+            ],
+            "M",
+        )
+        .unwrap()
+    }
+
+    fn row(m: &str, a: i64) -> Tuple {
+        Tuple::new(vec![Value::str(m), Value::Int(a)])
+    }
+
+    fn lt(v: i64) -> Condition {
+        Predicate::cmp("A1", CmpOp::Lt, v).into()
+    }
+
+    #[test]
+    fn exact_hit_roundtrip() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(
+            s,
+            lt(100),
+            vec![row("b", 5), row("a", 50)],
+            true,
+            Cost::new(10.0),
+        );
+        let got = c.lookup(s, &lt(100), &schema()).unwrap().unwrap();
+        assert_eq!(got.kind, HitKind::Exact);
+        assert_eq!(got.items, ItemSet::from_items(["a", "b"]));
+        assert_eq!(c.stats().hits, 1);
+        // Different source: miss.
+        assert!(c
+            .lookup(SourceId(1), &lt(100), &schema())
+            .unwrap()
+            .is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn subsumption_hit_filters_residual() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(
+            s,
+            lt(100),
+            vec![row("a", 5), row("b", 50), row("c", 99)],
+            true,
+            Cost::new(10.0),
+        );
+        let got = c.lookup(s, &lt(50), &schema()).unwrap().unwrap();
+        assert_eq!(got.kind, HitKind::Subsumed);
+        assert_eq!(got.items, ItemSet::from_items(["a"]));
+        assert_eq!(c.stats().residual_hits, 1);
+        // The narrower cached entry never serves the broader query.
+        assert!(c.lookup(s, &lt(101), &schema()).unwrap().is_none());
+    }
+
+    #[test]
+    fn smallest_subsuming_entry_wins() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(
+            s,
+            lt(1000),
+            vec![row("a", 5), row("b", 700)],
+            true,
+            Cost::new(1.0),
+        );
+        c.insert(s, lt(100), vec![row("a", 5)], true, Cost::new(1.0));
+        let (idx, kind) = c.find_servable(s, &lt(50)).unwrap();
+        assert_eq!(kind, HitKind::Subsumed);
+        assert_eq!(c.entries[idx].cond, lt(100));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(s, lt(100), vec![row("a", 5)], true, Cost::new(10.0));
+        c.insert(
+            SourceId(1),
+            lt(100),
+            vec![row("z", 5)],
+            true,
+            Cost::new(10.0),
+        );
+        c.bump_epoch(s);
+        assert!(c.lookup(s, &lt(100), &schema()).unwrap().is_none());
+        assert_eq!(c.stats().invalidations, 1);
+        // Other sources unaffected.
+        assert!(c
+            .lookup(SourceId(1), &lt(100), &schema())
+            .unwrap()
+            .is_some());
+        // Re-inserting after the bump is served again at the new epoch.
+        c.insert(s, lt(100), vec![row("a", 5)], true, Cost::new(10.0));
+        assert!(c.lookup(s, &lt(100), &schema()).unwrap().is_some());
+        assert_eq!(c.epoch(s), 1);
+    }
+
+    #[test]
+    fn non_exact_entries_are_never_served() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(s, lt(100), vec![row("a", 5)], false, Cost::new(10.0));
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(s, &lt(100), &schema()).unwrap().is_none());
+        assert!(c.lookup(s, &lt(50), &schema()).unwrap().is_none());
+    }
+
+    #[test]
+    fn eviction_respects_refetch_price_per_byte() {
+        // Budget fits two of the three equally sized entries: the
+        // cheapest-to-refetch one goes.
+        let sz = row("aaaa", 1).wire_size();
+        let mut c = AnswerCache::new(2 * sz);
+        c.insert(
+            SourceId(0),
+            lt(10),
+            vec![row("aaaa", 1)],
+            true,
+            Cost::new(5.0),
+        );
+        c.insert(
+            SourceId(1),
+            lt(10),
+            vec![row("bbbb", 1)],
+            true,
+            Cost::new(1.0),
+        );
+        c.insert(
+            SourceId(2),
+            lt(10),
+            vec![row("cccc", 1)],
+            true,
+            Cost::new(9.0),
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.would_serve(SourceId(0), &lt(10)));
+        assert!(!c.would_serve(SourceId(1), &lt(10)));
+        assert!(c.would_serve(SourceId(2), &lt(10)));
+    }
+
+    #[test]
+    fn oversized_fresh_entry_is_rejected() {
+        let mut c = AnswerCache::new(4);
+        c.insert(
+            SourceId(0),
+            lt(10),
+            vec![row("a-very-long-item", 1)],
+            true,
+            Cost::new(0.1),
+        );
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().rejections, 1);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(s, lt(100), vec![row("a", 5)], true, Cost::new(1.0));
+        c.insert(s, lt(100), vec![row("b", 6)], true, Cost::new(1.0));
+        assert_eq!(c.len(), 1);
+        let got = c.lookup(s, &lt(100), &schema()).unwrap().unwrap();
+        assert_eq!(got.items, ItemSet::from_items(["b"]));
+    }
+
+    #[test]
+    fn snapshot_reports_coverage_and_epochs() {
+        let mut c = AnswerCache::new(1 << 20);
+        c.insert(
+            SourceId(1),
+            lt(100),
+            vec![row("a", 5)],
+            true,
+            Cost::new(1.0),
+        );
+        c.bump_epoch(SourceId(0));
+        let snap = c.snapshot(&[lt(50), lt(200)], 2);
+        assert!(snap.covers(fusion_types::CondId(0), SourceId(1))); // subsumed
+        assert!(!snap.covers(fusion_types::CondId(1), SourceId(1))); // broader
+        assert!(!snap.covers(fusion_types::CondId(0), SourceId(0)));
+        assert_eq!(snap.epochs(), &[1, 0]);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = AnswerCache::new(1 << 20);
+        c.insert(
+            SourceId(0),
+            lt(100),
+            vec![row("a", 5)],
+            true,
+            Cost::new(1.0),
+        );
+        c.bump_epoch(SourceId(0));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.epoch(SourceId(0)), 0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Condition-containment prover for subsumption lookups.
+//!
+//! A cached answer for a *broad* condition can serve a *narrow* query
+//! condition after a local residual filter exactly when every tuple
+//! satisfying the narrow condition also satisfies the broad one. This
+//! module decides that containment by compiling both predicates to a
+//! BDD over shared comparison atoms plus *theory axioms* — clauses
+//! relating atoms on the same attribute that hold for every possible
+//! attribute value — and checking that `narrow ∧ ¬broad` is
+//! unsatisfiable under the axioms.
+//!
+//! The prover is **sound but incomplete**: a `true` answer is a proof
+//! of containment (only order-theoretic facts valid in *every* totally
+//! ordered domain are used — no density or integer-adjacency reasoning),
+//! while a `false` answer merely means no proof was found. Incomplete
+//! is safe here: a missed subsumption is a cache miss, never a wrong
+//! answer.
+
+use fusion_core::analyze::bdd::{BddManager, NodeId, FALSE, TRUE};
+use fusion_types::{CmpOp, Predicate, Value};
+use std::collections::HashMap;
+
+/// An atomic predicate after normalization, usable as a BDD variable key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Atom {
+    /// `attr op value` with a non-NULL literal.
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `attr LIKE pattern` — opaque beyond structural equality.
+    Like { attr: String, pattern: String },
+    /// `attr IS NULL`.
+    IsNull { attr: String },
+    /// `attr BETWEEN lo AND hi` with a NULL bound — opaque (NULL bounds
+    /// compare through the raw value order, unlike [`Predicate::Cmp`]).
+    OpaqueBetween { attr: String, lo: Value, hi: Value },
+}
+
+impl Atom {
+    fn attr(&self) -> &str {
+        match self {
+            Atom::Cmp { attr, .. }
+            | Atom::Like { attr, .. }
+            | Atom::IsNull { attr }
+            | Atom::OpaqueBetween { attr, .. } => attr,
+        }
+    }
+
+    /// True for atoms that are false on a NULL attribute value.
+    fn null_rejecting(&self) -> bool {
+        !matches!(self, Atom::IsNull { .. })
+    }
+}
+
+/// Atom-to-BDD-variable environment shared by both predicates.
+struct Env {
+    mgr: BddManager,
+    vars: HashMap<Atom, NodeId>,
+    order: Vec<Atom>,
+}
+
+impl Env {
+    fn new() -> Env {
+        Env {
+            mgr: BddManager::new(),
+            vars: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    fn atom(&mut self, a: Atom) -> NodeId {
+        if let Some(&n) = self.vars.get(&a) {
+            return n;
+        }
+        let v = self.mgr.fresh_var();
+        let n = self.mgr.var(v);
+        self.vars.insert(a.clone(), n);
+        self.order.push(a);
+        n
+    }
+}
+
+/// Compiles a predicate to a BDD node over the shared atom environment.
+fn compile(env: &mut Env, p: &Predicate) -> NodeId {
+    match p {
+        Predicate::Cmp { attr, op, value } => {
+            // A NULL literal fails every comparison for every tuple.
+            if matches!(value, Value::Null) {
+                FALSE
+            } else {
+                env.atom(Atom::Cmp {
+                    attr: attr.clone(),
+                    op: *op,
+                    value: value.clone(),
+                })
+            }
+        }
+        Predicate::Between { attr, lo, hi } => {
+            // With non-NULL bounds, BETWEEN evaluates exactly like the
+            // conjunction of the two closed comparisons.
+            if matches!(lo, Value::Null) || matches!(hi, Value::Null) {
+                env.atom(Atom::OpaqueBetween {
+                    attr: attr.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                })
+            } else {
+                let a = compile(env, &Predicate::cmp(attr.clone(), CmpOp::Ge, lo.clone()));
+                let b = compile(env, &Predicate::cmp(attr.clone(), CmpOp::Le, hi.clone()));
+                env.mgr.and(a, b)
+            }
+        }
+        Predicate::InList { attr, values } => {
+            // `v IN (…)` is the disjunction of equalities; NULL list
+            // members never match, mirroring the evaluator.
+            let mut acc = FALSE;
+            for v in values {
+                let e = compile(env, &Predicate::eq(attr.clone(), v.clone()));
+                acc = env.mgr.or(acc, e);
+            }
+            acc
+        }
+        Predicate::Like { attr, pattern } => env.atom(Atom::Like {
+            attr: attr.clone(),
+            pattern: pattern.clone(),
+        }),
+        Predicate::IsNull { attr } => env.atom(Atom::IsNull { attr: attr.clone() }),
+        Predicate::And(ps) => {
+            let mut acc = TRUE;
+            for q in ps {
+                let n = compile(env, q);
+                acc = env.mgr.and(acc, n);
+            }
+            acc
+        }
+        Predicate::Or(ps) => {
+            let mut acc = FALSE;
+            for q in ps {
+                let n = compile(env, q);
+                acc = env.mgr.or(acc, n);
+            }
+            acc
+        }
+        Predicate::Not(q) => {
+            let n = compile(env, q);
+            env.mgr.not(n)
+        }
+        Predicate::Const(b) => {
+            if *b {
+                TRUE
+            } else {
+                FALSE
+            }
+        }
+    }
+}
+
+/// The point set a comparison atom denotes, in shapes whose pairwise
+/// relations are decidable over *every* totally ordered domain.
+#[derive(Debug, Clone, Copy)]
+enum Shape<'a> {
+    /// `{v}`.
+    Point(&'a Value),
+    /// Everything except `{v}`.
+    CoPoint(&'a Value),
+    /// `(-∞, v)` or `(-∞, v]`.
+    Down(&'a Value, bool),
+    /// `(v, +∞)` or `[v, +∞)`.
+    Up(&'a Value, bool),
+}
+
+fn shape(op: CmpOp, v: &Value) -> Shape<'_> {
+    match op {
+        CmpOp::Eq => Shape::Point(v),
+        CmpOp::Ne => Shape::CoPoint(v),
+        CmpOp::Lt => Shape::Down(v, false),
+        CmpOp::Le => Shape::Down(v, true),
+        CmpOp::Gt => Shape::Up(v, false),
+        CmpOp::Ge => Shape::Up(v, true),
+    }
+}
+
+/// The complement of a comparison, restricted to non-NULL values.
+fn negated(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+    }
+}
+
+/// Membership of a concrete point in a shape.
+fn member(x: &Value, s: Shape<'_>) -> bool {
+    match s {
+        Shape::Point(v) => x == v,
+        Shape::CoPoint(v) => x != v,
+        Shape::Down(v, closed) => x < v || (closed && x == v),
+        Shape::Up(v, closed) => x > v || (closed && x == v),
+    }
+}
+
+/// True when the two shapes are disjoint in **every** totally ordered
+/// domain. Conservative: discrete-domain-only disjointness (e.g.
+/// integer adjacency) is not claimed.
+fn provably_disjoint(a: Shape<'_>, b: Shape<'_>) -> bool {
+    match (a, b) {
+        (Shape::Point(u), s) | (s, Shape::Point(u)) => !member(u, s),
+        (Shape::Down(v1, c1), Shape::Up(v2, c2)) | (Shape::Up(v2, c2), Shape::Down(v1, c1)) => {
+            v1 < v2 || (v1 == v2 && !(c1 && c2))
+        }
+        // CoPoint/Down/Up pairs of the remaining combinations always
+        // intersect in some domain: no generic disjointness.
+        _ => false,
+    }
+}
+
+/// Decides whether `narrow ⊆ broad`: every tuple satisfying `narrow`
+/// also satisfies `broad`, for every relation instance. Sound — `true`
+/// is a proof; `false` only means "not proved".
+pub fn subsumes(broad: &Predicate, narrow: &Predicate) -> bool {
+    let mut env = Env::new();
+    let fb = compile(&mut env, broad);
+    let fn_ = compile(&mut env, narrow);
+    // Fast paths: identical functions, or constant extremes.
+    if fn_ == fb || fn_ == FALSE || fb == TRUE {
+        return true;
+    }
+
+    // Counterexample candidate: narrow ∧ ¬broad.
+    let not_b = env.mgr.not(fb);
+    let mut cex = env.mgr.and(fn_, not_b);
+    if cex == FALSE {
+        return true;
+    }
+
+    // Theory axioms. Group atoms per attribute.
+    let atoms: Vec<Atom> = env.order.clone();
+    let mut by_attr: HashMap<&str, Vec<&Atom>> = HashMap::new();
+    for a in &atoms {
+        by_attr.entry(a.attr()).or_default().push(a);
+    }
+    for group in by_attr.values() {
+        // One nullness witness per attribute: the IS NULL atom if the
+        // predicates mention it, else a fresh variable. Every
+        // null-rejecting atom is false on a NULL value, so axioms about
+        // *negated* comparisons must allow NULL as the explanation.
+        let isnull = group
+            .iter()
+            .find(|a| matches!(a, Atom::IsNull { .. }))
+            .map(|a| env.vars[*a]);
+        let null_var = match isnull {
+            Some(n) => n,
+            None => {
+                let v = env.mgr.fresh_var();
+                env.mgr.var(v)
+            }
+        };
+        // Axiom: a null-rejecting atom implies the value is not NULL.
+        for a in group.iter().filter(|a| a.null_rejecting()) {
+            let va = env.vars[*a];
+            let nva = env.mgr.not(va);
+            let nn = env.mgr.not(null_var);
+            let clause = env.mgr.or(nva, nn);
+            cex = env.mgr.and(cex, clause);
+            if cex == FALSE {
+                return true;
+            }
+        }
+        // Pairwise comparison axioms, over all four literal signs: when
+        // the (possibly complemented) shapes are provably disjoint,
+        // both literals can only hold together if the value is NULL.
+        let cmps: Vec<(&Atom, CmpOp, &Value)> = group
+            .iter()
+            .filter_map(|a| match a {
+                Atom::Cmp { op, value, .. } => Some((*a, *op, value)),
+                _ => None,
+            })
+            .collect();
+        for i in 0..cmps.len() {
+            for j in (i + 1)..cmps.len() {
+                let (a1, op1, v1) = cmps[i];
+                let (a2, op2, v2) = cmps[j];
+                for (s1, s2) in [(true, true), (true, false), (false, true), (false, false)] {
+                    let e1 = if s1 { op1 } else { negated(op1) };
+                    let e2 = if s2 { op2 } else { negated(op2) };
+                    if !provably_disjoint(shape(e1, v1), shape(e2, v2)) {
+                        continue;
+                    }
+                    // Clause: NULL ∨ ¬lit1 ∨ ¬lit2.
+                    let mut l1 = env.vars[a1];
+                    if !s1 {
+                        l1 = env.mgr.not(l1);
+                    }
+                    let mut l2 = env.vars[a2];
+                    if !s2 {
+                        l2 = env.mgr.not(l2);
+                    }
+                    let nl1 = env.mgr.not(l1);
+                    let nl2 = env.mgr.not(l2);
+                    let c = env.mgr.or(nl1, nl2);
+                    let clause = env.mgr.or(null_var, c);
+                    cex = env.mgr.and(cex, clause);
+                    if cex == FALSE {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    cex == FALSE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_types::{Schema, Tuple};
+
+    fn lt(attr: &str, v: i64) -> Predicate {
+        Predicate::cmp(attr, CmpOp::Lt, v)
+    }
+
+    #[test]
+    fn range_nesting_is_proved() {
+        assert!(subsumes(&lt("A1", 500), &lt("A1", 200)));
+        assert!(!subsumes(&lt("A1", 200), &lt("A1", 500)));
+        assert!(subsumes(&lt("A1", 500), &lt("A1", 500)));
+    }
+
+    #[test]
+    fn conjunction_weakening_is_proved() {
+        let narrow = Predicate::And(vec![lt("A1", 200), lt("A2", 300)]);
+        assert!(subsumes(&lt("A1", 200), &narrow));
+        assert!(subsumes(&lt("A2", 300), &narrow));
+        assert!(!subsumes(&narrow, &lt("A1", 200)));
+    }
+
+    #[test]
+    fn disjunction_widening_is_proved() {
+        let broad = Predicate::Or(vec![lt("A1", 200), Predicate::eq("A2", 7i64)]);
+        assert!(subsumes(&broad, &lt("A1", 200)));
+        assert!(subsumes(&broad, &Predicate::eq("A2", 7i64)));
+    }
+
+    #[test]
+    fn mixed_operator_containment() {
+        // A1 = 10  ⊆  A1 <= 10  ⊆  A1 < 50.
+        let eq = Predicate::eq("A1", 10i64);
+        let le = Predicate::cmp("A1", CmpOp::Le, 10i64);
+        assert!(subsumes(&le, &eq));
+        assert!(subsumes(&lt("A1", 50), &le));
+        assert!(subsumes(&lt("A1", 50), &eq));
+        // A1 = 10  ⊆  A1 <> 11.
+        assert!(subsumes(&Predicate::cmp("A1", CmpOp::Ne, 11i64), &eq));
+        assert!(!subsumes(&Predicate::cmp("A1", CmpOp::Ne, 10i64), &eq));
+    }
+
+    #[test]
+    fn between_and_inlist_normalize() {
+        let between = Predicate::Between {
+            attr: "A1".into(),
+            lo: fusion_types::Value::Int(10),
+            hi: fusion_types::Value::Int(20),
+        };
+        assert!(subsumes(&lt("A1", 21), &between));
+        assert!(subsumes(&Predicate::cmp("A1", CmpOp::Ge, 10i64), &between));
+        assert!(!subsumes(&lt("A1", 20), &between)); // hi is inclusive
+        let inlist = Predicate::InList {
+            attr: "A1".into(),
+            values: vec![fusion_types::Value::Int(3), fusion_types::Value::Int(5)],
+        };
+        assert!(subsumes(&lt("A1", 6), &inlist));
+        assert!(subsumes(&inlist, &Predicate::eq("A1", 5i64)));
+        assert!(!subsumes(&inlist, &Predicate::eq("A1", 4i64)));
+    }
+
+    #[test]
+    fn negation_needs_null_care() {
+        // ¬(A1 < 10) is NOT implied to contain A1 >= 10: a NULL value
+        // satisfies the negation but fails the comparison… other way
+        // round: A1 >= 10 ⊆ ¬(A1 < 10) holds (a non-null ≥ 10 fails <).
+        let ge = Predicate::cmp("A1", CmpOp::Ge, 10i64);
+        let not_lt = Predicate::Not(Box::new(lt("A1", 10)));
+        assert!(subsumes(&not_lt, &ge));
+        // But ¬(A1 < 10) ⊄ A1 >= 10: NULL is a counterexample.
+        assert!(!subsumes(&ge, &not_lt));
+    }
+
+    #[test]
+    fn no_discrete_adjacency_reasoning() {
+        // Over the integers A1 < 10 ⊆ A1 <= 9, but the prover must not
+        // claim it: only dense-safe facts are used.
+        assert!(!subsumes(
+            &Predicate::cmp("A1", CmpOp::Le, 9i64),
+            &lt("A1", 10)
+        ));
+    }
+
+    #[test]
+    fn is_null_and_like_atoms() {
+        let isnull = Predicate::IsNull { attr: "A1".into() };
+        assert!(subsumes(&isnull, &isnull));
+        // A comparison excludes NULL.
+        let not_null = Predicate::Not(Box::new(isnull.clone()));
+        assert!(subsumes(&not_null, &lt("A1", 10)));
+        assert!(!subsumes(&isnull, &lt("A1", 10)));
+        let like = Predicate::Like {
+            attr: "M".into(),
+            pattern: "J%".into(),
+        };
+        assert!(subsumes(&like, &like));
+        assert!(subsumes(&not_null_of("M"), &like));
+    }
+
+    fn not_null_of(attr: &str) -> Predicate {
+        Predicate::Not(Box::new(Predicate::IsNull { attr: attr.into() }))
+    }
+
+    #[test]
+    fn distinct_attributes_are_independent() {
+        assert!(!subsumes(&lt("A1", 500), &lt("A2", 200)));
+    }
+
+    #[test]
+    fn proof_matches_evaluation_on_a_grid() {
+        // Exhaustively validate soundness of a proved pair on concrete
+        // tuples: whenever narrow holds, broad must hold.
+        use fusion_types::{Attribute, Value, ValueType};
+        let schema = Schema::new(
+            vec![
+                Attribute::new("M", ValueType::Str),
+                Attribute::new("A1", ValueType::Int),
+            ],
+            "M",
+        )
+        .unwrap();
+        let broad = Predicate::Or(vec![lt("A1", 40), Predicate::eq("A1", 77i64)]);
+        let narrow = Predicate::And(vec![
+            lt("A1", 60),
+            Predicate::Or(vec![lt("A1", 30), Predicate::eq("A1", 77i64)]),
+        ]);
+        assert!(subsumes(&broad, &narrow));
+        for x in -5..100 {
+            let t = Tuple::new(vec![Value::str("e"), Value::Int(x)]);
+            let n = narrow.eval(&t, &schema).unwrap();
+            let b = broad.eval(&t, &schema).unwrap();
+            assert!(!n || b, "x={x}: narrow held but broad did not");
+        }
+    }
+}

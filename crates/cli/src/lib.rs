@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+use fusion_cache::{AnswerCache, CachedCostModel};
 use fusion_core::optimizer::sja_response_optimal;
 use fusion_core::postopt::sja_plus;
 use fusion_core::query::FusionQuery;
@@ -29,6 +30,9 @@ use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet}
 use fusion_stats::TableStats;
 use fusion_types::error::{FusionError, Result};
 use fusion_types::{Attribute, Relation, Schema, SourceId, ValueType};
+
+/// Byte budget `\cache on` uses when none is given.
+const DEFAULT_CACHE_BUDGET: usize = 1 << 20;
 
 /// One registered source.
 struct SourceEntry {
@@ -75,6 +79,7 @@ pub struct Session {
     schema: Option<Schema>,
     sources: Vec<SourceEntry>,
     faults: Option<FaultSettings>,
+    cache: Option<AnswerCache>,
 }
 
 /// What the caller should do after a command.
@@ -132,6 +137,7 @@ impl Session {
             "trace" => self.cmd_trace(arg),
             "adaptive" => self.cmd_adaptive(arg),
             "faults" => self.cmd_faults(arg),
+            "cache" => self.cmd_cache(arg),
             "plan" => {
                 let mut p = arg.splitn(2, char::is_whitespace);
                 let algo = p.next().unwrap_or_default().to_string();
@@ -701,6 +707,81 @@ executed cost {} with per-round re-optimization:",
         Ok(text)
     }
 
+    /// `\cache` shows the answer-cache status, `\cache on [budget=N]`
+    /// enables semantic caching (queries are optimized against the warm
+    /// snapshot and served from cache where possible), `\cache clear`
+    /// drops all entries, and `\cache off` disables it.
+    fn cmd_cache(&mut self, arg: &str) -> Result<String> {
+        match arg {
+            "" => Ok(self.describe_cache()),
+            "off" => {
+                self.cache = None;
+                Ok("cache off".into())
+            }
+            "clear" => match self.cache.as_mut() {
+                Some(c) => {
+                    c.clear();
+                    Ok("cache cleared".into())
+                }
+                None => Err(FusionError::execution("cache is off (use \\cache on)")),
+            },
+            other => {
+                let rest = other.strip_prefix("on").ok_or_else(|| {
+                    FusionError::parse(format!(
+                        "bad cache option `{other}` (\\cache [on [budget=N] | off | clear])"
+                    ))
+                })?;
+                let rest = rest.trim();
+                let budget = if rest.is_empty() {
+                    DEFAULT_CACHE_BUDGET
+                } else if let Some(v) = rest.strip_prefix("budget=") {
+                    v.parse()
+                        .map_err(|_| FusionError::parse(format!("bad budget in `{rest}`")))?
+                } else {
+                    return Err(FusionError::parse(format!(
+                        "bad cache option `{rest}` (\\cache on [budget=N])"
+                    )));
+                };
+                self.cache = Some(AnswerCache::new(budget));
+                Ok(format!("cache on: budget {budget} bytes"))
+            }
+        }
+    }
+
+    /// The `\cache` status text: size, epochs, and lifetime counters.
+    fn describe_cache(&self) -> String {
+        let Some(c) = &self.cache else {
+            return "cache off".into();
+        };
+        let s = c.stats();
+        let epochs = if self.sources.is_empty() {
+            "-".to_string()
+        } else {
+            c.epochs(self.sources.len())
+                .iter()
+                .enumerate()
+                .map(|(j, e)| format!("R{}={e}", j + 1))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        format!(
+            "cache on: {} entries, {} of {} bytes used\n\
+             epochs: {epochs}\n\
+             hits {} ({} residual), misses {}, insertions {}, evictions {}, \
+             rejections {}, invalidations {}",
+            c.len(),
+            c.bytes_used(),
+            c.budget(),
+            s.hits,
+            s.residual_hits,
+            s.misses,
+            s.insertions,
+            s.evictions,
+            s.rejections,
+            s.invalidations
+        )
+    }
+
     /// `\exec [--parallel[=T]] <sql>`: execute explicitly, optionally on
     /// the multi-threaded executor with makespan measurements.
     fn cmd_exec(&mut self, arg: &str) -> Result<String> {
@@ -736,21 +817,67 @@ executed cost {} with per-round re-optimization:",
         }
         let (query, sources, mut network) = self.materialize(sql)?;
         let model = NetworkCostModel::new(&sources, &network, &query, None);
-        let plus = sja_plus(&model);
         let faults_on = self.faults.is_some();
+        let n_sources = self.sources.len();
         let config = ParallelConfig::with_threads(threads);
-        let par = if faults_on {
-            let policy = RetryPolicy::default();
-            fusion_exec::execute_plan_parallel_ft(
-                &plus.plan,
-                &query,
-                &sources,
-                &mut network,
-                &policy,
-                &config,
-            )?
+        let mut cache_line = None;
+        let par = if let Some(cache) = self.cache.as_mut() {
+            let snap = cache.snapshot(query.conditions(), n_sources);
+            let cmodel = CachedCostModel::new(&model, &snap);
+            // SJA, not SJA+, for the same reason as `query`: load-based
+            // postoptimized plans would bypass the cache entirely.
+            let plus = sja_optimal(&cmodel);
+            let before = *cache.stats();
+            let par = if faults_on {
+                let policy = RetryPolicy::default();
+                fusion_exec::execute_plan_parallel_ft_cached(
+                    &plus.plan,
+                    &query,
+                    &sources,
+                    &mut network,
+                    &policy,
+                    &config,
+                    cache,
+                )?
+            } else {
+                fusion_exec::execute_plan_parallel_cached(
+                    &plus.plan,
+                    &query,
+                    &sources,
+                    &mut network,
+                    &config,
+                    cache,
+                )?
+            };
+            let after = *cache.stats();
+            cache_line = Some(format!(
+                "\ncache: {} exact, {} residual, {} miss",
+                after.hits - before.hits,
+                after.residual_hits - before.residual_hits,
+                after.misses - before.misses
+            ));
+            par
         } else {
-            fusion_exec::execute_plan_parallel(&plus.plan, &query, &sources, &mut network, &config)?
+            let plus = sja_plus(&model);
+            if faults_on {
+                let policy = RetryPolicy::default();
+                fusion_exec::execute_plan_parallel_ft(
+                    &plus.plan,
+                    &query,
+                    &sources,
+                    &mut network,
+                    &policy,
+                    &config,
+                )?
+            } else {
+                fusion_exec::execute_plan_parallel(
+                    &plus.plan,
+                    &query,
+                    &sources,
+                    &mut network,
+                    &config,
+                )?
+            }
         };
         let outcome = &par.outcome;
         let total = outcome.total_cost();
@@ -768,6 +895,9 @@ executed cost {} with per-round re-optimization:",
             total.value() / par.makespan.max(f64::MIN_POSITIVE),
             par.wall.as_secs_f64() * 1e3,
         );
+        if let Some(line) = cache_line {
+            out.push_str(&line);
+        }
         if faults_on {
             out.push_str(&format!(
                 "\ncompleteness: {}\nattempts {} ({} failed), failed-attempt cost {}",
@@ -810,13 +940,53 @@ executed cost {} with per-round re-optimization:",
         let model = NetworkCostModel::new(&sources, &network, &query, None);
         match mode {
             QueryMode::Execute | QueryMode::Fetch => {
-                let plus = sja_plus(&model);
                 let faults_on = self.faults.is_some();
-                let outcome = if faults_on {
-                    let policy = RetryPolicy::default();
-                    execute_plan_ft(&plus.plan, &query, &sources, &mut network, &policy)?
+                let n_sources = self.sources.len();
+                let mut cache_line = None;
+                let outcome = if let Some(cache) = self.cache.as_mut() {
+                    let snap = cache.snapshot(query.conditions(), n_sources);
+                    let cmodel = CachedCostModel::new(&model, &snap);
+                    // SJA (not SJA+): post-optimization can replace sq
+                    // rounds with whole-relation loads, which the cache
+                    // can neither serve nor harvest. The selection /
+                    // semijoin plans keep the cache in the loop.
+                    let plus = sja_optimal(&cmodel);
+                    let before = *cache.stats();
+                    let outcome = if faults_on {
+                        let policy = RetryPolicy::default();
+                        fusion_exec::execute_plan_ft_cached(
+                            &plus.plan,
+                            &query,
+                            &sources,
+                            &mut network,
+                            &policy,
+                            cache,
+                        )?
+                    } else {
+                        fusion_exec::execute_plan_cached(
+                            &plus.plan,
+                            &query,
+                            &sources,
+                            &mut network,
+                            cache,
+                        )?
+                    };
+                    let after = *cache.stats();
+                    cache_line = Some(format!(
+                        "\ncache: {} exact, {} residual, {} miss",
+                        after.hits - before.hits,
+                        after.residual_hits - before.residual_hits,
+                        after.misses - before.misses
+                    ));
+                    outcome
                 } else {
-                    execute_plan(&plus.plan, &query, &sources, &mut network)?
+                    let plus = sja_plus(&model);
+                    if faults_on {
+                        let policy = RetryPolicy::default();
+                        execute_plan_ft(&plus.plan, &query, &sources, &mut network, &policy)?
+                    } else {
+                        execute_plan(&plus.plan, &query, &sources, &mut network)?
+                    }
                 };
                 let mut out = format!(
                     "answer ({} items): {}\nexecuted cost {} over {} round trips",
@@ -825,6 +995,9 @@ executed cost {} with per-round re-optimization:",
                     outcome.total_cost(),
                     outcome.ledger.round_trips()
                 );
+                if let Some(line) = cache_line {
+                    out.push_str(&line);
+                }
                 if faults_on {
                     out.push_str(&format!(
                         "\ncompleteness: {}\nattempts {} ({} failed), failed-attempt cost {}",
@@ -919,11 +1092,22 @@ commands:
          available cores) and reports the simulated makespan and measured
          wall clock — answers and costs are identical to sequential runs
   \\fetch <sql>                           execute, then fetch full records
+  \\gantt <sql>                           ASCII Gantt chart of the SJA+ plan's
+         parallel stage schedule
+  \\trace <sql>                           raw network exchange trace of
+         executing the SJA+ plan
+  \\adaptive <sql>                        execute with mid-query
+         re-optimization and report each round
   \\faults [off | seed=N transient=P timeout=P slow=PxF outage=J@K]
          deterministic fault injection: failed exchanges are retried with
          backoff; a source that stays down degrades the query to a
          partial (subset) answer. outage=J@K downs source J (1-based)
          from its K-th attempt.
+  \\cache [on [budget=N] | off | clear]   semantic answer cache (default
+         off): repeated selections are served locally — exactly or by
+         subsumption with a residual filter — plans are re-optimized
+         against the warm snapshot, and source updates invalidate by
+         epoch. \\cache alone shows size, epochs, and hit/miss counters.
   \\help                                  this text
   \\quit                                  exit
 anything else is parsed as a fusion query and executed with SJA+";
@@ -1316,9 +1500,95 @@ mod tests {
     }
 
     #[test]
+    fn cache_command_roundtrip() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        assert_eq!(run(&mut s, "\\cache"), "cache off");
+        let out = run(&mut s, "\\cache on");
+        assert!(out.contains("cache on"), "{out}");
+        // Cold query: every sq is a miss, answer unchanged.
+        let cold = run(&mut s, DMV_SQL);
+        assert!(cold.contains("{J55, T21}"), "{cold}");
+        assert!(
+            cold.contains("cache: 0 exact, 0 residual, 6 miss"),
+            "{cold}"
+        );
+        // Warm repeat: everything served from cache, total cost zero.
+        let warm = run(&mut s, DMV_SQL);
+        assert!(warm.contains("{J55, T21}"), "{warm}");
+        assert!(
+            warm.contains("cache: 6 exact, 0 residual, 0 miss"),
+            "{warm}"
+        );
+        assert!(
+            warm.contains("executed cost 0.000 over 0 round trips"),
+            "{warm}"
+        );
+        // Status shows entries, epochs, and counters.
+        let status = run(&mut s, "\\cache");
+        assert!(status.contains("6 entries"), "{status}");
+        assert!(status.contains("R1=0"), "{status}");
+        assert!(status.contains("misses 6"), "{status}");
+        // Parallel execution uses the cache too.
+        let par = run(&mut s, &format!("\\exec --parallel=2 {DMV_SQL}"));
+        assert!(par.contains("{J55, T21}"), "{par}");
+        assert!(par.contains("cache: 6 exact, 0 residual, 0 miss"), "{par}");
+        // Clear drops entries; the next run misses again.
+        assert_eq!(run(&mut s, "\\cache clear"), "cache cleared");
+        let out = run(&mut s, DMV_SQL);
+        assert!(out.contains("cache: 0 exact, 0 residual, 6 miss"), "{out}");
+        assert_eq!(run(&mut s, "\\cache off"), "cache off");
+        assert!(!run(&mut s, DMV_SQL).contains("cache:"));
+    }
+
+    #[test]
+    fn cache_command_rejects_nonsense() {
+        let mut s = Session::new();
+        assert!(run(&mut s, "\\cache clear").starts_with("error:"));
+        assert!(run(&mut s, "\\cache maybe").starts_with("error:"));
+        assert!(run(&mut s, "\\cache on budget=lots").starts_with("error:"));
+        let out = run(&mut s, "\\cache on budget=4096");
+        assert!(out.contains("4096"), "{out}");
+    }
+
+    #[test]
+    fn cached_faulty_run_reports_completeness() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        run(&mut s, "\\cache on");
+        run(&mut s, "\\faults seed=7 transient=0.3");
+        let out = run(&mut s, DMV_SQL);
+        assert!(out.contains("{J55, T21}"), "{out}");
+        assert!(out.contains("completeness: exact"), "{out}");
+        assert!(out.contains("cache:"), "{out}");
+    }
+
+    #[test]
     fn quit_and_help() {
         let mut s = Session::new();
-        assert!(run(&mut s, "\\help").contains("\\scenario"));
+        let help = run(&mut s, "\\help");
+        // Every dispatched command is documented.
+        for cmd in [
+            "\\scenario",
+            "\\schema",
+            "\\load",
+            "\\sources",
+            "\\explain",
+            "\\lint",
+            "\\dataflow",
+            "\\plan",
+            "\\exec",
+            "\\fetch",
+            "\\gantt",
+            "\\trace",
+            "\\adaptive",
+            "\\faults",
+            "\\cache",
+            "\\help",
+            "\\quit",
+        ] {
+            assert!(help.contains(cmd), "help is missing {cmd}");
+        }
         let (out, ctl) = s.handle("\\quit");
         assert_eq!(ctl, Control::Quit);
         assert_eq!(out, "bye");

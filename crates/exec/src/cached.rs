@@ -1,0 +1,465 @@
+//! Cache-aware plan execution.
+//!
+//! [`execute_plan_cached`] and [`execute_plan_ft_cached`] are the
+//! sequential executors with an [`AnswerCache`] attached (the parallel
+//! counterparts live in [`crate::parallel`]). The contract mirrors the
+//! parallel one: **answers and completeness are byte-identical to cold
+//! execution** — the cache only changes what things cost, never what
+//! they compute:
+//!
+//! * A selection the cache can serve (exactly, or by residual-filtering
+//!   a subsuming entry) never touches the network. Its ledger entry has
+//!   kind [`StepKind::CacheHit`] / [`StepKind::CacheResidual`], zero
+//!   communication and processing cost, and zero round trips — local
+//!   mediator work is free (§2.4).
+//! * A miss fetches the *full records* instead of the bare item set
+//!   (`select_records`, sized with `tuples_response`), so the answer can
+//!   be admitted to the cache and residual-filtered by narrower
+//!   conditions later. This is the investment a semantic cache makes:
+//!   a cached-mode miss pays more communication than a cold `sq`, and
+//!   the cost model's re-fetch price is exactly what admission and
+//!   eviction weigh.
+//! * Inserts are deferred until the run completes, so the cache is
+//!   constant during execution and sequential/parallel lookup sequences
+//!   agree. Entries from a run that degraded to
+//!   [`Completeness::Subset`](crate::retry::Completeness) are inserted
+//!   as non-exact and are never served.
+//! * Fault recovery invalidates: any source that failed at least one
+//!   exchange during a fault-tolerant run gets its epoch bumped (its
+//!   pre-existing entries die) and its fresh answers are *not* admitted
+//!   — data fetched around a fault window predates recovery.
+
+use crate::interp::{
+    dropped_entry, retry_loop, run_sequential, run_sequential_ft, Attempted, Exchanger, FtFetched,
+    SourceFt,
+};
+use crate::ledger::{LedgerEntry, StepKind};
+use crate::retry::RetryPolicy;
+use crate::ExecutionOutcome;
+use fusion_cache::{AnswerCache, HitKind, Served};
+use fusion_core::plan::Plan;
+use fusion_core::query::FusionQuery;
+use fusion_net::{ExchangeKind, MessageSize, Network};
+use fusion_source::SourceSet;
+use fusion_types::error::{FusionError, Result};
+use fusion_types::schema::Schema;
+use fusion_types::{Condition, Cost, ItemSet, SourceId, Tuple};
+
+/// Executes `plan` sequentially, serving selections from `cache` where
+/// possible and admitting fresh answers afterwards.
+///
+/// The answer and completeness are byte-identical to
+/// [`crate::execute_plan`] on the same inputs; the ledger differs only
+/// in selection entries (cache kinds and record-sized misses).
+///
+/// # Errors
+/// As [`crate::execute_plan`].
+pub fn execute_plan_cached(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    cache: &mut AnswerCache,
+) -> Result<ExecutionOutcome> {
+    let analysis = fusion_core::analyze::analyze_plan(plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to execute a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    run_sequential(plan, query, sources, network, Some(cache))
+}
+
+/// Fault-tolerant [`execute_plan_cached`]: cache hits are immune to
+/// faults (they never touch the network, not even for a dead source),
+/// and a source that went through fault recovery has its epoch bumped
+/// and its fresh answers withheld from admission.
+///
+/// # Errors
+/// As [`crate::execute_plan_ft`].
+pub fn execute_plan_ft_cached(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    policy: &RetryPolicy,
+    cache: &mut AnswerCache,
+) -> Result<ExecutionOutcome> {
+    run_sequential_ft(plan, query, sources, network, policy, Some(cache))
+}
+
+/// A cache admission waiting for the run to finish.
+pub(crate) struct PendingInsert {
+    /// Plan step the answer came from (for deterministic commit order).
+    pub(crate) step: usize,
+    pub(crate) source: SourceId,
+    pub(crate) cond: Condition,
+    pub(crate) rows: Vec<Tuple>,
+    /// The price paid to fetch the answer — the eviction weight.
+    pub(crate) refetch: Cost,
+}
+
+/// The ledger entry of a cache-served selection: free, zero round trips.
+pub(crate) fn served_entry(idx: usize, source: SourceId, served: &Served) -> LedgerEntry {
+    LedgerEntry {
+        step: idx,
+        kind: match served.kind {
+            HitKind::Exact => StepKind::CacheHit,
+            HitKind::Subsumed => StepKind::CacheResidual,
+        },
+        source: Some(source),
+        comm: Cost::ZERO,
+        proc: Cost::ZERO,
+        round_trips: 0,
+        items_out: served.items.len(),
+        attempts: 0,
+        failed_cost: Cost::ZERO,
+    }
+}
+
+/// The cached-mode selection miss: like [`crate::interp::exec_sq`] but
+/// fetching full records so the answer can be cached, with the response
+/// sized accordingly.
+pub(crate) fn exec_sq_records<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    cond: &Condition,
+    schema: &Schema,
+    sources: &SourceSet,
+    network: &mut E,
+) -> Result<(ItemSet, Vec<Tuple>, LedgerEntry)> {
+    let w = sources.get(source);
+    let resp = w.select_records(cond)?;
+    let req_bytes = MessageSize::sq_request(cond);
+    let resp_bytes = MessageSize::tuples_response(&resp.payload);
+    let comm = network.exchange(source, ExchangeKind::Selection, req_bytes, resp_bytes);
+    let proc = Cost::new(
+        w.processing()
+            .cost(resp.tuples_examined, resp.payload.len()),
+    );
+    let items = ItemSet::from_items(resp.payload.iter().map(|t| t.item(schema)));
+    let entry = LedgerEntry {
+        step: idx,
+        kind: StepKind::Selection,
+        source: Some(source),
+        comm,
+        proc,
+        round_trips: 1,
+        items_out: items.len(),
+        attempts: 1,
+        failed_cost: Cost::ZERO,
+    };
+    Ok((items, resp.payload, entry))
+}
+
+/// Fault-aware [`exec_sq_records`], mirroring
+/// [`crate::interp::exec_sq_ft`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_sq_records_ft<E: Exchanger>(
+    idx: usize,
+    source: SourceId,
+    cond: &Condition,
+    schema: &Schema,
+    sources: &SourceSet,
+    network: &mut E,
+    policy: &RetryPolicy,
+    ft: &mut SourceFt,
+    spent: Cost,
+) -> Result<FtFetched<(ItemSet, Vec<Tuple>)>> {
+    let kind = StepKind::Selection;
+    if ft.dead {
+        return Ok(FtFetched::Dropped(dropped_entry(
+            idx,
+            kind,
+            source,
+            0,
+            Cost::ZERO,
+        )));
+    }
+    let w = sources.get(source);
+    let resp = w.select_records(cond)?;
+    let req_bytes = MessageSize::sq_request(cond);
+    let resp_bytes = MessageSize::tuples_response(&resp.payload);
+    Ok(
+        match retry_loop(
+            policy,
+            network,
+            ft,
+            source,
+            ExchangeKind::Selection,
+            req_bytes,
+            resp_bytes,
+            spent,
+        ) {
+            Attempted::Delivered {
+                comm,
+                attempts,
+                failed,
+            } => {
+                let proc = Cost::new(
+                    w.processing()
+                        .cost(resp.tuples_examined, resp.payload.len()),
+                );
+                let items = ItemSet::from_items(resp.payload.iter().map(|t| t.item(schema)));
+                let entry = LedgerEntry {
+                    step: idx,
+                    kind,
+                    source: Some(source),
+                    comm,
+                    proc,
+                    round_trips: 1,
+                    items_out: items.len(),
+                    attempts,
+                    failed_cost: failed,
+                };
+                FtFetched::Done((items, resp.payload), entry)
+            }
+            Attempted::Exhausted { attempts, failed } => {
+                FtFetched::Dropped(dropped_entry(idx, kind, source, attempts, failed))
+            }
+        },
+    )
+}
+
+/// Commits the run's buffered admissions: sources that went through
+/// fault recovery (`failed[j]`) are skipped, and a run that degraded to
+/// a subset answer admits its entries as non-exact (never servable).
+pub(crate) fn commit_inserts(
+    cache: &mut AnswerCache,
+    mut pending: Vec<PendingInsert>,
+    exact: bool,
+    failed: &[bool],
+) {
+    pending.sort_by_key(|p| p.step);
+    for p in pending {
+        if failed.get(p.source.0).copied().unwrap_or(false) {
+            continue;
+        }
+        cache.insert(p.source, p.cond, p.rows, exact, p.refetch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute_plan, execute_plan_ft};
+    use fusion_core::plan::SimplePlanSpec;
+    use fusion_net::{FaultPlan, FaultSpec, LinkProfile};
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate, Relation};
+
+    fn figure1_relations() -> Vec<Relation> {
+        let s = dmv_schema();
+        vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ]
+    }
+
+    fn dmv_sources() -> SourceSet {
+        SourceSet::new(
+            figure1_relations()
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        Capabilities::full(),
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn net() -> Network {
+        Network::uniform(3, LinkProfile::Wan.link())
+    }
+
+    #[test]
+    fn warm_run_serves_hits_and_matches_cold_answer() {
+        let q = dmv_query();
+        let plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        let sources = dmv_sources();
+        let cold = execute_plan(&plan, &q, &sources, &mut net()).unwrap();
+
+        let mut cache = AnswerCache::new(1 << 20);
+        let first = execute_plan_cached(&plan, &q, &sources, &mut net(), &mut cache).unwrap();
+        assert_eq!(first.answer, cold.answer);
+        assert_eq!(cache.stats().misses, 6);
+        assert_eq!(cache.len(), 6);
+
+        let second = execute_plan_cached(&plan, &q, &sources, &mut net(), &mut cache).unwrap();
+        assert_eq!(second.answer, cold.answer);
+        assert_eq!(second.completeness, cold.completeness);
+        assert_eq!(second.ledger.count_kind(StepKind::CacheHit), 6);
+        assert_eq!(second.ledger.count_kind(StepKind::Selection), 0);
+        // Every served selection's items match the cold run's entry.
+        for (warm, cold) in second.ledger.entries().iter().zip(cold.ledger.entries()) {
+            assert_eq!(warm.items_out, cold.items_out, "step {}", warm.step);
+        }
+        // Hits are free: the warm run only pays for local steps (nothing).
+        assert_eq!(second.total_cost(), Cost::ZERO);
+        assert_eq!(cache.stats().hits, 6);
+    }
+
+    #[test]
+    fn subsumption_serves_narrower_condition_from_broader_entry() {
+        let s = dmv_schema();
+        let sources = dmv_sources();
+        let broad = FusionQuery::new(
+            s.clone(),
+            vec![
+                Condition::from(Predicate::cmp("D", fusion_types::CmpOp::Ge, 1900i64)),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap();
+        let narrow = FusionQuery::new(
+            s,
+            vec![
+                Condition::from(Predicate::cmp("D", fusion_types::CmpOp::Ge, 1994i64)),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap();
+        let plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        let mut cache = AnswerCache::new(1 << 20);
+        execute_plan_cached(&plan, &broad, &sources, &mut net(), &mut cache).unwrap();
+
+        let cold = execute_plan(&plan, &narrow, &sources, &mut net()).unwrap();
+        let warm = execute_plan_cached(&plan, &narrow, &sources, &mut net(), &mut cache).unwrap();
+        assert_eq!(warm.answer, cold.answer);
+        // c1 (D ≥ 1994 ⊆ D ≥ 1900) is residual-served at all 3 sources;
+        // c2 is an exact hit at all 3.
+        assert_eq!(warm.ledger.count_kind(StepKind::CacheResidual), 3);
+        assert_eq!(warm.ledger.count_kind(StepKind::CacheHit), 3);
+        assert_eq!(cache.stats().residual_hits, 3);
+    }
+
+    #[test]
+    fn ft_cached_with_no_faults_matches_plain_cached() {
+        let q = dmv_query();
+        let plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        let sources = dmv_sources();
+        let policy = RetryPolicy::default();
+
+        let mut c1 = AnswerCache::new(1 << 20);
+        let mut c2 = AnswerCache::new(1 << 20);
+        for _ in 0..2 {
+            let a = execute_plan_cached(&plan, &q, &sources, &mut net(), &mut c1).unwrap();
+            let b =
+                execute_plan_ft_cached(&plan, &q, &sources, &mut net(), &policy, &mut c2).unwrap();
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.ledger, b.ledger);
+            assert_eq!(a.completeness, b.completeness);
+        }
+        assert_eq!(c1.stats(), c2.stats());
+    }
+
+    #[test]
+    fn fault_recovery_bumps_epoch_and_withholds_admission() {
+        let q = dmv_query();
+        let plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        let sources = dmv_sources();
+        let policy = RetryPolicy::default();
+        let mut cache = AnswerCache::new(1 << 20);
+
+        // Warm every pair fault-free.
+        execute_plan_ft_cached(&plan, &q, &sources, &mut net(), &policy, &mut cache).unwrap();
+        assert_eq!(cache.len(), 6);
+        let epochs_before = cache.epochs(3);
+
+        // Run with R2 permanently down: its hits still serve (no network
+        // touch), but the run ends by bumping R2's epoch, which kills its
+        // entries.
+        let mut network = net();
+        network.set_fault_plan(FaultPlan::none(3).with_outage(SourceId(1), 0));
+        let out =
+            execute_plan_ft_cached(&plan, &q, &sources, &mut network, &policy, &mut cache).unwrap();
+        // All six selections were cache hits, so no fault was even felt.
+        assert!(out.completeness.is_exact());
+        assert_eq!(out.ledger.count_kind(StepKind::CacheHit), 6);
+        assert_eq!(cache.epochs(3), epochs_before, "no exchange, no recovery");
+
+        // Clear and re-run cold under the same outage: R1/R3 answers are
+        // fetched but the run is Subset, so nothing becomes servable, and
+        // R2's epoch advances.
+        cache.clear();
+        let mut network = net();
+        network.set_fault_plan(FaultPlan::none(3).with_outage(SourceId(1), 0));
+        let out =
+            execute_plan_ft_cached(&plan, &q, &sources, &mut network, &policy, &mut cache).unwrap();
+        assert!(!out.completeness.is_exact());
+        assert_eq!(cache.epoch(SourceId(1)), epochs_before[1] + 1);
+        // Entries from the degraded run were admitted non-exact (R1, R3)
+        // or withheld (R2): none serve.
+        let warm =
+            execute_plan_ft_cached(&plan, &q, &sources, &mut net(), &policy, &mut cache).unwrap();
+        assert_eq!(warm.ledger.count_kind(StepKind::CacheHit), 0);
+        assert_eq!(warm.ledger.count_kind(StepKind::CacheResidual), 0);
+        assert!(warm.completeness.is_exact());
+        let truth = execute_plan(&plan, &q, &sources, &mut net()).unwrap();
+        assert_eq!(warm.answer, truth.answer);
+    }
+
+    #[test]
+    fn ft_cached_matches_cold_answer_under_faults() {
+        let q = dmv_query();
+        let plan = SimplePlanSpec::filter(2, 3).build(3).unwrap();
+        let sources = dmv_sources();
+        let policy = RetryPolicy::default();
+        for seed in 0..12u64 {
+            let faults = FaultPlan::uniform(3, seed, FaultSpec::transient(0.4));
+            let mut cold_net = net();
+            cold_net.set_fault_plan(faults.clone());
+            let cold = execute_plan_ft(&plan, &q, &sources, &mut cold_net, &policy).unwrap();
+
+            let mut cache = AnswerCache::new(1 << 20);
+            let mut warm_net = net();
+            warm_net.set_fault_plan(faults);
+            let warm =
+                execute_plan_ft_cached(&plan, &q, &sources, &mut warm_net, &policy, &mut cache)
+                    .unwrap();
+            assert_eq!(warm.answer, cold.answer, "seed {seed}");
+            assert_eq!(warm.completeness, cold.completeness, "seed {seed}");
+        }
+    }
+}

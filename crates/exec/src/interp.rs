@@ -7,8 +7,12 @@
 //! executors run the *same* code and byte-identical ledgers fall out by
 //! construction.
 
+use crate::cached::{
+    commit_inserts, exec_sq_records, exec_sq_records_ft, served_entry, PendingInsert,
+};
 use crate::ledger::{CostLedger, LedgerEntry, StepKind};
 use crate::retry::{Completeness, RetryPolicy};
+use fusion_cache::AnswerCache;
 use fusion_core::plan::{Plan, Step};
 use fusion_core::query::FusionQuery;
 use fusion_net::{ExchangeKind, FailedExchange, FaultKind, MessageSize, Network};
@@ -162,6 +166,21 @@ pub fn execute_plan_unchecked(
     sources: &SourceSet,
     network: &mut Network,
 ) -> Result<ExecutionOutcome> {
+    run_sequential(plan, query, sources, network, None)
+}
+
+/// The sequential execution loop, with or without an answer cache
+/// attached. `None` is [`execute_plan_unchecked`]; `Some` additionally
+/// serves selections from the cache (free `sq(cache)` / `sq(residual)`
+/// entries), fetches misses as full records, and admits them once the
+/// run completes — see [`crate::cached`] for the contract.
+pub(crate) fn run_sequential(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    mut cache: Option<&mut AnswerCache>,
+) -> Result<ExecutionOutcome> {
     plan.validate()?;
     if query.m() != plan.n_conditions {
         return Err(FusionError::invalid_plan(format!(
@@ -181,12 +200,35 @@ pub fn execute_plan_unchecked(
     let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
     let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
     let mut ledger = CostLedger::new();
+    let mut pending: Vec<PendingInsert> = Vec::new();
     for (idx, step) in plan.steps.iter().enumerate() {
         match step {
             Step::Sq { out, cond, source } => {
-                let (items, entry) = exec_sq(idx, *source, &conditions[cond.0], sources, network)?;
-                ledger.push(entry);
-                vars[out.0] = Some(items);
+                let c = &conditions[cond.0];
+                let served = match cache.as_deref_mut() {
+                    Some(cache) => cache.lookup(*source, c, query.schema())?,
+                    None => None,
+                };
+                if let Some(served) = served {
+                    ledger.push(served_entry(idx, *source, &served));
+                    vars[out.0] = Some(served.items);
+                } else if cache.is_some() {
+                    let (items, rows, entry) =
+                        exec_sq_records(idx, *source, c, query.schema(), sources, network)?;
+                    pending.push(PendingInsert {
+                        step: idx,
+                        source: *source,
+                        cond: c.clone(),
+                        rows,
+                        refetch: entry.comm + entry.proc,
+                    });
+                    ledger.push(entry);
+                    vars[out.0] = Some(items);
+                } else {
+                    let (items, entry) = exec_sq(idx, *source, c, sources, network)?;
+                    ledger.push(entry);
+                    vars[out.0] = Some(items);
+                }
             }
             Step::Sjq {
                 out,
@@ -240,6 +282,11 @@ pub fn execute_plan_unchecked(
     let answer = vars[plan.result.0]
         .clone()
         .expect("validated: result defined");
+    if let Some(cache) = cache {
+        // Plain exchanges are infallible, so every answer is exact and no
+        // source needs a recovery epoch bump.
+        commit_inserts(cache, pending, true, &[]);
+    }
     Ok(ExecutionOutcome {
         answer,
         ledger,
@@ -905,6 +952,23 @@ pub fn execute_plan_ft(
     network: &mut Network,
     policy: &RetryPolicy,
 ) -> Result<ExecutionOutcome> {
+    run_sequential_ft(plan, query, sources, network, policy, None)
+}
+
+/// The fault-tolerant sequential loop, with or without an answer cache.
+/// `None` is [`execute_plan_ft`]. With a cache, selections are looked up
+/// *before* the dead-source check — a hit needs no network and is immune
+/// to faults — misses fetch full records, and the run ends by bumping
+/// the epoch of every source that failed an exchange (fault recovery)
+/// and admitting the rest of the fresh answers.
+pub(crate) fn run_sequential_ft(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    policy: &RetryPolicy,
+    mut cache: Option<&mut AnswerCache>,
+) -> Result<ExecutionOutcome> {
     let mut analysis = fusion_core::analyze::analyze_plan(plan)?;
     if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
         return Err(FusionError::invalid_plan(format!(
@@ -935,6 +999,16 @@ pub fn execute_plan_ft(
     let mut st = FtState::new(policy, plan.n_sources);
     let mut dropped: Vec<usize> = Vec::new();
     let mut missing_conds: Vec<CondId> = Vec::new();
+    let mut pending: Vec<PendingInsert> = Vec::new();
+    // Per-source failed-exchange counts before the run: any increase by
+    // the end means the source went through fault recovery.
+    let failed_before: Vec<usize> = if cache.is_some() {
+        (0..plan.n_sources)
+            .map(|j| network.failed_count_for(SourceId(j)))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // Drops `idx`, verifying via the BDD analysis that the cumulative
     // degraded plan still computes a subset of the fusion answer.
@@ -957,11 +1031,56 @@ pub fn execute_plan_ft(
     for (idx, step) in plan.steps.iter().enumerate() {
         match step {
             Step::Sq { out, cond, source } => {
+                let c = &conditions[cond.0];
+                // Cache lookup comes before the dead-source check: a hit
+                // never touches the network, so a dead source can still
+                // serve from cache.
+                let served = match cache.as_deref_mut() {
+                    Some(cache) => cache.lookup(*source, c, query.schema())?,
+                    None => None,
+                };
+                if let Some(served) = served {
+                    ledger.push(served_entry(idx, *source, &served));
+                    vars[out.0] = Some(served.items);
+                    continue;
+                }
                 let spent = ledger.total();
+                if cache.is_some() {
+                    match exec_sq_records_ft(
+                        idx,
+                        *source,
+                        c,
+                        query.schema(),
+                        sources,
+                        network,
+                        policy,
+                        st.src_mut(*source),
+                        spent,
+                    )? {
+                        FtFetched::Done((items, rows), entry) => {
+                            pending.push(PendingInsert {
+                                step: idx,
+                                source: *source,
+                                cond: c.clone(),
+                                rows,
+                                refetch: entry.comm + entry.proc,
+                            });
+                            ledger.push(entry);
+                            vars[out.0] = Some(items);
+                        }
+                        FtFetched::Dropped(entry) => {
+                            ledger.push(entry);
+                            drop_step(idx, &mut dropped, &mut analysis)?;
+                            missing_conds.push(*cond);
+                            vars[out.0] = Some(ItemSet::empty());
+                        }
+                    }
+                    continue;
+                }
                 match exec_sq_ft(
                     idx,
                     *source,
-                    &conditions[cond.0],
+                    c,
                     sources,
                     network,
                     policy,
@@ -1100,6 +1219,18 @@ pub fn execute_plan_ft(
             missing_conditions: missing_conds,
         }
     };
+    if let Some(cache) = cache {
+        let mut failed = vec![false; plan.n_sources];
+        for (j, before) in failed_before.iter().enumerate() {
+            if network.failed_count_for(SourceId(j)) > *before {
+                failed[j] = true;
+                // Fault recovery: the source's state may have changed
+                // while it was unreachable, so its cached entries die.
+                cache.bump_epoch(SourceId(j));
+            }
+        }
+        commit_inserts(cache, pending, completeness.is_exact(), &failed);
+    }
     Ok(ExecutionOutcome {
         answer,
         ledger,

@@ -17,6 +17,11 @@ pub enum StepKind {
     Load,
     /// Free local mediator operation (∪, ∩, −, local selection).
     Local,
+    /// Selection served entirely from the answer cache (exact hit).
+    CacheHit,
+    /// Selection served from a broader cached answer through a local
+    /// residual filter (subsumption hit).
+    CacheResidual,
 }
 
 impl std::fmt::Display for StepKind {
@@ -28,6 +33,8 @@ impl std::fmt::Display for StepKind {
             StepKind::BloomSemijoin => "sjq(bloom)",
             StepKind::Load => "lq",
             StepKind::Local => "local",
+            StepKind::CacheHit => "sq(cache)",
+            StepKind::CacheResidual => "sq(residual)",
         };
         write!(f, "{s}")
     }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod cached;
 pub mod interp;
 pub mod ledger;
 pub mod parallel;
@@ -49,10 +50,12 @@ pub mod schedule;
 pub mod two_phase;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_ft, AdaptiveOutcome, AdaptiveRound};
+pub use cached::{execute_plan_cached, execute_plan_ft_cached};
 pub use interp::{execute_plan, execute_plan_ft, execute_plan_unchecked, ExecutionOutcome};
 pub use ledger::{CostLedger, LedgerEntry, StepKind};
 pub use parallel::{
-    execute_plan_parallel, execute_plan_parallel_ft, ParallelConfig, ParallelOutcome,
+    execute_plan_parallel, execute_plan_parallel_cached, execute_plan_parallel_ft,
+    execute_plan_parallel_ft_cached, ParallelConfig, ParallelOutcome,
 };
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
 pub use retry::{Completeness, RetryPolicy};

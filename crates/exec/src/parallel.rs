@@ -40,6 +40,9 @@
 //! deadline set (the default), fault-tolerant parallel execution is
 //! byte-identical to sequential; with one, it may retry slightly more.
 
+use crate::cached::{
+    commit_inserts, exec_sq_records, exec_sq_records_ft, served_entry, PendingInsert,
+};
 use crate::interp::{
     exec_bloom, exec_bloom_ft, exec_local_step, exec_lq, exec_lq_ft, exec_sq, exec_sq_ft,
     run_semijoin, run_semijoin_ft, ExecutionOutcome, FtFetched, SharedExchanger, SjResult,
@@ -48,11 +51,13 @@ use crate::interp::{
 use crate::ledger::{CostLedger, LedgerEntry};
 use crate::retry::{Completeness, RetryPolicy};
 use crate::schedule::stage_schedule;
+use fusion_cache::{AnswerCache, Served};
 use fusion_core::plan::{Plan, Step};
 use fusion_core::query::FusionQuery;
 use fusion_net::Network;
 use fusion_source::SourceSet;
 use fusion_types::error::{FusionError, Result};
+use fusion_types::schema::Schema;
 use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId, Tuple};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -139,7 +144,7 @@ pub fn execute_plan_parallel(
     network: &mut Network,
     config: &ParallelConfig,
 ) -> Result<ParallelOutcome> {
-    run_parallel(plan, query, sources, network, Mode::Plain, config)
+    run_parallel(plan, query, sources, network, Mode::Plain, config, None)
 }
 
 /// Fault-tolerant [`execute_plan_parallel`]: byte-identical to
@@ -157,7 +162,69 @@ pub fn execute_plan_parallel_ft(
     policy: &RetryPolicy,
     config: &ParallelConfig,
 ) -> Result<ParallelOutcome> {
-    run_parallel(plan, query, sources, network, Mode::Ft(policy), config)
+    run_parallel(
+        plan,
+        query,
+        sources,
+        network,
+        Mode::Ft(policy),
+        config,
+        None,
+    )
+}
+
+/// Cache-aware [`execute_plan_parallel`]: hits resolve on the main
+/// thread before each stage dispatches (they never touch the network),
+/// misses fetch full records through the workers, and fresh answers are
+/// admitted after the run — answers and completeness byte-identical to
+/// [`crate::cached::execute_plan_cached`] on the same inputs.
+///
+/// # Errors
+/// As [`execute_plan_parallel`].
+pub fn execute_plan_parallel_cached(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    config: &ParallelConfig,
+    cache: &mut AnswerCache,
+) -> Result<ParallelOutcome> {
+    run_parallel(
+        plan,
+        query,
+        sources,
+        network,
+        Mode::Plain,
+        config,
+        Some(cache),
+    )
+}
+
+/// Fault-tolerant [`execute_plan_parallel_cached`]: additionally bumps
+/// the epoch of every source that failed an exchange during the run and
+/// withholds its fresh answers from admission — matching
+/// [`crate::cached::execute_plan_ft_cached`].
+///
+/// # Errors
+/// As [`execute_plan_parallel_ft`].
+pub fn execute_plan_parallel_ft_cached(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    policy: &RetryPolicy,
+    config: &ParallelConfig,
+    cache: &mut AnswerCache,
+) -> Result<ParallelOutcome> {
+    run_parallel(
+        plan,
+        query,
+        sources,
+        network,
+        Mode::Ft(policy),
+        config,
+        Some(cache),
+    )
 }
 
 #[derive(Clone, Copy)]
@@ -175,6 +242,9 @@ struct StepDone {
 enum StepValue {
     /// A delivered item-set step (`sq` / `sjq` / Bloom `sjq`).
     Items(ItemSet),
+    /// A cached-mode selection miss: the answer items plus the full
+    /// records to admit to the cache after the run.
+    CachedItems(ItemSet, Vec<Tuple>),
     /// A delivered full load.
     Rows(Vec<Tuple>),
     /// A dropped item-set step (fault-tolerant mode only).
@@ -280,6 +350,10 @@ fn run_remote_step(
     mode: &Mode<'_>,
     fts: &[Mutex<SourceFt>],
     spent: Cost,
+    // `Some(schema)` marks a cached run: selection misses fetch full
+    // records (sized as such) so they can be admitted afterwards. Cache
+    // *hits* never reach a worker — the main thread resolves them.
+    records: Option<&Schema>,
 ) -> Result<StepDone> {
     let mut ex = SharedExchanger { net, step: idx };
     let items_done = |value: FtFetched<ItemSet>| match value {
@@ -294,6 +368,14 @@ fn run_remote_step(
     };
     match (step, mode) {
         (Step::Sq { cond, source, .. }, Mode::Plain) => {
+            if let Some(schema) = records {
+                let (items, rows, entry) =
+                    exec_sq_records(idx, *source, &conditions[cond.0], schema, sources, &mut ex)?;
+                return Ok(StepDone {
+                    value: StepValue::CachedItems(items, rows),
+                    entry,
+                });
+            }
             let (items, entry) = exec_sq(idx, *source, &conditions[cond.0], sources, &mut ex)?;
             Ok(StepDone {
                 value: StepValue::Items(items),
@@ -302,6 +384,29 @@ fn run_remote_step(
         }
         (Step::Sq { cond, source, .. }, Mode::Ft(policy)) => {
             let mut ft = fts[source.0].lock().expect("source fault state poisoned");
+            if let Some(schema) = records {
+                let fetched = exec_sq_records_ft(
+                    idx,
+                    *source,
+                    &conditions[cond.0],
+                    schema,
+                    sources,
+                    &mut ex,
+                    policy,
+                    &mut ft,
+                    spent,
+                )?;
+                return Ok(match fetched {
+                    FtFetched::Done((items, rows), entry) => StepDone {
+                        value: StepValue::CachedItems(items, rows),
+                        entry,
+                    },
+                    FtFetched::Dropped(entry) => StepDone {
+                        value: StepValue::DroppedItems,
+                        entry,
+                    },
+                });
+            }
             let fetched = exec_sq_ft(
                 idx,
                 *source,
@@ -453,6 +558,7 @@ fn run_parallel(
     network: &mut Network,
     mode: Mode<'_>,
     config: &ParallelConfig,
+    mut cache: Option<&mut AnswerCache>,
 ) -> Result<ParallelOutcome> {
     let mut analysis = fusion_core::analyze::analyze_plan(plan)?;
     if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
@@ -485,6 +591,27 @@ fn run_parallel(
 
     let threads = config.threads.max(1);
     let conditions = query.conditions();
+    // Cache pre-resolution: admissions are deferred until after the run,
+    // so the cache is constant while stages execute, and resolving every
+    // selection in plan order up front performs exactly the lookup
+    // sequence (stats, LRU touches) the sequential cached executor does.
+    let mut served: Vec<Option<Served>> = (0..plan.steps.len()).map(|_| None).collect();
+    let failed_before: Vec<usize> = if cache.is_some() {
+        (0..plan.n_sources)
+            .map(|j| network.failed_count_for(SourceId(j)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if let Some(cache) = cache.as_deref_mut() {
+        for (idx, step) in plan.steps.iter().enumerate() {
+            if let Step::Sq { cond, source, .. } = step {
+                served[idx] = cache.lookup(*source, &conditions[cond.0], query.schema())?;
+            }
+        }
+    }
+    let records: Option<&Schema> = cache.is_some().then(|| query.schema());
+    let mut pending: Vec<PendingInsert> = Vec::new();
     let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
     let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
     let mut rel_dropped = vec![false; plan.rel_names.len()];
@@ -518,10 +645,20 @@ fn run_parallel(
 
     let start = Instant::now();
     for stage in &stages {
+        // Cache hits resolve here on the main thread: no network, no
+        // worker, no fault exposure — just the free served entry.
+        for &idx in stage {
+            if let Some(s) = served[idx].take() {
+                if let Step::Sq { out, source, .. } = &plan.steps[idx] {
+                    entries[idx] = Some(served_entry(idx, *source, &s));
+                    vars[out.0] = Some(s.items);
+                }
+            }
+        }
         let remote: Vec<usize> = stage
             .iter()
             .copied()
-            .filter(|&i| plan.steps[i].source().is_some())
+            .filter(|&i| plan.steps[i].source().is_some() && entries[i].is_none())
             .collect();
         if !remote.is_empty() {
             let cursor = AtomicUsize::new(0);
@@ -548,6 +685,7 @@ fn run_parallel(
                             &mode,
                             &fts,
                             spent,
+                            records,
                         );
                         if let (Some(pace), Ok(done)) = (config.pace, &r) {
                             let secs = done.entry.total().value() * pace;
@@ -571,12 +709,23 @@ fn run_parallel(
                         return Err(e);
                     }
                 };
+                let refetch = done.entry.comm + done.entry.proc;
                 entries[idx] = Some(done.entry);
                 match (done.value, &plan.steps[idx]) {
                     (
                         StepValue::Items(items),
                         Step::Sq { out, .. } | Step::Sjq { out, .. } | Step::SjqBloom { out, .. },
                     ) => {
+                        vars[out.0] = Some(items);
+                    }
+                    (StepValue::CachedItems(items, rows), Step::Sq { out, cond, source }) => {
+                        pending.push(PendingInsert {
+                            step: idx,
+                            source: *source,
+                            cond: conditions[cond.0].clone(),
+                            rows,
+                            refetch,
+                        });
                         vars[out.0] = Some(items);
                     }
                     (StepValue::Rows(rows), Step::Lq { out, .. }) => {
@@ -655,6 +804,18 @@ fn run_parallel(
             missing_conditions: missing_conds,
         }
     };
+    if let Some(cache) = cache {
+        let mut failed = vec![false; plan.n_sources];
+        for (j, before) in failed_before.iter().enumerate() {
+            if network.failed_count_for(SourceId(j)) > *before {
+                failed[j] = true;
+                // Fault recovery: entries fetched before or around the
+                // fault window predate it, so the source's epoch advances.
+                cache.bump_epoch(SourceId(j));
+            }
+        }
+        commit_inserts(cache, pending, completeness.is_exact(), &failed);
+    }
     let (_, makespan) = stage_schedule(plan, &ledger)?;
     Ok(ParallelOutcome {
         outcome: ExecutionOutcome {
@@ -967,6 +1128,87 @@ mod tests {
             measured < predicted * 2.0 + 0.05,
             "measured {measured} vs predicted {predicted}"
         );
+    }
+
+    #[test]
+    fn parallel_cached_matches_sequential_cached_bytes() {
+        use crate::cached::{execute_plan_cached, execute_plan_ft_cached};
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let plan = sja_optimal(&model).plan;
+        let sources = dmv_sources(Capabilities::full());
+        let policy = RetryPolicy::default();
+
+        // Two consecutive runs: the first populates, the second serves.
+        let mut seq_cache = AnswerCache::new(1 << 20);
+        let mut par_cache = AnswerCache::new(1 << 20);
+        for round in 0..2 {
+            let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+            let seq =
+                execute_plan_cached(&plan, &q, &sources, &mut seq_net, &mut seq_cache).unwrap();
+            let mut par_net = Network::uniform(3, LinkProfile::Wan.link());
+            let par = execute_plan_parallel_cached(
+                &plan,
+                &q,
+                &sources,
+                &mut par_net,
+                &ParallelConfig::with_threads(4),
+                &mut par_cache,
+            )
+            .unwrap();
+            assert_eq!(par.outcome.answer, seq.answer, "round {round}");
+            assert_eq!(par.outcome.ledger, seq.ledger, "round {round}");
+            assert_eq!(par_net.trace(), seq_net.trace(), "round {round}");
+            assert_eq!(par_cache.stats(), seq_cache.stats(), "round {round}");
+        }
+
+        // And under faults, the ft-cached pair agrees too.
+        for seed in 0..8u64 {
+            let faults = FaultPlan::uniform(3, seed, FaultSpec::transient(0.4));
+            let mut seq_cache = AnswerCache::new(1 << 20);
+            let mut par_cache = AnswerCache::new(1 << 20);
+            for round in 0..2 {
+                let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+                seq_net.set_fault_plan(faults.clone());
+                let seq = execute_plan_ft_cached(
+                    &plan,
+                    &q,
+                    &sources,
+                    &mut seq_net,
+                    &policy,
+                    &mut seq_cache,
+                )
+                .unwrap();
+                let mut par_net = Network::uniform(3, LinkProfile::Wan.link());
+                par_net.set_fault_plan(faults.clone());
+                let par = execute_plan_parallel_ft_cached(
+                    &plan,
+                    &q,
+                    &sources,
+                    &mut par_net,
+                    &policy,
+                    &ParallelConfig::with_threads(4),
+                    &mut par_cache,
+                )
+                .unwrap();
+                assert_eq!(par.outcome.answer, seq.answer, "seed {seed} round {round}");
+                assert_eq!(par.outcome.ledger, seq.ledger, "seed {seed} round {round}");
+                assert_eq!(
+                    par.outcome.completeness, seq.completeness,
+                    "seed {seed} round {round}"
+                );
+                assert_eq!(
+                    par_net.trace(),
+                    seq_net.trace(),
+                    "seed {seed} round {round}"
+                );
+                assert_eq!(
+                    par_cache.stats(),
+                    seq_cache.stats(),
+                    "seed {seed} round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -105,7 +105,13 @@ fn validate_ledger(plan: &Plan, ledger: &CostLedger) -> Result<()> {
             )));
         }
         let (expected, kind_ok) = match step {
-            Step::Sq { .. } => ("sq", entry.kind == StepKind::Selection),
+            Step::Sq { .. } => (
+                "sq",
+                matches!(
+                    entry.kind,
+                    StepKind::Selection | StepKind::CacheHit | StepKind::CacheResidual
+                ),
+            ),
             Step::Sjq { .. } => (
                 "sjq",
                 entry.kind == StepKind::Semijoin || entry.kind == StepKind::EmulatedSemijoin,

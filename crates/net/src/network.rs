@@ -401,6 +401,17 @@ impl Network {
         self.trace.iter().filter(|e| !e.status.is_ok()).count()
     }
 
+    /// Number of failed attempts against one source in the committed
+    /// trace. Cached executors compare this before and after a run to
+    /// decide which sources went through fault recovery (and must have
+    /// their cache epochs bumped).
+    pub fn failed_count_for(&self, source: SourceId) -> usize {
+        self.trace
+            .iter()
+            .filter(|e| e.source == source && !e.status.is_ok())
+            .count()
+    }
+
     /// Total cost charged by failed attempts.
     pub fn failed_cost(&self) -> Cost {
         self.trace

@@ -13,6 +13,9 @@
 //!   sources, item domain size, per-source cardinality, per-condition
 //!   selectivities, capability heterogeneity, and link mixes — the knobs
 //!   the paper's claims are about;
+//! * [`session`] — multi-query session streams with Zipf-skewed query
+//!   reuse and source-update events, the workload the answer-cache
+//!   experiments replay;
 //! * [`scenario`] — the bundle (query + relations + wrappers + network)
 //!   every experiment and example consumes.
 //!
@@ -24,7 +27,9 @@ pub mod biblio;
 pub mod csv;
 pub mod dmv;
 pub mod scenario;
+pub mod session;
 pub mod synth;
 
 pub use scenario::Scenario;
+pub use session::{generate_session, Session, SessionEvent, SessionSpec};
 pub use synth::{CapabilityMix, SynthSpec};

@@ -1,0 +1,259 @@
+//! Multi-query session workloads with skewed condition reuse.
+//!
+//! An answer cache only pays off when queries *repeat* conditions, so the
+//! cache experiments need a workload model of a client session: a stream
+//! of fusion queries drawn from a fixed pool with Zipf-skewed popularity
+//! (a few favorite queries asked over and over, a long tail asked
+//! rarely), interleaved with occasional source updates that invalidate
+//! cached answers. Like [`crate::synth`], everything is a pure function
+//! of the spec — same spec, same session, bit for bit.
+
+use fusion_core::query::FusionQuery;
+use fusion_stats::SplitMix64;
+use fusion_types::SourceId;
+
+use crate::synth::{synth_query, NUM_ATTRS};
+
+/// Parameters of a session workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Conditions per query (1..=[`NUM_ATTRS`]).
+    pub m: usize,
+    /// Sources the scenario has (update events pick among these).
+    pub n_sources: usize,
+    /// Distinct queries in the pool.
+    pub pool: usize,
+    /// Query events in the session.
+    pub n_queries: usize,
+    /// Zipf exponent of the pool's popularity distribution: `0.0` is
+    /// uniform, larger is more skewed toward the pool's first queries.
+    pub skew: f64,
+    /// Probability that a source update precedes a query event.
+    pub update_rate: f64,
+    /// Selectivity range the pool's conditions are drawn from.
+    pub sel_range: (f64, f64),
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// A default session over `n_sources` sources: 2-condition queries,
+    /// a pool of 8, 40 query events, skew 1.2, no updates.
+    pub fn default_with(n_sources: usize, seed: u64) -> SessionSpec {
+        SessionSpec {
+            m: 2,
+            n_sources,
+            pool: 8,
+            n_queries: 40,
+            skew: 1.2,
+            update_rate: 0.0,
+            sel_range: (0.05, 0.4),
+            seed,
+        }
+    }
+}
+
+/// One step of a session.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// The client asks a query from the pool.
+    Query {
+        /// Index into [`Session::pool`] (for reuse bookkeeping).
+        index: usize,
+        /// The query itself.
+        query: FusionQuery,
+    },
+    /// A source's data changes: caches must invalidate its entries.
+    Update {
+        /// The updated source.
+        source: SourceId,
+    },
+}
+
+/// A generated session: the query pool and the event stream.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The distinct queries events draw from, in popularity order
+    /// (index 0 is the most popular under the Zipf draw).
+    pub pool: Vec<FusionQuery>,
+    /// The per-query selectivity vectors behind [`Session::pool`]
+    /// (`sels[k][i]` is pool query `k`'s condition-`i` selectivity).
+    pub sels: Vec<Vec<f64>>,
+    /// The event stream, in order.
+    pub events: Vec<SessionEvent>,
+}
+
+impl Session {
+    /// Query events in the session.
+    pub fn n_queries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Query { .. }))
+            .count()
+    }
+
+    /// Update events in the session.
+    pub fn n_updates(&self) -> usize {
+        self.events.len() - self.n_queries()
+    }
+
+    /// A compact fingerprint of the event stream: pool index for a
+    /// query event, `-(source + 1)` for an update event. Two sessions
+    /// with equal fingerprints over the same spec are identical.
+    pub fn fingerprint(&self) -> Vec<i64> {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SessionEvent::Query { index, .. } => *index as i64,
+                SessionEvent::Update { source } => -((source.0 as i64) + 1),
+            })
+            .collect()
+    }
+}
+
+/// Generates the session a spec describes. Deterministic: the stream is
+/// a pure function of the spec.
+///
+/// # Panics
+/// Panics if `m` is outside `1..=`[`NUM_ATTRS`], the pool is empty,
+/// `n_sources` is zero with a positive update rate, or the selectivity
+/// range is inverted.
+pub fn generate_session(spec: &SessionSpec) -> Session {
+    assert!(
+        (1..=NUM_ATTRS).contains(&spec.m),
+        "m must be in 1..={NUM_ATTRS}"
+    );
+    assert!(spec.pool >= 1, "pool must be non-empty");
+    assert!(
+        spec.update_rate == 0.0 || spec.n_sources >= 1,
+        "updates need at least one source"
+    );
+    let (lo, hi) = spec.sel_range;
+    assert!(lo <= hi, "selectivity range is inverted");
+    let mut rng = SplitMix64::new(spec.seed);
+
+    // The pool: `pool` independent selectivity vectors.
+    let sels: Vec<Vec<f64>> = (0..spec.pool)
+        .map(|_| (0..spec.m).map(|_| rng.next_f64_range(lo, hi)).collect())
+        .collect();
+    let pool: Vec<FusionQuery> = sels.iter().map(|s| synth_query(s)).collect();
+
+    // Zipf CDF over pool ranks: weight(k) ∝ 1 / (k+1)^skew.
+    let weights: Vec<f64> = (0..spec.pool)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(spec.skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+
+    let mut events = Vec::with_capacity(spec.n_queries);
+    for _ in 0..spec.n_queries {
+        if spec.update_rate > 0.0 && rng.next_f64() < spec.update_rate {
+            let source = SourceId(rng.next_below(spec.n_sources));
+            events.push(SessionEvent::Update { source });
+        }
+        let mut u = rng.next_f64() * total;
+        let mut index = spec.pool - 1;
+        for (k, w) in weights.iter().enumerate() {
+            if u < *w {
+                index = k;
+                break;
+            }
+            u -= w;
+        }
+        events.push(SessionEvent::Query {
+            index,
+            query: pool[index].clone(),
+        });
+    }
+    Session { pool, sels, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(session: &Session, pool: usize) -> Vec<usize> {
+        let mut c = vec![0usize; pool];
+        for e in &session.events {
+            if let SessionEvent::Query { index, .. } = e {
+                c[*index] += 1;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn same_seed_same_session() {
+        let spec = SessionSpec {
+            update_rate: 0.2,
+            ..SessionSpec::default_with(4, 7)
+        };
+        let a = generate_session(&spec);
+        let b = generate_session(&spec);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.sels, b.sels);
+        let other = SessionSpec { seed: 8, ..spec };
+        assert_ne!(generate_session(&other).fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_ranks() {
+        let spec = SessionSpec {
+            n_queries: 400,
+            skew: 1.5,
+            ..SessionSpec::default_with(4, 3)
+        };
+        let s = generate_session(&spec);
+        let c = counts(&s, spec.pool);
+        // Rank 0 dominates the tail decisively at skew 1.5.
+        assert!(c[0] > c[spec.pool - 1] * 2, "{c:?}");
+        assert_eq!(c.iter().sum::<usize>(), 400);
+        assert_eq!(s.n_queries(), 400);
+        assert_eq!(s.n_updates(), 0);
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let spec = SessionSpec {
+            n_queries: 800,
+            skew: 0.0,
+            pool: 4,
+            ..SessionSpec::default_with(4, 11)
+        };
+        let c = counts(&generate_session(&spec), 4);
+        for &n in &c {
+            assert!((120..=280).contains(&n), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn update_rate_injects_updates_in_range() {
+        let spec = SessionSpec {
+            n_queries: 300,
+            update_rate: 0.3,
+            ..SessionSpec::default_with(5, 13)
+        };
+        let s = generate_session(&spec);
+        let updates = s.n_updates();
+        assert!((40..=150).contains(&updates), "{updates}");
+        for e in &s.events {
+            if let SessionEvent::Update { source } = e {
+                assert!(source.0 < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_queries_are_well_formed() {
+        let spec = SessionSpec::default_with(3, 21);
+        let s = generate_session(&spec);
+        assert_eq!(s.pool.len(), spec.pool);
+        assert_eq!(s.sels.len(), spec.pool);
+        for (q, sels) in s.pool.iter().zip(&s.sels) {
+            assert_eq!(q.m(), spec.m);
+            assert_eq!(sels.len(), spec.m);
+            for &sel in sels {
+                assert!((0.05..=0.4).contains(&sel));
+            }
+        }
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`net`] — the deterministic network cost simulator;
 //! * [`source`] — source engines, wrappers, capabilities;
 //! * [`core`] — plans, cost models, the FILTER/SJ/SJA/SJA+ optimizers;
+//! * [`cache`] — the semantic answer cache: subsumption reuse, epoch
+//!   invalidation, cache-aware cost decoration;
 //! * [`exec`] — the mediator executor, response-time scheduling, and
 //!   two-phase record fetch;
 //! * [`workload`] — deterministic scenarios and synthetic populations.
@@ -43,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use fusion_cache as cache;
 pub use fusion_core as core;
 pub use fusion_exec as exec;
 pub use fusion_net as net;

@@ -7,6 +7,7 @@
 //! byte-level diff here; run with `BLESS=1` to re-bless intentional
 //! changes.
 
+use fusion::cache::{stale_cache_findings, CacheSnapshot};
 use fusion::core::dataflow::{dataflow_lint_plan, Interval, SourceBounds};
 use fusion::core::plan::{SimplePlanSpec, Step, VarId};
 use fusion::core::{Diagnostic, Plan, TableCostModel};
@@ -166,6 +167,17 @@ fn corpus() -> Vec<Case> {
     ]
 }
 
+/// `stale-cache-serve` findings for a plan whose snapshot covers R1's
+/// selections at epoch 0 while R1 has since advanced to epoch 1.
+fn stale_cache_rows() -> Vec<(String, Diagnostic)> {
+    let plan = duplicate_query_plan();
+    let snap = CacheSnapshot::new(vec![vec![true]], vec![0]);
+    stale_cache_findings(&plan, &snap, &[1])
+        .into_iter()
+        .map(|d| ("stale-cache".to_string(), d))
+        .collect()
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -203,6 +215,7 @@ fn lint_corpus_matches_golden_file() {
             rows.push((c.name.to_string(), d));
         }
     }
+    rows.extend(stale_cache_rows());
     let rendered = render(&rows);
     if std::env::var("BLESS").is_ok() {
         std::fs::write(GOLDEN, &rendered).unwrap();
@@ -225,12 +238,16 @@ fn corpus_exercises_every_dataflow_rule() {
             rows.push(d.rule);
         }
     }
+    for (_, d) in stale_cache_rows() {
+        rows.push(d.rule);
+    }
     for rule in [
         "retry-non-idempotent-step",
         "narrow-then-widen",
         "transfer-exceeds-load",
         "dead-step",
         "duplicate-query",
+        "stale-cache-serve",
     ] {
         assert!(rows.contains(&rule), "corpus never triggers {rule}");
     }
