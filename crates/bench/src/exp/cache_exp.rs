@@ -17,7 +17,12 @@
 //! Answers are asserted byte-identical between the cold and warm runs
 //! on every query, so the table doubles as a parity check at session
 //! scale.
+//!
+//! Besides the printed table, the run emits `BENCH_e20.json` (to
+//! `$BENCH_DIR`, default `.`) so the perf trajectory can be diffed
+//! across commits.
 
+use crate::json::{write_artifact, Json};
 use crate::table::{fmt3, fmtx, Table};
 use fusion_cache::{AnswerCache, CachedCostModel};
 use fusion_core::cost::NetworkCostModel;
@@ -154,8 +159,36 @@ pub fn sweep() -> Vec<SessionRow> {
     rows
 }
 
-/// E20: session replay with the semantic answer cache.
+fn artifact(rows: &[SessionRow]) -> Json {
+    Json::obj([
+        ("experiment", Json::Str("e20-cache".into())),
+        ("cache_budget_bytes", Json::Int(BUDGET as i64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("skew", Json::Num(r.skew)),
+                            ("update_rate", Json::Num(r.update_rate)),
+                            ("queries", Json::Int(r.queries as i64)),
+                            ("cold_cost", Json::Num(r.cold)),
+                            ("warm_cost", Json::Num(r.warm)),
+                            ("saving", Json::Num(r.saving())),
+                            ("hit_rate", Json::Num(r.hit_rate)),
+                            ("replanned", Json::Int(r.replanned as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// E20: session replay with the semantic answer cache. Also emits
+/// `BENCH_e20.json`.
 pub fn e20_cache() {
+    let rows = sweep();
     let mut t = Table::new(
         "E20: semantic cache on Zipf sessions — cold vs warm total cost".to_string(),
         &[
@@ -169,7 +202,7 @@ pub fn e20_cache() {
             "replanned",
         ],
     );
-    for r in sweep() {
+    for r in &rows {
         t.row(vec![
             fmt3(r.skew),
             fmt3(r.update_rate),
@@ -182,6 +215,8 @@ pub fn e20_cache() {
         ]);
     }
     t.print();
+    let path = write_artifact("BENCH_e20.json", &artifact(&rows)).expect("write BENCH_e20.json");
+    println!("wrote {}", path.display());
 }
 
 #[cfg(test)]

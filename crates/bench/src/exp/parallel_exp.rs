@@ -16,7 +16,12 @@
 //!
 //! Ledger identity across thread counts is asserted on every run — the
 //! experiment doubles as a parity check at bench scale.
+//!
+//! Besides the printed table, the run emits `BENCH_e19.json` (to
+//! `$BENCH_DIR`, default `.`) so the perf trajectory can be diffed
+//! across commits.
 
+use crate::json::{write_artifact, Json};
 use crate::table::{fmt3, Table};
 use fusion_core::filter_plan;
 use fusion_core::postopt::sja_plus;
@@ -64,23 +69,52 @@ fn paced_run(
     .expect("experiment plans execute")
 }
 
-/// E19: predicted vs measured parallel speedup across scenarios, plan
-/// shapes, and thread counts.
-pub fn e19_parallel() {
-    let mut t = Table::new(
-        "E19: parallel execution — predicted vs measured makespan (paced wall clock)".to_string(),
-        &[
-            "scenario",
-            "plan",
-            "threads",
-            "total work",
-            "pred makespan",
-            "pred speedup",
-            "wall",
-            "speedup",
-            "model err",
-        ],
-    );
+/// One measured (scenario, plan shape, thread count) cell of the E19
+/// sweep.
+pub struct ParallelRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Plan shape (`FILTER` or `SJA+`).
+    pub plan: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Sequential total work (sum of all step costs).
+    pub total_work: f64,
+    /// Predicted makespan of the certified stage schedule (cost units).
+    pub pred_makespan: f64,
+    /// Wall-clock seconds of sleep per simulated cost unit.
+    pub pace: f64,
+    /// Measured wall clock of this run, seconds.
+    pub wall_secs: f64,
+    /// Measured wall clock of the single-threaded paced run, seconds.
+    pub solo_wall_secs: f64,
+}
+
+impl ParallelRow {
+    /// Speedup the stage schedule promises: total work / makespan.
+    #[must_use]
+    pub fn pred_speedup(&self) -> f64 {
+        self.total_work / self.pred_makespan
+    }
+
+    /// Speedup actually measured over the single-threaded paced run.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.solo_wall_secs / self.wall_secs
+    }
+
+    /// Relative |measured − predicted·pace| / (predicted·pace).
+    #[must_use]
+    pub fn model_err(&self) -> f64 {
+        let pred_wall = self.pred_makespan * self.pace;
+        (self.wall_secs - pred_wall).abs() / pred_wall
+    }
+}
+
+/// Runs the full E19 sweep and returns one row per cell. Ledger parity
+/// against the sequential executor is asserted on every run.
+pub fn sweep_rows() -> Vec<ParallelRow> {
+    let mut rows = Vec::new();
     for s in sweeps() {
         let model = s.scenario.cost_model();
         for (shape, plan) in [
@@ -103,22 +137,79 @@ pub fn e19_parallel() {
                 };
                 let run = run.as_ref().unwrap_or(&solo);
                 assert_eq!(run.outcome.ledger, seq.ledger, "paced parity broke");
-                let wall = run.wall.as_secs_f64();
-                let pred_wall = predicted * pace;
-                let err = (wall - pred_wall).abs() / pred_wall;
-                t.row(vec![
-                    s.label.clone(),
-                    shape.to_string(),
-                    threads.to_string(),
-                    fmt3(work),
-                    fmt3(predicted),
-                    fmt3(work / predicted),
-                    format!("{:.0} ms", wall * 1e3),
-                    fmt3(solo.wall.as_secs_f64() / wall),
-                    format!("{:.0}%", err * 100.0),
-                ]);
+                rows.push(ParallelRow {
+                    scenario: s.label.clone(),
+                    plan: shape.to_string(),
+                    threads,
+                    total_work: work,
+                    pred_makespan: predicted,
+                    pace,
+                    wall_secs: run.wall.as_secs_f64(),
+                    solo_wall_secs: solo.wall.as_secs_f64(),
+                });
             }
         }
+    }
+    rows
+}
+
+fn artifact(rows: &[ParallelRow]) -> Json {
+    Json::obj([
+        ("experiment", Json::Str("e19-parallel".into())),
+        ("pace_target_secs", Json::Num(TARGET_SECS)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("scenario", Json::Str(r.scenario.clone())),
+                            ("plan", Json::Str(r.plan.clone())),
+                            ("threads", Json::Int(r.threads as i64)),
+                            ("total_work", Json::Num(r.total_work)),
+                            ("pred_makespan", Json::Num(r.pred_makespan)),
+                            ("pred_speedup", Json::Num(r.pred_speedup())),
+                            ("wall_secs", Json::Num(r.wall_secs)),
+                            ("speedup", Json::Num(r.speedup())),
+                            ("model_err", Json::Num(r.model_err())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// E19: predicted vs measured parallel speedup across scenarios, plan
+/// shapes, and thread counts. Also emits `BENCH_e19.json`.
+pub fn e19_parallel() {
+    let rows = sweep_rows();
+    let mut t = Table::new(
+        "E19: parallel execution — predicted vs measured makespan (paced wall clock)".to_string(),
+        &[
+            "scenario",
+            "plan",
+            "threads",
+            "total work",
+            "pred makespan",
+            "pred speedup",
+            "wall",
+            "speedup",
+            "model err",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.scenario.clone(),
+            r.plan.clone(),
+            r.threads.to_string(),
+            fmt3(r.total_work),
+            fmt3(r.pred_makespan),
+            fmt3(r.pred_speedup()),
+            format!("{:.0} ms", r.wall_secs * 1e3),
+            fmt3(r.speedup()),
+            format!("{:.0}%", r.model_err() * 100.0),
+        ]);
     }
     t.print();
     println!();
@@ -127,6 +218,8 @@ pub fn e19_parallel() {
          work / stage-schedule makespan; `model err` compares measured wall \
          against predicted makespan × pace (meaningful at full thread width)."
     );
+    let path = write_artifact("BENCH_e19.json", &artifact(&rows)).expect("write BENCH_e19.json");
+    println!("wrote {}", path.display());
 }
 
 #[cfg(test)]

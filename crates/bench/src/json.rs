@@ -1,0 +1,186 @@
+//! Machine-readable benchmark artifacts (`BENCH_*.json`).
+//!
+//! The repo tracks its performance trajectory by diffing these
+//! artifacts across commits (ROADMAP item 4), so the writer is
+//! dependency-free and fully deterministic: objects render keys in
+//! insertion order, floats in Rust's shortest round-trip form, and the
+//! layout is fixed two-space-indented JSON. Experiments that emit an
+//! artifact write it to `$BENCH_DIR` (default: the current directory).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A JSON value. Objects preserve insertion order so rendering is
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A boolean.
+    Bool(bool),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// A finite float, rendered in shortest round-trip form (integral
+    /// values keep a `.0` so the field stays float-typed).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, keeping their order.
+    #[must_use]
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as two-space-indented JSON (no trailing
+    /// newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                debug_assert!(x.is_finite(), "benchmark artifacts carry finite numbers");
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// The directory benchmark artifacts land in: `$BENCH_DIR`, falling
+/// back to the current directory.
+#[must_use]
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Writes `value` to `dir/name` (plus a trailing newline) and returns
+/// the path written.
+///
+/// # Errors
+/// Propagates filesystem failures.
+pub fn write_artifact_to(dir: &Path, name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let path = dir.join(name);
+    std::fs::write(&path, value.render() + "\n")?;
+    Ok(path)
+}
+
+/// Writes a `BENCH_*.json` artifact to [`bench_dir`] and returns the
+/// path written.
+///
+/// # Errors
+/// Propagates filesystem failures.
+pub fn write_artifact(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    write_artifact_to(&bench_dir(), name, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_ordered() {
+        let v = Json::obj([
+            ("experiment", Json::Str("e0-demo".into())),
+            ("exact", Json::Bool(true)),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([("threads", Json::Int(8)), ("speedup", Json::Num(2.0))]),
+                    Json::obj([("threads", Json::Int(1)), ("speedup", Json::Num(0.125))]),
+                ]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\n  \"experiment\": \"e0-demo\",\n  \"exact\": true,\n  \"rows\": [\n    \
+             {\n      \"threads\": 8,\n      \"speedup\": 2.0\n    },\n    \
+             {\n      \"threads\": 1,\n      \"speedup\": 0.125\n    }\n  ],\n  \
+             \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn artifacts_round_trip_to_disk() {
+        let dir = std::env::temp_dir();
+        let v = Json::obj([("ok", Json::Bool(true))]);
+        let path = write_artifact_to(&dir, "BENCH_test_artifact.json", &v).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\n  \"ok\": true\n}\n");
+        std::fs::remove_file(path).unwrap();
+    }
+}

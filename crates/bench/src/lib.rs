@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod exp;
+pub mod json;
 pub mod microbench;
 pub mod table;
 

@@ -1,0 +1,652 @@
+//! Deterministic schedule model-checking for fusion query executors.
+//!
+//! The static interference analysis
+//! ([`fusion_core::dataflow::interference`]) claims that a plan's
+//! certified stage schedule is conflict-free: every pair of events that
+//! touches the same shared resource (a variable slot, a source's network
+//! shard, a cache key, an epoch counter) is ordered by happens-before.
+//! This crate discharges that claim *operationally*: it enumerates the
+//! linearizations of the certified event graph — with a persistent-set
+//! style reduction that only branches where two enabled events actually
+//! conflict — replays each one through the single-event replay executor
+//! ([`fusion_exec::execute_plan_replay`]), and asserts that every
+//! schedule produces the byte-identical answer, ledger, completeness,
+//! exchange trace, and cache state as the sequential reference
+//! executors. An interference-free graph therefore is not merely
+//! *believed* linearizable; it is checked, schedule by schedule.
+//!
+//! The same machinery runs *mutant* graphs: feed [`check_schedules`] an
+//! event graph with an edge deliberately removed or inverted (say, the
+//! epoch bump reordered after the cache admission) and the checker finds
+//! the two linearizations whose outcomes diverge — the executable
+//! counterpart of the static analyzer's witness schedules.
+//!
+//! # Scope
+//!
+//! The checker explores *event orderings*, not instruction-level
+//! interleavings: the per-event code is the same code the production
+//! executors run, so an ordering is exactly the freedom a real scheduler
+//! has. Retry deadlines are the one caveat (see
+//! [`fusion_exec::replay`]): with a deadline set, "cost spent so far"
+//! legitimately depends on schedule, so checking is restricted to
+//! deadline-free policies.
+
+use fusion_cache::AnswerCache;
+use fusion_core::dataflow::{serial_queue_stages, Event, EventGraph};
+use fusion_core::plan::Plan;
+use fusion_core::query::FusionQuery;
+use fusion_exec::cached::{execute_plan_cached, execute_plan_ft_cached};
+use fusion_exec::{
+    execute_plan, execute_plan_ft, execute_plan_replay, ExecutionOutcome, ReplayOptions,
+    RetryPolicy,
+};
+use fusion_net::Network;
+use fusion_source::SourceSet;
+use fusion_types::error::{FusionError, Result};
+
+/// Tuning knobs for a model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Cap on enumerated schedules. Reduction usually keeps the count
+    /// tiny (an interference-free graph collapses to one schedule); the
+    /// cap bounds mutant graphs whose conflicts branch combinatorially.
+    pub max_schedules: usize,
+    /// Extra seeded random linearizations replayed on top of the reduced
+    /// enumeration — a safety net past the reduction's pruning.
+    pub extra_linearizations: usize,
+    /// Seed for the random linearizations.
+    pub seed: u64,
+    /// `Some(budget)` checks cached-executor semantics: each schedule
+    /// replays against a fresh cache of this byte budget, then a second
+    /// reference round probes the cache state the schedule left behind.
+    pub cache_budget: Option<usize>,
+    /// Replay options; `guard_commits: false` runs mutant admission
+    /// semantics (see [`ReplayOptions`]).
+    pub options: ReplayOptions,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            max_schedules: 256,
+            extra_linearizations: 16,
+            seed: 0x5eed_cafe,
+            cache_budget: None,
+            options: ReplayOptions::default(),
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Switches on cached-executor checking with the given cache budget.
+    #[must_use]
+    pub fn cached(mut self, budget: usize) -> CheckConfig {
+        self.cache_budget = Some(budget);
+        self
+    }
+
+    /// Replaces the replay options (e.g. to disable the commit guard).
+    #[must_use]
+    pub fn with_options(mut self, options: ReplayOptions) -> CheckConfig {
+        self.options = options;
+        self
+    }
+}
+
+/// Two schedules whose replayed outcomes differ byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The baseline schedule (the sequential reference order).
+    pub baseline: Vec<Event>,
+    /// The diverging schedule.
+    pub schedule: Vec<Event>,
+    /// The baseline's outcome fingerprint.
+    pub baseline_fingerprint: String,
+    /// The diverging schedule's outcome fingerprint.
+    pub fingerprint: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let render = |events: &[Event]| {
+            events
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            f,
+            "schedule [{}] diverges from baseline [{}]",
+            render(&self.schedule),
+            render(&self.baseline)
+        )
+    }
+}
+
+/// What a model-checking run established.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Events in the checked graph.
+    pub events: usize,
+    /// Schedules replayed (enumerated plus random linearizations).
+    pub schedules_run: usize,
+    /// Whether enumeration hit [`CheckConfig::max_schedules`].
+    pub truncated: bool,
+    /// The first divergence found, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl CheckReport {
+    /// `true` when every replayed schedule agreed with the baseline.
+    pub fn linearizable(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// A deterministic in-tree LCG (same constants as `fusion-stats`' uses
+/// for its streams) — the checker must not depend on ambient entropy.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(2) | 1)
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((self.0 >> 33) % n as u64) as usize
+    }
+}
+
+/// Enumerates linearizations of `graph` with a persistent-set style
+/// reduction: an enabled event that conflicts with no other pending
+/// unordered event is scheduled deterministically (its position cannot
+/// be observed), and the search only branches where two pending events
+/// actually race. An interference-free graph thus collapses to exactly
+/// one schedule; conflicts multiply schedules only locally.
+///
+/// Returns the schedules and whether enumeration was truncated at `cap`.
+pub fn enumerate_schedules(graph: &EventGraph, cap: usize) -> (Vec<Vec<Event>>, bool) {
+    let n = graph.events().len();
+    let hb = graph.happens_before();
+    let mut conflict = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !hb[i][j]
+                && !hb[j][i]
+                && graph
+                    .footprint(i)
+                    .conflicts_with(graph.footprint(j))
+                    .is_some()
+            {
+                conflict[i][j] = true;
+                conflict[j][i] = true;
+            }
+        }
+    }
+    let mut out: Vec<Vec<Event>> = Vec::new();
+    let mut truncated = false;
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    explore(
+        graph,
+        &hb,
+        &conflict,
+        cap,
+        &mut prefix,
+        &mut done,
+        &mut out,
+        &mut truncated,
+    );
+    (out, truncated)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    graph: &EventGraph,
+    hb: &[Vec<bool>],
+    conflict: &[Vec<bool>],
+    cap: usize,
+    prefix: &mut Vec<usize>,
+    done: &mut Vec<bool>,
+    out: &mut Vec<Vec<Event>>,
+    truncated: &mut bool,
+) {
+    let n = done.len();
+    if out.len() >= cap {
+        *truncated = true;
+        return;
+    }
+    if prefix.len() == n {
+        out.push(prefix.iter().map(|&i| graph.events()[i]).collect());
+        return;
+    }
+    let enabled: Vec<usize> = (0..n)
+        .filter(|&i| !done[i] && (0..n).all(|j| done[j] || !hb[j][i]))
+        .collect();
+    // The reduction: a conflict-free enabled event commutes with every
+    // other pending event it is unordered against, so its position in
+    // the schedule is unobservable — take the least one deterministically.
+    let free = enabled
+        .iter()
+        .copied()
+        .find(|&e| (0..n).all(|g| done[g] || g == e || !conflict[e][g]));
+    let branches: Vec<usize> = match free {
+        Some(e) => vec![e],
+        None => enabled,
+    };
+    for e in branches {
+        prefix.push(e);
+        done[e] = true;
+        explore(graph, hb, conflict, cap, prefix, done, out, truncated);
+        done[e] = false;
+        prefix.pop();
+        if *truncated {
+            return;
+        }
+    }
+}
+
+/// A seeded random linear extension of `graph` (Kahn's algorithm with an
+/// LCG choosing among the enabled events).
+pub fn random_linearization(graph: &EventGraph, seed: u64) -> Vec<Event> {
+    let n = graph.events().len();
+    let hb = graph.happens_before();
+    let mut lcg = Lcg::new(seed);
+    let mut done = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&i| !done[i] && (0..n).all(|j| done[j] || !hb[j][i]))
+            .collect();
+        let pick = enabled[lcg.next_index(enabled.len())];
+        done[pick] = true;
+        order.push(graph.events()[pick]);
+    }
+    order
+}
+
+fn fmt_round(tag: &str, out: &ExecutionOutcome, net: &Network) -> String {
+    format!(
+        "{tag}: answer={:?} ledger={:?} completeness={:?} trace={:?}\n",
+        out.answer,
+        out.ledger,
+        out.completeness,
+        net.trace()
+    )
+}
+
+/// Replays `order` against fresh state and fingerprints everything a
+/// schedule could corrupt: the answer, the ledger, the completeness
+/// claim, the committed exchange trace, and — in cached mode — the cache
+/// statistics, per-source epochs, and the outcome of a second reference
+/// round probing the cache state the schedule left behind.
+///
+/// # Errors
+/// Fails when the schedule is not a valid replay, or on the execution
+/// errors the underlying executors report.
+pub fn schedule_fingerprint(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    make_network: &dyn Fn() -> Network,
+    policy: Option<&RetryPolicy>,
+    cfg: &CheckConfig,
+    order: &[Event],
+) -> Result<String> {
+    let mut net = make_network();
+    let Some(budget) = cfg.cache_budget else {
+        let out = execute_plan_replay(
+            plan,
+            query,
+            sources,
+            &mut net,
+            policy,
+            None,
+            order,
+            &cfg.options,
+        )?;
+        return Ok(fmt_round("round1", &out, &net));
+    };
+    let mut cache = AnswerCache::new(budget);
+    let r1 = execute_plan_replay(
+        plan,
+        query,
+        sources,
+        &mut net,
+        policy,
+        Some(&mut cache),
+        order,
+        &cfg.options,
+    )?;
+    let mut fp = fmt_round("round1", &r1, &net);
+    let mut net2 = make_network();
+    let r2 = reference_round(plan, query, sources, &mut net2, policy, &mut cache)?;
+    fp.push_str(&fmt_round("round2", &r2, &net2));
+    fp.push_str(&format!(
+        "cache: stats={:?} epochs={:?}\n",
+        cache.stats(),
+        cache.epochs(plan.n_sources)
+    ));
+    Ok(fp)
+}
+
+fn reference_round(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    net: &mut Network,
+    policy: Option<&RetryPolicy>,
+    cache: &mut AnswerCache,
+) -> Result<ExecutionOutcome> {
+    match policy {
+        Some(policy) => execute_plan_ft_cached(plan, query, sources, net, policy, cache),
+        None => execute_plan_cached(plan, query, sources, net, cache),
+    }
+}
+
+/// The fingerprint of the *sequential reference* executors on the same
+/// inputs — what every schedule of an interference-free graph must
+/// reproduce byte-for-byte.
+///
+/// # Errors
+/// Fails on the execution errors the underlying executors report.
+pub fn reference_fingerprint(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    make_network: &dyn Fn() -> Network,
+    policy: Option<&RetryPolicy>,
+    cfg: &CheckConfig,
+) -> Result<String> {
+    let mut net = make_network();
+    let Some(budget) = cfg.cache_budget else {
+        let out = match policy {
+            Some(policy) => execute_plan_ft(plan, query, sources, &mut net, policy)?,
+            None => execute_plan(plan, query, sources, &mut net)?,
+        };
+        return Ok(fmt_round("round1", &out, &net));
+    };
+    let mut cache = AnswerCache::new(budget);
+    let r1 = reference_round(plan, query, sources, &mut net, policy, &mut cache)?;
+    let mut fp = fmt_round("round1", &r1, &net);
+    let mut net2 = make_network();
+    let r2 = reference_round(plan, query, sources, &mut net2, policy, &mut cache)?;
+    fp.push_str(&fmt_round("round2", &r2, &net2));
+    fp.push_str(&format!(
+        "cache: stats={:?} epochs={:?}\n",
+        cache.stats(),
+        cache.epochs(plan.n_sources)
+    ));
+    Ok(fp)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_schedules(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    make_network: &dyn Fn() -> Network,
+    policy: Option<&RetryPolicy>,
+    cfg: &CheckConfig,
+    graph: &EventGraph,
+    baseline: &[Event],
+    baseline_fp: &str,
+) -> Result<CheckReport> {
+    let (mut schedules, truncated) = enumerate_schedules(graph, cfg.max_schedules);
+    for k in 0..cfg.extra_linearizations {
+        schedules.push(random_linearization(graph, cfg.seed.wrapping_add(k as u64)));
+    }
+    let mut report = CheckReport {
+        events: graph.events().len(),
+        schedules_run: 0,
+        truncated,
+        divergence: None,
+    };
+    for order in &schedules {
+        let fp = schedule_fingerprint(plan, query, sources, make_network, policy, cfg, order)?;
+        report.schedules_run += 1;
+        if fp != baseline_fp {
+            report.divergence = Some(Divergence {
+                baseline: baseline.to_vec(),
+                schedule: order.clone(),
+                baseline_fingerprint: baseline_fp.to_owned(),
+                fingerprint: fp,
+            });
+            return Ok(report);
+        }
+    }
+    Ok(report)
+}
+
+/// Model-checks the plan's *certified* schedule: builds the certified
+/// event graph, requires it interference-free (the static analyzer's
+/// claim), and replays its linearizations, asserting each reproduces the
+/// sequential reference fingerprint. A clean report is an operational
+/// linearizability check of the certificate.
+///
+/// # Errors
+/// Fails when the plan is invalid, when the certified graph has
+/// interferences (the static analyzer and this checker then *agree* the
+/// schedule is unsafe), or on execution errors.
+pub fn check_certified(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    make_network: &dyn Fn() -> Network,
+    policy: Option<&RetryPolicy>,
+    cfg: &CheckConfig,
+) -> Result<CheckReport> {
+    let stages = serial_queue_stages(plan)?;
+    let graph = EventGraph::certified(plan, &stages, cfg.cache_budget.is_some());
+    let interferences = graph.interferences();
+    if let Some(i) = interferences.first() {
+        return Err(FusionError::invalid_plan(format!(
+            "certified event graph is not interference-free: {i}"
+        )));
+    }
+    let baseline = graph.events().to_vec();
+    let baseline_fp = reference_fingerprint(plan, query, sources, make_network, policy, cfg)?;
+    run_schedules(
+        plan,
+        query,
+        sources,
+        make_network,
+        policy,
+        cfg,
+        &graph,
+        &baseline,
+        &baseline_fp,
+    )
+}
+
+/// Model-checks an arbitrary event graph — typically a *mutant* of the
+/// certified graph with an ordering edge removed or inverted. All
+/// linearizations are replayed and compared against the graph's own
+/// program order (the order its events were pushed in); a divergence is
+/// the executable witness that the missing edge mattered.
+///
+/// # Errors
+/// Fails when the graph's program order is not a valid replay of the
+/// plan, or on execution errors.
+pub fn check_schedules(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    make_network: &dyn Fn() -> Network,
+    policy: Option<&RetryPolicy>,
+    cfg: &CheckConfig,
+    graph: &EventGraph,
+) -> Result<CheckReport> {
+    let baseline = graph.events().to_vec();
+    let baseline_fp =
+        schedule_fingerprint(plan, query, sources, make_network, policy, cfg, &baseline)?;
+    run_schedules(
+        plan,
+        query,
+        sources,
+        make_network,
+        policy,
+        cfg,
+        graph,
+        &baseline,
+        &baseline_fp,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::optimizer::{filter_plan, sja_optimal};
+    use fusion_core::TableCostModel;
+    use fusion_net::{FaultPlan, FaultSpec, LinkProfile};
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate, Relation};
+
+    fn dmv_sources() -> SourceSet {
+        let s = dmv_schema();
+        let rels = vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ];
+        SourceSet::new(
+            rels.into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        Capabilities::full(),
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn certified_plain_schedules_are_linearizable() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let make_net = || Network::uniform(3, LinkProfile::Wan.link());
+        let sources = dmv_sources();
+        for opt in [filter_plan(&model), sja_optimal(&model)] {
+            let report = check_certified(
+                &opt.plan,
+                &q,
+                &sources,
+                &make_net,
+                None,
+                &CheckConfig::default(),
+            )
+            .unwrap();
+            assert!(report.linearizable(), "{:?}", report.divergence);
+            assert!(!report.truncated);
+            assert!(report.schedules_run >= 1);
+        }
+    }
+
+    #[test]
+    fn certified_cached_ft_schedules_are_linearizable_under_faults() {
+        let q = dmv_query();
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let plan = sja_optimal(&model).plan;
+        let sources = dmv_sources();
+        let policy = RetryPolicy::default();
+        let cfg = CheckConfig::default().cached(1 << 20);
+        for seed in 0..4u64 {
+            let faults = FaultPlan::uniform(3, seed, FaultSpec::transient(0.4));
+            let make_net = move || {
+                let mut net = Network::uniform(3, LinkProfile::Wan.link());
+                net.set_fault_plan(faults.clone());
+                net
+            };
+            let report =
+                check_certified(&plan, &q, &sources, &make_net, Some(&policy), &cfg).unwrap();
+            assert!(
+                report.linearizable(),
+                "seed {seed}: {:?}",
+                report.divergence
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_collapses_interference_free_graphs() {
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let plan = sja_optimal(&model).plan;
+        let stages = serial_queue_stages(&plan).unwrap();
+        let graph = EventGraph::certified(&plan, &stages, true);
+        assert!(graph.interferences().is_empty());
+        let (schedules, truncated) = enumerate_schedules(&graph, 256);
+        assert!(!truncated);
+        assert_eq!(
+            schedules.len(),
+            1,
+            "conflict-free graphs must collapse to one schedule"
+        );
+    }
+
+    #[test]
+    fn random_linearizations_respect_happens_before() {
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        let plan = sja_optimal(&model).plan;
+        let stages = serial_queue_stages(&plan).unwrap();
+        let graph = EventGraph::certified(&plan, &stages, true);
+        let hb = graph.happens_before();
+        for seed in 0..16u64 {
+            let order = random_linearization(&graph, seed);
+            let pos: Vec<usize> = graph
+                .events()
+                .iter()
+                .map(|e| order.iter().position(|o| o == e).unwrap())
+                .collect();
+            for (i, row) in hb.iter().enumerate() {
+                for (j, &before) in row.iter().enumerate() {
+                    if before {
+                        assert!(pos[i] < pos[j], "seed {seed}: hb violated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 
 use fusion_cache::{AnswerCache, CachedCostModel};
+use fusion_check::{check_certified, CheckConfig};
+use fusion_core::dataflow::{serial_queue_stages, EventGraph, Resource};
 use fusion_core::optimizer::sja_response_optimal;
 use fusion_core::postopt::sja_plus;
 use fusion_core::query::FusionQuery;
@@ -131,6 +133,7 @@ impl Session {
             "explain" => self.cmd_explain(arg),
             "lint" => self.cmd_lint(arg),
             "dataflow" => self.cmd_dataflow(arg),
+            "check" => self.cmd_check(arg),
             "fetch" => self.query(arg, QueryMode::Fetch),
             "exec" => self.cmd_exec(arg),
             "gantt" => self.cmd_gantt(arg),
@@ -500,6 +503,99 @@ impl Session {
             out.push_str(&format!("  stage {}: steps {}\n", i + 1, list.join(", ")));
         }
         out.push_str(&render_bounds(&plus.plan, &df));
+        Ok(out)
+    }
+
+    /// `\check <sql>`: the concurrency certificate, end to end. Builds
+    /// the SJA+ plan's certified event graph, prints every event's
+    /// read/write footprint over shared state, runs the static
+    /// interference analysis, and then model-checks the certificate:
+    /// every reduced interleaving (plus seeded random linearizations)
+    /// is replayed against the executor semantics and must reproduce
+    /// the sequential reference byte-for-byte. Honors the session's
+    /// `\faults` and `\cache` settings.
+    fn cmd_check(&mut self, sql: &str) -> Result<String> {
+        let (query, sources, network) = self.materialize(sql)?;
+        let model = NetworkCostModel::new(&sources, &network, &query, None);
+        let plus = sja_plus(&model);
+        let stages = serial_queue_stages(&plus.plan)?;
+        let cached = self.cache.is_some();
+        let faults_on = self.faults.is_some();
+        let graph = EventGraph::certified(&plus.plan, &stages, cached);
+        let mut out = format!(
+            "SJA+ plan: {} steps, {} certified stages, {} events{}{}\n",
+            plus.plan.steps.len(),
+            stages.len(),
+            graph.events().len(),
+            if cached {
+                ", cached-executor semantics"
+            } else {
+                ""
+            },
+            if faults_on {
+                ", fault-tolerant retries"
+            } else {
+                ""
+            },
+        );
+        out.push_str("event footprints over shared state:\n");
+        let names: Vec<String> = graph.events().iter().map(ToString::to_string).collect();
+        let width = names.iter().map(String::len).max().unwrap_or(0);
+        for (i, name) in names.iter().enumerate() {
+            let fp = graph.footprint(i);
+            out.push_str(&format!(
+                "  {name:<width$}  reads {{{}}}  writes {{{}}}\n",
+                render_resources(&fp.reads),
+                render_resources(&fp.writes),
+            ));
+        }
+        let interferences = graph.interferences();
+        if interferences.is_empty() {
+            out.push_str(
+                "interference: none — every conflicting pair is ordered by the certificate\n",
+            );
+        } else {
+            out.push_str("interference (the certificate is UNSAFE):\n");
+            for i in &interferences {
+                out.push_str(&format!("  {i}\n"));
+            }
+            return Ok(out);
+        }
+        let links: Vec<Link> = self.sources.iter().map(|s| s.link).collect();
+        let fault_plan = self.fault_plan(self.sources.len())?;
+        let make_net = move || {
+            let mut n = Network::new(links.clone());
+            if let Some(p) = &fault_plan {
+                n.set_fault_plan(p.clone());
+            }
+            n
+        };
+        let policy = faults_on.then(RetryPolicy::default);
+        let mut cfg = CheckConfig::default();
+        if let Some(cache) = &self.cache {
+            cfg = cfg.cached(cache.budget());
+        }
+        let report = check_certified(
+            &plus.plan,
+            &query,
+            &sources,
+            &make_net,
+            policy.as_ref(),
+            &cfg,
+        )?;
+        match &report.divergence {
+            None => out.push_str(&format!(
+                "model check: {} schedule(s) replayed{} — all byte-identical to the \
+                 sequential reference",
+                report.schedules_run,
+                if report.truncated {
+                    " (enumeration truncated)"
+                } else {
+                    ""
+                }
+            )),
+            Some(d) => out.push_str(&format!("model check: DIVERGENCE\n  {d}")),
+        }
         Ok(out)
     }
 
@@ -1086,6 +1182,11 @@ commands:
   \\lint [--json] <sql>                   analyze + lint every algorithm's plan
   \\dataflow <sql>                        liveness, certified parallel stages,
          and statistics-seeded interval bounds for the SJA+ plan
+  \\check <sql>                           concurrency certificate, end to end:
+         per-event read/write footprints, static interference analysis of
+         the certified stage schedule, and the deterministic schedule
+         model-checker (every reduced interleaving replayed, byte-compared
+         against the sequential run). Honors \\faults and \\cache.
   \\plan <filter|sj|sja|sja+|greedy|rt> <sql>   show one algorithm's plan
   \\exec [--parallel[=T]] <sql>           execute the SJA+ plan; --parallel
          runs the certified stage schedule on T worker threads (default:
@@ -1185,6 +1286,15 @@ fn json_array(rows: &[String]) -> String {
     format!("[\n  {}\n]", rows.join(",\n  "))
 }
 
+/// Renders a footprint's resource list compactly.
+fn render_resources(resources: &[Resource]) -> String {
+    resources
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Renders the per-step interval table of a dataflow analysis.
 fn render_bounds(plan: &Plan, df: &Dataflow) -> String {
     let listing = plan.listing();
@@ -1281,6 +1391,31 @@ mod tests {
         assert!(out.contains("unknown option"), "{out}");
         let out = run(&mut s, "\\exec --parallel");
         assert!(out.contains("empty query"), "{out}");
+    }
+
+    #[test]
+    fn check_command_verifies_the_certificate() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\check {DMV_SQL}"));
+        assert!(out.contains("certified stages"), "{out}");
+        assert!(out.contains("event footprints over shared state"), "{out}");
+        assert!(out.contains("interference: none"), "{out}");
+        assert!(
+            out.contains("byte-identical to the sequential reference"),
+            "{out}"
+        );
+        // The checker honors the session's fault and cache settings.
+        run(&mut s, "\\faults seed=7 transient=0.4");
+        run(&mut s, "\\cache on");
+        let out = run(&mut s, &format!("\\check {DMV_SQL}"));
+        assert!(out.contains("cached-executor semantics"), "{out}");
+        assert!(out.contains("fault-tolerant retries"), "{out}");
+        assert!(out.contains("bump[R"), "{out}");
+        assert!(
+            out.contains("byte-identical to the sequential reference"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -1576,6 +1711,7 @@ mod tests {
             "\\explain",
             "\\lint",
             "\\dataflow",
+            "\\check",
             "\\plan",
             "\\exec",
             "\\fetch",

@@ -8,7 +8,7 @@
 //! through the ordinary [`Lint`] interface, so they compose with the
 //! base rules in one [`LintRegistry`] run.
 
-use super::{analyze_dataflow, Dataflow, SourceBounds};
+use super::{analyze_dataflow, interference_rules, Dataflow, SourceBounds};
 use crate::analyze::{analyze_plan, Analysis, Diagnostic, Lint, LintRegistry, Severity};
 use crate::cost::CostModel;
 use crate::plan::{Plan, Step};
@@ -193,8 +193,9 @@ pub fn dataflow_rules<M: CostModel>(plan: &Plan, model: &M, df: &Dataflow) -> Ve
 }
 
 /// Runs the dataflow analysis, then the full lint registry — the base
-/// semantic rules plus the three dataflow-powered ones — and returns the
-/// merged findings sorted by (step, rule).
+/// semantic rules, the three dataflow-powered ones, and the three
+/// interference rules over the plan's certified schedule — and returns
+/// the merged findings sorted by (step, rule).
 ///
 /// # Errors
 /// Propagates structural validation and certificate failures.
@@ -206,6 +207,9 @@ pub fn dataflow_lint_plan<M: CostModel>(
     let df = analyze_dataflow(plan, model, bounds)?;
     let mut registry = LintRegistry::default_rules();
     for rule in dataflow_rules(plan, model, &df) {
+        registry.register(rule);
+    }
+    for rule in interference_rules(plan)? {
         registry.register(rule);
     }
     let mut analysis = analyze_plan(plan)?;

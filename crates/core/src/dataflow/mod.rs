@@ -43,8 +43,15 @@
 //! semijoin whose input is provably empty is priced at zero on the low
 //! side — matching the executor's empty-bindings no-op.
 
+mod interference;
 mod lint;
 
+pub use interference::{
+    cache_commit_race_findings, conflicting_footprint_findings, epoch_read_before_bump_findings,
+    event_footprint, interference_report, interference_rules, plan_footprints, serial_queue_stages,
+    step_footprint, verify_serial_queue_stages, CacheCommitRace, ConflictingStageFootprints,
+    EpochReadBeforeBump, Event, EventGraph, Footprint, Interference, Resource, Witness,
+};
 pub use lint::{dataflow_lint_plan, dataflow_rules};
 
 use crate::analyze::analyze_plan;
@@ -385,11 +392,14 @@ pub struct Dataflow {
     /// the dependency DAG and per-source serialization finishes the
     /// result sooner than this, even at guaranteed-minimum step costs.
     pub response_lb: f64,
+    /// Per-step read/write footprints over the executors' shared state
+    /// (see [`step_footprint`]).
+    pub footprints: Vec<Footprint>,
 }
 
 /// Def-use structure: the defining step per variable and the data
 /// dependencies per step.
-fn dependencies(plan: &Plan) -> (Vec<Option<usize>>, Vec<Vec<usize>>) {
+pub(crate) fn dependencies(plan: &Plan) -> (Vec<Option<usize>>, Vec<Vec<usize>>) {
     let mut def_of: Vec<Option<usize>> = vec![None; plan.var_names.len()];
     let mut rel_def: Vec<Option<usize>> = vec![None; plan.rel_names.len()];
     let mut deps: Vec<Vec<usize>> = Vec::with_capacity(plan.steps.len());
@@ -706,6 +716,7 @@ pub fn analyze_dataflow<M: CostModel>(
         hi: step_costs.iter().map(|c| c.hi).sum(),
     };
     let response_lb = response_lower_bound(plan, &def_of, &deps, &step_costs);
+    let footprints = plan_footprints(plan);
     Ok(Dataflow {
         def_of,
         deps,
@@ -717,6 +728,7 @@ pub fn analyze_dataflow<M: CostModel>(
         step_costs,
         total_cost,
         response_lb,
+        footprints,
     })
 }
 

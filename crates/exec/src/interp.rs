@@ -18,7 +18,7 @@ use fusion_core::query::FusionQuery;
 use fusion_net::{ExchangeKind, FailedExchange, FaultKind, MessageSize, Network};
 use fusion_source::SourceSet;
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId, Tuple};
+use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, Schema, SourceId, Tuple};
 
 /// How a step reaches the network: exclusively (sequential execution) or
 /// through a shared, step-tagged source handle (parallel workers).
@@ -199,85 +199,58 @@ pub(crate) fn run_sequential(
     let conditions = query.conditions();
     let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
     let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
     let mut ledger = CostLedger::new();
     let mut pending: Vec<PendingInsert> = Vec::new();
+    // Plain exchanges never drop steps, so these stay empty.
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut missing_conds: Vec<CondId> = Vec::new();
     for (idx, step) in plan.steps.iter().enumerate() {
-        match step {
-            Step::Sq { out, cond, source } => {
-                let c = &conditions[cond.0];
-                let served = match cache.as_deref_mut() {
-                    Some(cache) => cache.lookup(*source, c, query.schema())?,
-                    None => None,
-                };
-                if let Some(served) = served {
-                    ledger.push(served_entry(idx, *source, &served));
-                    vars[out.0] = Some(served.items);
-                } else if cache.is_some() {
-                    let (items, rows, entry) =
-                        exec_sq_records(idx, *source, c, query.schema(), sources, network)?;
-                    pending.push(PendingInsert {
-                        step: idx,
-                        source: *source,
-                        cond: c.clone(),
-                        rows,
-                        refetch: entry.comm + entry.proc,
-                    });
-                    ledger.push(entry);
-                    vars[out.0] = Some(items);
-                } else {
-                    let (items, entry) = exec_sq(idx, *source, c, sources, network)?;
-                    ledger.push(entry);
-                    vars[out.0] = Some(items);
-                }
-            }
-            Step::Sjq {
-                out,
-                cond,
-                source,
-                input,
-            } => {
-                let bindings = vars[input.0].clone().expect("validated: def before use");
-                let (items, entry) = run_semijoin(
-                    idx,
-                    *source,
-                    &conditions[cond.0],
-                    &bindings,
-                    sources,
-                    network,
-                )?;
-                ledger.push(entry);
-                vars[out.0] = Some(items);
-            }
-            Step::SjqBloom {
-                out,
-                cond,
-                source,
-                input,
-                bits,
-            } => {
-                let bindings = vars[input.0].clone().expect("validated: def before use");
-                let (items, entry) = exec_bloom(
-                    idx,
-                    *source,
-                    &conditions[cond.0],
-                    &bindings,
-                    *bits,
-                    sources,
-                    network,
-                )?;
-                ledger.push(entry);
-                vars[out.0] = Some(items);
-            }
-            Step::Lq { out, source } => {
-                let (rows, entry) = exec_lq(idx, *source, sources, network)?;
-                ledger.push(entry);
-                rels[out.0] = Some(Relation::from_rows(query.schema().clone(), rows));
-            }
-            _ => {
-                let entry = exec_local_step(idx, step, conditions, &mut vars, &rels)?;
-                ledger.push(entry);
+        if step.source().is_none() {
+            let entry = exec_local_step(idx, step, conditions, &mut vars, &rels)?;
+            ledger.push(entry);
+            continue;
+        }
+        if let Step::Sq { out, cond, source } = step {
+            let served = match cache.as_deref_mut() {
+                Some(cache) => cache.lookup(*source, &conditions[cond.0], query.schema())?,
+                None => None,
+            };
+            if let Some(served) = served {
+                ledger.push(served_entry(idx, *source, &served));
+                vars[out.0] = Some(served.items);
+                continue;
             }
         }
+        let records = cache.is_some().then(|| query.schema());
+        let done = dispatch_remote_step(
+            idx,
+            step,
+            conditions,
+            sources,
+            network,
+            &vars,
+            None,
+            Cost::ZERO,
+            records,
+        )?;
+        let refetch = done.entry.comm + done.entry.proc;
+        ledger.push(done.entry);
+        apply_step_done(
+            plan,
+            query.schema(),
+            conditions,
+            idx,
+            done.value,
+            refetch,
+            &mut vars,
+            &mut rels,
+            &mut rel_dropped,
+            &mut pending,
+            &mut dropped,
+            &mut missing_conds,
+            None,
+        )?;
     }
     let answer = vars[plan.result.0]
         .clone()
@@ -1010,195 +983,62 @@ pub(crate) fn run_sequential_ft(
         Vec::new()
     };
 
-    // Drops `idx`, verifying via the BDD analysis that the cumulative
-    // degraded plan still computes a subset of the fusion answer.
-    let drop_step = |idx: usize,
-                     dropped: &mut Vec<usize>,
-                     analysis: &mut fusion_core::analyze::Analysis|
-     -> Result<()> {
-        dropped.push(idx);
-        if analysis.droppable(plan, dropped) {
-            Ok(())
-        } else {
-            Err(FusionError::execution(format!(
-                "source failure at step #{idx}: dropping it would not \
-                 yield a sound subset of the fusion answer (the step's \
-                 value is used non-monotonically); aborting instead"
-            )))
-        }
-    };
-
     for (idx, step) in plan.steps.iter().enumerate() {
-        match step {
-            Step::Sq { out, cond, source } => {
-                let c = &conditions[cond.0];
-                // Cache lookup comes before the dead-source check: a hit
-                // never touches the network, so a dead source can still
-                // serve from cache.
-                let served = match cache.as_deref_mut() {
-                    Some(cache) => cache.lookup(*source, c, query.schema())?,
-                    None => None,
-                };
-                if let Some(served) = served {
-                    ledger.push(served_entry(idx, *source, &served));
-                    vars[out.0] = Some(served.items);
-                    continue;
-                }
-                let spent = ledger.total();
-                if cache.is_some() {
-                    match exec_sq_records_ft(
-                        idx,
-                        *source,
-                        c,
-                        query.schema(),
-                        sources,
-                        network,
-                        policy,
-                        st.src_mut(*source),
-                        spent,
-                    )? {
-                        FtFetched::Done((items, rows), entry) => {
-                            pending.push(PendingInsert {
-                                step: idx,
-                                source: *source,
-                                cond: c.clone(),
-                                rows,
-                                refetch: entry.comm + entry.proc,
-                            });
-                            ledger.push(entry);
-                            vars[out.0] = Some(items);
-                        }
-                        FtFetched::Dropped(entry) => {
-                            ledger.push(entry);
-                            drop_step(idx, &mut dropped, &mut analysis)?;
-                            missing_conds.push(*cond);
-                            vars[out.0] = Some(ItemSet::empty());
-                        }
-                    }
-                    continue;
-                }
-                match exec_sq_ft(
-                    idx,
-                    *source,
-                    c,
-                    sources,
-                    network,
-                    policy,
-                    st.src_mut(*source),
-                    spent,
-                )? {
-                    FtFetched::Done(items, entry) => {
-                        ledger.push(entry);
-                        vars[out.0] = Some(items);
-                    }
-                    FtFetched::Dropped(entry) => {
-                        ledger.push(entry);
-                        drop_step(idx, &mut dropped, &mut analysis)?;
-                        missing_conds.push(*cond);
-                        vars[out.0] = Some(ItemSet::empty());
-                    }
+        if step.source().is_none() {
+            if let Step::LocalSq { cond, rel, .. } = step {
+                if rel_dropped[rel.0] {
+                    missing_conds.push(*cond);
                 }
             }
-            Step::Sjq {
-                out,
-                cond,
-                source,
-                input,
-            } => {
-                let bindings = vars[input.0].clone().expect("validated: def before use");
-                let spent = ledger.total();
-                match run_semijoin_ft(
-                    idx,
-                    *source,
-                    &conditions[cond.0],
-                    &bindings,
-                    sources,
-                    network,
-                    policy,
-                    st.src_mut(*source),
-                    spent,
-                )? {
-                    SjResult::Done(items, entry) => {
-                        ledger.push(entry);
-                        vars[out.0] = Some(items);
-                    }
-                    SjResult::Dropped(entry) => {
-                        ledger.push(entry);
-                        drop_step(idx, &mut dropped, &mut analysis)?;
-                        missing_conds.push(*cond);
-                        vars[out.0] = Some(ItemSet::empty());
-                    }
-                }
-            }
-            Step::SjqBloom {
-                out,
-                cond,
-                source,
-                input,
-                bits,
-            } => {
-                let bindings = vars[input.0].clone().expect("validated: def before use");
-                let spent = ledger.total();
-                match exec_bloom_ft(
-                    idx,
-                    *source,
-                    &conditions[cond.0],
-                    &bindings,
-                    *bits,
-                    sources,
-                    network,
-                    policy,
-                    st.src_mut(*source),
-                    spent,
-                )? {
-                    FtFetched::Done(items, entry) => {
-                        ledger.push(entry);
-                        vars[out.0] = Some(items);
-                    }
-                    FtFetched::Dropped(entry) => {
-                        ledger.push(entry);
-                        drop_step(idx, &mut dropped, &mut analysis)?;
-                        missing_conds.push(*cond);
-                        vars[out.0] = Some(ItemSet::empty());
-                    }
-                }
-            }
-            Step::Lq { out, source } => {
-                let spent = ledger.total();
-                match exec_lq_ft(
-                    idx,
-                    *source,
-                    sources,
-                    network,
-                    policy,
-                    st.src_mut(*source),
-                    spent,
-                )? {
-                    FtFetched::Done(rows, entry) => {
-                        ledger.push(entry);
-                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), rows));
-                    }
-                    FtFetched::Dropped(entry) => {
-                        ledger.push(entry);
-                        drop_step(idx, &mut dropped, &mut analysis)?;
-                        // Later local selections over the relation run
-                        // against an empty table and yield ∅ — exactly
-                        // the degraded semantics the BDD check verified.
-                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), vec![]));
-                        rel_dropped[out.0] = true;
-                    }
-                }
-            }
-            _ => {
-                if let Step::LocalSq { cond, rel, .. } = step {
-                    if rel_dropped[rel.0] {
-                        missing_conds.push(*cond);
-                    }
-                }
-                let entry = exec_local_step(idx, step, conditions, &mut vars, &rels)?;
-                ledger.push(entry);
+            let entry = exec_local_step(idx, step, conditions, &mut vars, &rels)?;
+            ledger.push(entry);
+            continue;
+        }
+        if let Step::Sq { out, cond, source } = step {
+            // Cache lookup comes before the dead-source check: a hit
+            // never touches the network, so a dead source can still
+            // serve from cache.
+            let served = match cache.as_deref_mut() {
+                Some(cache) => cache.lookup(*source, &conditions[cond.0], query.schema())?,
+                None => None,
+            };
+            if let Some(served) = served {
+                ledger.push(served_entry(idx, *source, &served));
+                vars[out.0] = Some(served.items);
+                continue;
             }
         }
+        let spent = ledger.total();
+        let records = cache.is_some().then(|| query.schema());
+        let source = step.source().expect("remote step has a source");
+        let done = dispatch_remote_step(
+            idx,
+            step,
+            conditions,
+            sources,
+            network,
+            &vars,
+            Some((policy, st.src_mut(source))),
+            spent,
+            records,
+        )?;
+        let refetch = done.entry.comm + done.entry.proc;
+        ledger.push(done.entry);
+        apply_step_done(
+            plan,
+            query.schema(),
+            conditions,
+            idx,
+            done.value,
+            refetch,
+            &mut vars,
+            &mut rels,
+            &mut rel_dropped,
+            &mut pending,
+            &mut dropped,
+            &mut missing_conds,
+            Some(&mut analysis),
+        )?;
     }
     let answer = vars[plan.result.0]
         .clone()
@@ -1423,6 +1263,278 @@ pub(crate) fn run_semijoin_ft<E: Exchanger>(
         failed_cost: failed,
     };
     Ok(SjResult::Done(result, entry))
+}
+
+/// What a remote step hands back to its executor: the step's value plus
+/// its ledger entry. The shared currency of the sequential, parallel,
+/// and replay executors — [`dispatch_remote_step`] produces it,
+/// [`apply_step_done`] folds it into executor state.
+pub(crate) struct StepDone {
+    pub(crate) value: StepValue,
+    pub(crate) entry: LedgerEntry,
+}
+
+/// The value a remote step delivered (or, fault-tolerantly, failed to).
+pub(crate) enum StepValue {
+    /// A delivered item-set step (`sq` / `sjq` / Bloom `sjq`).
+    Items(ItemSet),
+    /// A cached-mode selection miss: the answer items plus the full
+    /// records to admit to the cache after the run.
+    CachedItems(ItemSet, Vec<Tuple>),
+    /// A delivered full load.
+    Rows(Vec<Tuple>),
+    /// A dropped item-set step (fault-tolerant mode only).
+    DroppedItems,
+    /// A dropped full load (fault-tolerant mode only).
+    DroppedRows,
+}
+
+/// Executes one remote step — the single step-dispatch every executor
+/// family (sequential, parallel, cached, replay) goes through, so their
+/// per-step behavior cannot drift apart. Its shared-state footprint is
+/// what the static analysis says it is: the step's input variables, the
+/// step's source shard (exchange + fault cursor), nothing else.
+///
+/// `ft` carries the retry policy and the step's source fault state in
+/// fault-tolerant mode. `records` marks a cached run: selection misses
+/// fetch full records (sized as such) for later admission. Cache *hits*
+/// never reach this function — callers resolve them beforehand.
+///
+/// # Panics
+/// Panics when called with a mediator-local step.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dispatch_remote_step<E: Exchanger>(
+    idx: usize,
+    step: &Step,
+    conditions: &[Condition],
+    sources: &SourceSet,
+    network: &mut E,
+    vars: &[Option<ItemSet>],
+    ft: Option<(&RetryPolicy, &mut SourceFt)>,
+    spent: Cost,
+    records: Option<&Schema>,
+) -> Result<StepDone> {
+    let items_done = |value: FtFetched<ItemSet>| match value {
+        FtFetched::Done(items, entry) => StepDone {
+            value: StepValue::Items(items),
+            entry,
+        },
+        FtFetched::Dropped(entry) => StepDone {
+            value: StepValue::DroppedItems,
+            entry,
+        },
+    };
+    match (step, ft) {
+        (Step::Sq { cond, source, .. }, None) => {
+            let c = &conditions[cond.0];
+            if let Some(schema) = records {
+                let (items, rows, entry) =
+                    exec_sq_records(idx, *source, c, schema, sources, network)?;
+                return Ok(StepDone {
+                    value: StepValue::CachedItems(items, rows),
+                    entry,
+                });
+            }
+            let (items, entry) = exec_sq(idx, *source, c, sources, network)?;
+            Ok(StepDone {
+                value: StepValue::Items(items),
+                entry,
+            })
+        }
+        (Step::Sq { cond, source, .. }, Some((policy, ft))) => {
+            let c = &conditions[cond.0];
+            if let Some(schema) = records {
+                return Ok(
+                    match exec_sq_records_ft(
+                        idx, *source, c, schema, sources, network, policy, ft, spent,
+                    )? {
+                        FtFetched::Done((items, rows), entry) => StepDone {
+                            value: StepValue::CachedItems(items, rows),
+                            entry,
+                        },
+                        FtFetched::Dropped(entry) => StepDone {
+                            value: StepValue::DroppedItems,
+                            entry,
+                        },
+                    },
+                );
+            }
+            Ok(items_done(exec_sq_ft(
+                idx, *source, c, sources, network, policy, ft, spent,
+            )?))
+        }
+        (
+            Step::Sjq {
+                cond,
+                source,
+                input,
+                ..
+            },
+            ft,
+        ) => {
+            let bindings = vars[input.0].clone().expect("validated: def before use");
+            let c = &conditions[cond.0];
+            match ft {
+                None => {
+                    let (items, entry) =
+                        run_semijoin(idx, *source, c, &bindings, sources, network)?;
+                    Ok(StepDone {
+                        value: StepValue::Items(items),
+                        entry,
+                    })
+                }
+                Some((policy, ft)) => Ok(
+                    match run_semijoin_ft(
+                        idx, *source, c, &bindings, sources, network, policy, ft, spent,
+                    )? {
+                        SjResult::Done(items, entry) => StepDone {
+                            value: StepValue::Items(items),
+                            entry,
+                        },
+                        SjResult::Dropped(entry) => StepDone {
+                            value: StepValue::DroppedItems,
+                            entry,
+                        },
+                    },
+                ),
+            }
+        }
+        (
+            Step::SjqBloom {
+                cond,
+                source,
+                input,
+                bits,
+                ..
+            },
+            ft,
+        ) => {
+            let bindings = vars[input.0].clone().expect("validated: def before use");
+            let c = &conditions[cond.0];
+            match ft {
+                None => {
+                    let (items, entry) =
+                        exec_bloom(idx, *source, c, &bindings, *bits, sources, network)?;
+                    Ok(StepDone {
+                        value: StepValue::Items(items),
+                        entry,
+                    })
+                }
+                Some((policy, ft)) => Ok(items_done(exec_bloom_ft(
+                    idx, *source, c, &bindings, *bits, sources, network, policy, ft, spent,
+                )?)),
+            }
+        }
+        (Step::Lq { source, .. }, None) => {
+            let (rows, entry) = exec_lq(idx, *source, sources, network)?;
+            Ok(StepDone {
+                value: StepValue::Rows(rows),
+                entry,
+            })
+        }
+        (Step::Lq { source, .. }, Some((policy, ft))) => Ok(
+            match exec_lq_ft(idx, *source, sources, network, policy, ft, spent)? {
+                FtFetched::Done(rows, entry) => StepDone {
+                    value: StepValue::Rows(rows),
+                    entry,
+                },
+                FtFetched::Dropped(entry) => StepDone {
+                    value: StepValue::DroppedRows,
+                    entry,
+                },
+            },
+        ),
+        (local, _) => panic!("dispatch_remote_step called with local step {local:?}"),
+    }
+}
+
+/// Drops step `idx`, verifying via the BDD analysis that the cumulative
+/// degraded plan still computes a subset of the fusion answer.
+fn check_droppable(
+    plan: &Plan,
+    idx: usize,
+    dropped: &mut Vec<usize>,
+    analysis: Option<&mut fusion_core::analyze::Analysis>,
+) -> Result<()> {
+    dropped.push(idx);
+    let analysis = analysis.expect("step dropped outside fault-tolerant mode");
+    if analysis.droppable(plan, dropped) {
+        Ok(())
+    } else {
+        Err(FusionError::execution(format!(
+            "source failure at step #{idx}: dropping it would not \
+             yield a sound subset of the fusion answer (the step's \
+             value is used non-monotonically); aborting instead"
+        )))
+    }
+}
+
+/// Folds one completed remote step into executor state — the single
+/// fold shared by the sequential, parallel, and replay executors. The
+/// caller records `done.entry` in its own ledger slot (the one shared
+/// resource this function does not touch); `refetch` is that entry's
+/// fetch price, the cache eviction weight of a pending admission.
+///
+/// # Errors
+/// Fails when a dropped step cannot be soundly dropped (see
+/// [`check_droppable`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_step_done(
+    plan: &Plan,
+    schema: &Schema,
+    conditions: &[Condition],
+    idx: usize,
+    value: StepValue,
+    refetch: Cost,
+    vars: &mut [Option<ItemSet>],
+    rels: &mut [Option<Relation>],
+    rel_dropped: &mut [bool],
+    pending: &mut Vec<PendingInsert>,
+    dropped: &mut Vec<usize>,
+    missing_conds: &mut Vec<CondId>,
+    analysis: Option<&mut fusion_core::analyze::Analysis>,
+) -> Result<()> {
+    match (value, &plan.steps[idx]) {
+        (
+            StepValue::Items(items),
+            Step::Sq { out, .. } | Step::Sjq { out, .. } | Step::SjqBloom { out, .. },
+        ) => {
+            vars[out.0] = Some(items);
+        }
+        (StepValue::CachedItems(items, rows), Step::Sq { out, cond, source }) => {
+            pending.push(PendingInsert {
+                step: idx,
+                source: *source,
+                cond: conditions[cond.0].clone(),
+                rows,
+                refetch,
+            });
+            vars[out.0] = Some(items);
+        }
+        (StepValue::Rows(rows), Step::Lq { out, .. }) => {
+            rels[out.0] = Some(Relation::from_rows(schema.clone(), rows));
+        }
+        (
+            StepValue::DroppedItems,
+            Step::Sq { out, cond, .. }
+            | Step::Sjq { out, cond, .. }
+            | Step::SjqBloom { out, cond, .. },
+        ) => {
+            check_droppable(plan, idx, dropped, analysis)?;
+            missing_conds.push(*cond);
+            vars[out.0] = Some(ItemSet::empty());
+        }
+        (StepValue::DroppedRows, Step::Lq { out, .. }) => {
+            check_droppable(plan, idx, dropped, analysis)?;
+            // Later local selections over the relation run against an
+            // empty table and yield ∅ — exactly the degraded semantics
+            // the BDD check verified.
+            rels[out.0] = Some(Relation::from_rows(schema.clone(), vec![]));
+            rel_dropped[out.0] = true;
+        }
+        (_, step) => unreachable!("step/value shape mismatch at {step:?}"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]

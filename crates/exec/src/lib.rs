@@ -45,6 +45,7 @@ pub mod interp;
 pub mod ledger;
 pub mod parallel;
 pub mod piggyback;
+pub mod replay;
 pub mod retry;
 pub mod schedule;
 pub mod two_phase;
@@ -58,6 +59,7 @@ pub use parallel::{
     execute_plan_parallel_ft_cached, ParallelConfig, ParallelOutcome,
 };
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
+pub use replay::{execute_plan_replay, ReplayOptions};
 pub use retry::{Completeness, RetryPolicy};
 pub use schedule::{
     response_time, schedule, stage_schedule, verify_stage_trace, ScheduledStep, StageTraceEntry,

@@ -40,13 +40,10 @@
 //! deadline set (the default), fault-tolerant parallel execution is
 //! byte-identical to sequential; with one, it may retry slightly more.
 
-use crate::cached::{
-    commit_inserts, exec_sq_records, exec_sq_records_ft, served_entry, PendingInsert,
-};
+use crate::cached::{commit_inserts, served_entry, PendingInsert};
 use crate::interp::{
-    exec_bloom, exec_bloom_ft, exec_local_step, exec_lq, exec_lq_ft, exec_sq, exec_sq_ft,
-    run_semijoin, run_semijoin_ft, ExecutionOutcome, FtFetched, SharedExchanger, SjResult,
-    SourceFt,
+    apply_step_done, dispatch_remote_step, exec_local_step, ExecutionOutcome, SharedExchanger,
+    SourceFt, StepDone,
 };
 use crate::ledger::{CostLedger, LedgerEntry};
 use crate::retry::{Completeness, RetryPolicy};
@@ -58,7 +55,7 @@ use fusion_net::Network;
 use fusion_source::SourceSet;
 use fusion_types::error::{FusionError, Result};
 use fusion_types::schema::Schema;
-use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId, Tuple};
+use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -233,112 +230,11 @@ enum Mode<'a> {
     Ft(&'a RetryPolicy),
 }
 
-/// What a worker hands back across the stage barrier.
-struct StepDone {
-    value: StepValue,
-    entry: LedgerEntry,
-}
-
-enum StepValue {
-    /// A delivered item-set step (`sq` / `sjq` / Bloom `sjq`).
-    Items(ItemSet),
-    /// A cached-mode selection miss: the answer items plus the full
-    /// records to admit to the cache after the run.
-    CachedItems(ItemSet, Vec<Tuple>),
-    /// A delivered full load.
-    Rows(Vec<Tuple>),
-    /// A dropped item-set step (fault-tolerant mode only).
-    DroppedItems,
-    /// A dropped full load (fault-tolerant mode only).
-    DroppedRows,
-}
-
-/// Data dependencies of every step (variables read, plus the load behind
-/// a local selection).
-fn step_deps(plan: &Plan) -> Vec<Vec<usize>> {
-    let mut def_var: Vec<Option<usize>> = vec![None; plan.var_names.len()];
-    let mut def_rel: Vec<Option<usize>> = vec![None; plan.rel_names.len()];
-    let mut deps = Vec::with_capacity(plan.steps.len());
-    for (idx, step) in plan.steps.iter().enumerate() {
-        let mut d: Vec<usize> = Vec::new();
-        match step {
-            Step::Sq { out, .. } => def_var[out.0] = Some(idx),
-            Step::Sjq { out, input, .. } | Step::SjqBloom { out, input, .. } => {
-                d.extend(def_var[input.0]);
-                def_var[out.0] = Some(idx);
-            }
-            Step::Lq { out, .. } => def_rel[out.0] = Some(idx),
-            Step::LocalSq { out, rel, .. } => {
-                d.extend(def_rel[rel.0]);
-                def_var[out.0] = Some(idx);
-            }
-            Step::Union { out, inputs } | Step::Intersect { out, inputs } => {
-                d.extend(inputs.iter().filter_map(|v| def_var[v.0]));
-                def_var[out.0] = Some(idx);
-            }
-            Step::Diff { out, left, right } => {
-                d.extend(def_var[left.0]);
-                d.extend(def_var[right.0]);
-                def_var[out.0] = Some(idx);
-            }
-        }
-        deps.push(d);
-    }
-    deps
-}
-
-/// Refines the certified decomposition into *execution* stages: the
-/// wavefronts of the dependency DAG augmented with one serial-queue edge
-/// chaining each source's steps in plan order.
-///
-/// The extra edges give every stage the same invariants the certificate
-/// proves (source-disjoint, dependencies strictly earlier) *plus* the
-/// guarantee that each source consumes its fault-schedule slots in plan
-/// order — which is what makes fault injection replay identically under
-/// concurrency. For plans whose step order follows dependency levels
-/// (everything the optimizers emit), this is exactly the certified
-/// decomposition.
-fn serial_queue_stages(plan: &Plan) -> Vec<Vec<usize>> {
-    let deps = step_deps(plan);
-    let n = plan.steps.len();
-    let mut level = vec![0usize; n];
-    let mut last_of_source: Vec<Option<usize>> = vec![None; plan.n_sources];
-    for idx in 0..n {
-        let mut lv = 0;
-        for &d in &deps[idx] {
-            lv = lv.max(level[d] + 1);
-        }
-        if let Some(src) = plan.steps[idx].source() {
-            if let Some(prev) = last_of_source[src.0] {
-                lv = lv.max(level[prev] + 1);
-            }
-            last_of_source[src.0] = Some(idx);
-        }
-        level[idx] = lv;
-    }
-    let n_stages = level.iter().max().map_or(0, |m| m + 1);
-    let mut stages = vec![Vec::new(); n_stages];
-    for (idx, lv) in level.iter().enumerate() {
-        stages[*lv].push(idx);
-    }
-    #[cfg(debug_assertions)]
-    for stage in &stages {
-        let mut seen = std::collections::HashSet::new();
-        for &i in stage {
-            if let Some(s) = plan.steps[i].source() {
-                assert!(
-                    seen.insert(s),
-                    "serial queues must keep stages source-disjoint"
-                );
-            }
-        }
-    }
-    stages
-}
-
 /// Executes one remote step against the shared network. Runs on a worker
 /// thread: reads earlier-stage variables immutably, locks only the step's
 /// source (its fault state, and — inside the exchange — its trace shard).
+/// The per-step logic is [`dispatch_remote_step`] — the same code the
+/// sequential executors run, so behavior cannot drift between families.
 #[allow(clippy::too_many_arguments)]
 fn run_remote_step(
     idx: usize,
@@ -356,198 +252,25 @@ fn run_remote_step(
     records: Option<&Schema>,
 ) -> Result<StepDone> {
     let mut ex = SharedExchanger { net, step: idx };
-    let items_done = |value: FtFetched<ItemSet>| match value {
-        FtFetched::Done(items, entry) => StepDone {
-            value: StepValue::Items(items),
-            entry,
-        },
-        FtFetched::Dropped(entry) => StepDone {
-            value: StepValue::DroppedItems,
-            entry,
-        },
-    };
-    match (step, mode) {
-        (Step::Sq { cond, source, .. }, Mode::Plain) => {
-            if let Some(schema) = records {
-                let (items, rows, entry) =
-                    exec_sq_records(idx, *source, &conditions[cond.0], schema, sources, &mut ex)?;
-                return Ok(StepDone {
-                    value: StepValue::CachedItems(items, rows),
-                    entry,
-                });
-            }
-            let (items, entry) = exec_sq(idx, *source, &conditions[cond.0], sources, &mut ex)?;
-            Ok(StepDone {
-                value: StepValue::Items(items),
-                entry,
-            })
-        }
-        (Step::Sq { cond, source, .. }, Mode::Ft(policy)) => {
+    match mode {
+        Mode::Plain => dispatch_remote_step(
+            idx, step, conditions, sources, &mut ex, vars, None, spent, records,
+        ),
+        Mode::Ft(policy) => {
+            let source = step.source().expect("remote worker got a local step");
             let mut ft = fts[source.0].lock().expect("source fault state poisoned");
-            if let Some(schema) = records {
-                let fetched = exec_sq_records_ft(
-                    idx,
-                    *source,
-                    &conditions[cond.0],
-                    schema,
-                    sources,
-                    &mut ex,
-                    policy,
-                    &mut ft,
-                    spent,
-                )?;
-                return Ok(match fetched {
-                    FtFetched::Done((items, rows), entry) => StepDone {
-                        value: StepValue::CachedItems(items, rows),
-                        entry,
-                    },
-                    FtFetched::Dropped(entry) => StepDone {
-                        value: StepValue::DroppedItems,
-                        entry,
-                    },
-                });
-            }
-            let fetched = exec_sq_ft(
+            dispatch_remote_step(
                 idx,
-                *source,
-                &conditions[cond.0],
+                step,
+                conditions,
                 sources,
                 &mut ex,
-                policy,
-                &mut ft,
+                vars,
+                Some((policy, &mut ft)),
                 spent,
-            )?;
-            Ok(items_done(fetched))
+                records,
+            )
         }
-        (
-            Step::Sjq {
-                cond,
-                source,
-                input,
-                ..
-            },
-            Mode::Plain,
-        ) => {
-            let bindings = vars[input.0].clone().expect("validated: def before use");
-            let (items, entry) = run_semijoin(
-                idx,
-                *source,
-                &conditions[cond.0],
-                &bindings,
-                sources,
-                &mut ex,
-            )?;
-            Ok(StepDone {
-                value: StepValue::Items(items),
-                entry,
-            })
-        }
-        (
-            Step::Sjq {
-                cond,
-                source,
-                input,
-                ..
-            },
-            Mode::Ft(policy),
-        ) => {
-            let bindings = vars[input.0].clone().expect("validated: def before use");
-            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
-            let result = run_semijoin_ft(
-                idx,
-                *source,
-                &conditions[cond.0],
-                &bindings,
-                sources,
-                &mut ex,
-                policy,
-                &mut ft,
-                spent,
-            )?;
-            Ok(match result {
-                SjResult::Done(items, entry) => StepDone {
-                    value: StepValue::Items(items),
-                    entry,
-                },
-                SjResult::Dropped(entry) => StepDone {
-                    value: StepValue::DroppedItems,
-                    entry,
-                },
-            })
-        }
-        (
-            Step::SjqBloom {
-                cond,
-                source,
-                input,
-                bits,
-                ..
-            },
-            Mode::Plain,
-        ) => {
-            let bindings = vars[input.0].clone().expect("validated: def before use");
-            let (items, entry) = exec_bloom(
-                idx,
-                *source,
-                &conditions[cond.0],
-                &bindings,
-                *bits,
-                sources,
-                &mut ex,
-            )?;
-            Ok(StepDone {
-                value: StepValue::Items(items),
-                entry,
-            })
-        }
-        (
-            Step::SjqBloom {
-                cond,
-                source,
-                input,
-                bits,
-                ..
-            },
-            Mode::Ft(policy),
-        ) => {
-            let bindings = vars[input.0].clone().expect("validated: def before use");
-            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
-            let fetched = exec_bloom_ft(
-                idx,
-                *source,
-                &conditions[cond.0],
-                &bindings,
-                *bits,
-                sources,
-                &mut ex,
-                policy,
-                &mut ft,
-                spent,
-            )?;
-            Ok(items_done(fetched))
-        }
-        (Step::Lq { source, .. }, Mode::Plain) => {
-            let (rows, entry) = exec_lq(idx, *source, sources, &mut ex)?;
-            Ok(StepDone {
-                value: StepValue::Rows(rows),
-                entry,
-            })
-        }
-        (Step::Lq { source, .. }, Mode::Ft(policy)) => {
-            let mut ft = fts[source.0].lock().expect("source fault state poisoned");
-            let fetched = exec_lq_ft(idx, *source, sources, &mut ex, policy, &mut ft, spent)?;
-            Ok(match fetched {
-                FtFetched::Done(rows, entry) => StepDone {
-                    value: StepValue::Rows(rows),
-                    entry,
-                },
-                FtFetched::Dropped(entry) => StepDone {
-                    value: StepValue::DroppedRows,
-                    entry,
-                },
-            })
-        }
-        (local, _) => unreachable!("remote worker got local step {local:?}"),
     }
 }
 
@@ -585,9 +308,12 @@ fn run_parallel(
     // The certificate gate: validates the plan's dataflow and proves (BDD)
     // that stage-parallel execution is race-free before any thread spawns.
     // Execution then runs the certified stages refined by per-source
-    // serial queues.
+    // serial queues; `serial_queue_stages` re-verifies the refined
+    // schedule (partition, dependency order, source-disjointness, and
+    // interference-freedom of the certified event graph) in release
+    // builds too — an unsound schedule is an error, never a data race.
     fusion_core::dataflow::stage_decomposition(plan)?;
-    let stages = serial_queue_stages(plan);
+    let stages = fusion_core::dataflow::serial_queue_stages(plan)?;
 
     let threads = config.threads.max(1);
     let conditions = query.conditions();
@@ -624,24 +350,6 @@ fn run_parallel(
     // Ledger cost committed through the last stage barrier — the
     // deadline basis (see module docs).
     let mut spent = Cost::ZERO;
-
-    // Drops `idx`, verifying via the BDD analysis that the cumulative
-    // degraded plan still computes a subset of the fusion answer.
-    let drop_step = |idx: usize,
-                     dropped: &mut Vec<usize>,
-                     analysis: &mut fusion_core::analyze::Analysis|
-     -> Result<()> {
-        dropped.push(idx);
-        if analysis.droppable(plan, dropped) {
-            Ok(())
-        } else {
-            Err(FusionError::execution(format!(
-                "source failure at step #{idx}: dropping it would not \
-                 yield a sound subset of the fusion answer (the step's \
-                 value is used non-monotonically); aborting instead"
-            )))
-        }
-    };
 
     let start = Instant::now();
     for stage in &stages {
@@ -711,51 +419,23 @@ fn run_parallel(
                 };
                 let refetch = done.entry.comm + done.entry.proc;
                 entries[idx] = Some(done.entry);
-                match (done.value, &plan.steps[idx]) {
-                    (
-                        StepValue::Items(items),
-                        Step::Sq { out, .. } | Step::Sjq { out, .. } | Step::SjqBloom { out, .. },
-                    ) => {
-                        vars[out.0] = Some(items);
-                    }
-                    (StepValue::CachedItems(items, rows), Step::Sq { out, cond, source }) => {
-                        pending.push(PendingInsert {
-                            step: idx,
-                            source: *source,
-                            cond: conditions[cond.0].clone(),
-                            rows,
-                            refetch,
-                        });
-                        vars[out.0] = Some(items);
-                    }
-                    (StepValue::Rows(rows), Step::Lq { out, .. }) => {
-                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), rows));
-                    }
-                    (
-                        StepValue::DroppedItems,
-                        Step::Sq { out, cond, .. }
-                        | Step::Sjq { out, cond, .. }
-                        | Step::SjqBloom { out, cond, .. },
-                    ) => {
-                        if let Err(e) = drop_step(idx, &mut dropped, &mut analysis) {
-                            network.commit();
-                            return Err(e);
-                        }
-                        missing_conds.push(*cond);
-                        vars[out.0] = Some(ItemSet::empty());
-                    }
-                    (StepValue::DroppedRows, Step::Lq { out, .. }) => {
-                        if let Err(e) = drop_step(idx, &mut dropped, &mut analysis) {
-                            network.commit();
-                            return Err(e);
-                        }
-                        // Later local selections over the relation run
-                        // against an empty table and yield ∅ — exactly
-                        // the degraded semantics the BDD check verified.
-                        rels[out.0] = Some(Relation::from_rows(query.schema().clone(), vec![]));
-                        rel_dropped[out.0] = true;
-                    }
-                    (_, step) => unreachable!("step/value shape mismatch at {step:?}"),
+                if let Err(e) = apply_step_done(
+                    plan,
+                    query.schema(),
+                    conditions,
+                    idx,
+                    done.value,
+                    refetch,
+                    &mut vars,
+                    &mut rels,
+                    &mut rel_dropped,
+                    &mut pending,
+                    &mut dropped,
+                    &mut missing_conds,
+                    Some(&mut analysis),
+                ) {
+                    network.commit();
+                    return Err(e);
                 }
             }
         }
@@ -1034,7 +714,7 @@ mod tests {
         ];
         plan.result = r;
         let sources = dmv_sources(Capabilities::full());
-        let stages = serial_queue_stages(&plan);
+        let stages = fusion_core::dataflow::serial_queue_stages(&plan).unwrap();
         // Per-source order: within each source, step indices ascend with
         // stage index.
         let mut stage_of = vec![0usize; plan.steps.len()];

@@ -1,0 +1,539 @@
+//! Deterministic single-event replay of executor schedules.
+//!
+//! [`execute_plan_replay`] runs a plan one *event* at a time in an
+//! explicit caller-chosen order — the operational semantics the schedule
+//! model-checker ([`fusion-check`]) explores. The event alphabet is the
+//! one the static interference analysis reasons over
+//! ([`fusion_core::dataflow::Event`]): cache lookups, step executions,
+//! fault-recovery epoch bumps, and cache admissions. Replaying every
+//! linearization of a plan's certified event graph and comparing the
+//! outcomes byte-for-byte is how the checker turns the analyzer's
+//! happens-before claims into an executable proof obligation.
+//!
+//! The per-event actions are the *same code* the production executors
+//! run: [`dispatch_remote_step`] / [`apply_step_done`] for executions,
+//! [`fusion_cache::AnswerCache::lookup`] for lookups,
+//! [`fusion_cache::AnswerCache::bump_epoch`] guarded by the committed
+//! failure count for bumps, and the pending-admission insert for
+//! commits. Exchanges go through the same shared per-source handles the
+//! parallel workers use, so the committed trace is merged in step order
+//! exactly as a real concurrent run's would be.
+//!
+//! # Scope and caveats
+//!
+//! * Replay is an *interleaving* semantics, not a thread pool: events run
+//!   one at a time on the calling thread. What varies across replays is
+//!   only the order — which is precisely the degree of freedom a real
+//!   scheduler has once the per-step code is shared.
+//! * The fault-tolerant retry deadline is checked against the cost of
+//!   the events completed so far *in replay order*; schedules that
+//!   reorder steps see different "spent" bases. With no deadline set
+//!   (the [`RetryPolicy::default`]), replay outcomes are order-robust
+//!   exactly when the event graph is interference-free.
+//! * [`ReplayOptions::guard_commits`] exists to run *mutant* semantics:
+//!   switching the guard off re-creates the admit-despite-failure race
+//!   the `cache-commit-race` lint describes, so the checker can replay a
+//!   static witness into a real divergence.
+
+use crate::cached::{commit_inserts, served_entry, PendingInsert};
+use crate::interp::{
+    apply_step_done, dispatch_remote_step, exec_local_step, ExecutionOutcome, SharedExchanger,
+    SourceFt,
+};
+use crate::ledger::{CostLedger, LedgerEntry};
+use crate::retry::{Completeness, RetryPolicy};
+use fusion_cache::{AnswerCache, Served};
+use fusion_core::dataflow::Event;
+use fusion_core::plan::{Plan, Step};
+use fusion_core::query::FusionQuery;
+use fusion_net::Network;
+use fusion_source::SourceSet;
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{CondId, SourceId};
+
+/// Knobs for replay runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOptions {
+    /// When `true` (the default, matching the production executors), a
+    /// source that failed an exchange during the run has its pending
+    /// cache admissions withheld. Switching this off replays the
+    /// unguarded mutant semantics in which an admission races the
+    /// fault-recovery epoch bump.
+    pub guard_commits: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            guard_commits: true,
+        }
+    }
+}
+
+fn replay_err(msg: impl std::fmt::Display) -> FusionError {
+    FusionError::invalid_plan(format!("replay schedule: {msg}"))
+}
+
+/// Executes `plan` by replaying `order`, one event at a time.
+///
+/// `order` must execute every plan step exactly once; cache events
+/// (`Lookup` / `EpochBump` / `Commit`) require `cache` to be attached,
+/// and lookups/commits are only meaningful for selection (`sq`) steps.
+/// `policy` selects fault-tolerant semantics (retries, sound drops) for
+/// every execution event. See the module docs for the contract and
+/// caveats.
+///
+/// # Errors
+/// Fails on invalid or unsound plans, on schedules that are not a valid
+/// replay (a step executed twice or never, an execution before its
+/// inputs, a cache event without a cache), and on the same execution
+/// errors the production executors report.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn execute_plan_replay(
+    plan: &Plan,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    policy: Option<&RetryPolicy>,
+    mut cache: Option<&mut AnswerCache>,
+    order: &[Event],
+    options: &ReplayOptions,
+) -> Result<ExecutionOutcome> {
+    let mut analysis = fusion_core::analyze::analyze_plan(plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to execute a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    plan.validate()?;
+    if query.m() != plan.n_conditions {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} conditions, query has {}",
+            plan.n_conditions,
+            query.m()
+        )));
+    }
+    if sources.len() != plan.n_sources {
+        return Err(FusionError::invalid_plan(format!(
+            "plan expects {} sources, got {}",
+            plan.n_sources,
+            sources.len()
+        )));
+    }
+    let conditions = query.conditions();
+    let n = plan.steps.len();
+    let mut vars: Vec<Option<fusion_types::ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<fusion_types::Relation>> = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
+    let mut entries: Vec<Option<LedgerEntry>> = vec![None; n];
+    let mut served: Vec<Option<Served>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<PendingInsert> = Vec::new();
+    let mut fts: Vec<SourceFt> = (0..plan.n_sources).map(|_| SourceFt::default()).collect();
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut missing_conds: Vec<CondId> = Vec::new();
+    let failed_before: Vec<usize> = (0..plan.n_sources)
+        .map(|j| network.failed_count_for(SourceId(j)))
+        .collect();
+    let mut failed = vec![false; plan.n_sources];
+
+    let step_at = |idx: usize| -> Result<&Step> {
+        plan.steps
+            .get(idx)
+            .ok_or_else(|| replay_err(format!("event references missing step #{}", idx + 1)))
+    };
+
+    for event in order {
+        match *event {
+            Event::Lookup { step } => {
+                let Step::Sq { cond, source, .. } = step_at(step)? else {
+                    return Err(replay_err(format!(
+                        "lookup#{} targets a non-selection step",
+                        step + 1
+                    )));
+                };
+                let Some(cache) = cache.as_deref_mut() else {
+                    return Err(replay_err(format!(
+                        "lookup#{} replayed without an answer cache",
+                        step + 1
+                    )));
+                };
+                served[step] = cache.lookup(*source, &conditions[cond.0], query.schema())?;
+            }
+            Event::Exec { step: idx } => {
+                let step = step_at(idx)?;
+                if entries[idx].is_some() {
+                    return Err(replay_err(format!("step#{} executed twice", idx + 1)));
+                }
+                for v in step.used_vars() {
+                    if vars[v.0].is_none() {
+                        return Err(replay_err(format!(
+                            "step#{} executed before its input {} was bound",
+                            idx + 1,
+                            plan.var_names[v.0]
+                        )));
+                    }
+                }
+                if step.source().is_none() {
+                    if let Step::LocalSq { cond, rel, .. } = step {
+                        if rels[rel.0].is_none() {
+                            return Err(replay_err(format!(
+                                "step#{} executed before its load {} was bound",
+                                idx + 1,
+                                plan.rel_names[rel.0]
+                            )));
+                        }
+                        if policy.is_some() && rel_dropped[rel.0] {
+                            missing_conds.push(*cond);
+                        }
+                    }
+                    entries[idx] = Some(exec_local_step(idx, step, conditions, &mut vars, &rels)?);
+                    continue;
+                }
+                if let (Some(s), Step::Sq { out, source, .. }) = (served[idx].take(), step) {
+                    entries[idx] = Some(served_entry(idx, *source, &s));
+                    vars[out.0] = Some(s.items);
+                    continue;
+                }
+                // The deadline basis under reordering: the cost of the
+                // executions completed so far in *replay* order.
+                let spent = entries.iter().flatten().map(LedgerEntry::total).sum();
+                let records = cache.is_some().then(|| query.schema());
+                let mut ex = SharedExchanger {
+                    net: &*network,
+                    step: idx,
+                };
+                let ft = policy.map(|p| {
+                    let source = step.source().expect("remote step has a source");
+                    (p, &mut fts[source.0])
+                });
+                let done = dispatch_remote_step(
+                    idx, step, conditions, sources, &mut ex, &vars, ft, spent, records,
+                )?;
+                let refetch = done.entry.comm + done.entry.proc;
+                entries[idx] = Some(done.entry);
+                apply_step_done(
+                    plan,
+                    query.schema(),
+                    conditions,
+                    idx,
+                    done.value,
+                    refetch,
+                    &mut vars,
+                    &mut rels,
+                    &mut rel_dropped,
+                    &mut pending,
+                    &mut dropped,
+                    &mut missing_conds,
+                    policy.is_some().then_some(&mut analysis),
+                )?;
+            }
+            Event::EpochBump { source } => {
+                if source >= plan.n_sources {
+                    return Err(replay_err(format!(
+                        "bump[R{}] references a missing source",
+                        source + 1
+                    )));
+                }
+                let Some(cache) = cache.as_deref_mut() else {
+                    return Err(replay_err(format!(
+                        "bump[R{}] replayed without an answer cache",
+                        source + 1
+                    )));
+                };
+                // The bump reads the *committed* failure count, exactly
+                // as the production executors do after their final
+                // commit; merging the buffered exchanges first is what
+                // makes the read see every execution ordered before it.
+                network.commit();
+                if network.failed_count_for(SourceId(source)) > failed_before[source] {
+                    failed[source] = true;
+                    cache.bump_epoch(SourceId(source));
+                }
+            }
+            Event::Commit { step } => {
+                if !matches!(step_at(step)?, Step::Sq { .. }) {
+                    return Err(replay_err(format!(
+                        "commit#{} targets a non-selection step",
+                        step + 1
+                    )));
+                }
+                let Some(cache) = cache.as_deref_mut() else {
+                    return Err(replay_err(format!(
+                        "commit#{} replayed without an answer cache",
+                        step + 1
+                    )));
+                };
+                // Cache hits and guarded failures leave nothing pending;
+                // their commit events are no-ops, as in production.
+                let Some(pos) = pending.iter().position(|p| p.step == step) else {
+                    continue;
+                };
+                let p = pending.remove(pos);
+                let keep = !(options.guard_commits && failed[p.source.0]);
+                commit_inserts(
+                    cache,
+                    vec![p],
+                    dropped.is_empty(),
+                    if keep { &[] } else { &failed },
+                );
+            }
+        }
+    }
+    network.commit();
+
+    let mut ledger = CostLedger::new();
+    for (idx, e) in entries.into_iter().enumerate() {
+        match e {
+            Some(e) => ledger.push(e),
+            None => {
+                return Err(replay_err(format!("step#{} never executed", idx + 1)));
+            }
+        }
+    }
+    let answer = vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined");
+    let completeness = if dropped.is_empty() {
+        Completeness::Exact
+    } else {
+        let mut missing_sources: Vec<SourceId> = dropped
+            .iter()
+            .filter_map(|&i| plan.steps[i].source())
+            .collect();
+        missing_sources.sort_unstable();
+        missing_sources.dedup();
+        missing_conds.sort_unstable();
+        missing_conds.dedup();
+        Completeness::Subset {
+            missing_sources,
+            missing_conditions: missing_conds,
+        }
+    };
+    Ok(ExecutionOutcome {
+        answer,
+        ledger,
+        completeness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute_plan, execute_plan_ft};
+    use fusion_core::dataflow::EventGraph;
+    use fusion_core::optimizer::sja_optimal;
+    use fusion_core::TableCostModel;
+    use fusion_net::{FaultPlan, FaultSpec, LinkProfile};
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate, Relation};
+
+    fn dmv_sources() -> SourceSet {
+        let s = dmv_schema();
+        let rels = vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ];
+        SourceSet::new(
+            rels.into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        Capabilities::full(),
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn plan() -> Plan {
+        let model = TableCostModel::uniform(2, 3, 5.0, 1.0, 0.5, 1e9, 2.0, 8.0);
+        sja_optimal(&model).plan
+    }
+
+    fn program_order(plan: &Plan, cached: bool) -> Vec<Event> {
+        let stages = fusion_core::dataflow::serial_queue_stages(plan).unwrap();
+        let graph = EventGraph::certified(plan, &stages, cached);
+        // The events of a certified graph are pushed in an order that is
+        // itself a linearization (lookups, stage by stage, bumps,
+        // commits), so replaying them as-is is the sequential semantics.
+        graph.events().to_vec()
+    }
+
+    #[test]
+    fn program_order_replay_matches_sequential() {
+        let plan = plan();
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+        let seq = execute_plan(&plan, &q, &sources, &mut seq_net).unwrap();
+        let order = program_order(&plan, false);
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let rep = execute_plan_replay(
+            &plan,
+            &q,
+            &sources,
+            &mut net,
+            None,
+            None,
+            &order,
+            &ReplayOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rep.answer, seq.answer);
+        assert_eq!(rep.ledger, seq.ledger);
+        assert_eq!(net.trace(), seq_net.trace());
+    }
+
+    #[test]
+    fn program_order_replay_matches_ft_under_faults() {
+        let plan = plan();
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let policy = RetryPolicy::default();
+        let order = program_order(&plan, false);
+        for seed in 0..8u64 {
+            let faults = FaultPlan::uniform(3, seed, FaultSpec::transient(0.45));
+            let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+            seq_net.set_fault_plan(faults.clone());
+            let seq = execute_plan_ft(&plan, &q, &sources, &mut seq_net, &policy).unwrap();
+            let mut net = Network::uniform(3, LinkProfile::Wan.link());
+            net.set_fault_plan(faults);
+            let rep = execute_plan_replay(
+                &plan,
+                &q,
+                &sources,
+                &mut net,
+                Some(&policy),
+                None,
+                &order,
+                &ReplayOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(rep.answer, seq.answer, "seed {seed}");
+            assert_eq!(rep.ledger, seq.ledger, "seed {seed}");
+            assert_eq!(rep.completeness, seq.completeness, "seed {seed}");
+            assert_eq!(net.trace(), seq_net.trace(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cached_program_order_replay_matches_cached_executor() {
+        use crate::cached::execute_plan_cached;
+        let plan = plan();
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let order = program_order(&plan, true);
+        let mut seq_cache = AnswerCache::new(1 << 20);
+        let mut rep_cache = AnswerCache::new(1 << 20);
+        for round in 0..2 {
+            let mut seq_net = Network::uniform(3, LinkProfile::Wan.link());
+            let seq =
+                execute_plan_cached(&plan, &q, &sources, &mut seq_net, &mut seq_cache).unwrap();
+            let mut net = Network::uniform(3, LinkProfile::Wan.link());
+            let rep = execute_plan_replay(
+                &plan,
+                &q,
+                &sources,
+                &mut net,
+                None,
+                Some(&mut rep_cache),
+                &order,
+                &ReplayOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(rep.answer, seq.answer, "round {round}");
+            assert_eq!(rep.ledger, seq.ledger, "round {round}");
+            assert_eq!(rep_cache.stats(), seq_cache.stats(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected() {
+        let plan = plan();
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let opts = ReplayOptions::default();
+        // Dependency violation: execute the last step first.
+        let last = plan.steps.len() - 1;
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan_replay(
+            &plan,
+            &q,
+            &sources,
+            &mut net,
+            None,
+            None,
+            &[Event::Exec { step: last }],
+            &opts,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("before its input"), "{err}");
+        // Missing executions.
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan_replay(
+            &plan,
+            &q,
+            &sources,
+            &mut net,
+            None,
+            None,
+            &[Event::Exec { step: 0 }],
+            &opts,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("never executed"), "{err}");
+        // Cache event without a cache.
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan_replay(
+            &plan,
+            &q,
+            &sources,
+            &mut net,
+            None,
+            None,
+            &[Event::Lookup { step: 0 }],
+            &opts,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("without an answer cache"), "{err}");
+    }
+}

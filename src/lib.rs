@@ -25,6 +25,8 @@
 //!   invalidation, cache-aware cost decoration;
 //! * [`exec`] — the mediator executor, response-time scheduling, and
 //!   two-phase record fetch;
+//! * [`check`] — the deterministic schedule model-checker for the
+//!   parallel/cached executors;
 //! * [`workload`] — deterministic scenarios and synthetic populations.
 //!
 //! # Quickstart
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub use fusion_cache as cache;
+pub use fusion_check as check;
 pub use fusion_core as core;
 pub use fusion_exec as exec;
 pub use fusion_net as net;

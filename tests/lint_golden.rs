@@ -8,7 +8,10 @@
 //! changes.
 
 use fusion::cache::{stale_cache_findings, CacheSnapshot};
-use fusion::core::dataflow::{dataflow_lint_plan, Interval, SourceBounds};
+use fusion::core::dataflow::{
+    cache_commit_race_findings, conflicting_footprint_findings, dataflow_lint_plan,
+    epoch_read_before_bump_findings, Event, EventGraph, Interval, SourceBounds,
+};
 use fusion::core::plan::{SimplePlanSpec, Step, VarId};
 use fusion::core::{Diagnostic, Plan, TableCostModel};
 use fusion::types::{CondId, SourceId};
@@ -178,6 +181,75 @@ fn stale_cache_rows() -> Vec<(String, Diagnostic)> {
         .collect()
 }
 
+/// A minimal valid plan with one selection — the substrate for the
+/// hand-built event graphs below (SSA forbids writing a *plan* that
+/// races against itself, so the interference rules are exercised on
+/// graphs with deliberately missing ordering edges, the same way the
+/// model-checker's mutants are built).
+fn single_sq_plan() -> Plan {
+    let mut plan = Plan::new(vec![], VarId(0), 1, 1);
+    let x = plan.fresh_var("X");
+    plan.steps = vec![Step::Sq {
+        out: x,
+        cond: CondId(0),
+        source: SourceId(0),
+    }];
+    plan.result = x;
+    plan
+}
+
+/// Findings for the three interference rules, each triggered by an
+/// event graph with an ordering edge deliberately dropped or inverted.
+fn interference_rows() -> Vec<(String, Diagnostic)> {
+    let mut rows = Vec::new();
+    // conflicting-stage-footprints: both R1 selections of the
+    // duplicate-query plan forced into one stage — their executions race
+    // for R1's network shard.
+    let dup = duplicate_query_plan();
+    let racy = EventGraph::certified(&dup, &[vec![0, 1], vec![2]], false);
+    for d in conflicting_footprint_findings(&dup, &racy) {
+        rows.push(("racy-stage-graph".to_string(), d));
+    }
+    let plan = single_sq_plan();
+    // cache-commit-race, inverted: the admission is ordered *before* the
+    // fault-recovery epoch bump.
+    let mut inverted = EventGraph::new();
+    let lookup = inverted.push(&plan, Event::Lookup { step: 0 });
+    let exec = inverted.push(&plan, Event::Exec { step: 0 });
+    let bump = inverted.push(&plan, Event::EpochBump { source: 0 });
+    let commit = inverted.push(&plan, Event::Commit { step: 0 });
+    inverted.add_edge(lookup, exec);
+    inverted.add_edge(exec, commit);
+    inverted.add_edge(commit, bump);
+    for d in cache_commit_race_findings(&plan, &inverted) {
+        rows.push(("commit-before-bump-graph".to_string(), d));
+    }
+    // cache-commit-race, unordered: the bump → commit edge is missing.
+    let mut unordered = EventGraph::new();
+    let lookup = unordered.push(&plan, Event::Lookup { step: 0 });
+    let exec = unordered.push(&plan, Event::Exec { step: 0 });
+    let _bump = unordered.push(&plan, Event::EpochBump { source: 0 });
+    let commit = unordered.push(&plan, Event::Commit { step: 0 });
+    unordered.add_edge(lookup, exec);
+    unordered.add_edge(exec, commit);
+    for d in cache_commit_race_findings(&plan, &unordered) {
+        rows.push(("unordered-bump-commit-graph".to_string(), d));
+    }
+    // epoch-read-before-bump: the lookup is left unordered against the
+    // epoch bump it must precede.
+    let mut stale = EventGraph::new();
+    let _lookup = stale.push(&plan, Event::Lookup { step: 0 });
+    let exec = stale.push(&plan, Event::Exec { step: 0 });
+    let bump = stale.push(&plan, Event::EpochBump { source: 0 });
+    let commit = stale.push(&plan, Event::Commit { step: 0 });
+    stale.add_edge(exec, bump);
+    stale.add_edge(bump, commit);
+    for d in epoch_read_before_bump_findings(&plan, &stale) {
+        rows.push(("unordered-lookup-bump-graph".to_string(), d));
+    }
+    rows
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -216,6 +288,7 @@ fn lint_corpus_matches_golden_file() {
         }
     }
     rows.extend(stale_cache_rows());
+    rows.extend(interference_rows());
     let rendered = render(&rows);
     if std::env::var("BLESS").is_ok() {
         std::fs::write(GOLDEN, &rendered).unwrap();
@@ -241,6 +314,9 @@ fn corpus_exercises_every_dataflow_rule() {
     for (_, d) in stale_cache_rows() {
         rows.push(d.rule);
     }
+    for (_, d) in interference_rows() {
+        rows.push(d.rule);
+    }
     for rule in [
         "retry-non-idempotent-step",
         "narrow-then-widen",
@@ -248,6 +324,9 @@ fn corpus_exercises_every_dataflow_rule() {
         "dead-step",
         "duplicate-query",
         "stale-cache-serve",
+        "conflicting-stage-footprints",
+        "cache-commit-race",
+        "epoch-read-before-bump",
     ] {
         assert!(rows.contains(&rule), "corpus never triggers {rule}");
     }
