@@ -1,6 +1,12 @@
 //! E17: fault tolerance — answer quality and cost overhead as source
 //! availability degrades.
+//!
+//! Besides the printed table, the run emits `BENCH_e17.json` (to
+//! `$BENCH_DIR`, default `.`). Everything in it is deterministic: the
+//! fault plans are seeded, so attempts, costs, and recall are stable
+//! across machines and commits.
 
+use crate::json::{write_artifact, Json};
 use crate::table::{fmt3, Table};
 use fusion_core::postopt::sja_plus;
 use fusion_exec::{execute_plan_ft, Completeness, ExecutionOutcome, RetryPolicy};
@@ -85,6 +91,7 @@ pub fn e17_availability() {
         format!("outage R{n}"),
         FaultPlan::none(n).with_outage(SourceId(n - 1), 0),
     ));
+    let mut json_rows = Vec::new();
     for (label, faults) in rows {
         let out = run_under(&scenario, faults);
         let completeness = match &out.completeness {
@@ -93,10 +100,21 @@ pub fn e17_availability() {
                 missing_sources, ..
             } => format!("subset (-{} src)", missing_sources.len()),
         };
+        let failed = out.ledger.attempts_total() - out.ledger.round_trips();
+        json_rows.push(Json::obj([
+            ("label", Json::Str(label.clone())),
+            ("attempts", Json::Int(out.ledger.attempts_total() as i64)),
+            ("failed_attempts", Json::Int(failed as i64)),
+            ("failed_cost", Json::Num(out.ledger.failed_total().value())),
+            ("total_cost", Json::Num(out.total_cost().value())),
+            ("answer_size", Json::Int(out.answer.len() as i64)),
+            ("recall", Json::Num(recall(&out.answer, &exact))),
+            ("completeness", Json::Str(completeness.clone())),
+        ]));
         t.row(vec![
             label,
             out.ledger.attempts_total().to_string(),
-            (out.ledger.attempts_total() - out.ledger.round_trips()).to_string(),
+            failed.to_string(),
             fmt3(out.ledger.failed_total().value()),
             fmt3(out.total_cost().value()),
             out.answer.len().to_string(),
@@ -105,6 +123,13 @@ pub fn e17_availability() {
         ]);
     }
     t.print();
+    let artifact = Json::obj([
+        ("experiment", Json::Str("e17-availability".into())),
+        ("seed", Json::Int(SEED as i64)),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    let path = write_artifact("BENCH_e17.json", &artifact).expect("write BENCH_e17.json");
+    println!("wrote {}", path.display());
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub mod postopt;
 pub mod pruning;
 pub mod response;
 pub mod response_opt;
+pub mod server_exp;
 pub mod sweeps;
 
 use fusion_core::postopt::sja_plus;
@@ -69,7 +70,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     "fig1",
     "fig2",
     "fig5",
@@ -93,6 +94,7 @@ pub const ALL: [&str; 23] = [
     "e18-pruning",
     "e19-parallel",
     "e20-cache",
+    "e21-throughput",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -196,6 +198,10 @@ pub fn run(name: &str) -> bool {
         }
         "e20-cache" => {
             cache_exp::e20_cache();
+            true
+        }
+        "e21-throughput" => {
+            server_exp::e21_throughput();
             true
         }
         _ => false,

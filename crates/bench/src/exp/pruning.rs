@@ -7,7 +7,15 @@
 //! returning **byte-identical plans** (shared tie-breaking) while
 //! expanding strictly fewer prefixes. This experiment measures both
 //! effects on the m = 6..8 sweeps where the factorial starts to bite.
+//!
+//! Besides the printed tables, the run emits `BENCH_e18.json` (to
+//! `$BENCH_DIR`, default `.`). The artifact separates the
+//! **deterministic** half (prefix counts, plans-identical — stable
+//! across machines) from the **machine-dependent timings** (wall-clock
+//! times and the derived speedup), so cross-commit diffs can ignore the
+//! noisy half.
 
+use crate::json::{write_artifact, Json};
 use crate::table::{fmt3, Table};
 use fusion_core::optimizer::{sj_branch_and_bound, sja_branch_and_bound, BnbStats};
 use fusion_core::{sj_optimal, sja_optimal};
@@ -60,6 +68,7 @@ fn measure(m: usize, n: usize, seeds: u64, sja: bool) -> Cell {
 /// E18: exhaustive vs branch-and-bound, SJ and SJA, m = 6..8 at n = 8.
 pub fn e18_pruning() {
     const SEEDS: u64 = 10;
+    let mut json_rows = Vec::new();
     for (name, sja) in [("SJ", false), ("SJA", true)] {
         let mut t = Table::new(
             format!("E18: {name} branch-and-bound pruning (n=8, {SEEDS} random models per m)"),
@@ -76,6 +85,35 @@ pub fn e18_pruning() {
         );
         for m in 6..=8 {
             let c = measure(m, 8, SEEDS, sja);
+            json_rows.push(Json::obj([
+                ("algorithm", Json::Str(name.into())),
+                ("m", Json::Int(m as i64)),
+                (
+                    "deterministic",
+                    Json::obj([
+                        ("prefixes_exhaustive", Json::Int(c.full as i64)),
+                        ("prefixes_bnb", Json::Int(c.explored as i64)),
+                        (
+                            "expanded_fraction",
+                            Json::Num(c.explored as f64 / c.full as f64),
+                        ),
+                        ("plans_identical", Json::Bool(c.identical)),
+                    ]),
+                ),
+                (
+                    "timing",
+                    Json::obj([
+                        ("exact_s", Json::Num(c.exact_time.as_secs_f64())),
+                        ("bnb_s", Json::Num(c.bnb_time.as_secs_f64())),
+                        (
+                            "speedup",
+                            Json::Num(
+                                c.exact_time.as_secs_f64() / c.bnb_time.as_secs_f64().max(1e-12),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]));
             t.row(vec![
                 m.to_string(),
                 c.full.to_string(),
@@ -90,6 +128,14 @@ pub fn e18_pruning() {
         t.print();
         println!();
     }
+    let artifact = Json::obj([
+        ("experiment", Json::Str("e18-pruning".into())),
+        ("seeds_per_cell", Json::Int(SEEDS as i64)),
+        ("n", Json::Int(8)),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    let path = write_artifact("BENCH_e18.json", &artifact).expect("write BENCH_e18.json");
+    println!("wrote {}", path.display());
 }
 
 #[cfg(test)]

@@ -31,11 +31,15 @@
 
 pub mod cost;
 pub mod lint;
+pub mod shared;
 pub mod subsume;
 
 pub use cost::{CacheSnapshot, CachedCostModel};
 pub use lint::{stale_cache_findings, StaleCacheServe};
+pub use shared::{CacheGuard, SharedAnswerCache};
 pub use subsume::subsumes;
+
+use std::sync::Arc;
 
 use fusion_types::error::Result;
 use fusion_types::{Condition, Cost, ItemSet, Schema, SourceId, Tuple};
@@ -47,8 +51,11 @@ pub struct CacheEntry {
     pub source: SourceId,
     /// The condition the records satisfy.
     pub cond: Condition,
-    /// Full records, in the order the wrapper returned them.
-    tuples: Vec<Tuple>,
+    /// Full records, in the order the wrapper returned them. Behind an
+    /// [`Arc`] so a concurrent reader ([`SharedAnswerCache`]) can take a
+    /// cheap reference under the shard lock and run the residual filter
+    /// outside it.
+    tuples: Arc<Vec<Tuple>>,
     /// Source epoch the records were fetched under.
     pub epoch: u64,
     /// False when harvested from a `Subset`-complete execution; such
@@ -93,6 +100,34 @@ pub struct Served {
     pub kind: HitKind,
 }
 
+/// A lookup resolved but not yet served: the matched entry's records
+/// plus the hit kind. [`ResolvedHit::serve`] runs the projection (and
+/// residual filter, for a subsumption hit) — deliberately separate from
+/// resolution so [`SharedAnswerCache`] can do the cheap match under a
+/// shard lock and the per-tuple work outside it.
+#[derive(Debug, Clone)]
+pub struct ResolvedHit {
+    tuples: Arc<Vec<Tuple>>,
+    /// Exact hit or subsumption residual.
+    pub kind: HitKind,
+}
+
+impl ResolvedHit {
+    /// Projects the resolved records to the answer item set, applying
+    /// `cond` as a residual filter when the hit was by subsumption. The
+    /// result is byte-identical to what [`AnswerCache::lookup`] serves.
+    ///
+    /// # Errors
+    /// Propagates predicate evaluation errors from the residual filter.
+    pub fn serve(&self, cond: &Condition, schema: &Schema) -> Result<Served> {
+        let items = project(&self.tuples, cond, schema, self.kind == HitKind::Subsumed)?;
+        Ok(Served {
+            items,
+            kind: self.kind,
+        })
+    }
+}
+
 /// Monotone counters describing cache behaviour since construction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -121,6 +156,10 @@ pub struct AnswerCache {
     budget: usize,
     clock: u64,
     stats: CacheStats,
+    /// Operations applied through a shared-cache guard — the per-shard
+    /// half of the server's linearizability certificate (see
+    /// [`crate::shared`]). Exclusive (`&mut`) use never advances it.
+    op_seq: u64,
 }
 
 impl AnswerCache {
@@ -132,7 +171,18 @@ impl AnswerCache {
             budget: budget_bytes,
             clock: 0,
             stats: CacheStats::default(),
+            op_seq: 0,
         }
+    }
+
+    /// Guard-applied operations so far (see [`crate::shared`]).
+    pub fn op_seq(&self) -> u64 {
+        self.op_seq
+    }
+
+    /// Counts one guard-applied operation.
+    pub(crate) fn note_op(&mut self) {
+        self.op_seq += 1;
     }
 
     /// The configured byte budget.
@@ -182,10 +232,13 @@ impl AnswerCache {
         }
         self.epochs[source.0] += 1;
         let epoch = self.epochs[source.0];
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| e.source != source || e.epoch >= epoch);
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+        let mut removed: u64 = 0;
+        self.entries.retain(|e| {
+            let keep = e.source != source || e.epoch >= epoch;
+            removed += u64::from(!keep);
+            keep
+        });
+        self.stats.invalidations += removed;
     }
 
     /// Drops every entry and resets all epochs (stats are kept).
@@ -225,6 +278,28 @@ impl AnswerCache {
         best.map(|(i, _)| (i, HitKind::Subsumed))
     }
 
+    /// Resolves a lookup for `(source, cond)` without projecting: the
+    /// statistics and LRU effects of [`AnswerCache::lookup`] happen
+    /// here, but the per-tuple projection/filter work is deferred to
+    /// [`ResolvedHit::serve`]. This is the half a shared cache runs
+    /// under its shard lock.
+    pub fn resolve(&mut self, source: SourceId, cond: &Condition) -> Option<ResolvedHit> {
+        self.clock += 1;
+        let Some((idx, kind)) = self.find_servable(source, cond) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.entries[idx].last_used = self.clock;
+        match kind {
+            HitKind::Exact => self.stats.hits += 1,
+            HitKind::Subsumed => self.stats.residual_hits += 1,
+        }
+        Some(ResolvedHit {
+            tuples: Arc::clone(&self.entries[idx].tuples),
+            kind,
+        })
+    }
+
     /// Looks up `(source, cond)`, serving an exact hit or a residual-
     /// filtered subsumption hit. Records hit/miss statistics and LRU
     /// recency.
@@ -237,24 +312,10 @@ impl AnswerCache {
         cond: &Condition,
         schema: &Schema,
     ) -> Result<Option<Served>> {
-        self.clock += 1;
-        let Some((idx, kind)) = self.find_servable(source, cond) else {
-            self.stats.misses += 1;
-            return Ok(None);
-        };
-        let items = {
-            let e = &self.entries[idx];
-            match kind {
-                HitKind::Exact => project(&e.tuples, cond, schema, false)?,
-                HitKind::Subsumed => project(&e.tuples, cond, schema, true)?,
-            }
-        };
-        self.entries[idx].last_used = self.clock;
-        match kind {
-            HitKind::Exact => self.stats.hits += 1,
-            HitKind::Subsumed => self.stats.residual_hits += 1,
+        match self.resolve(source, cond) {
+            Some(hit) => Ok(Some(hit.serve(cond, schema)?)),
+            None => Ok(None),
         }
-        Ok(Some(Served { items, kind }))
     }
 
     /// Admits an answer fetched at price `refetch`. Replaces any entry
@@ -277,7 +338,7 @@ impl AnswerCache {
         let entry = CacheEntry {
             source,
             cond,
-            tuples,
+            tuples: Arc::new(tuples),
             epoch: self.epoch(source),
             exact,
             bytes,
@@ -448,6 +509,39 @@ mod tests {
         c.insert(s, lt(100), vec![row("a", 5)], true, Cost::new(10.0));
         assert!(c.lookup(s, &lt(100), &schema()).unwrap().is_some());
         assert_eq!(c.epoch(s), 1);
+    }
+
+    #[test]
+    fn bump_with_no_matching_entries_counts_zero_invalidations() {
+        let mut c = AnswerCache::new(1 << 20);
+        c.insert(
+            SourceId(1),
+            lt(100),
+            vec![row("a", 5)],
+            true,
+            Cost::new(1.0),
+        );
+        // Source 0 has no resident entries: the bump must not count any
+        // invalidations, and the other source's entry must survive.
+        c.bump_epoch(SourceId(0));
+        assert_eq!(c.stats().invalidations, 0);
+        assert_eq!(c.len(), 1);
+        // A second bump of the same empty source stays at zero.
+        c.bump_epoch(SourceId(0));
+        assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn bump_removing_every_entry_counts_each_removal() {
+        let mut c = AnswerCache::new(1 << 20);
+        let s = SourceId(0);
+        c.insert(s, lt(10), vec![row("a", 5)], true, Cost::new(1.0));
+        c.insert(s, lt(20), vec![row("b", 15)], true, Cost::new(1.0));
+        c.insert(s, lt(30), vec![row("c", 25)], false, Cost::new(1.0));
+        assert_eq!(c.len(), 3);
+        c.bump_epoch(s);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 3);
     }
 
     #[test]

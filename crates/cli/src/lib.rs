@@ -26,7 +26,10 @@ use fusion_core::{
     analyze_plan, dataflow_lint_plan, explain, filter_plan, greedy_sja, sj_optimal, sja_optimal,
     Dataflow, Diagnostic, NetworkCostModel, Plan, SourceBounds, Verdict,
 };
-use fusion_exec::{execute_plan, execute_plan_ft, fetch_records, ParallelConfig, RetryPolicy};
+use fusion_exec::{
+    execute_plan, execute_plan_ft, fetch_records, replay_serial, serve, verify_replay_parity,
+    ParallelConfig, RetryPolicy, ServerConfig, TenantEvent,
+};
 use fusion_net::{FaultPlan, FaultSpec, Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
 use fusion_stats::TableStats;
@@ -35,6 +38,9 @@ use fusion_types::{Attribute, Relation, Schema, SourceId, ValueType};
 
 /// Byte budget `\cache on` uses when none is given.
 const DEFAULT_CACHE_BUDGET: usize = 1 << 20;
+
+/// Sources in the synthetic scenario `\serve` runs.
+const SERVE_SOURCES: usize = 5;
 
 /// One registered source.
 struct SourceEntry {
@@ -75,6 +81,37 @@ impl FaultSettings {
     }
 }
 
+/// Multi-tenant workload settings for `\serve` (see `\sessions`).
+#[derive(Debug, Clone, Copy)]
+struct SessionsSpec {
+    tenants: usize,
+    queries: usize,
+    skew: f64,
+    update_rate: f64,
+    seed: u64,
+}
+
+impl Default for SessionsSpec {
+    fn default() -> SessionsSpec {
+        SessionsSpec {
+            tenants: 3,
+            queries: 8,
+            skew: 1.2,
+            update_rate: 0.1,
+            seed: 41,
+        }
+    }
+}
+
+impl SessionsSpec {
+    fn describe(&self) -> String {
+        format!(
+            "sessions: tenants={} queries={} skew={} updates={} seed={}",
+            self.tenants, self.queries, self.skew, self.update_rate, self.seed
+        )
+    }
+}
+
 /// The shell state: a schema and the registered sources.
 #[derive(Default)]
 pub struct Session {
@@ -82,6 +119,7 @@ pub struct Session {
     sources: Vec<SourceEntry>,
     faults: Option<FaultSettings>,
     cache: Option<AnswerCache>,
+    sessions: SessionsSpec,
 }
 
 /// What the caller should do after a command.
@@ -141,6 +179,8 @@ impl Session {
             "adaptive" => self.cmd_adaptive(arg),
             "faults" => self.cmd_faults(arg),
             "cache" => self.cmd_cache(arg),
+            "sessions" => self.cmd_sessions(arg),
+            "serve" => self.cmd_serve(arg),
             "plan" => {
                 let mut p = arg.splitn(2, char::is_whitespace);
                 let algo = p.next().unwrap_or_default().to_string();
@@ -844,6 +884,172 @@ executed cost {} with per-round re-optimization:",
         }
     }
 
+    /// `\sessions` shows the multi-tenant workload settings and a
+    /// preview of the generated streams; `\sessions key=val...` updates
+    /// them (tenants=N queries=K skew=S updates=P seed=X).
+    fn cmd_sessions(&mut self, arg: &str) -> Result<String> {
+        for tok in arg.split_whitespace() {
+            let (key, val) = tok.split_once('=').ok_or_else(|| {
+                FusionError::parse(format!(
+                    "bad session option `{tok}` (tenants=N queries=K skew=S updates=P seed=X)"
+                ))
+            })?;
+            let bad = |what: &str| FusionError::parse(format!("bad {what} in `{tok}`"));
+            match key {
+                "tenants" => {
+                    self.sessions.tenants = val.parse().map_err(|_| bad("tenant count"))?;
+                }
+                "queries" => {
+                    self.sessions.queries = val.parse().map_err(|_| bad("query count"))?;
+                }
+                "skew" => self.sessions.skew = val.parse().map_err(|_| bad("skew"))?,
+                "updates" => {
+                    self.sessions.update_rate = val.parse().map_err(|_| bad("update rate"))?;
+                }
+                "seed" => self.sessions.seed = val.parse().map_err(|_| bad("seed"))?,
+                other => {
+                    return Err(FusionError::parse(format!(
+                        "unknown session option `{other}`"
+                    )));
+                }
+            }
+        }
+        if self.sessions.tenants == 0 || self.sessions.queries == 0 {
+            return Err(FusionError::parse("tenants and queries must be positive"));
+        }
+        let mut out = vec![self.sessions.describe()];
+        for (t, stream) in self.tenant_streams().iter().enumerate() {
+            let events: Vec<String> = stream
+                .iter()
+                .map(|e| match e {
+                    TenantEvent::Query(_) => "q".to_string(),
+                    TenantEvent::Update(s) => format!("upd(R{})", s.0 + 1),
+                })
+                .collect();
+            out.push(format!("tenant {t}: {}", events.join(" ")));
+        }
+        Ok(out.join("\n"))
+    }
+
+    /// The synthetic scenario and per-tenant streams `\serve` runs:
+    /// every tenant draws from one shared Zipf query pool (so the
+    /// shared cache has cross-tenant reuse to find) but follows its own
+    /// event stream.
+    fn tenant_streams(&self) -> Vec<Vec<TenantEvent>> {
+        let spec = fusion_workload::session::SessionSpec {
+            m: 2,
+            n_sources: SERVE_SOURCES,
+            pool: 6,
+            n_queries: self.sessions.queries,
+            skew: self.sessions.skew,
+            update_rate: self.sessions.update_rate,
+            sel_range: (0.02, 0.45),
+            seed: self.sessions.seed ^ 0x5E55,
+        };
+        (0..self.sessions.tenants)
+            .map(|t| {
+                fusion_workload::session::generate_session_for_tenant(&spec, t as u64)
+                    .events
+                    .iter()
+                    .map(|e| match e {
+                        fusion_workload::session::SessionEvent::Query { query, .. } => {
+                            TenantEvent::Query(query.clone())
+                        }
+                        fusion_workload::session::SessionEvent::Update { source } => {
+                            TenantEvent::Update(*source)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// `\serve [workers=W] [budget=N] [limit=L]`: run the `\sessions`
+    /// workload through the multi-tenant server over a shared answer
+    /// cache, then serially replay the admission log and byte-compare
+    /// every answer and ledger before reporting.
+    fn cmd_serve(&mut self, arg: &str) -> Result<String> {
+        let mut config = ServerConfig::with_workers(4);
+        config.cache_budget = DEFAULT_CACHE_BUDGET;
+        for tok in arg.split_whitespace() {
+            let (key, val) = tok.split_once('=').ok_or_else(|| {
+                FusionError::parse(format!(
+                    "bad serve option `{tok}` (workers=W budget=N limit=L)"
+                ))
+            })?;
+            let bad = |what: &str| FusionError::parse(format!("bad {what} in `{tok}`"));
+            match key {
+                "workers" => {
+                    let w: usize = val.parse().map_err(|_| bad("worker count"))?;
+                    if w == 0 {
+                        return Err(bad("worker count (must be positive)"));
+                    }
+                    config.workers = w;
+                    config.max_in_flight = w;
+                }
+                "budget" => config.cache_budget = val.parse().map_err(|_| bad("budget"))?,
+                "limit" => {
+                    let l: usize = val.parse().map_err(|_| bad("limit"))?;
+                    if l == 0 {
+                        return Err(bad("limit (must be positive)"));
+                    }
+                    config.per_source_limit = l;
+                }
+                other => {
+                    return Err(FusionError::parse(format!(
+                        "unknown serve option `{other}`"
+                    )));
+                }
+            }
+        }
+        let scenario = fusion_workload::synth::synth_scenario(
+            &fusion_workload::synth::SynthSpec {
+                n_sources: SERVE_SOURCES,
+                domain_size: 1_000,
+                rows_per_source: 400,
+                seed: self.sessions.seed,
+                ..fusion_workload::synth::SynthSpec::default_with(SERVE_SOURCES, self.sessions.seed)
+            },
+            &[0.2, 0.2],
+        );
+        let tenants = self.tenant_streams();
+        let netf = || scenario.network();
+        let report = serve(
+            &scenario.sources,
+            &netf,
+            Some(scenario.domain_size),
+            &tenants,
+            &config,
+        )?;
+        let (replayed, fp) = replay_serial(
+            &scenario.sources,
+            &netf,
+            Some(scenario.domain_size),
+            &tenants,
+            &config,
+            &report.log,
+        )?;
+        let parity = verify_replay_parity(&report, &replayed, &fp)?;
+        let s = &report.cache;
+        let lookups = s.hits + s.residual_hits + s.misses;
+        let served: usize = report.results.iter().map(|r| r.served).sum();
+        Ok(format!(
+            "served {} queries from {} tenants over {} workers ({} shed)\n\
+             total executed cost {:.3}, {} of {} lookups cached ({served} selections served warm)\n\
+             log: {} ops, {} commuting pairs, linearization certified\n\
+             replay parity: {parity} answers and ledgers byte-identical to the serial replay",
+            report.results.len(),
+            tenants.len(),
+            config.workers,
+            report.shed.len(),
+            report.total_cost().value(),
+            s.hits + s.residual_hits,
+            lookups,
+            report.log.len(),
+            report.commuting_pairs,
+        ))
+    }
+
     /// The `\cache` status text: size, epochs, and lifetime counters.
     fn describe_cache(&self) -> String {
         let Some(c) = &self.cache else {
@@ -1165,6 +1371,17 @@ executed cost {} with per-round re-optimization:",
     }
 }
 
+/// Every command the shell dispatches, by primary name (aliases like
+/// `\h` and `\q` excluded). The dispatcher and the `\help` text are
+/// both audited against this table in tests, so adding a command here
+/// (or to the dispatcher) without documenting it fails the build's
+/// test step.
+pub const COMMANDS: &[&str] = &[
+    "scenario", "schema", "load", "sources", "explain", "lint", "dataflow", "check", "plan",
+    "exec", "fetch", "gantt", "trace", "adaptive", "faults", "cache", "sessions", "serve", "help",
+    "quit",
+];
+
 /// The text shown by `\help`.
 pub const HELP: &str = "\
 commands:
@@ -1209,6 +1426,17 @@ commands:
          subsumption with a residual filter — plans are re-optimized
          against the warm snapshot, and source updates invalidate by
          epoch. \\cache alone shows size, epochs, and hit/miss counters.
+  \\sessions [tenants=N] [queries=K] [skew=S] [updates=P] [seed=X]
+         configure and preview the multi-tenant Zipf session workload
+         \\serve runs: one shared query pool, a per-tenant event stream
+         with occasional source updates. \\sessions alone shows the
+         current settings and streams.
+  \\serve [workers=W] [budget=N] [limit=L]  run the session workload
+         through the multi-tenant mediator server: a pool of W workers
+         interleaves every tenant's queries over one shared answer
+         cache (budget N bytes, at most L in-flight exchanges per
+         source), then the admission log is replayed serially and every
+         answer and ledger byte-compared before reporting.
   \\help                                  this text
   \\quit                                  exit
 anything else is parsed as a fusion query and executed with SJA+";
@@ -1702,32 +1930,55 @@ mod tests {
     fn quit_and_help() {
         let mut s = Session::new();
         let help = run(&mut s, "\\help");
-        // Every dispatched command is documented.
-        for cmd in [
-            "\\scenario",
-            "\\schema",
-            "\\load",
-            "\\sources",
-            "\\explain",
-            "\\lint",
-            "\\dataflow",
-            "\\check",
-            "\\plan",
-            "\\exec",
-            "\\fetch",
-            "\\gantt",
-            "\\trace",
-            "\\adaptive",
-            "\\faults",
-            "\\cache",
-            "\\help",
-            "\\quit",
-        ] {
-            assert!(help.contains(cmd), "help is missing {cmd}");
+        // Every command in the shared dispatch table is documented, and
+        // every one of them actually dispatches (no "unknown command").
+        for cmd in COMMANDS {
+            assert!(
+                help.contains(&format!("\\{cmd}")),
+                "help is missing \\{cmd}"
+            );
+            let mut probe = Session::new();
+            let (out, _) = probe.handle(&format!("\\{cmd}"));
+            assert!(
+                !out.contains("unknown command"),
+                "\\{cmd} is in COMMANDS but does not dispatch: {out}"
+            );
         }
+        // And the table is exact: names outside it are rejected.
+        let mut probe = Session::new();
+        let (out, _) = probe.handle("\\nosuchcmd");
+        assert!(out.contains("unknown command"), "{out}");
         let (out, ctl) = s.handle("\\quit");
         assert_eq!(ctl, Control::Quit);
         assert_eq!(out, "bye");
+    }
+
+    #[test]
+    fn sessions_configure_and_preview() {
+        let mut s = Session::new();
+        let out = run(&mut s, "\\sessions tenants=2 queries=4 seed=7");
+        assert!(out.contains("tenants=2"), "{out}");
+        assert!(out.contains("tenant 0:"), "{out}");
+        assert!(out.contains("tenant 1:"), "{out}");
+        assert!(!out.contains("tenant 2:"), "{out}");
+        assert!(run(&mut s, "\\sessions tenants=0").starts_with("error:"));
+        assert!(run(&mut s, "\\sessions bogus=1").starts_with("error:"));
+        assert!(run(&mut s, "\\sessions nonsense").starts_with("error:"));
+    }
+
+    #[test]
+    fn serve_runs_the_session_workload_with_replay_parity() {
+        let mut s = Session::new();
+        run(&mut s, "\\sessions tenants=2 queries=4");
+        let out = run(&mut s, "\\serve workers=2");
+        assert!(
+            out.contains("served 8 queries from 2 tenants over 2 workers"),
+            "{out}"
+        );
+        assert!(out.contains("byte-identical to the serial replay"), "{out}");
+        assert!(out.contains("linearization certified"), "{out}");
+        assert!(run(&mut s, "\\serve workers=0").starts_with("error:"));
+        assert!(run(&mut s, "\\serve speed=11").starts_with("error:"));
     }
 
     #[test]

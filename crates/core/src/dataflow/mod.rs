@@ -49,8 +49,9 @@ mod lint;
 pub use interference::{
     cache_commit_race_findings, conflicting_footprint_findings, epoch_read_before_bump_findings,
     event_footprint, interference_report, interference_rules, plan_footprints, serial_queue_stages,
-    step_footprint, verify_serial_queue_stages, CacheCommitRace, ConflictingStageFootprints,
-    EpochReadBeforeBump, Event, EventGraph, Footprint, Interference, Resource, Witness,
+    server_commuting_pairs, server_event_footprint, step_footprint, verify_serial_queue_stages,
+    verify_server_log, CacheCommitRace, ConflictingStageFootprints, EpochReadBeforeBump, Event,
+    EventGraph, Footprint, Interference, Resource, ServerEvent, ServerOp, Witness,
 };
 pub use lint::{dataflow_lint_plan, dataflow_rules};
 

@@ -32,6 +32,11 @@
 //!   breaker, cost deadline), and when a source stays down its steps are
 //!   dropped — guarded by the BDD analyzer's droppability check — to
 //!   return a partial answer tagged [`Completeness::Subset`].
+//! * [`serve`] is the multi-tenant mediator server: a worker pool
+//!   interleaves many tenants' sessions over one shared, sharded answer
+//!   cache with admission control, per-source concurrency limits, and a
+//!   certified replayable operation log ([`replay_serial`] /
+//!   [`verify_replay_parity`] prove byte-parity with a serial run).
 //!
 //! [`FaultPlan`]: fusion_net::FaultPlan
 //!
@@ -48,6 +53,7 @@ pub mod piggyback;
 pub mod replay;
 pub mod retry;
 pub mod schedule;
+pub mod server;
 pub mod two_phase;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_ft, AdaptiveOutcome, AdaptiveRound};
@@ -63,5 +69,9 @@ pub use replay::{execute_plan_replay, ReplayOptions};
 pub use retry::{Completeness, RetryPolicy};
 pub use schedule::{
     response_time, schedule, stage_schedule, verify_stage_trace, ScheduledStep, StageTraceEntry,
+};
+pub use server::{
+    replay_serial, serve, verify_replay_parity, LoggedOp, OpKind, QueryResult, ReplayedQuery,
+    ServerConfig, ServerReport, ShedQuery, TenantEvent,
 };
 pub use two_phase::fetch_records;
