@@ -9,6 +9,7 @@ pub mod fidelity;
 pub mod figures;
 pub mod greedy;
 pub mod heterogeneity;
+pub mod mqo_exp;
 pub mod one_phase;
 pub mod optimality;
 pub mod parallel_exp;
@@ -70,7 +71,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 25] = [
     "fig1",
     "fig2",
     "fig5",
@@ -95,6 +96,7 @@ pub const ALL: [&str; 24] = [
     "e19-parallel",
     "e20-cache",
     "e21-throughput",
+    "e22-mqo",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -202,6 +204,10 @@ pub fn run(name: &str) -> bool {
         }
         "e21-throughput" => {
             server_exp::e21_throughput();
+            true
+        }
+        "e22-mqo" => {
+            mqo_exp::e22_mqo();
             true
         }
         _ => false,

@@ -113,6 +113,15 @@ pub struct ResolvedHit {
 }
 
 impl ResolvedHit {
+    /// Wraps records published outside the cache — the merged-fetch
+    /// fan-out path: a follower serves a leader's in-flight harvest
+    /// through the same projection (and, for a proper containment,
+    /// residual filter) an answer-cache hit uses, so shared answers
+    /// stay byte-identical to a cold `sq`.
+    pub fn from_rows(tuples: Arc<Vec<Tuple>>, kind: HitKind) -> ResolvedHit {
+        ResolvedHit { tuples, kind }
+    }
+
     /// Projects the resolved records to the answer item set, applying
     /// `cond` as a residual filter when the hit was by subsumption. The
     /// result is byte-identical to what [`AnswerCache::lookup`] serves.

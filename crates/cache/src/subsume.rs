@@ -391,6 +391,76 @@ mod tests {
     }
 
     #[test]
+    fn negation_flips_containment_antitone() {
+        // The sharing analyzer must never treat `A − B` (or any negated
+        // position) as monotone: A1 < 500 ⊇ A1 < 200, and under ¬ the
+        // containment FLIPS — ¬(A1 < 200) ⊇ ¬(A1 < 500), not the other
+        // way round. Both directions are exercised so a sign error in
+        // the axioms would be caught.
+        assert!(subsumes(&lt("A1", 500), &lt("A1", 200)));
+        let not_narrow = Predicate::Not(Box::new(lt("A1", 200)));
+        let not_broad = Predicate::Not(Box::new(lt("A1", 500)));
+        assert!(subsumes(&not_narrow, &not_broad));
+        assert!(!subsumes(&not_broad, &not_narrow));
+    }
+
+    #[test]
+    fn demorgan_and_double_negation() {
+        let p = lt("A1", 10);
+        let q = Predicate::eq("A2", 3i64);
+        // ¬p ⊆ ¬(p ∧ q) — propositional, no theory needed.
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        let not_and = Predicate::Not(Box::new(Predicate::And(vec![p.clone(), q])));
+        assert!(subsumes(&not_and, &not_p));
+        assert!(!subsumes(&not_p, &not_and));
+        // ¬¬p is the same BDD as p: both directions are proved.
+        let not_not_p = Predicate::Not(Box::new(not_p));
+        assert!(subsumes(&p, &not_not_p));
+        assert!(subsumes(&not_not_p, &p));
+    }
+
+    #[test]
+    fn negated_between_contains_the_upper_tail() {
+        // ¬(A1 BETWEEN 10 AND 20) ⊇ A1 > 20: a non-null value above the
+        // range fails the upper bound, and > excludes NULL.
+        let between = Predicate::Between {
+            attr: "A1".into(),
+            lo: fusion_types::Value::Int(10),
+            hi: fusion_types::Value::Int(20),
+        };
+        let not_between = Predicate::Not(Box::new(between));
+        let tail = Predicate::cmp("A1", CmpOp::Gt, 20i64);
+        assert!(subsumes(&not_between, &tail));
+        // The converse fails: NULL satisfies ¬BETWEEN but not `>`.
+        assert!(!subsumes(&tail, &not_between));
+    }
+
+    #[test]
+    fn null_bounded_between_is_opaque() {
+        // A NULL bound routes BETWEEN through the raw value order, so
+        // the prover treats it as an opaque atom: only structural
+        // equality proves anything.
+        let opaque = Predicate::Between {
+            attr: "A1".into(),
+            lo: fusion_types::Value::Null,
+            hi: fusion_types::Value::Int(5),
+        };
+        assert!(subsumes(&opaque, &opaque));
+        assert!(!subsumes(&lt("A1", 6), &opaque));
+        assert!(!subsumes(&opaque, &lt("A1", 6)));
+    }
+
+    #[test]
+    fn contradictory_narrow_is_contained_in_anything() {
+        // A1 < 10 ∧ A1 > 20 is unsatisfiable by the disjointness
+        // axioms, so it is contained even in a predicate over a
+        // different attribute.
+        let contradiction =
+            Predicate::And(vec![lt("A1", 10), Predicate::cmp("A1", CmpOp::Gt, 20i64)]);
+        assert!(subsumes(&Predicate::eq("Z9", 1i64), &contradiction));
+    }
+
+    #[test]
     fn no_discrete_adjacency_reasoning() {
         // Over the integers A1 < 10 ⊆ A1 <= 9, but the prover must not
         // claim it: only dense-safe facts are used.

@@ -32,13 +32,15 @@
 //! deadline-free policies.
 
 use fusion_cache::AnswerCache;
+use fusion_core::cost::NetworkCostModel;
 use fusion_core::dataflow::{serial_queue_stages, Event, EventGraph};
 use fusion_core::plan::Plan;
 use fusion_core::query::FusionQuery;
+use fusion_core::sja_optimal;
 use fusion_exec::cached::{execute_plan_cached, execute_plan_ft_cached};
 use fusion_exec::{
-    execute_plan, execute_plan_ft, execute_plan_replay, ExecutionOutcome, ReplayOptions,
-    RetryPolicy,
+    execute_plan, execute_plan_ft, execute_plan_replay, replay_serial, serve, verify_replay_parity,
+    ExecutionOutcome, ReplayOptions, RetryPolicy, ServerConfig, TenantEvent,
 };
 use fusion_net::Network;
 use fusion_source::SourceSet;
@@ -498,6 +500,71 @@ pub fn check_schedules(
     )
 }
 
+/// Discharges the *dynamic* half of the admission-time merge
+/// certificate: runs the multi-tenant server over `tenants` (typically
+/// with [`ServerConfig::share`] on, so co-admitted equivalent and
+/// contained selections ride one merged fetch), proves the run replays
+/// bit-for-bit from its operation log, and then compares every query's
+/// answer and completeness against an isolated cold run of the same
+/// query — fresh network, no cache, no sharing. A merged execution that
+/// passes is byte-invisible: sharing changed costs, never answers.
+///
+/// Ledgers and cache state are *not* compared against the isolated
+/// runs (they legitimately differ — that is the point of sharing);
+/// they are compared between the live run and its replay.
+///
+/// Returns the number of queries compared.
+///
+/// # Errors
+/// Fails on any divergence — replay parity (answers, ledgers,
+/// completeness, cache state) or a merged answer or completeness
+/// differing from its isolated reference — and on execution errors.
+pub fn verify_merged_vs_isolated(
+    sources: &SourceSet,
+    make_network: &(dyn Fn() -> Network + Sync),
+    domain_size: Option<f64>,
+    tenants: &[Vec<TenantEvent>],
+    config: &ServerConfig,
+) -> Result<usize> {
+    let report = serve(sources, make_network, domain_size, tenants, config)?;
+    let (replayed, fp) = replay_serial(
+        sources,
+        make_network,
+        domain_size,
+        tenants,
+        config,
+        &report.log,
+    )?;
+    verify_replay_parity(&report, &replayed, &fp)?;
+    let mut compared = 0;
+    for r in &report.results {
+        let TenantEvent::Query(q) = &tenants[r.tenant][r.index] else {
+            return Err(FusionError::execution(format!(
+                "merged-vs-isolated: result for tenant {} event {} does not name a query",
+                r.tenant, r.index
+            )));
+        };
+        let model = NetworkCostModel::new(sources, &make_network(), q, domain_size);
+        let mut network = make_network();
+        let iso = execute_plan(&sja_optimal(&model).plan, q, sources, &mut network)?;
+        if r.outcome.answer != iso.answer {
+            return Err(FusionError::execution(format!(
+                "merged-vs-isolated: answer diverged for tenant {} event {} \
+                 (shared {}, served {})",
+                r.tenant, r.index, r.shared, r.served
+            )));
+        }
+        if r.outcome.completeness != iso.completeness {
+            return Err(FusionError::execution(format!(
+                "merged-vs-isolated: completeness diverged for tenant {} event {}",
+                r.tenant, r.index
+            )));
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,6 +714,44 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn merged_server_runs_match_isolated_references() {
+        let sources = dmv_sources();
+        let make_net = || Network::uniform(3, LinkProfile::Wan.link());
+        let year = |y: i64| {
+            FusionQuery::new(
+                dmv_schema(),
+                vec![
+                    Predicate::cmp("D", fusion_types::CmpOp::Ge, y).into(),
+                    Predicate::eq("V", "sp").into(),
+                ],
+            )
+            .unwrap()
+        };
+        // Duplicates and a contained pair across tenants; pacing holds
+        // queries in flight so admissions overlap and sharing engages.
+        let tenants = vec![
+            vec![
+                TenantEvent::Query(dmv_query()),
+                TenantEvent::Query(year(1990)),
+            ],
+            vec![
+                TenantEvent::Query(dmv_query()),
+                TenantEvent::Query(year(1994)),
+            ],
+        ];
+        for share in [true, false] {
+            let config = ServerConfig {
+                pace: Some(0.005),
+                share,
+                ..ServerConfig::with_workers(2)
+            };
+            let n = verify_merged_vs_isolated(&sources, &make_net, Some(1000.0), &tenants, &config)
+                .unwrap();
+            assert_eq!(n, 4, "share={share}");
         }
     }
 }

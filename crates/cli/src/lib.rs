@@ -16,9 +16,12 @@
 
 #![forbid(unsafe_code)]
 
-use fusion_cache::{AnswerCache, CachedCostModel};
+use fusion_cache::{subsumes, AnswerCache, CachedCostModel};
 use fusion_check::{check_certified, CheckConfig};
-use fusion_core::dataflow::{serial_queue_stages, EventGraph, Resource};
+use fusion_core::dataflow::{
+    duplicate_inflight_findings, serial_queue_stages, sharing_report, unshared_subsumed_findings,
+    unsound_merge_findings, EdgeKind, EventGraph, InFlightPlan, Resource,
+};
 use fusion_core::optimizer::sja_response_optimal;
 use fusion_core::postopt::sja_plus;
 use fusion_core::query::FusionQuery;
@@ -34,7 +37,7 @@ use fusion_net::{FaultPlan, FaultSpec, Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
 use fusion_stats::TableStats;
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{Attribute, Relation, Schema, SourceId, ValueType};
+use fusion_types::{Attribute, Predicate, Relation, Schema, SourceId, ValueType};
 
 /// Byte budget `\cache on` uses when none is given.
 const DEFAULT_CACHE_BUDGET: usize = 1 << 20;
@@ -181,6 +184,7 @@ impl Session {
             "cache" => self.cmd_cache(arg),
             "sessions" => self.cmd_sessions(arg),
             "serve" => self.cmd_serve(arg),
+            "share" => self.cmd_share(arg),
             "plan" => {
                 let mut p = arg.splitn(2, char::is_whitespace);
                 let algo = p.next().unwrap_or_default().to_string();
@@ -964,17 +968,31 @@ executed cost {} with per-round re-optimization:",
             .collect()
     }
 
-    /// `\serve [workers=W] [budget=N] [limit=L]`: run the `\sessions`
-    /// workload through the multi-tenant server over a shared answer
-    /// cache, then serially replay the admission log and byte-compare
-    /// every answer and ledger before reporting.
+    /// The synthetic scenario `\serve` and `\share` run over.
+    fn serve_scenario(&self) -> fusion_workload::Scenario {
+        fusion_workload::synth::synth_scenario(
+            &fusion_workload::synth::SynthSpec {
+                n_sources: SERVE_SOURCES,
+                domain_size: 1_000,
+                rows_per_source: 400,
+                seed: self.sessions.seed,
+                ..fusion_workload::synth::SynthSpec::default_with(SERVE_SOURCES, self.sessions.seed)
+            },
+            &[0.2, 0.2],
+        )
+    }
+
+    /// `\serve [workers=W] [budget=N] [limit=L] [share=on|off]`: run
+    /// the `\sessions` workload through the multi-tenant server over a
+    /// shared answer cache, then serially replay the admission log and
+    /// byte-compare every answer and ledger before reporting.
     fn cmd_serve(&mut self, arg: &str) -> Result<String> {
         let mut config = ServerConfig::with_workers(4);
         config.cache_budget = DEFAULT_CACHE_BUDGET;
         for tok in arg.split_whitespace() {
             let (key, val) = tok.split_once('=').ok_or_else(|| {
                 FusionError::parse(format!(
-                    "bad serve option `{tok}` (workers=W budget=N limit=L)"
+                    "bad serve option `{tok}` (workers=W budget=N limit=L share=on|off)"
                 ))
             })?;
             let bad = |what: &str| FusionError::parse(format!("bad {what} in `{tok}`"));
@@ -995,6 +1013,13 @@ executed cost {} with per-round re-optimization:",
                     }
                     config.per_source_limit = l;
                 }
+                "share" => {
+                    config.share = match val {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(bad("share setting (on|off)")),
+                    };
+                }
                 other => {
                     return Err(FusionError::parse(format!(
                         "unknown serve option `{other}`"
@@ -1002,16 +1027,7 @@ executed cost {} with per-round re-optimization:",
                 }
             }
         }
-        let scenario = fusion_workload::synth::synth_scenario(
-            &fusion_workload::synth::SynthSpec {
-                n_sources: SERVE_SOURCES,
-                domain_size: 1_000,
-                rows_per_source: 400,
-                seed: self.sessions.seed,
-                ..fusion_workload::synth::SynthSpec::default_with(SERVE_SOURCES, self.sessions.seed)
-            },
-            &[0.2, 0.2],
-        );
+        let scenario = self.serve_scenario();
         let tenants = self.tenant_streams();
         let netf = || scenario.network();
         let report = serve(
@@ -1032,10 +1048,16 @@ executed cost {} with per-round re-optimization:",
         let parity = verify_replay_parity(&report, &replayed, &fp)?;
         let s = &report.cache;
         let lookups = s.hits + s.residual_hits + s.misses;
-        let served: usize = report.results.iter().map(|r| r.served).sum();
+        let served_exact: usize = report.results.iter().map(|r| r.served_exact).sum();
+        let served_residual: usize = report.results.iter().map(|r| r.served_residual).sum();
+        let shared: usize = report.results.iter().map(|r| r.shared).sum();
+        let shared_residual: usize = report.results.iter().map(|r| r.shared_residual).sum();
         Ok(format!(
             "served {} queries from {} tenants over {} workers ({} shed)\n\
-             total executed cost {:.3}, {} of {} lookups cached ({served} selections served warm)\n\
+             total executed cost {:.3}, {} of {} lookups cached \
+             ({served_exact} exact + {served_residual} residual selections served warm)\n\
+             sharing {}: {shared} selections rode co-admitted fetches \
+             ({shared_residual} through a residual filter)\n\
              log: {} ops, {} commuting pairs, linearization certified\n\
              replay parity: {parity} answers and ledgers byte-identical to the serial replay",
             report.results.len(),
@@ -1045,9 +1067,128 @@ executed cost {} with per-round re-optimization:",
             report.total_cost().value(),
             s.hits + s.residual_hits,
             lookups,
+            if config.share { "on" } else { "off" },
             report.log.len(),
             report.commuting_pairs,
         ))
+    }
+
+    /// `\share`: static cross-query sharing analysis of the
+    /// co-admission front — the first query of every tenant in the
+    /// `\sessions` workload, planned as the server would plan it,
+    /// analyzed as one in-flight batch. Prints the BDD-proved sharing
+    /// graph, the certified merged schedule, and the sharing lints.
+    fn cmd_share(&mut self, arg: &str) -> Result<String> {
+        if !arg.is_empty() {
+            return Err(FusionError::parse(format!(
+                "\\share takes no options (got `{arg}`)"
+            )));
+        }
+        let scenario = self.serve_scenario();
+        let tenants = self.tenant_streams();
+        let mut batch: Vec<(u64, Plan, FusionQuery)> = Vec::new();
+        for (t, stream) in tenants.iter().enumerate() {
+            let Some(TenantEvent::Query(q)) =
+                stream.iter().find(|e| matches!(e, TenantEvent::Query(_)))
+            else {
+                continue;
+            };
+            let model = NetworkCostModel::new(
+                &scenario.sources,
+                &scenario.network(),
+                q,
+                Some(scenario.domain_size),
+            );
+            batch.push((t as u64 + 1, sja_optimal(&model).plan, q.clone()));
+        }
+        let plans: Vec<InFlightPlan<'_>> = batch
+            .iter()
+            .map(|(qid, p, q)| InFlightPlan {
+                qid: *qid,
+                plan: p,
+                conditions: q.conditions(),
+            })
+            .collect();
+        let prover = |b: &Predicate, n: &Predicate| subsumes(b, n);
+        let report = sharing_report(&plans, &prover)?;
+        let g = &report.graph;
+        let mut out = vec![format!(
+            "sharing analysis over {} co-admitted plans: {} remote steps, \
+             {} predicate classes",
+            plans.len(),
+            g.nodes.len(),
+            g.n_pred_classes,
+        )];
+        if g.edges.is_empty() {
+            out.push("no cross-query relations proved".into());
+        } else {
+            out.push(format!("proved edges ({}):", g.edges.len()));
+            for e in &g.edges {
+                let (a, b) = (&g.nodes[e.from], &g.nodes[e.to]);
+                out.push(match e.kind {
+                    EdgeKind::Equivalent => {
+                        format!("  {} == {}  equivalent", a.label(), b.label())
+                    }
+                    EdgeKind::Contains => format!("  {} >= {}  contains", a.label(), b.label()),
+                });
+            }
+        }
+        out.push(format!(
+            "merged schedule: {} exchanges for {} selections",
+            report.schedule.fetches.len(),
+            g.nodes.iter().filter(|n| !n.probe).count(),
+        ));
+        for f in &report.schedule.fetches {
+            let leader = &g.nodes[f.leader];
+            let mut line = format!(
+                "  R{} class {}: {} fetches",
+                f.source.0 + 1,
+                f.class,
+                leader.label()
+            );
+            if !f.followers.is_empty() {
+                let fan: Vec<String> = f
+                    .followers
+                    .iter()
+                    .map(|x| {
+                        let n = &g.nodes[x.node];
+                        if x.residual {
+                            format!("{}+residual", n.label())
+                        } else {
+                            n.label()
+                        }
+                    })
+                    .collect();
+                line.push_str(&format!(", serves {}", fan.join(" ")));
+            }
+            out.push(line);
+        }
+        if !g.probe_batches.is_empty() {
+            out.push(format!("batchable probe groups: {}", g.probe_batches.len()));
+        }
+        let c = &report.certificate;
+        out.push(format!(
+            "certificate: {} exchanges, {} served ({} residual), \
+             {} containments proved, {} conflicting pairs ordered by fan-out",
+            c.exchanges, c.served, c.residuals, c.containments_proved, c.ordered_pairs,
+        ));
+        let findings: Vec<Diagnostic> = duplicate_inflight_findings(&plans, g, &report.schedule)
+            .into_iter()
+            .chain(unshared_subsumed_findings(&plans, g, &report.schedule))
+            .chain(unsound_merge_findings(&plans, g, &report.schedule, &prover))
+            .collect();
+        if findings.is_empty() {
+            out.push(
+                "lints quiet: duplicate-inflight-step, unshared-subsumed-step, \
+                 unsound-merge-residual"
+                    .into(),
+            );
+        } else {
+            for d in findings {
+                out.push(format!("lint {}: {}", d.rule, d.message));
+            }
+        }
+        Ok(out.join("\n"))
     }
 
     /// The `\cache` status text: size, epochs, and lifetime counters.
@@ -1378,8 +1519,8 @@ executed cost {} with per-round re-optimization:",
 /// test step.
 pub const COMMANDS: &[&str] = &[
     "scenario", "schema", "load", "sources", "explain", "lint", "dataflow", "check", "plan",
-    "exec", "fetch", "gantt", "trace", "adaptive", "faults", "cache", "sessions", "serve", "help",
-    "quit",
+    "exec", "fetch", "gantt", "trace", "adaptive", "faults", "cache", "sessions", "serve", "share",
+    "help", "quit",
 ];
 
 /// The text shown by `\help`.
@@ -1431,12 +1572,20 @@ commands:
          \\serve runs: one shared query pool, a per-tenant event stream
          with occasional source updates. \\sessions alone shows the
          current settings and streams.
-  \\serve [workers=W] [budget=N] [limit=L]  run the session workload
-         through the multi-tenant mediator server: a pool of W workers
-         interleaves every tenant's queries over one shared answer
-         cache (budget N bytes, at most L in-flight exchanges per
-         source), then the admission log is replayed serially and every
-         answer and ledger byte-compared before reporting.
+  \\serve [workers=W] [budget=N] [limit=L] [share=on|off]
+         run the session workload through the multi-tenant mediator
+         server: a pool of W workers interleaves every tenant's queries
+         over one shared answer cache (budget N bytes, at most L
+         in-flight exchanges per source); share=on (the default) merges
+         provably equivalent or contained selections of co-admitted
+         queries into one certified fetch with fan-out. The admission
+         log is then replayed serially and every answer and ledger
+         byte-compared before reporting.
+  \\share                                 static cross-query sharing
+         analysis of the co-admission front (the first query of every
+         tenant): the BDD-proved sharing graph, the certified merged
+         schedule — one exchange per equivalence class, residual
+         filters for proper containments — and the sharing lints.
   \\help                                  this text
   \\quit                                  exit
 anything else is parsed as a fusion query and executed with SJA+";
@@ -1977,8 +2126,31 @@ mod tests {
         );
         assert!(out.contains("byte-identical to the serial replay"), "{out}");
         assert!(out.contains("linearization certified"), "{out}");
+        assert!(out.contains("sharing on:"), "{out}");
+        assert!(out.contains("selections served warm"), "{out}");
+        let off = run(&mut s, "\\serve workers=2 share=off");
+        assert!(
+            off.contains("sharing off: 0 selections rode co-admitted fetches"),
+            "{off}"
+        );
         assert!(run(&mut s, "\\serve workers=0").starts_with("error:"));
         assert!(run(&mut s, "\\serve speed=11").starts_with("error:"));
+        assert!(run(&mut s, "\\serve share=maybe").starts_with("error:"));
+    }
+
+    #[test]
+    fn share_prints_the_certified_sharing_analysis() {
+        let mut s = Session::new();
+        run(&mut s, "\\sessions tenants=3 queries=4 seed=11");
+        let out = run(&mut s, "\\share");
+        assert!(
+            out.contains("sharing analysis over 3 co-admitted plans"),
+            "{out}"
+        );
+        assert!(out.contains("merged schedule:"), "{out}");
+        assert!(out.contains("certificate:"), "{out}");
+        assert!(out.contains("lints quiet"), "{out}");
+        assert!(run(&mut s, "\\share bogus").starts_with("error:"));
     }
 
     #[test]

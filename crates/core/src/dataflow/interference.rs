@@ -58,6 +58,10 @@ pub enum Resource {
     /// epoch counters, LRU clock, and statistics of every source with
     /// `source % n_shards == k`, guarded by one lock.
     Shard(usize),
+    /// The shared-fetch slot of merged exchange class `c` against
+    /// source `j`: the published harvest one leader writes and every
+    /// fan-out follower reads (see the `sharing` module).
+    SharedFetch(usize, usize),
 }
 
 impl std::fmt::Display for Resource {
@@ -71,6 +75,9 @@ impl std::fmt::Display for Resource {
             Resource::Epoch(j) => write!(f, "R{}'s epoch counter", j + 1),
             Resource::LedgerSlot(t) => write!(f, "ledger slot #{}", t + 1),
             Resource::Shard(k) => write!(f, "cache shard #{}", k + 1),
+            Resource::SharedFetch(j, c) => {
+                write!(f, "shared-fetch slot (R{}, class {c})", j + 1)
+            }
         }
     }
 }

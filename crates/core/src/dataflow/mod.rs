@@ -45,6 +45,7 @@
 
 mod interference;
 mod lint;
+mod sharing;
 
 pub use interference::{
     cache_commit_race_findings, conflicting_footprint_findings, epoch_read_before_bump_findings,
@@ -54,6 +55,13 @@ pub use interference::{
     EventGraph, Footprint, Interference, Resource, ServerEvent, ServerOp, Witness,
 };
 pub use lint::{dataflow_lint_plan, dataflow_rules};
+pub use sharing::{
+    duplicate_inflight_findings, merged_schedule, sharing_report, sharing_rules,
+    unshared_subsumed_findings, unsound_merge_findings, verify_merged_schedule,
+    verify_share_windows, DuplicateInflightStep, EdgeKind, FanOut, InFlightPlan, MergeCertificate,
+    MergedFetch, MergedSchedule, Prover, ShareLink, SharingEdge, SharingGraph, SharingReport,
+    StepNode, UnsharedSubsumedStep, UnsoundMergeResidual,
+};
 
 use crate::analyze::analyze_plan;
 use crate::cost::CostModel;

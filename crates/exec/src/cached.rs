@@ -118,6 +118,26 @@ pub(crate) fn served_entry(idx: usize, source: SourceId, served: &Served) -> Led
     }
 }
 
+/// The ledger entry of a selection served from another in-flight
+/// query's merged fetch: free like a cache hit, distinguishable from
+/// one (the harvest never lived in the cache).
+pub(crate) fn shared_entry(idx: usize, source: SourceId, served: &Served) -> LedgerEntry {
+    LedgerEntry {
+        step: idx,
+        kind: match served.kind {
+            HitKind::Exact => StepKind::ShareHit,
+            HitKind::Subsumed => StepKind::ShareResidual,
+        },
+        source: Some(source),
+        comm: Cost::ZERO,
+        proc: Cost::ZERO,
+        round_trips: 0,
+        items_out: served.items.len(),
+        attempts: 0,
+        failed_cost: Cost::ZERO,
+    }
+}
+
 /// The cached-mode selection miss: like [`crate::interp::exec_sq`] but
 /// fetching full records so the answer can be cached, with the response
 /// sized accordingly.

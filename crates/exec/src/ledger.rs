@@ -22,6 +22,12 @@ pub enum StepKind {
     /// Selection served from a broader cached answer through a local
     /// residual filter (subsumption hit).
     CacheResidual,
+    /// Selection served from another in-flight query's merged fetch
+    /// (exact equivalence — no filter).
+    ShareHit,
+    /// Selection served from another in-flight query's merged fetch
+    /// through a local residual filter (proper containment).
+    ShareResidual,
 }
 
 impl std::fmt::Display for StepKind {
@@ -35,6 +41,8 @@ impl std::fmt::Display for StepKind {
             StepKind::Local => "local",
             StepKind::CacheHit => "sq(cache)",
             StepKind::CacheResidual => "sq(residual)",
+            StepKind::ShareHit => "sq(share)",
+            StepKind::ShareResidual => "sq(share-residual)",
         };
         write!(f, "{s}")
     }

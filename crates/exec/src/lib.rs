@@ -54,6 +54,7 @@ pub mod replay;
 pub mod retry;
 pub mod schedule;
 pub mod server;
+mod share;
 pub mod two_phase;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_ft, AdaptiveOutcome, AdaptiveRound};
@@ -72,6 +73,6 @@ pub use schedule::{
 };
 pub use server::{
     replay_serial, serve, verify_replay_parity, LoggedOp, OpKind, QueryResult, ReplayedQuery,
-    ServerConfig, ServerReport, ShedQuery, TenantEvent,
+    ServerConfig, ServerReport, ShareRef, ShedQuery, TenantEvent,
 };
 pub use two_phase::fetch_records;

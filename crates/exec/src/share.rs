@@ -1,0 +1,579 @@
+//! Cross-query fetch sharing in the mediator server.
+//!
+//! The [`ShareTable`] is the operational half of
+//! [`fusion_core::dataflow::sharing`]: while a query's admission
+//! critical section holds every cache shard lock, it consults the table
+//! of **in-flight leader fetches** — selections another admitted query
+//! is about to (or just did) exchange with a source, registered here
+//! before the leader's commit — and either
+//!
+//! * **attaches** a selection step to a leader whose predicate provably
+//!   contains its own (BDD prover: [`fusion_cache::subsumes`]), to be
+//!   served from the leader's harvest through the same projection (and,
+//!   for a proper containment, residual filter) an answer-cache hit
+//!   uses; or
+//! * **registers** the step as a new leader, publishing a
+//!   [`FetchSlot`] every later admission may attach to until the
+//!   leader commits.
+//!
+//! Every admission that attaches is certified inside the critical
+//! section: the registered leader plans plus the new plan are handed to
+//! the static analyzer ([`sharing_report`]), which re-proves each
+//! containment and checks the merged schedule's fan-out discipline via
+//! shared-fetch interference footprints. An attach without a matching
+//! proved edge in the sharing graph is a hard error, never a silent
+//! fallback.
+//!
+//! Discipline (why this cannot deadlock or change any byte):
+//!
+//! * Followers only attach to leaders with **strictly smaller
+//!   admission tickets**, so waits form a DAG ordered by ticket.
+//! * A leader registers only cache-miss selection steps, which in the
+//!   server's non-fault-tolerant executor always either publish their
+//!   harvest or fail the run; the error path fails every slot, so no
+//!   follower waits forever.
+//! * Only **exact** harvests are ever published: the server executor
+//!   has no degraded (`Subset`-completeness) path, and a failed fetch
+//!   fails the slot instead. A follower can therefore never observe a
+//!   partial harvest.
+//! * Entries are retired inside the leader's commit critical section,
+//!   so every follower's admission ticket provably precedes the
+//!   leader's commit ticket — the share-window certificate
+//!   ([`fusion_core::dataflow::verify_share_windows`]) checks exactly
+//!   this on every server run.
+//! * Epoch guard: a step only attaches when the leader registered
+//!   under the **current** epoch of its source, mirroring the cache's
+//!   commit-withholding rule for updates that raced the fetch.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use fusion_cache::subsumes;
+use fusion_core::dataflow::{sharing_report, EdgeKind, InFlightPlan, MergeCertificate};
+use fusion_core::plan::{Plan, Step};
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{Condition, Predicate, SourceId, Tuple};
+
+/// One logged share of a server admission: `step` of the admitted plan
+/// is served from the in-flight fetch `leader` performs at its
+/// `leader_step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareRef {
+    /// The served step of the follower's plan.
+    pub step: usize,
+    /// The leader's admission ticket.
+    pub leader: u64,
+    /// The fetching step of the leader's plan.
+    pub leader_step: usize,
+    /// True when the follower's condition is *properly* contained in
+    /// the leader's: the harvest passes through a residual filter.
+    pub residual: bool,
+}
+
+/// State of one in-flight merged fetch.
+enum SlotState {
+    /// The leader has not completed the exchange yet.
+    Pending,
+    /// The leader's full-record harvest, ready to fan out.
+    Ready(Arc<Vec<Tuple>>),
+    /// The leader's run failed before publishing.
+    Failed,
+}
+
+/// The rendezvous between one leader fetch and its followers.
+pub(crate) struct FetchSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl FetchSlot {
+    fn new() -> FetchSlot {
+        FetchSlot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A slot born ready — the serial replay path, where the leader's
+    /// harvest is already known from its replayed execution.
+    pub(crate) fn ready(rows: Arc<Vec<Tuple>>) -> FetchSlot {
+        FetchSlot {
+            state: Mutex::new(SlotState::Ready(rows)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the leader's harvest. Only **exact** harvests may be
+    /// published (the caller is the non-degradable server executor); a
+    /// run that cannot produce one must [`FetchSlot::fail`] instead.
+    /// Idempotent: only a pending slot transitions.
+    pub(crate) fn publish(&self, rows: Arc<Vec<Tuple>>) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*s, SlotState::Pending) {
+            *s = SlotState::Ready(rows);
+            drop(s);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Fails the slot. Idempotent: only a pending slot transitions, so
+    /// a harvest already published stays servable.
+    pub(crate) fn fail(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*s, SlotState::Pending) {
+            *s = SlotState::Failed;
+            drop(s);
+            self.cv.notify_all();
+        }
+    }
+
+    fn is_failed(&self) -> bool {
+        matches!(
+            *self.state.lock().unwrap_or_else(PoisonError::into_inner),
+            SlotState::Failed
+        )
+    }
+
+    /// Blocks until the leader publishes or fails.
+    ///
+    /// # Errors
+    /// Fails when the leader's run failed before publishing.
+    pub(crate) fn wait(&self) -> Result<Arc<Vec<Tuple>>> {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*s {
+                SlotState::Ready(rows) => return Ok(rows.clone()),
+                SlotState::Failed => {
+                    return Err(FusionError::execution(
+                        "merged fetch failed upstream: the leader's exchange did not \
+                         complete, so the follower cannot be served from its harvest",
+                    ))
+                }
+                SlotState::Pending => {
+                    s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// One step's attachment to another query's in-flight fetch.
+#[derive(Clone)]
+pub(crate) struct ShareAttach {
+    pub(crate) slot: Arc<FetchSlot>,
+    /// True when the harvest must pass through a residual filter.
+    pub(crate) residual: bool,
+}
+
+/// Everything one admission resolved against the share table.
+pub(crate) struct ShareCtx {
+    /// Per-step attachment (same length as the plan's steps).
+    pub(crate) attach: Vec<Option<ShareAttach>>,
+    /// Per-step slots this query leads.
+    pub(crate) leads: Vec<Option<Arc<FetchSlot>>>,
+    /// The logged links, for the admission's log entry.
+    pub(crate) refs: Vec<ShareRef>,
+    /// The static certificate issued when this admission attached.
+    pub(crate) certificate: Option<MergeCertificate>,
+}
+
+impl ShareCtx {
+    /// Rebuilds a context from a logged admission for the serial
+    /// replay: every share is pre-resolved from the leader's replayed
+    /// harvest, and nothing is led (replay is serial).
+    pub(crate) fn from_log(
+        n_steps: usize,
+        shares: &[ShareRef],
+        fetched: &HashMap<(u64, usize), Arc<Vec<Tuple>>>,
+    ) -> Result<ShareCtx> {
+        let mut attach: Vec<Option<ShareAttach>> = vec![None; n_steps];
+        for r in shares {
+            let rows = fetched.get(&(r.leader, r.leader_step)).ok_or_else(|| {
+                FusionError::execution(format!(
+                    "replay share references unknown fetch: leader {} step {}",
+                    r.leader, r.leader_step
+                ))
+            })?;
+            attach[r.step] = Some(ShareAttach {
+                slot: Arc::new(FetchSlot::ready(rows.clone())),
+                residual: r.residual,
+            });
+        }
+        Ok(ShareCtx {
+            attach,
+            leads: vec![None; n_steps],
+            refs: shares.to_vec(),
+            certificate: None,
+        })
+    }
+}
+
+struct ShareEntry {
+    source: SourceId,
+    pred: Predicate,
+    /// Epoch of `source` at the leader's admission.
+    epoch: u64,
+    /// The leader's admission ticket.
+    ticket: u64,
+    /// The fetching step of the leader's plan.
+    step: usize,
+    slot: Arc<FetchSlot>,
+}
+
+struct TableState {
+    entries: Vec<ShareEntry>,
+    /// Plans of the in-flight leaders, for the static certificate.
+    plans: HashMap<u64, (Plan, Vec<Condition>)>,
+}
+
+/// The registry of in-flight leader fetches. Locked only while the
+/// caller already holds cache shard locks (admission holds all of
+/// them, commit at least one), so table operations are totally ordered
+/// with the cache's critical sections.
+pub(crate) struct ShareTable {
+    inner: Mutex<TableState>,
+}
+
+impl ShareTable {
+    pub(crate) fn new() -> ShareTable {
+        ShareTable {
+            inner: Mutex::new(TableState {
+                entries: Vec::new(),
+                plans: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Resolves one admission against the table: cache-miss selection
+    /// steps attach to a proved in-flight container or register as new
+    /// leaders. Runs inside the admission critical section. When the
+    /// admission attached, the static analyzer certifies the merged
+    /// schedule over every in-flight leader plan plus this one.
+    ///
+    /// # Errors
+    /// Fails when an attach has no matching proved edge in the sharing
+    /// graph, or when the analyzer's own certificate fails.
+    pub(crate) fn admit(
+        &self,
+        ticket: u64,
+        plan: &Plan,
+        conditions: &[Condition],
+        cache_served: &[bool],
+        epochs: &[u64],
+    ) -> Result<ShareCtx> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let n = plan.steps.len();
+        let mut attach: Vec<Option<ShareAttach>> = vec![None; n];
+        let mut leads: Vec<Option<Arc<FetchSlot>>> = vec![None; n];
+        let mut refs: Vec<ShareRef> = Vec::new();
+        for (idx, step) in plan.steps.iter().enumerate() {
+            let Step::Sq { cond, source, .. } = step else {
+                continue;
+            };
+            if cache_served[idx] {
+                continue;
+            }
+            let pred = &conditions[cond.0].pred;
+            // First proved exact leader wins; else the first proved
+            // container (table order is ticket order — deterministic,
+            // and logged either way).
+            let mut chosen: Option<(usize, bool)> = None;
+            for (ei, e) in inner.entries.iter().enumerate() {
+                if e.ticket == ticket
+                    || e.source != *source
+                    || e.epoch != epochs[source.0]
+                    || e.slot.is_failed()
+                    || !subsumes(&e.pred, pred)
+                {
+                    continue;
+                }
+                if subsumes(pred, &e.pred) {
+                    chosen = Some((ei, false));
+                    break;
+                }
+                if chosen.is_none() {
+                    chosen = Some((ei, true));
+                }
+            }
+            match chosen {
+                Some((ei, residual)) => {
+                    let e = &inner.entries[ei];
+                    attach[idx] = Some(ShareAttach {
+                        slot: e.slot.clone(),
+                        residual,
+                    });
+                    refs.push(ShareRef {
+                        step: idx,
+                        leader: e.ticket,
+                        leader_step: e.step,
+                        residual,
+                    });
+                }
+                None => {
+                    let slot = Arc::new(FetchSlot::new());
+                    inner.entries.push(ShareEntry {
+                        source: *source,
+                        pred: pred.clone(),
+                        epoch: epochs[source.0],
+                        ticket,
+                        step: idx,
+                        slot: slot.clone(),
+                    });
+                    leads[idx] = Some(slot);
+                }
+            }
+        }
+        if leads.iter().any(Option::is_some) {
+            inner
+                .plans
+                .insert(ticket, (plan.clone(), conditions.to_vec()));
+        }
+        let certificate = if refs.is_empty() {
+            None
+        } else {
+            Some(certify(&inner, ticket, plan, conditions, &refs)?)
+        };
+        Ok(ShareCtx {
+            attach,
+            leads,
+            refs,
+            certificate,
+        })
+    }
+
+    /// Retires a query's leader entries: still-pending slots fail (no
+    /// follower may wait forever), published harvests stay readable
+    /// through the `Arc`s followers already hold. Runs inside the
+    /// leader's commit critical section on success (so every attached
+    /// follower's ticket precedes the commit ticket) and on the error
+    /// path unconditionally.
+    pub(crate) fn retire(&self, ticket: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        for e in inner.entries.iter().filter(|e| e.ticket == ticket) {
+            e.slot.fail();
+        }
+        inner.entries.retain(|e| e.ticket != ticket);
+        inner.plans.remove(&ticket);
+    }
+}
+
+/// The static half of an attach: rebuilds the sharing graph over every
+/// in-flight leader plan plus the attaching one, verifies the
+/// analyzer's merged schedule (certificate), and checks that each live
+/// attach is backed by a proved edge of the right kind.
+fn certify(
+    inner: &TableState,
+    ticket: u64,
+    plan: &Plan,
+    conditions: &[Condition],
+    refs: &[ShareRef],
+) -> Result<MergeCertificate> {
+    let mut flights: Vec<(u64, &Plan, &[Condition])> = inner
+        .plans
+        .iter()
+        .map(|(t, (p, c))| (*t, p, c.as_slice()))
+        .collect();
+    flights.push((ticket, plan, conditions));
+    flights.sort_by_key(|f| f.0);
+    let inflight: Vec<InFlightPlan<'_>> = flights
+        .iter()
+        .map(|&(qid, p, c)| InFlightPlan {
+            qid,
+            plan: p,
+            conditions: c,
+        })
+        .collect();
+    let report = sharing_report(&inflight, &|b, n| subsumes(b, n))?;
+    let find = |qid: u64, step: usize| {
+        report
+            .graph
+            .nodes
+            .iter()
+            .position(|nd| nd.qid == qid && nd.step == step)
+    };
+    for r in refs {
+        let (Some(li), Some(mi)) = (find(r.leader, r.leader_step), find(ticket, r.step)) else {
+            return Err(FusionError::execution(format!(
+                "share certificate: admission {ticket} step {} attached to \
+                 q{}#{} which the sharing graph does not know",
+                r.step + 1,
+                r.leader,
+                r.leader_step + 1
+            )));
+        };
+        let want = if r.residual {
+            EdgeKind::Contains
+        } else {
+            EdgeKind::Equivalent
+        };
+        let proved = report.graph.edges.iter().any(|e| {
+            e.kind == want
+                && ((e.from == li && e.to == mi)
+                    || (want == EdgeKind::Equivalent && e.from == mi && e.to == li))
+        });
+        if !proved {
+            return Err(FusionError::execution(format!(
+                "share certificate: admission {ticket} step {} attached to \
+                 q{}#{} without a proved {} edge in the sharing graph",
+                r.step + 1,
+                r.leader,
+                r.leader_step + 1,
+                if r.residual {
+                    "containment"
+                } else {
+                    "equivalence"
+                }
+            )));
+        }
+    }
+    Ok(report.certificate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_core::plan::VarId;
+    use fusion_types::{CmpOp, CondId, Value};
+
+    fn ge(v: i64) -> Condition {
+        Predicate::cmp("D", CmpOp::Ge, v).into()
+    }
+
+    /// A one-selection plan: `v1 := sq(c1, R{src+1})`.
+    fn sq_plan(src: usize) -> Plan {
+        let mut p = Plan::new(vec![], VarId(0), 1, src + 1);
+        let out = p.fresh_var("v1");
+        p.steps.push(Step::Sq {
+            out,
+            cond: CondId(0),
+            source: SourceId(src),
+        });
+        p.result = out;
+        p
+    }
+
+    fn rows(n: i64) -> Arc<Vec<Tuple>> {
+        Arc::new(vec![Tuple::new(vec![
+            Value::str("e"),
+            Value::str("v"),
+            Value::Int(n),
+        ])])
+    }
+
+    #[test]
+    fn duplicate_admissions_attach_exactly() {
+        let table = ShareTable::new();
+        let plan = sq_plan(0);
+        let conds = [ge(1990)];
+        let a = table.admit(1, &plan, &conds, &[false], &[0]).unwrap();
+        assert!(a.refs.is_empty());
+        assert!(a.leads[0].is_some());
+        let b = table.admit(2, &plan, &conds, &[false], &[0]).unwrap();
+        assert_eq!(b.refs.len(), 1);
+        let r = b.refs[0];
+        assert_eq!((r.leader, r.leader_step, r.residual), (1, 0, false));
+        assert!(b.leads[0].is_none());
+        assert!(b.certificate.is_some(), "attach must be certified");
+        // The leader publishes; the follower's slot serves the rows.
+        a.leads[0].as_ref().unwrap().publish(rows(1993));
+        let got = b.attach[0].as_ref().unwrap().slot.wait().unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn contained_admissions_attach_with_a_residual() {
+        let table = ShareTable::new();
+        let broad = sq_plan(0);
+        let narrow = sq_plan(0);
+        table.admit(1, &broad, &[ge(1990)], &[false], &[0]).unwrap();
+        let b = table
+            .admit(2, &narrow, &[ge(1994)], &[false], &[0])
+            .unwrap();
+        assert_eq!(b.refs.len(), 1);
+        assert!(b.refs[0].residual, "proper containment needs a residual");
+        assert!(b.certificate.is_some());
+    }
+
+    #[test]
+    fn different_sources_and_stale_epochs_never_attach() {
+        let table = ShareTable::new();
+        table
+            .admit(1, &sq_plan(0), &[ge(1990)], &[false], &[0, 0])
+            .unwrap();
+        // Same predicate, different source: no attach.
+        let other = table
+            .admit(2, &sq_plan(1), &[ge(1990)], &[false], &[0, 0])
+            .unwrap();
+        assert!(other.refs.is_empty());
+        // Same source, but the epoch advanced since the leader admitted:
+        // the fetch predates the update and must not fan out.
+        let stale = table
+            .admit(3, &sq_plan(0), &[ge(1990)], &[false], &[1, 0])
+            .unwrap();
+        assert!(stale.refs.is_empty());
+    }
+
+    #[test]
+    fn failed_leaders_fail_their_followers_and_never_serve() {
+        let table = ShareTable::new();
+        let plan = sq_plan(0);
+        let conds = [ge(1990)];
+        let _a = table.admit(1, &plan, &conds, &[false], &[0]).unwrap();
+        let b = table.admit(2, &plan, &conds, &[false], &[0]).unwrap();
+        // The leader's run fails before publishing: retire fails the
+        // pending slot, and the follower's wait reports the failure —
+        // a non-exact harvest is never served.
+        table.retire(1);
+        let err = b.attach[0].as_ref().unwrap().slot.wait().unwrap_err();
+        assert!(err.to_string().contains("merged fetch failed upstream"));
+        // A published harvest later fails nothing: fail is one-way.
+        let slot = FetchSlot::new();
+        slot.publish(rows(1));
+        slot.fail();
+        assert!(slot.wait().is_ok());
+        // New admissions skip the failed entry era entirely (retired).
+        let c = table.admit(3, &plan, &conds, &[false], &[0]).unwrap();
+        assert!(c.refs.is_empty() && c.leads[0].is_some());
+    }
+
+    #[test]
+    fn retire_inside_commit_keeps_published_harvests_readable() {
+        let table = ShareTable::new();
+        let plan = sq_plan(0);
+        let conds = [ge(1990)];
+        let a = table.admit(1, &plan, &conds, &[false], &[0]).unwrap();
+        let b = table.admit(2, &plan, &conds, &[false], &[0]).unwrap();
+        a.leads[0].as_ref().unwrap().publish(rows(1993));
+        table.retire(1);
+        // The follower attached before the commit: its Arc'd slot still
+        // serves even though the table entry is gone.
+        assert!(b.attach[0].as_ref().unwrap().slot.wait().is_ok());
+        // But nobody can attach to the committed leader anymore.
+        let c = table.admit(3, &plan, &conds, &[false], &[0]).unwrap();
+        assert!(c.refs.is_empty());
+    }
+
+    #[test]
+    fn replay_contexts_resolve_from_logged_fetches() {
+        let mut fetched = HashMap::new();
+        fetched.insert((7u64, 0usize), rows(1993));
+        let refs = [ShareRef {
+            step: 0,
+            leader: 7,
+            leader_step: 0,
+            residual: true,
+        }];
+        let ctx = ShareCtx::from_log(1, &refs, &fetched).unwrap();
+        let att = ctx.attach[0].as_ref().unwrap();
+        assert!(att.residual);
+        assert_eq!(att.slot.wait().unwrap().len(), 1);
+        // A log referencing a fetch that never happened is rejected.
+        let bad = [ShareRef {
+            step: 0,
+            leader: 9,
+            leader_step: 0,
+            residual: false,
+        }];
+        assert!(ShareCtx::from_log(1, &bad, &fetched).is_err());
+    }
+}

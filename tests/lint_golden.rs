@@ -7,14 +7,16 @@
 //! byte-level diff here; run with `BLESS=1` to re-bless intentional
 //! changes.
 
-use fusion::cache::{stale_cache_findings, CacheSnapshot};
+use fusion::cache::{stale_cache_findings, subsumes, CacheSnapshot};
 use fusion::core::dataflow::{
     cache_commit_race_findings, conflicting_footprint_findings, dataflow_lint_plan,
-    epoch_read_before_bump_findings, Event, EventGraph, Interval, SourceBounds,
+    duplicate_inflight_findings, epoch_read_before_bump_findings, unshared_subsumed_findings,
+    unsound_merge_findings, Event, EventGraph, FanOut, InFlightPlan, Interval, MergedFetch,
+    MergedSchedule, SharingGraph, SourceBounds,
 };
 use fusion::core::plan::{SimplePlanSpec, Step, VarId};
 use fusion::core::{Diagnostic, Plan, TableCostModel};
-use fusion::types::{CondId, SourceId};
+use fusion::types::{CmpOp, CondId, Condition, Predicate, SourceId};
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint_corpus.json");
 
@@ -250,6 +252,103 @@ fn interference_rows() -> Vec<(String, Diagnostic)> {
     rows
 }
 
+/// Findings for the three cross-query sharing lints, each triggered by
+/// a hand-built *mutant* merged schedule over a real sharing graph.
+/// The analyzer's own schedules are provably quiet (its certificate
+/// rejects exactly these defects); the mutants re-introduce them, and
+/// the witness schedules in the messages show the divergence. The
+/// prover is the production BDD subsumption prover.
+fn sharing_rows() -> Vec<(String, Diagnostic)> {
+    let prover = |b: &Predicate, n: &Predicate| subsumes(b, n);
+    let year = |y: i64| vec![Condition::from(Predicate::cmp("D", CmpOp::Ge, y))];
+    let (plan_a, plan_b) = (single_sq_plan(), single_sq_plan());
+    fn inflight<'a>(qid: u64, plan: &'a Plan, conditions: &'a [Condition]) -> InFlightPlan<'a> {
+        InFlightPlan {
+            qid,
+            plan,
+            conditions,
+        }
+    }
+    fn fetch(class: usize, leader: usize, followers: Vec<FanOut>) -> MergedFetch {
+        MergedFetch {
+            class,
+            source: SourceId(0),
+            leader,
+            followers,
+        }
+    }
+    let mut rows = Vec::new();
+    // duplicate-inflight-step: two provably equivalent selections, the
+    // schedule mutated to fetch once per query instead of once per
+    // class.
+    {
+        let (ca, cb) = (year(1990), year(1990));
+        let plans = [inflight(1, &plan_a, &ca), inflight(2, &plan_b, &cb)];
+        let graph = SharingGraph::build(&plans, &prover).unwrap();
+        let split = MergedSchedule {
+            fetches: vec![fetch(0, 0, vec![]), fetch(0, 1, vec![])],
+        };
+        for d in duplicate_inflight_findings(&plans, &graph, &split) {
+            rows.push(("split-duplicate-schedule".to_string(), d));
+        }
+    }
+    // unshared-subsumed-step: the narrower class fetches for itself
+    // beside the broader class that provably contains it.
+    {
+        let (ca, cb) = (year(1990), year(1995));
+        let plans = [inflight(1, &plan_a, &ca), inflight(2, &plan_b, &cb)];
+        let graph = SharingGraph::build(&plans, &prover).unwrap();
+        let split = MergedSchedule {
+            fetches: vec![fetch(0, 0, vec![]), fetch(1, 1, vec![])],
+        };
+        for d in unshared_subsumed_findings(&plans, &graph, &split) {
+            rows.push(("unshared-containment-schedule".to_string(), d));
+        }
+    }
+    // unsound-merge-residual, first shape: a proper containment served
+    // with its residual filter dropped.
+    {
+        let (ca, cb) = (year(1990), year(1995));
+        let plans = [inflight(1, &plan_a, &ca), inflight(2, &plan_b, &cb)];
+        let graph = SharingGraph::build(&plans, &prover).unwrap();
+        let dropped = MergedSchedule {
+            fetches: vec![fetch(
+                0,
+                0,
+                vec![FanOut {
+                    node: 1,
+                    residual: false,
+                }],
+            )],
+        };
+        for d in unsound_merge_findings(&plans, &graph, &dropped, &prover) {
+            rows.push(("dropped-residual-schedule".to_string(), d));
+        }
+    }
+    // unsound-merge-residual, second shape: a fan-out edge the prover
+    // cannot discharge at all.
+    {
+        let ca = year(1990);
+        let cb = vec![Condition::from(Predicate::eq("V", "dui"))];
+        let plans = [inflight(1, &plan_a, &ca), inflight(2, &plan_b, &cb)];
+        let graph = SharingGraph::build(&plans, &prover).unwrap();
+        let unproved = MergedSchedule {
+            fetches: vec![fetch(
+                0,
+                0,
+                vec![FanOut {
+                    node: 1,
+                    residual: true,
+                }],
+            )],
+        };
+        for d in unsound_merge_findings(&plans, &graph, &unproved, &prover) {
+            rows.push(("unproved-fanout-schedule".to_string(), d));
+        }
+    }
+    rows
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -289,6 +388,7 @@ fn lint_corpus_matches_golden_file() {
     }
     rows.extend(stale_cache_rows());
     rows.extend(interference_rows());
+    rows.extend(sharing_rows());
     let rendered = render(&rows);
     if std::env::var("BLESS").is_ok() {
         std::fs::write(GOLDEN, &rendered).unwrap();
@@ -317,6 +417,9 @@ fn corpus_exercises_every_dataflow_rule() {
     for (_, d) in interference_rows() {
         rows.push(d.rule);
     }
+    for (_, d) in sharing_rows() {
+        rows.push(d.rule);
+    }
     for rule in [
         "retry-non-idempotent-step",
         "narrow-then-widen",
@@ -327,6 +430,9 @@ fn corpus_exercises_every_dataflow_rule() {
         "conflicting-stage-footprints",
         "cache-commit-race",
         "epoch-read-before-bump",
+        "duplicate-inflight-step",
+        "unshared-subsumed-step",
+        "unsound-merge-residual",
     ] {
         assert!(rows.contains(&rule), "corpus never triggers {rule}");
     }
