@@ -15,6 +15,7 @@ pub mod optimality;
 pub mod parallel_exp;
 pub mod postopt;
 pub mod pruning;
+pub mod reopt_exp;
 pub mod response;
 pub mod response_opt;
 pub mod server_exp;
@@ -71,7 +72,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 25] = [
+pub const ALL: [&str; 26] = [
     "fig1",
     "fig2",
     "fig5",
@@ -97,6 +98,7 @@ pub const ALL: [&str; 25] = [
     "e20-cache",
     "e21-throughput",
     "e22-mqo",
+    "e23-reopt",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -208,6 +210,10 @@ pub fn run(name: &str) -> bool {
         }
         "e22-mqo" => {
             mqo_exp::e22_mqo();
+            true
+        }
+        "e23-reopt" => {
+            reopt_exp::e23_reopt();
             true
         }
         _ => false,

@@ -35,12 +35,14 @@ use fusion_cache::AnswerCache;
 use fusion_core::cost::NetworkCostModel;
 use fusion_core::dataflow::{serial_queue_stages, Event, EventGraph};
 use fusion_core::plan::Plan;
+use fusion_core::plan::SimplePlanSpec;
 use fusion_core::query::FusionQuery;
 use fusion_core::sja_optimal;
 use fusion_exec::cached::{execute_plan_cached, execute_plan_ft_cached};
 use fusion_exec::{
-    execute_plan, execute_plan_ft, execute_plan_replay, replay_serial, serve, verify_replay_parity,
-    ExecutionOutcome, ReplayOptions, RetryPolicy, ServerConfig, TenantEvent,
+    execute_plan, execute_plan_ft, execute_plan_replay, replay_plan_reopt, replay_serial, serve,
+    verify_replay_parity, ExecutionOutcome, ReoptOutcome, ReplayOptions, RetryPolicy, ServerConfig,
+    TenantEvent,
 };
 use fusion_net::Network;
 use fusion_source::SourceSet;
@@ -565,6 +567,62 @@ pub fn verify_merged_vs_isolated(
     Ok(compared)
 }
 
+/// Discharges the replay contract of an adaptively re-optimized run:
+/// re-executes `spec` through [`fusion_exec::replay_plan_reopt`] with
+/// the recorded switches (each independently re-certified by
+/// [`fusion_core::dataflow::certify_switch`] during the replay) and
+/// byte-compares the answer, ledger (markers included), completeness,
+/// and final spliced spec against the live outcome. Then executes the
+/// final spliced spec *cold* — no switches, fresh network — and checks
+/// the answer agrees: mid-flight switching must be semantically
+/// invisible, affecting only costs.
+///
+/// Returns the number of switches verified.
+///
+/// # Errors
+/// Fails on any divergence, on a switch record that no longer
+/// certifies, and on execution errors.
+pub fn verify_reopt_replay(
+    outcome: &ReoptOutcome,
+    spec: &SimplePlanSpec,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    make_network: &dyn Fn() -> Network,
+) -> Result<usize> {
+    let mut net = make_network();
+    let replayed = replay_plan_reopt(spec, &outcome.switches, query, sources, &mut net, None)?;
+    if replayed.outcome.answer != outcome.outcome.answer {
+        return Err(FusionError::execution(
+            "reopt replay: answer diverged from the live run",
+        ));
+    }
+    if replayed.outcome.ledger != outcome.outcome.ledger {
+        return Err(FusionError::execution(
+            "reopt replay: ledger diverged from the live run",
+        ));
+    }
+    if replayed.outcome.completeness != outcome.outcome.completeness {
+        return Err(FusionError::execution(
+            "reopt replay: completeness diverged from the live run",
+        ));
+    }
+    if replayed.final_spec != outcome.final_spec {
+        return Err(FusionError::execution(
+            "reopt replay: final spliced spec diverged from the live run",
+        ));
+    }
+    let final_plan = outcome.final_spec.build(sources.len())?;
+    let mut cold_net = make_network();
+    let cold = execute_plan(&final_plan, query, sources, &mut cold_net)?;
+    if cold.answer != outcome.outcome.answer {
+        return Err(FusionError::execution(
+            "reopt replay: the final spliced spec's cold answer diverges — \
+             switching was not semantically invisible",
+        ));
+    }
+    Ok(outcome.switches.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,5 +811,63 @@ mod tests {
                 .unwrap();
             assert_eq!(n, 4, "share={share}");
         }
+    }
+
+    #[test]
+    fn reopt_replay_verifies_switched_and_unswitched_runs() {
+        use fusion_exec::{execute_plan_reopt, ReoptConfig, ReoptSession};
+        let sources = dmv_sources();
+        let q = dmv_query();
+        let make_net = || Network::uniform(3, LinkProfile::Wan.link());
+        // Inflated estimates lock in selections and then violate their
+        // believed intervals at the first round boundary; accurate-ish
+        // estimates never switch. Both must verify.
+        for est in [1000.0, 2.0] {
+            let model = TableCostModel::uniform(2, 3, 50.0, 1.0, 0.5, 1e9, est, 4.0 * est);
+            let opt = sja_optimal(&model);
+            let mut session = ReoptSession::new(2, 3, 256);
+            let mut net = make_net();
+            let out = execute_plan_reopt(
+                &opt.spec,
+                &q,
+                &sources,
+                &mut net,
+                &model,
+                None,
+                &mut session,
+                &ReoptConfig::default(),
+            )
+            .unwrap();
+            let switches = verify_reopt_replay(&out, &opt.spec, &q, &sources, &make_net).unwrap();
+            assert_eq!(switches, out.switches.len(), "est={est}");
+        }
+    }
+
+    #[test]
+    fn reopt_replay_rejects_a_tampered_outcome() {
+        use fusion_exec::{execute_plan_reopt, ReoptConfig, ReoptSession};
+        let sources = dmv_sources();
+        let q = dmv_query();
+        let make_net = || Network::uniform(3, LinkProfile::Wan.link());
+        let model = TableCostModel::uniform(2, 3, 50.0, 1.0, 0.5, 1e9, 1000.0, 4000.0);
+        let opt = sja_optimal(&model);
+        let mut session = ReoptSession::new(2, 3, 256);
+        let mut net = make_net();
+        let mut out = execute_plan_reopt(
+            &opt.spec,
+            &q,
+            &sources,
+            &mut net,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap();
+        assert!(!out.switches.is_empty(), "fixture stopped switching");
+        // Forge the answer: the byte-compare must catch it.
+        out.outcome.answer = fusion_types::ItemSet::from_items(["bogus"]);
+        let err = verify_reopt_replay(&out, &opt.spec, &q, &sources, &make_net).unwrap_err();
+        assert!(err.to_string().contains("answer diverged"), "{err}");
     }
 }

@@ -180,6 +180,7 @@ impl Session {
             "gantt" => self.cmd_gantt(arg),
             "trace" => self.cmd_trace(arg),
             "adaptive" => self.cmd_adaptive(arg),
+            "reopt" => self.cmd_reopt(arg),
             "faults" => self.cmd_faults(arg),
             "cache" => self.cmd_cache(arg),
             "sessions" => self.cmd_sessions(arg),
@@ -771,6 +772,96 @@ executed cost {} with per-round re-optimization:",
                 round.actual_size
             ));
         }
+        Ok(text)
+    }
+
+    /// Executes with certified runtime re-optimization: the SJA plan
+    /// runs with interval monitoring, and an observation escaping its
+    /// believed bounds re-opens the suffix search. An optional leading
+    /// `xF` (e.g. `x16`) inflates every cardinality estimate by F, so
+    /// the locked-in plan misestimates and the switch machinery is
+    /// visible on demand.
+    fn cmd_reopt(&mut self, arg: &str) -> Result<String> {
+        let (factor, sql) = match arg.split_once(char::is_whitespace) {
+            Some((head, rest)) if head.starts_with('x') => match head[1..].parse::<f64>() {
+                Ok(f) if f > 0.0 => (f, rest.trim()),
+                _ => {
+                    return Err(FusionError::parse(format!(
+                        "bad distortion `{head}` (use e.g. x16)"
+                    )));
+                }
+            },
+            _ => (1.0, arg),
+        };
+        let (query, sources, mut network) = self.materialize(sql)?;
+        let base = NetworkCostModel::new(&sources, &network, &query, None);
+        let model = DistortedModel {
+            inner: &base,
+            factor,
+        };
+        let opt = sja_optimal(&model);
+        let mut session = fusion_exec::ReoptSession::new(query.m(), sources.len(), 4096);
+        let out = fusion_exec::execute_plan_reopt(
+            &opt.spec,
+            &query,
+            &sources,
+            &mut network,
+            &model,
+            None,
+            &mut session,
+            &fusion_exec::ReoptConfig::default(),
+        )?;
+        // Independently re-certify and re-execute from the recorded
+        // switches before reporting anything.
+        let make_net = || {
+            let mut n = Network::new(self.sources.iter().map(|s| s.link).collect());
+            if let Ok(Some(plan)) = self.fault_plan(self.sources.len()) {
+                n.set_fault_plan(plan);
+            }
+            n
+        };
+        let verified =
+            fusion_check::verify_reopt_replay(&out, &opt.spec, &query, &sources, &make_net)?;
+        let mut text = format!(
+            "answer ({} items): {}\nexecuted cost {}; {} interval violation{}, {} certified switch{}",
+            out.outcome.answer.len(),
+            out.outcome.answer,
+            out.total_cost(),
+            out.violations,
+            if out.violations == 1 { "" } else { "s" },
+            out.switches.len(),
+            if out.switches.len() == 1 { "" } else { "es" },
+        );
+        if factor != 1.0 {
+            text.push_str(&format!(" (estimates distorted x{factor})"));
+        }
+        for sw in &out.switches {
+            text.push_str(&format!(
+                "\n  after round {}: step #{} returned {} items, believed {} — \
+                 re-searched suffix from |X|={:.0}: {} → {} ({})",
+                sw.rounds_done,
+                sw.violating_step + 1,
+                sw.observed,
+                sw.expected,
+                sw.x0,
+                sw.old_suffix_cost,
+                sw.new_suffix_cost,
+                sw.certificate,
+            ));
+        }
+        let stats = session.memo.stats();
+        text.push_str(&format!(
+            "\nmemo: {} invocation{}, {} expansions, {} resumed, {} exhausted hits; \
+             feedback: {} cells observed; replay: {} switch{} re-certified bit-for-bit",
+            stats.invocations,
+            if stats.invocations == 1 { "" } else { "s" },
+            stats.expansions,
+            stats.resumed,
+            stats.exhausted_hits,
+            session.feedback.observed_cells(),
+            verified,
+            if verified == 1 { "" } else { "es" },
+        ));
         Ok(text)
     }
 
@@ -1519,8 +1610,8 @@ executed cost {} with per-round re-optimization:",
 /// test step.
 pub const COMMANDS: &[&str] = &[
     "scenario", "schema", "load", "sources", "explain", "lint", "dataflow", "check", "plan",
-    "exec", "fetch", "gantt", "trace", "adaptive", "faults", "cache", "sessions", "serve", "share",
-    "help", "quit",
+    "exec", "fetch", "gantt", "trace", "adaptive", "reopt", "faults", "cache", "sessions", "serve",
+    "share", "help", "quit",
 ];
 
 /// The text shown by `\help`.
@@ -1557,6 +1648,14 @@ commands:
          executing the SJA+ plan
   \\adaptive <sql>                        execute with mid-query
          re-optimization and report each round
+  \\reopt [xF] <sql>                      execute with certified runtime
+         re-optimization: observed cardinalities are checked against
+         believed intervals at every round boundary; a violation
+         re-searches the remaining suffix under a budgeted memo and
+         splices the winner in only if the switch certifies (prefix
+         identity, BDD semantics, race-free stages). The run is then
+         replayed bit-for-bit from its switch records. xF inflates
+         every estimate by F to provoke a visible switch.
   \\faults [off | seed=N transient=P timeout=P slow=PxF outage=J@K]
          deterministic fault injection: failed exchanges are retried with
          backoff; a source that stays down degrades the query to a
@@ -1594,6 +1693,62 @@ anything else is parsed as a fusion query and executed with SJA+";
 enum QueryMode {
     Execute,
     Fetch,
+}
+
+/// A cost model whose per-cell cardinality estimates are inflated by a
+/// constant factor — the `\reopt xF` misestimation knob. Costs are
+/// untouched; only `est_sq_items` (and everything derived from it)
+/// drifts, exactly the failure mode stale statistics produce.
+struct DistortedModel<'a, M: fusion_core::CostModel> {
+    inner: &'a M,
+    factor: f64,
+}
+
+impl<M: fusion_core::CostModel> fusion_core::CostModel for DistortedModel<'_, M> {
+    fn n_conditions(&self) -> usize {
+        self.inner.n_conditions()
+    }
+
+    fn n_sources(&self) -> usize {
+        self.inner.n_sources()
+    }
+
+    fn sq_cost(&self, cond: fusion_types::CondId, source: SourceId) -> fusion_types::Cost {
+        self.inner.sq_cost(cond, source)
+    }
+
+    fn sjq_cost(
+        &self,
+        cond: fusion_types::CondId,
+        source: SourceId,
+        est_items: f64,
+    ) -> fusion_types::Cost {
+        self.inner.sjq_cost(cond, source, est_items)
+    }
+
+    fn sjq_bloom_cost(
+        &self,
+        cond: fusion_types::CondId,
+        source: SourceId,
+        est_items: f64,
+        bits: u8,
+    ) -> fusion_types::Cost {
+        self.inner.sjq_bloom_cost(cond, source, est_items, bits)
+    }
+
+    fn lq_cost(&self, source: SourceId) -> fusion_types::Cost {
+        self.inner.lq_cost(source)
+    }
+
+    fn est_sq_items(&self, cond: fusion_types::CondId, source: SourceId) -> f64 {
+        (self.inner.est_sq_items(cond, source) * self.factor).min(self.domain_size())
+    }
+
+    fn domain_size(&self) -> f64 {
+        // The distorted domain grows with the estimates, so inflated
+        // cells do not saturate into indistinguishability.
+        self.inner.domain_size() * self.factor.max(1.0)
+    }
 }
 
 /// Splits leading `--flag` tokens off a command argument.
@@ -1949,6 +2104,26 @@ mod tests {
         let out = run(&mut s, &format!("\\adaptive {DMV_SQL}"));
         assert!(out.contains("{J55, T21}"), "{out}");
         assert!(out.contains("observed"), "{out}");
+    }
+
+    #[test]
+    fn reopt_command_reports_switches_and_replay() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        // Undistorted estimates: the answer comes back and nothing
+        // needs to switch (the report still shows the memo/replay line).
+        let out = run(&mut s, &format!("\\reopt {DMV_SQL}"));
+        assert!(out.contains("{J55, T21}"), "{out}");
+        assert!(out.contains("0 certified switches"), "{out}");
+        assert!(out.contains("re-certified bit-for-bit"), "{out}");
+        // Heavily inflated estimates misprice the locked-in plan; the
+        // interval violation fires a certified switch mid-flight.
+        let out = run(&mut s, &format!("\\reopt x500 {DMV_SQL}"));
+        assert!(out.contains("{J55, T21}"), "{out}");
+        assert!(out.contains("distorted x500"), "{out}");
+        assert!(out.contains("violation"), "{out}");
+        let out = run(&mut s, "\\reopt xq SELECT u1.L FROM U u1");
+        assert!(out.contains("bad distortion"), "{out}");
     }
 
     #[test]

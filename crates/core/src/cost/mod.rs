@@ -9,10 +9,12 @@
 //! set sizes across rounds.
 
 mod calibrated;
+mod feedback;
 mod network;
 mod table;
 
 pub use calibrated::{calibrate, CalibratedCostModel};
+pub use feedback::FeedbackCostModel;
 pub use network::NetworkCostModel;
 pub use table::TableCostModel;
 

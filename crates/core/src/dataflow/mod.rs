@@ -45,6 +45,7 @@
 
 mod interference;
 mod lint;
+mod reopt;
 mod sharing;
 
 pub use interference::{
@@ -55,6 +56,7 @@ pub use interference::{
     EventGraph, Footprint, Interference, Resource, ServerEvent, ServerOp, Witness,
 };
 pub use lint::{dataflow_lint_plan, dataflow_rules};
+pub use reopt::{certify_switch, SwitchCertificate};
 pub use sharing::{
     duplicate_inflight_findings, merged_schedule, sharing_report, sharing_rules,
     unshared_subsumed_findings, unsound_merge_findings, verify_merged_schedule,
@@ -68,7 +70,7 @@ use crate::cost::CostModel;
 use crate::plan::{Plan, Step};
 use fusion_stats::TableStats;
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{CmpOp, Condition, Cost, ItemSet, Predicate, Relation, SourceId};
+use fusion_types::{CmpOp, CondId, Condition, Cost, ItemSet, Predicate, Relation, SourceId};
 
 /// A closed interval `[lo, hi]` of set cardinalities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,6 +161,38 @@ impl SourceBounds {
         SourceBounds {
             sq: vec![vec![all; model.n_sources()]; model.n_conditions()],
             items: vec![all; model.n_sources()],
+            domain: d,
+        }
+    }
+
+    /// *Believed* seeds: a multiplicative trust region of width `slack`
+    /// around the model's own estimates, `[est/slack, min(est·slack, d)]`
+    /// per cell. Unlike every other seeding these are **not sound** — they
+    /// encode how far the optimizer is willing to trust its estimates
+    /// before an observation counts as evidence the plan was chosen on
+    /// bad numbers. The runtime re-optimizer propagates them through
+    /// [`analyze_dataflow`] and treats an observation *outside* its
+    /// propagated interval as the trigger to re-search the remaining
+    /// plan suffix.
+    ///
+    /// # Panics
+    /// Panics if `slack < 1` (the region must contain the estimate).
+    pub fn believed_from_model<M: CostModel>(model: &M, slack: f64) -> SourceBounds {
+        assert!(slack >= 1.0, "trust-region slack must be >= 1, got {slack}");
+        let d = model.domain_size().max(0.0);
+        let sq = (0..model.n_conditions())
+            .map(|i| {
+                (0..model.n_sources())
+                    .map(|j| {
+                        let est = model.est_sq_items(CondId(i), SourceId(j)).max(0.0);
+                        Interval::new(est / slack, (est * slack).min(d))
+                    })
+                    .collect()
+            })
+            .collect();
+        SourceBounds {
+            sq,
+            items: vec![Interval::new(0.0, d); model.n_sources()],
             domain: d,
         }
     }

@@ -44,12 +44,14 @@ pub mod query;
 pub mod sampler;
 
 pub use analyze::{analyze_plan, lint_plan, Analysis, Counterexample, Diagnostic, Verdict};
-pub use cost::{calibrate, CalibratedCostModel, CostModel, NetworkCostModel, TableCostModel};
+pub use cost::{
+    calibrate, CalibratedCostModel, CostModel, FeedbackCostModel, NetworkCostModel, TableCostModel,
+};
 pub use dataflow::{
-    analyze_dataflow, dataflow_lint_plan, interference_report, interference_rules, plan_footprints,
-    serial_queue_stages, stage_decomposition, step_footprint, verify_serial_queue_stages,
-    CostInterval, Dataflow, Event, EventGraph, Footprint, Interference, Interval, Resource,
-    SourceBounds, StageDecomposition, Witness,
+    analyze_dataflow, certify_switch, dataflow_lint_plan, interference_report, interference_rules,
+    plan_footprints, serial_queue_stages, stage_decomposition, step_footprint,
+    verify_serial_queue_stages, CostInterval, Dataflow, Event, EventGraph, Footprint, Interference,
+    Interval, Resource, SourceBounds, StageDecomposition, SwitchCertificate, Witness,
 };
 pub use estimate::{estimate_plan_cost, PlanEstimate};
 pub use evaluate::{evaluate_plan, evaluate_plan_vars};

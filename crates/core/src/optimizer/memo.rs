@@ -1,0 +1,449 @@
+//! A budgeted, resumable memo over suffix plan-space searches.
+//!
+//! Mid-flight re-optimization cannot afford a full `m!` search at every
+//! stage boundary, and the same suffix sub-problems recur across repeated
+//! queries (the workloads the answer cache was built for). Following the
+//! optd-style budgeted-exploration idea, [`ReoptMemo`] keys each suffix
+//! search by *which conditions remain* (a bitmask) and the observed
+//! running-set size (a coarse log-scale bucket) — the same
+//! `(source, condition)`-shaped keying the answer cache uses — and stores
+//! the search's **suspended DFS stack** plus the best complete ordering
+//! found so far. Each invocation spends a bounded number of node
+//! expansions and then suspends; the next invocation with the same key
+//! *resumes exactly where the last stopped*, so the factorial search is
+//! amortized across stage boundaries and across queries.
+//!
+//! Only *structure* is memoized — prefixes and orderings, never costs.
+//! Every invocation re-prices the stored incumbent and every explored
+//! prefix under the **current** (feedback-recalibrated) model, so stored
+//! state never goes stale when estimates drift. The trade-off is
+//! documented rather than hidden: subtrees pruned under an earlier
+//! model's bounds are not revisited, so an *exhausted* entry is exact for
+//! the model it finished under and a strong heuristic after further
+//! drift.
+
+use super::{cost_suffix_sja, improves, ordering_tie_tolerance};
+use crate::cost::CostModel;
+use crate::dataflow::remaining_cost_lower_bound;
+use crate::plan::SourceChoice;
+use fusion_types::Cost;
+use std::collections::HashMap;
+
+/// A suffix search key: the set of unplaced conditions and the coarse
+/// magnitude of the running set feeding them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    /// Bit `i` set ⇔ condition `i` is still unplaced.
+    pub mask: u64,
+    /// `⌊4·log₂(1 + x₀)⌋`: quarter-octave buckets, so running sets of
+    /// similar magnitude share a search while order-of-magnitude changes
+    /// (which flip sq/sjq choices) get their own.
+    pub x_bucket: u32,
+}
+
+impl MemoKey {
+    /// Builds the key for a suffix over `remaining` condition indices
+    /// with observed running-set size `x0`.
+    ///
+    /// # Panics
+    /// Panics if a condition index is ≥ 64 (the mask is a `u64`; the
+    /// paper's regime is "the number of conditions ... is usually small").
+    pub fn new(remaining: &[usize], x0: f64) -> MemoKey {
+        let mut mask = 0u64;
+        for &c in remaining {
+            assert!(c < 64, "memo supports at most 64 conditions, got index {c}");
+            mask |= 1u64 << c;
+        }
+        MemoKey {
+            mask,
+            x_bucket: bucket_of(x0),
+        }
+    }
+}
+
+fn bucket_of(x0: f64) -> u32 {
+    let x = x0.max(0.0);
+    (4.0 * (1.0 + x).log2()).floor() as u32
+}
+
+/// One node of a suspended depth-first search: the ordering prefix chosen
+/// so far and the index of the next child (in ascending condition order)
+/// to expand.
+#[derive(Debug, Clone)]
+struct Frame {
+    prefix: Vec<usize>,
+    next_child: usize,
+}
+
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    /// Suspended DFS stack; empty once the space is drained.
+    stack: Vec<Frame>,
+    /// Best complete ordering found so far (structure only — re-priced on
+    /// every resume).
+    best_order: Option<Vec<usize>>,
+    /// True once the stack drained: the search visited (or soundly
+    /// pruned) the whole suffix space.
+    exhausted: bool,
+    /// Total expansions charged to this entry across invocations.
+    expansions: usize,
+}
+
+/// Counters accumulated across a memo's lifetime, for the E23 bench and
+/// the `\reopt` CLI verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Search invocations answered.
+    pub invocations: usize,
+    /// Invocations that found an existing entry to resume.
+    pub resumed: usize,
+    /// Invocations answered by an already-exhausted entry (no search work
+    /// at all — the amortization payoff).
+    pub exhausted_hits: usize,
+    /// Total node expansions spent.
+    pub expansions: usize,
+}
+
+/// The re-priced answer of one memo invocation.
+#[derive(Debug, Clone)]
+pub struct SuffixPlan {
+    /// Suffix condition order (indices into the query's conditions).
+    pub order: Vec<usize>,
+    /// Per-round, per-source choices for the suffix.
+    pub choices: Vec<Vec<SourceChoice>>,
+    /// Suffix cost under the model the search was invoked with.
+    pub cost: Cost,
+    /// Estimated `|X|` after each suffix round.
+    pub sizes: Vec<f64>,
+    /// True when the suffix space is fully drained for this key.
+    pub exhausted: bool,
+    /// Node expansions spent by *this* invocation.
+    pub spent: usize,
+}
+
+/// A persistent, budgeted memo of suffix plan-space searches.
+#[derive(Debug, Clone)]
+pub struct ReoptMemo {
+    entries: HashMap<MemoKey, MemoEntry>,
+    budget: usize,
+    stats: MemoStats,
+}
+
+impl ReoptMemo {
+    /// A memo spending at most `budget` node expansions per invocation.
+    /// A budget of 0 degenerates to "always return the re-priced
+    /// incumbent (or the ascending seed)".
+    pub fn new(budget: usize) -> ReoptMemo {
+        ReoptMemo {
+            entries: HashMap::new(),
+            budget,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// The per-invocation expansion budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of distinct suffix sub-problems seen.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no search has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Searches (or resumes searching) the best SJA suffix over
+    /// `remaining` conditions fed by an observed running set of `x0`
+    /// items, spending at most the configured budget, then re-prices the
+    /// incumbent under `model`.
+    ///
+    /// Deterministic given (memo state, model, arguments): children are
+    /// expanded in ascending condition order and ties break to the
+    /// lexicographically smaller ordering, the same rule the offline
+    /// optimizers share.
+    ///
+    /// # Panics
+    /// Panics if `remaining` is empty, holds duplicates, or names a
+    /// condition the model does not have.
+    pub fn search<M: CostModel>(&mut self, model: &M, remaining: &[usize], x0: f64) -> SuffixPlan {
+        assert!(!remaining.is_empty(), "nothing to re-optimize");
+        let m = model.n_conditions();
+        assert!(
+            remaining.iter().all(|&c| c < m),
+            "suffix names a condition outside the model"
+        );
+        let key = MemoKey::new(remaining, x0);
+        assert_eq!(
+            key.mask.count_ones() as usize,
+            remaining.len(),
+            "suffix holds duplicate conditions"
+        );
+        let mut cands: Vec<usize> = remaining.to_vec();
+        cands.sort_unstable();
+
+        self.stats.invocations += 1;
+        let entry = match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.stats.resumed += 1;
+                let e = e.into_mut();
+                if e.exhausted {
+                    self.stats.exhausted_hits += 1;
+                }
+                e
+            }
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(MemoEntry {
+                stack: vec![Frame {
+                    prefix: Vec::new(),
+                    next_child: 0,
+                }],
+                best_order: None,
+                exhausted: false,
+                expansions: 0,
+            }),
+        };
+
+        // Re-price the incumbent under the *current* model; seed with the
+        // ascending ordering when the entry is fresh so pruning has a
+        // finite incumbent from the first expansion.
+        let mut best_order = entry.best_order.clone().unwrap_or_else(|| cands.clone());
+        let mut best_cost = cost_suffix_sja(model, &best_order, x0).1;
+
+        let mut spent = 0usize;
+        while spent < self.budget {
+            let Some(top) = entry.stack.last_mut() else {
+                break;
+            };
+            let children: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|c| !top.prefix.contains(c))
+                .collect();
+            if top.next_child >= children.len() {
+                entry.stack.pop();
+                continue;
+            }
+            let cand = children[top.next_child];
+            top.next_child += 1;
+            spent += 1;
+
+            let mut child = top.prefix.clone();
+            child.push(cand);
+            // Price the child prefix from scratch under the current
+            // model: O(depth·n), the cost of never trusting a stale
+            // number.
+            let (_, prefix_cost, prefix_sizes) = cost_suffix_sja(model, &child, x0);
+            let x_after = *prefix_sizes.last().expect("non-empty prefix");
+            if child.len() == cands.len() {
+                if improves(prefix_cost, &child, best_cost, &best_order) {
+                    best_cost = best_cost.min(prefix_cost);
+                    best_order = child;
+                }
+                continue;
+            }
+            // Admissible completion bound, shared with the offline B&B:
+            // prune only strictly-worse subtrees so tie-breaking stays
+            // identical to the exhaustive search.
+            let mut used = vec![true; m];
+            for &c in &cands {
+                used[c] = false;
+            }
+            for &c in &child {
+                used[c] = true;
+            }
+            let bound = prefix_cost + remaining_cost_lower_bound(model, &used, cand, x_after);
+            if bound.value() > best_cost.value() + ordering_tie_tolerance(best_cost) {
+                continue;
+            }
+            entry.stack.push(Frame {
+                prefix: child,
+                next_child: 0,
+            });
+        }
+
+        if entry.stack.is_empty() {
+            entry.exhausted = true;
+        }
+        entry.best_order = Some(best_order.clone());
+        entry.expansions += spent;
+        self.stats.expansions += spent;
+
+        let (choices, cost, sizes) = cost_suffix_sja(model, &best_order, x0);
+        SuffixPlan {
+            order: best_order,
+            choices,
+            cost,
+            sizes,
+            exhausted: entry.exhausted,
+            spent,
+        }
+    }
+}
+
+/// Exhaustive reference: the cheapest suffix by brute force, with the
+/// shared tie-break. Test-only oracle for the memo.
+#[cfg(test)]
+fn suffix_exhaustive<M: CostModel>(model: &M, remaining: &[usize], x0: f64) -> (Vec<usize>, Cost) {
+    let mut cands: Vec<usize> = remaining.to_vec();
+    cands.sort_unstable();
+    let mut best_order = cands.clone();
+    let mut best_cost = cost_suffix_sja(model, &best_order, x0).1;
+    super::perm::for_each_permutation(cands.len(), |perm| {
+        let order: Vec<usize> = perm.iter().map(|&i| cands[i]).collect();
+        let (_, cost, _) = cost_suffix_sja(model, &order, x0);
+        if improves(cost, &order, best_cost, &best_order) {
+            best_cost = best_cost.min(cost);
+            best_order = order;
+        }
+    });
+    (best_order, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableCostModel;
+    use fusion_stats::SplitMix64;
+    use fusion_types::{CondId, SourceId};
+
+    fn random_model(m: usize, n: usize, seed: u64) -> TableCostModel {
+        let mut rng = SplitMix64::new(seed);
+        let mut model = TableCostModel::uniform(m, n, 1.0, 1.0, 0.1, 1e6, 1.0, 300.0);
+        for i in 0..m {
+            for j in 0..n {
+                model.set_sq_cost(CondId(i), SourceId(j), 1.0 + 99.0 * rng.next_f64());
+                model.set_sjq_cost(
+                    CondId(i),
+                    SourceId(j),
+                    0.5 + 30.0 * rng.next_f64(),
+                    2.0 * rng.next_f64(),
+                );
+                model.set_est_sq_items(CondId(i), SourceId(j), 1.0 + 80.0 * rng.next_f64());
+            }
+        }
+        model
+    }
+
+    #[test]
+    fn exhausted_search_matches_brute_force() {
+        for seed in 0..20u64 {
+            for m in 2..=5 {
+                let model = random_model(m, 3, 51_000 + seed);
+                let remaining: Vec<usize> = (0..m).collect();
+                let x0 = 10.0 + seed as f64;
+                let mut memo = ReoptMemo::new(100_000);
+                let got = memo.search(&model, &remaining, x0);
+                assert!(got.exhausted, "seed {seed} m {m}");
+                let (want_order, want_cost) = suffix_exhaustive(&model, &remaining, x0);
+                assert_eq!(got.order, want_order, "seed {seed} m {m}");
+                assert!(
+                    (got.cost.value() - want_cost.value()).abs()
+                        <= 1e-9 * want_cost.value().max(1.0),
+                    "seed {seed} m {m}: {} vs {}",
+                    got.cost,
+                    want_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_resume_reaches_the_same_answer() {
+        for seed in 0..10u64 {
+            let model = random_model(5, 3, 77_000 + seed);
+            let remaining = [0usize, 1, 2, 3, 4];
+            let x0 = 25.0;
+            let mut one_shot = ReoptMemo::new(1_000_000);
+            let want = one_shot.search(&model, &remaining, x0);
+            assert!(want.exhausted);
+
+            // Drip-feed the same search 3 expansions at a time.
+            let mut dripped = ReoptMemo::new(3);
+            let mut got = dripped.search(&model, &remaining, x0);
+            let mut rounds = 1;
+            while !got.exhausted {
+                got = dripped.search(&model, &remaining, x0);
+                rounds += 1;
+                assert!(rounds < 10_000, "search failed to drain");
+            }
+            assert_eq!(got.order, want.order, "seed {seed}");
+            assert_eq!(got.cost, want.cost, "seed {seed}");
+            assert!(rounds > 1, "budget 3 must need multiple invocations");
+            let stats = dripped.stats();
+            assert_eq!(stats.invocations, rounds);
+            assert_eq!(stats.resumed, rounds - 1);
+        }
+    }
+
+    #[test]
+    fn exhausted_entries_answer_for_free() {
+        let model = random_model(4, 3, 9);
+        let remaining = [0usize, 1, 2, 3];
+        let mut memo = ReoptMemo::new(1_000_000);
+        let first = memo.search(&model, &remaining, 12.0);
+        assert!(first.exhausted && first.spent > 0);
+        let again = memo.search(&model, &remaining, 12.0);
+        assert_eq!(again.spent, 0, "exhausted entry must not re-search");
+        assert_eq!(again.order, first.order);
+        assert_eq!(memo.stats().exhausted_hits, 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_x_magnitudes_get_distinct_entries() {
+        let model = random_model(3, 2, 4);
+        let mut memo = ReoptMemo::new(1_000_000);
+        memo.search(&model, &[0, 1, 2], 2.0);
+        memo.search(&model, &[0, 1, 2], 2000.0);
+        assert_eq!(memo.len(), 2);
+        // Same magnitude lands in the same bucket.
+        memo.search(&model, &[0, 1, 2], 2.01);
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn repricing_follows_model_drift() {
+        // Exhaust the search under model A, then query the same key under
+        // model B with very different costs: the returned *cost* must be
+        // B's pricing of the stored ordering, never A's stale number.
+        let a = random_model(3, 2, 1);
+        let mut b = random_model(3, 2, 1);
+        for i in 0..3 {
+            for j in 0..2 {
+                b.set_sq_cost(CondId(i), SourceId(j), 1000.0);
+            }
+        }
+        let mut memo = ReoptMemo::new(1_000_000);
+        let under_a = memo.search(&a, &[0, 1, 2], 8.0);
+        let under_b = memo.search(&b, &[0, 1, 2], 8.0);
+        assert_eq!(under_a.order.len(), under_b.order.len());
+        let repriced = cost_suffix_sja(&b, &under_b.order, 8.0).1;
+        assert_eq!(under_b.cost, repriced);
+        assert!(under_b.cost.value() > under_a.cost.value());
+    }
+
+    #[test]
+    fn zero_budget_returns_the_seed() {
+        let model = random_model(4, 2, 2);
+        let mut memo = ReoptMemo::new(0);
+        let got = memo.search(&model, &[2, 0, 3], 5.0);
+        assert_eq!(got.order, vec![0, 2, 3]);
+        assert_eq!(got.spent, 0);
+        assert!(!got.exhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to re-optimize")]
+    fn empty_suffix_is_rejected() {
+        let model = random_model(2, 2, 3);
+        ReoptMemo::new(8).search(&model, &[], 1.0);
+    }
+}

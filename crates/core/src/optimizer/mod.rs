@@ -11,6 +11,7 @@ mod adaptive;
 mod bnb;
 mod filter;
 mod greedy;
+mod memo;
 pub mod perm;
 mod response;
 mod sj;
@@ -20,6 +21,7 @@ pub use adaptive::{adaptive_next, NextRound};
 pub use bnb::{sj_branch_and_bound, sja_branch_and_bound, BnbStats};
 pub use filter::filter_plan;
 pub use greedy::{greedy_sj, greedy_sja};
+pub use memo::{MemoKey, MemoStats, ReoptMemo, SuffixPlan};
 pub use response::{estimate_makespan, sja_response_optimal, ResponseOptimized};
 pub use sj::sj_optimal;
 pub use sja::sja_optimal;
@@ -164,6 +166,76 @@ pub(crate) fn cost_ordering_sja<M: CostModel>(
         sizes.push(x_est);
     }
     (choices, cost, sizes)
+}
+
+/// Prices a plan *suffix* under SJA's per-source rule, given the observed
+/// running-set size `x0` at the splice point.
+///
+/// Unlike [`cost_ordering_sja`], *every* round — including the suffix's
+/// first — chooses per source between a fresh selection and a semijoin
+/// against the running set, because a running set already exists when a
+/// mid-flight re-optimization fires (§2.5's "first condition always by
+/// selection queries" applies only to the very first round of a query).
+/// Returns the per-round choices, the suffix cost, and the estimated
+/// `|X|` after each suffix round.
+pub fn cost_suffix_sja<M: CostModel>(
+    model: &M,
+    order: &[usize],
+    x0: f64,
+) -> (Vec<Vec<SourceChoice>>, Cost, Vec<f64>) {
+    let n = model.n_sources();
+    let mut choices = Vec::with_capacity(order.len());
+    let mut sizes = Vec::with_capacity(order.len());
+    let mut cost = Cost::ZERO;
+    let mut x_est = x0;
+    for &o in order {
+        let cond = CondId(o);
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let sq = model.sq_cost(cond, SourceId(j));
+            let sjq = model.sjq_cost(cond, SourceId(j), x_est);
+            if sq < sjq {
+                cost += sq;
+                row.push(SourceChoice::Selection);
+            } else {
+                cost += sjq;
+                row.push(SourceChoice::Semijoin);
+            }
+        }
+        choices.push(row);
+        x_est *= model.gsel(cond);
+        sizes.push(x_est);
+    }
+    (choices, cost, sizes)
+}
+
+/// Prices a *fixed* suffix — rounds whose source choices are already
+/// locked in — under `model`, from the observed running-set size `x0`.
+///
+/// This is how the re-optimizer values the plan it is already executing:
+/// the remaining rounds' choices cannot be revisited without a switch, so
+/// their cost is whatever the (recalibrated) model says those exact
+/// choices will pay.
+pub fn price_suffix<M: CostModel>(
+    model: &M,
+    order: &[usize],
+    choices: &[Vec<SourceChoice>],
+    x0: f64,
+) -> Cost {
+    assert_eq!(order.len(), choices.len(), "suffix order/choices mismatch");
+    let mut cost = Cost::ZERO;
+    let mut x_est = x0;
+    for (&o, row) in order.iter().zip(choices) {
+        let cond = CondId(o);
+        for (j, choice) in row.iter().enumerate() {
+            cost += match choice {
+                SourceChoice::Selection => model.sq_cost(cond, SourceId(j)),
+                SourceChoice::Semijoin => model.sjq_cost(cond, SourceId(j), x_est),
+            };
+        }
+        x_est *= model.gsel(cond);
+    }
+    cost
 }
 
 #[cfg(test)]

@@ -28,6 +28,11 @@ pub enum StepKind {
     /// Selection served from another in-flight query's merged fetch
     /// through a local residual filter (proper containment).
     ShareResidual,
+    /// Marker: a certified mid-flight plan switch fired *before* the step
+    /// this entry names. Free (local decision), but recorded so replays
+    /// reproduce the switch bit-for-bit; `items_out` holds the observed
+    /// round cardinality that violated its believed interval.
+    Reopt,
 }
 
 impl std::fmt::Display for StepKind {
@@ -43,6 +48,7 @@ impl std::fmt::Display for StepKind {
             StepKind::CacheResidual => "sq(residual)",
             StepKind::ShareHit => "sq(share)",
             StepKind::ShareResidual => "sq(share-residual)",
+            StepKind::Reopt => "reopt",
         };
         write!(f, "{s}")
     }

@@ -32,6 +32,15 @@
 //!   breaker, cost deadline), and when a source stays down its steps are
 //!   dropped — guarded by the BDD analyzer's droppability check — to
 //!   return a partial answer tagged [`Completeness::Subset`].
+//! * [`execute_plan_reopt`] (and [`execute_plan_reopt_parallel`]) add
+//!   runtime adaptive re-optimization: observed per-exchange
+//!   cardinalities calibrate a persistent feedback store, and when an
+//!   observation escapes its certified believed interval at a round
+//!   boundary, the remaining suffix is re-searched under a budgeted
+//!   persistent memo ([`ReoptSession`]) and spliced in — only if
+//!   [`certify_switch`] proves the splice sound. Switches land in the
+//!   ledger as [`StepKind::Reopt`] markers so [`replay_plan_reopt`]
+//!   reproduces switched runs bit for bit.
 //! * [`serve`] is the multi-tenant mediator server: a worker pool
 //!   interleaves many tenants' sessions over one shared, sharded answer
 //!   cache with admission control, per-source concurrency limits, and a
@@ -39,6 +48,8 @@
 //!   [`verify_replay_parity`] prove byte-parity with a serial run).
 //!
 //! [`FaultPlan`]: fusion_net::FaultPlan
+//!
+//! [`certify_switch`]: fusion_core::dataflow::certify_switch
 //!
 //! [`Network`]: fusion_net::Network
 
@@ -50,6 +61,7 @@ pub mod interp;
 pub mod ledger;
 pub mod parallel;
 pub mod piggyback;
+pub mod reopt;
 pub mod replay;
 pub mod retry;
 pub mod schedule;
@@ -66,6 +78,10 @@ pub use parallel::{
     execute_plan_parallel_ft_cached, ParallelConfig, ParallelOutcome,
 };
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
+pub use reopt::{
+    execute_plan_reopt, execute_plan_reopt_parallel, replay_plan_reopt, ReoptConfig, ReoptOutcome,
+    ReoptSession, SwitchRecord,
+};
 pub use replay::{execute_plan_replay, ReplayOptions};
 pub use retry::{Completeness, RetryPolicy};
 pub use schedule::{

@@ -1,0 +1,1299 @@
+//! Runtime adaptive re-optimization fed by observed cardinalities.
+//!
+//! The static pipeline commits to a whole plan from estimates; the
+//! greedy [`crate::adaptive`] executor re-plans every round but trusts
+//! the model blindly and certifies nothing. This module is the middle
+//! way the paper's §6 gestures at: execute the *optimized* plan, watch
+//! what every exchange actually returns, and only when an observation
+//! **leaves its certified believed interval** re-open the search — over
+//! the undone suffix only, under a budgeted persistent memo — and splice
+//! the winner in, gated by [`certify_switch`]'s three proofs (prefix
+//! identity, BDD semantics, race-free stages).
+//!
+//! # The feedback loop
+//!
+//! * Every remote step's `items_out` is folded into a
+//!   [`CardinalityFeedback`] store: selections (and cache hits) record
+//!   exact per-cell cardinalities, semijoins record observed
+//!   selectivities. The store persists in the [`ReoptSession`] across
+//!   queries — repeated queries start with calibrated estimates.
+//! * At plan start the believed bounds
+//!   ([`SourceBounds::believed_from_model`], slack-widened trust
+//!   regions) are propagated through the plan's dataflow
+//!   ([`fusion_core::dataflow::analyze_dataflow`]). Propagation is
+//!   sound: seeds containing the true cell cardinalities yield step
+//!   bounds containing every true step cardinality — so accurate
+//!   estimates never trigger a spurious switch, and reopt-on execution
+//!   is **byte-identical** to reopt-off execution.
+//! * At each round boundary, any step of the round whose observed
+//!   cardinality escaped its interval arms a re-optimization: the
+//!   remaining conditions are re-searched from the *observed* running
+//!   set size under the feedback-calibrated model
+//!   ([`FeedbackCostModel`]), resuming the [`ReoptMemo`]'s budgeted
+//!   branch-and-bound where the last invocation left off.
+//! * A candidate suffix only replaces the committed one when it is at
+//!   least `min_gain` cheaper *and* [`certify_switch`] proves the splice
+//!   sound. A certified switch is recorded in the ledger as a free
+//!   [`StepKind::Reopt`] marker, so [`replay_plan_reopt`] reproduces the
+//!   switched run bit for bit from the ledger's own evidence.
+//!
+//! # Determinism contract
+//!
+//! [`execute_plan_reopt_parallel`] runs each round's remote steps on
+//! scoped worker threads (per-source serial queues via shared
+//! [`fusion_net::SourceHandle`]s) and folds results at the round
+//! barrier in step order — answers, ledgers, and network traces
+//! byte-identical to [`execute_plan_reopt`] by construction. Round
+//! boundaries are exactly where switch decisions happen, so parallelism
+//! never observes a half-switched plan.
+
+use crate::cached::{commit_inserts, served_entry, PendingInsert};
+use crate::interp::{
+    apply_step_done, dispatch_remote_step, exec_local_step, ExecutionOutcome, SharedExchanger,
+    StepDone,
+};
+use crate::ledger::{CostLedger, LedgerEntry, StepKind};
+use crate::retry::Completeness;
+use fusion_cache::AnswerCache;
+use fusion_core::cost::FeedbackCostModel;
+use fusion_core::dataflow::{
+    analyze_dataflow, certify_switch, Dataflow, Interval, SourceBounds, SwitchCertificate,
+};
+use fusion_core::optimizer::{price_suffix, ReoptMemo};
+use fusion_core::plan::{Plan, SimplePlanSpec, SourceChoice, Step};
+use fusion_core::query::FusionQuery;
+use fusion_core::CostModel;
+use fusion_net::Network;
+use fusion_source::SourceSet;
+use fusion_stats::{CardObservation, CardinalityFeedback};
+use fusion_types::error::{FusionError, Result};
+use fusion_types::{CondId, Condition, Cost, ItemSet, Relation, SourceId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for adaptive re-optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReoptConfig {
+    /// Multiplicative trust region around each estimated cell
+    /// cardinality (at least 1): the believed interval is
+    /// `[est/slack, est*slack]`. Wider slack tolerates more drift
+    /// before re-optimizing.
+    pub slack: f64,
+    /// Minimum relative gain a candidate suffix must show over the
+    /// committed one before a switch is attempted (0.05 = 5% cheaper).
+    /// Guards against churn on estimate noise.
+    pub min_gain: f64,
+}
+
+impl Default for ReoptConfig {
+    fn default() -> ReoptConfig {
+        ReoptConfig {
+            slack: 4.0,
+            min_gain: 0.05,
+        }
+    }
+}
+
+/// Optimizer state that persists across queries: the budgeted suffix
+/// memo (partial plan-space exploration resumes where it left off) and
+/// the cardinality feedback store (observed truths calibrate every
+/// later estimate).
+#[derive(Debug, Clone)]
+pub struct ReoptSession {
+    /// Budgeted suffix search memo, keyed by (remaining-condition mask,
+    /// running-set magnitude bucket).
+    pub memo: ReoptMemo,
+    /// Observed per-cell cardinalities and semijoin selectivities.
+    pub feedback: CardinalityFeedback,
+}
+
+impl ReoptSession {
+    /// A fresh session for `m`-condition, `n`-source queries with a
+    /// per-invocation exploration budget of `budget` node expansions.
+    pub fn new(m: usize, n: usize, budget: usize) -> ReoptSession {
+        ReoptSession {
+            memo: ReoptMemo::new(budget),
+            feedback: CardinalityFeedback::new(m, n),
+        }
+    }
+}
+
+/// One certified mid-flight plan switch, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRecord {
+    /// Steps executed when the switch fired — the index of the first
+    /// spliced step and the ledger marker's `step` field.
+    pub at_step: usize,
+    /// Rounds fully executed before the switch (the shared prefix).
+    pub rounds_done: usize,
+    /// The step whose observation violated its believed interval.
+    pub violating_step: usize,
+    /// The observed cardinality that escaped.
+    pub observed: usize,
+    /// The believed interval it escaped from.
+    pub expected: Interval,
+    /// The observed running-set size the suffix was re-planned from.
+    pub x0: f64,
+    /// What the committed suffix would have cost under the recalibrated
+    /// model.
+    pub old_suffix_cost: Cost,
+    /// What the spliced suffix is estimated to cost.
+    pub new_suffix_cost: Cost,
+    /// The spliced suffix: condition order and per-source choices.
+    pub suffix_order: Vec<CondId>,
+    /// Per-round source choices of the spliced suffix.
+    pub suffix_choices: Vec<Vec<SourceChoice>>,
+    /// The proof the splice was sound.
+    pub certificate: SwitchCertificate,
+}
+
+/// The outcome of an adaptively re-optimized execution.
+#[derive(Debug, Clone)]
+pub struct ReoptOutcome {
+    /// Answer, ledger (including [`StepKind::Reopt`] markers), and
+    /// completeness.
+    pub outcome: ExecutionOutcome,
+    /// The spec actually executed after all switches.
+    pub final_spec: SimplePlanSpec,
+    /// Certified switches, in execution order.
+    pub switches: Vec<SwitchRecord>,
+    /// Interval violations observed (a violation without a worthwhile
+    /// certified alternative does not switch).
+    pub violations: usize,
+}
+
+impl ReoptOutcome {
+    /// Total executed cost (markers are free).
+    pub fn total_cost(&self) -> Cost {
+        self.outcome.ledger.total()
+    }
+}
+
+/// The free ledger marker recording a certified switch fired before
+/// step `step`; `observed` is the violating cardinality.
+fn reopt_marker(step: usize, observed: usize) -> LedgerEntry {
+    LedgerEntry {
+        step,
+        kind: StepKind::Reopt,
+        source: None,
+        comm: Cost::ZERO,
+        proc: Cost::ZERO,
+        round_trips: 0,
+        items_out: observed,
+        attempts: 0,
+        failed_cost: Cost::ZERO,
+    }
+}
+
+/// Step ranges `[start, end)` of each round of a simple plan, in round
+/// order. Mirrors [`SimplePlanSpec::build`]'s emission: round 0 is `n`
+/// remote steps plus a union; later rounds add an intersect unless the
+/// round is all-semijoin (whose outputs are already subsets).
+fn round_layout(spec: &SimplePlanSpec, n: usize) -> Vec<(usize, usize)> {
+    let mut rounds = Vec::with_capacity(spec.order.len());
+    let mut start = 0usize;
+    for (r, row) in spec.choices.iter().enumerate() {
+        let all_semijoin = row.iter().all(|c| *c == SourceChoice::Semijoin);
+        let len = n + 1 + usize::from(r > 0 && !all_semijoin);
+        rounds.push((start, start + len));
+        start += len;
+    }
+    rounds
+}
+
+/// Derives the believed dataflow intervals of `plan` under the
+/// feedback-calibrated model.
+fn derive_df<M: CostModel>(
+    plan: &Plan,
+    model: &M,
+    feedback: &CardinalityFeedback,
+    slack: f64,
+) -> Result<Dataflow> {
+    let fbm = FeedbackCostModel::new(model, feedback);
+    let bounds = SourceBounds::believed_from_model(&fbm, slack);
+    analyze_dataflow(plan, &fbm, &bounds)
+}
+
+/// Folds one executed step's observation into the feedback store:
+/// selections (served or fetched) record exact cell cardinalities,
+/// semijoins record observed selectivities. Bloom semijoins are skipped
+/// (their output overcounts by the false-positive rate), as are loads
+/// and local steps.
+fn record_observation(
+    feedback: &mut CardinalityFeedback,
+    plan: &Plan,
+    vars: &[Option<ItemSet>],
+    entry: &LedgerEntry,
+) {
+    match (&plan.steps[entry.step], entry.kind) {
+        (
+            Step::Sq { cond, source, .. },
+            StepKind::Selection
+            | StepKind::CacheHit
+            | StepKind::CacheResidual
+            | StepKind::ShareHit
+            | StepKind::ShareResidual,
+        ) => {
+            feedback.record_exact(*cond, *source, entry.items_out as f64);
+        }
+        (
+            Step::Sjq {
+                cond,
+                source,
+                input,
+                ..
+            },
+            StepKind::Semijoin | StepKind::EmulatedSemijoin,
+        ) => {
+            let input_items = vars[input.0].as_ref().map_or(0, ItemSet::len);
+            feedback.record_semijoin(*cond, *source, entry.items_out as f64, input_items as f64);
+        }
+        _ => {}
+    }
+}
+
+/// Extracts every cardinality observation an executed ledger carries,
+/// in plan order — the cross-query harvest the multi-tenant server
+/// folds into its shared feedback store at commit time. Semijoin
+/// observations reconstruct their input size from the ledger entry of
+/// the step that defined the input variable; [`StepKind::Reopt`]
+/// markers are skipped.
+pub fn harvest_observations(
+    plan: &Plan,
+    conditions: &[Condition],
+    ledger: &CostLedger,
+) -> Vec<(Condition, SourceId, CardObservation)> {
+    let mut var_items: Vec<Option<usize>> = vec![None; plan.var_names.len()];
+    let mut out = Vec::new();
+    for entry in ledger.entries() {
+        if entry.kind == StepKind::Reopt {
+            continue;
+        }
+        match (&plan.steps[entry.step], entry.kind) {
+            (
+                Step::Sq { cond, source, .. },
+                StepKind::Selection
+                | StepKind::CacheHit
+                | StepKind::CacheResidual
+                | StepKind::ShareHit
+                | StepKind::ShareResidual,
+            ) => out.push((
+                conditions[cond.0].clone(),
+                *source,
+                CardObservation::Exact(entry.items_out as f64),
+            )),
+            (
+                Step::Sjq {
+                    cond,
+                    source,
+                    input,
+                    ..
+                },
+                StepKind::Semijoin | StepKind::EmulatedSemijoin,
+            ) => {
+                if let Some(input_items) = var_items[input.0].filter(|&k| k > 0) {
+                    let sel = (entry.items_out as f64 / input_items as f64).clamp(0.0, 1.0);
+                    out.push((
+                        conditions[cond.0].clone(),
+                        *source,
+                        CardObservation::Selectivity(sel),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        if let Some(v) = plan.steps[entry.step].defined_var() {
+            var_items[v.0] = Some(entry.items_out);
+        }
+    }
+    out
+}
+
+fn check_shapes<M: CostModel>(
+    spec: &SimplePlanSpec,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    model: &M,
+    session: &ReoptSession,
+) -> Result<()> {
+    let m = spec.order.len();
+    let n = sources.len();
+    if query.m() != m || model.n_conditions() != m || model.n_sources() != n {
+        return Err(FusionError::invalid_plan(format!(
+            "reopt shapes disagree: spec {}x?, query {} conditions, model {}x{}, {} sources",
+            m,
+            query.m(),
+            model.n_conditions(),
+            model.n_sources(),
+            n
+        )));
+    }
+    if session.feedback.n_conditions() != m || session.feedback.n_sources() != n {
+        return Err(FusionError::invalid_plan(format!(
+            "reopt session is calibrated for {}x{} queries, not {}x{}",
+            session.feedback.n_conditions(),
+            session.feedback.n_sources(),
+            m,
+            n
+        )));
+    }
+    Ok(())
+}
+
+/// Executes `spec` with runtime adaptive re-optimization: observed
+/// cardinalities calibrate the session's feedback store, and interval
+/// violations at round boundaries re-open the suffix search under the
+/// session's budgeted memo. Certified switches are spliced mid-flight
+/// and recorded as [`StepKind::Reopt`] ledger markers. With a cache
+/// attached, selections are served/admitted exactly as
+/// [`crate::execute_plan_cached`] does.
+///
+/// When every observation stays inside its believed interval — in
+/// particular whenever the model's estimates are accurate within
+/// `config.slack` — the outcome is byte-identical to the reopt-off
+/// executor on the same inputs.
+///
+/// # Errors
+/// Fails on shape mismatches, structurally or semantically unsound
+/// plans, capability violations, and predicate evaluation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_reopt<M: CostModel>(
+    spec: &SimplePlanSpec,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    model: &M,
+    cache: Option<&mut AnswerCache>,
+    session: &mut ReoptSession,
+    config: &ReoptConfig,
+) -> Result<ReoptOutcome> {
+    run_reopt(
+        spec, query, sources, network, model, cache, session, config, None,
+    )
+}
+
+/// [`execute_plan_reopt`] with each round's remote steps on `threads`
+/// scoped worker threads — byte-identical outcome (see the module
+/// docs' determinism contract).
+///
+/// # Errors
+/// As [`execute_plan_reopt`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_reopt_parallel<M: CostModel>(
+    spec: &SimplePlanSpec,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    model: &M,
+    cache: Option<&mut AnswerCache>,
+    session: &mut ReoptSession,
+    config: &ReoptConfig,
+    threads: usize,
+) -> Result<ReoptOutcome> {
+    run_reopt(
+        spec,
+        query,
+        sources,
+        network,
+        model,
+        cache,
+        session,
+        config,
+        Some(threads.max(1)),
+    )
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_reopt<M: CostModel>(
+    spec: &SimplePlanSpec,
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    model: &M,
+    mut cache: Option<&mut AnswerCache>,
+    session: &mut ReoptSession,
+    config: &ReoptConfig,
+    threads: Option<usize>,
+) -> Result<ReoptOutcome> {
+    check_shapes(spec, query, sources, model, session)?;
+    let n = sources.len();
+    let m = spec.order.len();
+    let mut spec = spec.clone();
+    let mut plan = spec.build(n)?;
+    let analysis = fusion_core::analyze::analyze_plan(&plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to execute a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    if threads.is_some() {
+        // The parallel path runs rounds on worker threads; re-verify the
+        // stage certificate up front like the stage-parallel executor.
+        fusion_core::dataflow::stage_decomposition(&plan)?;
+    }
+    let conditions = query.conditions();
+    let mut feedback = session.feedback.clone();
+    let mut df = derive_df(&plan, model, &feedback, config.slack)?;
+    let mut rounds = round_layout(&spec, n);
+    debug_assert_eq!(rounds.last().map_or(0, |r| r.1), plan.steps.len());
+
+    let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
+    let mut ledger = CostLedger::new();
+    let mut pending: Vec<PendingInsert> = Vec::new();
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut missing_conds: Vec<CondId> = Vec::new();
+    let mut switches: Vec<SwitchRecord> = Vec::new();
+    let mut violations = 0usize;
+    // (step, items_out) of the current round, for the violation check.
+    let mut round_obs: Vec<(usize, usize)> = Vec::new();
+
+    for r in 0..m {
+        let (start, end) = rounds[r];
+        round_obs.clear();
+        match threads {
+            None => {
+                for idx in start..end {
+                    let entry_items = exec_step_sequential(
+                        &plan,
+                        query,
+                        conditions,
+                        idx,
+                        sources,
+                        network,
+                        &mut cache,
+                        &mut vars,
+                        &mut rels,
+                        &mut rel_dropped,
+                        &mut ledger,
+                        &mut pending,
+                        &mut dropped,
+                        &mut missing_conds,
+                    )?;
+                    round_obs.push((idx, entry_items));
+                    let entry = ledger.entries().last().expect("just pushed");
+                    record_observation(&mut feedback, &plan, &vars, entry);
+                }
+            }
+            Some(threads) => {
+                exec_round_parallel(
+                    &plan,
+                    query,
+                    conditions,
+                    (start, end),
+                    sources,
+                    network,
+                    &mut cache,
+                    &mut vars,
+                    &mut rels,
+                    &mut rel_dropped,
+                    &mut ledger,
+                    &mut pending,
+                    &mut dropped,
+                    &mut missing_conds,
+                    &mut round_obs,
+                    threads,
+                )?;
+                for (idx, _) in &round_obs {
+                    let pos = ledger.entries().len() - (end - start) + (idx - start);
+                    let entry = &ledger.entries()[pos];
+                    record_observation(&mut feedback, &plan, &vars, entry);
+                }
+            }
+        }
+        // Round boundary: did any observation escape its believed
+        // interval? (Checking every step of the round — not just the
+        // round result — catches per-cell misestimates the intersect
+        // would mask.)
+        if r + 1 >= m {
+            continue;
+        }
+        let violation = round_obs
+            .iter()
+            .find(|(idx, items)| !df.step_bounds[*idx].contains(*items as f64));
+        let Some(&(violating_step, observed)) = violation else {
+            continue;
+        };
+        violations += 1;
+        let executed = end;
+        let x_var = plan.steps[executed - 1]
+            .defined_var()
+            .expect("a round ends in a set operation");
+        let x0 = vars[x_var.0].as_ref().map_or(0, ItemSet::len) as f64;
+        let remaining: Vec<usize> = spec.order[r + 1..].iter().map(|c| c.0).collect();
+        let (old_suffix_cost, cand) = {
+            let fbm = FeedbackCostModel::new(model, &feedback);
+            let cur = price_suffix(&fbm, &remaining, &spec.choices[r + 1..], x0);
+            let cand = session.memo.search(&fbm, &remaining, x0);
+            (cur, cand)
+        };
+        if cand.cost.value() >= old_suffix_cost.value() * (1.0 - config.min_gain) {
+            continue;
+        }
+        let mut new_spec = SimplePlanSpec {
+            order: spec.order[..=r].to_vec(),
+            choices: spec.choices[..=r].to_vec(),
+        };
+        new_spec.order.extend(cand.order.iter().map(|&c| CondId(c)));
+        new_spec.choices.extend(cand.choices.iter().cloned());
+        let new_plan = new_spec.build(n)?;
+        let Ok(certificate) = certify_switch(&plan, &new_plan, executed) else {
+            // Certification refused the splice: keep the plan we have.
+            continue;
+        };
+        ledger.push(reopt_marker(executed, observed));
+        switches.push(SwitchRecord {
+            at_step: executed,
+            rounds_done: r + 1,
+            violating_step,
+            observed,
+            expected: df.step_bounds[violating_step],
+            x0,
+            old_suffix_cost,
+            new_suffix_cost: cand.cost,
+            suffix_order: cand.order.iter().map(|&c| CondId(c)).collect(),
+            suffix_choices: cand.choices.clone(),
+            certificate,
+        });
+        plan = new_plan;
+        spec = new_spec;
+        vars.resize(plan.var_names.len(), None);
+        rels.resize(plan.rel_names.len(), None);
+        rel_dropped.resize(plan.rel_names.len(), false);
+        rounds = round_layout(&spec, n);
+        debug_assert_eq!(rounds.last().map_or(0, |r| r.1), plan.steps.len());
+        df = derive_df(&plan, model, &feedback, config.slack)?;
+    }
+    if threads.is_some() {
+        network.commit();
+    }
+    let answer = vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined");
+    if let Some(cache) = cache {
+        commit_inserts(cache, pending, true, &[]);
+    }
+    session.feedback = feedback;
+    Ok(ReoptOutcome {
+        outcome: ExecutionOutcome {
+            answer,
+            ledger,
+            completeness: Completeness::Exact,
+        },
+        final_spec: spec,
+        switches,
+        violations,
+    })
+}
+
+/// Executes one step exactly as [`crate::interp`]'s sequential loop
+/// does (cache lookup, dispatch, fold) and returns its `items_out`.
+#[allow(clippy::too_many_arguments)]
+fn exec_step_sequential(
+    plan: &Plan,
+    query: &FusionQuery,
+    conditions: &[Condition],
+    idx: usize,
+    sources: &SourceSet,
+    network: &mut Network,
+    cache: &mut Option<&mut AnswerCache>,
+    vars: &mut [Option<ItemSet>],
+    rels: &mut [Option<Relation>],
+    rel_dropped: &mut [bool],
+    ledger: &mut CostLedger,
+    pending: &mut Vec<PendingInsert>,
+    dropped: &mut Vec<usize>,
+    missing_conds: &mut Vec<CondId>,
+) -> Result<usize> {
+    let step = &plan.steps[idx];
+    if step.source().is_none() {
+        let entry = exec_local_step(idx, step, conditions, vars, rels)?;
+        let items = entry.items_out;
+        ledger.push(entry);
+        return Ok(items);
+    }
+    if let Step::Sq { out, cond, source } = step {
+        let served = match cache.as_deref_mut() {
+            Some(cache) => cache.lookup(*source, &conditions[cond.0], query.schema())?,
+            None => None,
+        };
+        if let Some(served) = served {
+            let entry = served_entry(idx, *source, &served);
+            let items = entry.items_out;
+            ledger.push(entry);
+            vars[out.0] = Some(served.items);
+            return Ok(items);
+        }
+    }
+    let records = cache.is_some().then(|| query.schema());
+    let done = dispatch_remote_step(
+        idx,
+        step,
+        conditions,
+        sources,
+        network,
+        vars,
+        None,
+        Cost::ZERO,
+        records,
+    )?;
+    let refetch = done.entry.comm + done.entry.proc;
+    let items = done.entry.items_out;
+    ledger.push(done.entry);
+    apply_step_done(
+        plan,
+        query.schema(),
+        conditions,
+        idx,
+        done.value,
+        refetch,
+        vars,
+        rels,
+        rel_dropped,
+        pending,
+        dropped,
+        missing_conds,
+        None,
+    )?;
+    Ok(items)
+}
+
+/// Executes one round's steps with the remote ones on worker threads,
+/// folding results at the round barrier in step order so the ledger,
+/// variables, and trace come out byte-identical to the sequential path.
+#[allow(clippy::too_many_arguments)]
+fn exec_round_parallel(
+    plan: &Plan,
+    query: &FusionQuery,
+    conditions: &[Condition],
+    (start, end): (usize, usize),
+    sources: &SourceSet,
+    network: &mut Network,
+    cache: &mut Option<&mut AnswerCache>,
+    vars: &mut [Option<ItemSet>],
+    rels: &mut [Option<Relation>],
+    rel_dropped: &mut [bool],
+    ledger: &mut CostLedger,
+    pending: &mut Vec<PendingInsert>,
+    dropped: &mut Vec<usize>,
+    missing_conds: &mut Vec<CondId>,
+    round_obs: &mut Vec<(usize, usize)>,
+    threads: usize,
+) -> Result<usize> {
+    let mut entries: Vec<Option<LedgerEntry>> = vec![None; end - start];
+    // Cache lookups resolve on the main thread in step order — exactly
+    // the lookup sequence (stats, LRU touches) the sequential path
+    // performs.
+    if let Some(cache) = cache.as_deref_mut() {
+        for idx in start..end {
+            if let Step::Sq { out, cond, source } = &plan.steps[idx] {
+                if let Some(served) = cache.lookup(*source, &conditions[cond.0], query.schema())? {
+                    entries[idx - start] = Some(served_entry(idx, *source, &served));
+                    vars[out.0] = Some(served.items);
+                }
+            }
+        }
+    }
+    let records = cache.is_some().then(|| query.schema());
+    let remote: Vec<usize> = (start..end)
+        .filter(|&i| plan.steps[i].source().is_some() && entries[i - start].is_none())
+        .collect();
+    if !remote.is_empty() {
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Result<StepDone>)>> =
+            Mutex::new(Vec::with_capacity(remote.len()));
+        let workers = threads.min(remote.len());
+        let shared_net: &Network = network;
+        let vars_ref: &[Option<ItemSet>] = vars;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= remote.len() {
+                        break;
+                    }
+                    let idx = remote[i];
+                    let mut ex = SharedExchanger {
+                        net: shared_net,
+                        step: idx,
+                    };
+                    let r = dispatch_remote_step(
+                        idx,
+                        &plan.steps[idx],
+                        conditions,
+                        sources,
+                        &mut ex,
+                        vars_ref,
+                        None,
+                        Cost::ZERO,
+                        records,
+                    );
+                    results.lock().expect("results poisoned").push((idx, r));
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("results poisoned");
+        results.sort_by_key(|(idx, _)| *idx);
+        for (idx, r) in results {
+            let done = match r {
+                Ok(done) => done,
+                Err(e) => {
+                    network.commit();
+                    return Err(e);
+                }
+            };
+            let refetch = done.entry.comm + done.entry.proc;
+            entries[idx - start] = Some(done.entry);
+            if let Err(e) = apply_step_done(
+                plan,
+                query.schema(),
+                conditions,
+                idx,
+                done.value,
+                refetch,
+                vars,
+                rels,
+                rel_dropped,
+                pending,
+                dropped,
+                missing_conds,
+                None,
+            ) {
+                network.commit();
+                return Err(e);
+            }
+        }
+    }
+    // Local set operations run after the barrier, in step order.
+    for idx in start..end {
+        if plan.steps[idx].source().is_none() {
+            match exec_local_step(idx, &plan.steps[idx], conditions, vars, rels) {
+                Ok(entry) => entries[idx - start] = Some(entry),
+                Err(e) => {
+                    network.commit();
+                    return Err(e);
+                }
+            }
+        }
+    }
+    for (off, e) in entries.into_iter().enumerate() {
+        let e = e.expect("every round step executed");
+        round_obs.push((start + off, e.items_out));
+        ledger.push(e);
+    }
+    Ok(end - start)
+}
+
+/// Replays an adaptively re-optimized run from its recorded switches:
+/// the same spec executes sequentially, and at each recorded
+/// `at_step` the recorded suffix is spliced in — after independently
+/// re-running [`certify_switch`], so a tampered switch record fails
+/// the replay rather than executing. No intervals, feedback, or memo
+/// are consulted: the ledger (markers included), answer, and
+/// completeness come out bit-for-bit identical to the live run on the
+/// same sources and network.
+///
+/// # Errors
+/// Fails on shape mismatches, unsound plans or splices, capability
+/// violations, and predicate evaluation errors.
+pub fn replay_plan_reopt(
+    spec: &SimplePlanSpec,
+    switches: &[SwitchRecord],
+    query: &FusionQuery,
+    sources: &SourceSet,
+    network: &mut Network,
+    mut cache: Option<&mut AnswerCache>,
+) -> Result<ReoptOutcome> {
+    let n = sources.len();
+    if query.m() != spec.order.len() {
+        return Err(FusionError::invalid_plan(format!(
+            "spec has {} rounds, query {} conditions",
+            spec.order.len(),
+            query.m()
+        )));
+    }
+    let mut spec = spec.clone();
+    let mut plan = spec.build(n)?;
+    let analysis = fusion_core::analyze::analyze_plan(&plan)?;
+    if let fusion_core::analyze::Verdict::Refuted(cx) = analysis.verdict() {
+        return Err(FusionError::invalid_plan(format!(
+            "refusing to replay a semantically unsound plan: it does not \
+             compute the fusion query.\n{cx}"
+        )));
+    }
+    let conditions = query.conditions();
+    let mut vars: Vec<Option<ItemSet>> = vec![None; plan.var_names.len()];
+    let mut rels: Vec<Option<Relation>> = vec![None; plan.rel_names.len()];
+    let mut rel_dropped = vec![false; plan.rel_names.len()];
+    let mut ledger = CostLedger::new();
+    let mut pending: Vec<PendingInsert> = Vec::new();
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut missing_conds: Vec<CondId> = Vec::new();
+    let mut next_switch = switches.iter().peekable();
+    let mut replayed: Vec<SwitchRecord> = Vec::new();
+    let mut idx = 0usize;
+    while idx < plan.steps.len() {
+        if let Some(sw) = next_switch.peek() {
+            if sw.at_step == idx {
+                let sw = next_switch.next().expect("just peeked");
+                if sw.rounds_done == 0 || sw.rounds_done > spec.order.len() {
+                    return Err(FusionError::invalid_plan(format!(
+                        "switch record splices after {} of {} rounds",
+                        sw.rounds_done,
+                        spec.order.len()
+                    )));
+                }
+                if sw.suffix_order.len() != spec.order.len() - sw.rounds_done {
+                    return Err(FusionError::invalid_plan(format!(
+                        "switch record's suffix covers {} rounds, {} remain",
+                        sw.suffix_order.len(),
+                        spec.order.len() - sw.rounds_done
+                    )));
+                }
+                let mut new_spec = SimplePlanSpec {
+                    order: spec.order[..sw.rounds_done].to_vec(),
+                    choices: spec.choices[..sw.rounds_done].to_vec(),
+                };
+                new_spec.order.extend(sw.suffix_order.iter().copied());
+                new_spec.choices.extend(sw.suffix_choices.iter().cloned());
+                let new_plan = new_spec.build(n)?;
+                let certificate = certify_switch(&plan, &new_plan, idx)?;
+                ledger.push(reopt_marker(idx, sw.observed));
+                replayed.push(SwitchRecord {
+                    certificate,
+                    ..sw.clone()
+                });
+                plan = new_plan;
+                spec = new_spec;
+                vars.resize(plan.var_names.len(), None);
+                rels.resize(plan.rel_names.len(), None);
+                rel_dropped.resize(plan.rel_names.len(), false);
+                continue;
+            }
+        }
+        exec_step_sequential(
+            &plan,
+            query,
+            conditions,
+            idx,
+            sources,
+            network,
+            &mut cache,
+            &mut vars,
+            &mut rels,
+            &mut rel_dropped,
+            &mut ledger,
+            &mut pending,
+            &mut dropped,
+            &mut missing_conds,
+        )?;
+        idx += 1;
+    }
+    if next_switch.peek().is_some() {
+        return Err(FusionError::invalid_plan(
+            "switch record points past the end of the plan",
+        ));
+    }
+    let answer = vars[plan.result.0]
+        .clone()
+        .expect("validated: result defined");
+    if let Some(cache) = cache {
+        commit_inserts(cache, pending, true, &[]);
+    }
+    let violations = replayed.len();
+    Ok(ReoptOutcome {
+        outcome: ExecutionOutcome {
+            answer,
+            ledger,
+            completeness: Completeness::Exact,
+        },
+        final_spec: spec,
+        switches: replayed,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_plan;
+    use fusion_core::cost::TableCostModel;
+    use fusion_core::optimizer::sja_optimal;
+    use fusion_net::LinkProfile;
+    use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile};
+    use fusion_types::schema::dmv_schema;
+    use fusion_types::{tuple, Predicate};
+
+    fn figure1_relations() -> Vec<Relation> {
+        let s = dmv_schema();
+        vec![
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["J55", "dui", 1993i64],
+                    tuple!["T21", "sp", 1994i64],
+                    tuple!["T80", "dui", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s.clone(),
+                vec![
+                    tuple!["T21", "dui", 1996i64],
+                    tuple!["J55", "sp", 1996i64],
+                    tuple!["T11", "sp", 1993i64],
+                ],
+            ),
+            Relation::from_rows(
+                s,
+                vec![
+                    tuple!["T21", "sp", 1993i64],
+                    tuple!["S07", "sp", 1996i64],
+                    tuple!["S07", "sp", 1993i64],
+                ],
+            ),
+        ]
+    }
+
+    fn dmv_sources() -> SourceSet {
+        SourceSet::new(
+            figure1_relations()
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", i + 1),
+                        r,
+                        Capabilities::full(),
+                        ProcessingProfile::indexed_db(),
+                        i as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    fn dmv_query() -> FusionQuery {
+        FusionQuery::new(
+            dmv_schema(),
+            vec![
+                Predicate::eq("V", "dui").into(),
+                Predicate::eq("V", "sp").into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A skewed instance: per source, "dui" matches 2 entities while
+    /// "sp" matches 31 — so a locked-in round-1 selection sweep is
+    /// genuinely expensive and the semijoin switch wins on executed
+    /// cost, not just on estimates.
+    fn skewed_sources() -> SourceSet {
+        let s = dmv_schema();
+        SourceSet::new(
+            (0..3usize)
+                .map(|j| {
+                    let mut rows = vec![
+                        tuple![format!("D{j}0"), "dui", 1993i64],
+                        tuple![format!("D{j}1"), "dui", 1994i64],
+                        tuple![format!("D{j}0"), "sp", 1995i64],
+                    ];
+                    for k in 0..30 {
+                        rows.push(tuple![format!("S{j}x{k}"), "sp", 1996i64]);
+                    }
+                    Box::new(InMemoryWrapper::new(
+                        format!("R{}", j + 1),
+                        Relation::from_rows(s.clone(), rows),
+                        Capabilities::full(),
+                        ProcessingProfile::indexed_db(),
+                        j as u64,
+                    )) as Box<dyn fusion_source::Wrapper>
+                })
+                .collect(),
+        )
+    }
+
+    /// The per-cell truth of the Figure 1 instance, as a cost model.
+    fn accurate_model() -> TableCostModel {
+        let mut model = TableCostModel::uniform(2, 3, 50.0, 1.0, 0.5, 1e9, 0.0, 8.0);
+        // dui: R1 {J55, T80}, R2 {T21}, R3 {}.
+        for (j, items) in [2.0, 1.0, 0.0].into_iter().enumerate() {
+            model.set_est_sq_items(CondId(0), SourceId(j), items);
+        }
+        // sp: R1 {T21}, R2 {J55, T11}, R3 {T21, S07}.
+        for (j, items) in [1.0, 2.0, 2.0].into_iter().enumerate() {
+            model.set_est_sq_items(CondId(1), SourceId(j), items);
+        }
+        model
+    }
+
+    /// A model whose estimates are inflated ~500x: the optimizer locks
+    /// in selections everywhere, but the observed round-0 cardinalities
+    /// escape their believed intervals and semijoins win the re-search.
+    fn misestimated_model() -> TableCostModel {
+        TableCostModel::uniform(2, 3, 50.0, 1.0, 0.5, 1e9, 1000.0, 4000.0)
+    }
+
+    #[test]
+    fn accurate_stats_are_byte_identical_to_reopt_off() {
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let model = accurate_model();
+        let opt = sja_optimal(&model);
+        let mut net_off = Network::uniform(3, LinkProfile::Wan.link());
+        let off = execute_plan(&opt.plan, &q, &sources, &mut net_off).unwrap();
+        let mut session = ReoptSession::new(2, 3, 256);
+        let mut net_on = Network::uniform(3, LinkProfile::Wan.link());
+        let on = execute_plan_reopt(
+            &opt.spec,
+            &q,
+            &sources,
+            &mut net_on,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap();
+        assert!(on.switches.is_empty(), "spurious switch: {:?}", on.switches);
+        assert_eq!(on.violations, 0);
+        assert_eq!(on.outcome.answer, off.answer);
+        assert_eq!(on.outcome.ledger, off.ledger);
+        assert_eq!(net_on.trace(), net_off.trace());
+        // The session learned the true cardinalities.
+        assert!(!session.feedback.is_empty());
+        assert_eq!(
+            session.feedback.observed(CondId(0), SourceId(2)),
+            Some(CardObservation::Exact(0.0))
+        );
+    }
+
+    #[test]
+    fn misestimates_trigger_a_certified_switch_that_wins() {
+        let q = dmv_query();
+        let sources = skewed_sources();
+        let model = misestimated_model();
+        let opt = sja_optimal(&model);
+        // Under the inflated estimates SJA locks in selections for
+        // round 1 — semijoins look hopeless against a huge running set.
+        assert!(opt.spec.choices[1]
+            .iter()
+            .all(|c| *c == SourceChoice::Selection));
+        let mut net_locked = Network::uniform(3, LinkProfile::Wan.link());
+        let locked = execute_plan(&opt.plan, &q, &sources, &mut net_locked).unwrap();
+        let mut session = ReoptSession::new(2, 3, 256);
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let out = execute_plan_reopt(
+            &opt.spec,
+            &q,
+            &sources,
+            &mut net,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.outcome.answer, locked.answer);
+        assert_eq!(out.switches.len(), 1, "violations={}", out.violations);
+        let sw = &out.switches[0];
+        assert_eq!(sw.rounds_done, 1);
+        assert!(sw
+            .suffix_choices
+            .iter()
+            .flatten()
+            .all(|c| *c == SourceChoice::Semijoin));
+        assert!(sw.new_suffix_cost < sw.old_suffix_cost);
+        assert_eq!(sw.certificate.shared_prefix, sw.at_step);
+        // The switched run beats the locked-in plan on executed cost.
+        assert!(
+            out.total_cost() < locked.ledger.total(),
+            "reopt {} >= locked {}",
+            out.total_cost(),
+            locked.ledger.total()
+        );
+        assert_eq!(out.outcome.ledger.count_kind(StepKind::Reopt), 1);
+        // Memo state persisted: the suffix search ran under a budget.
+        assert!(session.memo.stats().invocations >= 1);
+    }
+
+    #[test]
+    fn switched_runs_replay_bit_for_bit() {
+        let q = dmv_query();
+        let sources = skewed_sources();
+        let model = misestimated_model();
+        let opt = sja_optimal(&model);
+        let mut session = ReoptSession::new(2, 3, 256);
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let live = execute_plan_reopt(
+            &opt.spec,
+            &q,
+            &sources,
+            &mut net,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap();
+        assert!(!live.switches.is_empty());
+        let mut replay_net = Network::uniform(3, LinkProfile::Wan.link());
+        let replayed = replay_plan_reopt(
+            &opt.spec,
+            &live.switches,
+            &q,
+            &sources,
+            &mut replay_net,
+            None,
+        )
+        .unwrap();
+        assert_eq!(replayed.outcome.answer, live.outcome.answer);
+        assert_eq!(replayed.outcome.ledger, live.outcome.ledger);
+        assert_eq!(replayed.final_spec, live.final_spec);
+        assert_eq!(replay_net.trace(), net.trace());
+        // A tampered switch record fails validation instead of
+        // executing: splicing a done condition back in is no longer a
+        // permutation of the query's conditions.
+        let done = opt.spec.order[0];
+        let mut forged = live.switches.clone();
+        forged[0].suffix_order = vec![done];
+        let mut forged_net = Network::uniform(3, LinkProfile::Wan.link());
+        let err =
+            replay_plan_reopt(&opt.spec, &forged, &q, &sources, &mut forged_net, None).unwrap_err();
+        assert!(err.to_string().contains("permutation"), "{err}");
+    }
+
+    #[test]
+    fn parallel_reopt_is_byte_identical_to_sequential() {
+        let q = dmv_query();
+        let sources = dmv_sources();
+        for model in [accurate_model(), misestimated_model()] {
+            let opt = sja_optimal(&model);
+            let mut s_seq = ReoptSession::new(2, 3, 256);
+            let mut net_seq = Network::uniform(3, LinkProfile::Wan.link());
+            let seq = execute_plan_reopt(
+                &opt.spec,
+                &q,
+                &sources,
+                &mut net_seq,
+                &model,
+                None,
+                &mut s_seq,
+                &ReoptConfig::default(),
+            )
+            .unwrap();
+            let mut s_par = ReoptSession::new(2, 3, 256);
+            let mut net_par = Network::uniform(3, LinkProfile::Wan.link());
+            let par = execute_plan_reopt_parallel(
+                &opt.spec,
+                &q,
+                &sources,
+                &mut net_par,
+                &model,
+                None,
+                &mut s_par,
+                &ReoptConfig::default(),
+                4,
+            )
+            .unwrap();
+            assert_eq!(par.outcome.answer, seq.outcome.answer);
+            assert_eq!(par.outcome.ledger, seq.outcome.ledger);
+            assert_eq!(par.switches, seq.switches);
+            assert_eq!(net_par.trace(), net_seq.trace());
+            assert_eq!(s_par.feedback, s_seq.feedback);
+        }
+    }
+
+    #[test]
+    fn session_feedback_preplans_the_second_query() {
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let model = misestimated_model();
+        let opt = sja_optimal(&model);
+        let mut session = ReoptSession::new(2, 3, 256);
+        let mut net1 = Network::uniform(3, LinkProfile::Wan.link());
+        let first = execute_plan_reopt(
+            &opt.spec,
+            &q,
+            &sources,
+            &mut net1,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap();
+        assert!(!first.switches.is_empty());
+        // Second run of the same query: plan directly under the
+        // calibrated model — the fed-back optimum needs no mid-flight
+        // switch at all.
+        let fbm = FeedbackCostModel::new(&model, &session.feedback);
+        let opt2 = sja_optimal(&fbm);
+        let mut net2 = Network::uniform(3, LinkProfile::Wan.link());
+        let second = execute_plan_reopt(
+            &opt2.spec,
+            &q,
+            &sources,
+            &mut net2,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(second.outcome.answer, first.outcome.answer);
+        assert!(second.switches.is_empty(), "{:?}", second.switches);
+        // The calibrated plan costs no more than the first, adapted run.
+        assert!(second.total_cost() <= first.total_cost());
+    }
+
+    #[test]
+    fn harvest_reconstructs_observations_from_the_ledger() {
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let model = accurate_model();
+        let opt = sja_optimal(&model);
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let out = execute_plan(&opt.plan, &q, &sources, &mut net).unwrap();
+        let obs = harvest_observations(&opt.plan, q.conditions(), &out.ledger);
+        assert!(!obs.is_empty());
+        for (cond, source, o) in &obs {
+            match o {
+                CardObservation::Exact(k) => {
+                    // Exact observations match the true selection size.
+                    let truth = figure1_relations()[source.0]
+                        .select_items(cond)
+                        .unwrap()
+                        .items
+                        .len() as f64;
+                    assert_eq!(*k, truth);
+                }
+                CardObservation::Selectivity(s) => assert!((0.0..=1.0).contains(s)),
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let q = dmv_query();
+        let sources = dmv_sources();
+        let model = accurate_model();
+        let opt = sja_optimal(&model);
+        // Session calibrated for a different shape.
+        let mut session = ReoptSession::new(3, 3, 64);
+        let mut net = Network::uniform(3, LinkProfile::Wan.link());
+        let err = execute_plan_reopt(
+            &opt.spec,
+            &q,
+            &sources,
+            &mut net,
+            &model,
+            None,
+            &mut session,
+            &ReoptConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("session"), "{err}");
+    }
+}

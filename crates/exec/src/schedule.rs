@@ -15,7 +15,7 @@
 //! result variable — the critical path through data dependencies and
 //! per-source queues.
 
-use crate::ledger::{CostLedger, StepKind};
+use crate::ledger::{CostLedger, LedgerEntry, StepKind};
 use fusion_core::dataflow::stage_decomposition;
 use fusion_core::plan::{Plan, Step};
 use fusion_types::error::{FusionError, Result};
@@ -44,13 +44,13 @@ pub struct ScheduledStep {
 /// # Errors
 /// Fails if the ledger does not match the plan step for step.
 pub fn schedule(plan: &Plan, ledger: &CostLedger) -> Result<(Vec<ScheduledStep>, f64)> {
-    validate_ledger(plan, ledger)?;
+    let entries = validate_ledger(plan, ledger)?;
     let mut var_avail: Vec<f64> = vec![0.0; plan.var_names.len()];
     let mut rel_avail: Vec<f64> = vec![0.0; plan.rel_names.len()];
     let mut source_free: Vec<f64> = vec![0.0; plan.n_sources];
     let mut result_time = 0.0f64;
     let mut placements = Vec::new();
-    for (idx, (step, entry)) in plan.steps.iter().zip(ledger.entries()).enumerate() {
+    for (idx, (step, entry)) in plan.steps.iter().zip(entries).enumerate() {
         let mut ready = 0.0f64;
         for v in step.used_vars() {
             ready = ready.max(var_avail[v.0]);
@@ -88,16 +88,24 @@ pub fn schedule(plan: &Plan, ledger: &CostLedger) -> Result<(Vec<ScheduledStep>,
 }
 
 /// Checks that `ledger` replays `plan`: one entry per step, in order,
-/// with agreeing kinds and sources.
-fn validate_ledger(plan: &Plan, ledger: &CostLedger) -> Result<()> {
-    if ledger.entries().len() != plan.steps.len() {
+/// with agreeing kinds and sources. Free `reopt` marker entries (recorded
+/// by the adaptive executor at certified switch points) carry no step
+/// work and are filtered out; the surviving entries are returned for the
+/// schedulers to zip against the plan.
+fn validate_ledger<'a>(plan: &Plan, ledger: &'a CostLedger) -> Result<Vec<&'a LedgerEntry>> {
+    let entries: Vec<&LedgerEntry> = ledger
+        .entries()
+        .iter()
+        .filter(|e| e.kind != StepKind::Reopt)
+        .collect();
+    if entries.len() != plan.steps.len() {
         return Err(FusionError::execution(format!(
             "ledger does not match plan: {} entries for {} steps",
-            ledger.entries().len(),
+            entries.len(),
             plan.steps.len()
         )));
     }
-    for (idx, (step, entry)) in plan.steps.iter().zip(ledger.entries()).enumerate() {
+    for (idx, (step, entry)) in plan.steps.iter().zip(&entries).enumerate() {
         if entry.step != idx {
             return Err(FusionError::execution(format!(
                 "ledger does not match plan: entry {idx} records step {}",
@@ -139,7 +147,7 @@ fn validate_ledger(plan: &Plan, ledger: &CostLedger) -> Result<()> {
             )));
         }
     }
-    Ok(())
+    Ok(entries)
 }
 
 /// One wavefront of the certified stage schedule: the steps that ran
@@ -187,9 +195,8 @@ impl std::fmt::Display for StageTraceEntry {
 /// Fails if the ledger does not match the plan, or if the certificate
 /// check fails.
 pub fn stage_schedule(plan: &Plan, ledger: &CostLedger) -> Result<(Vec<StageTraceEntry>, f64)> {
-    validate_ledger(plan, ledger)?;
+    let entries = validate_ledger(plan, ledger)?;
     let decomposition = stage_decomposition(plan)?;
-    let entries = ledger.entries();
     let mut trace = Vec::with_capacity(decomposition.stages.len());
     let mut clock = 0.0f64;
     for (s, steps) in decomposition.stages.iter().enumerate() {

@@ -102,7 +102,17 @@ impl NumericHistogram {
                 break;
             }
         }
-        (acc / self.total).clamp(0.0, 1.0)
+        let frac = (acc / self.total).clamp(0.0, 1.0);
+        // `x == max` falls through to full-bucket interpolation, but the
+        // value(s) sitting exactly at max are NOT strictly below it — at
+        // least one such value exists, so cap the strict-below fraction.
+        // Without the cap, `attr < max` estimates 1.0 and `attr >= max`
+        // estimates 0.0 even though the max row matches.
+        if x >= self.max() {
+            frac.min((self.total - 1.0).max(0.0) / self.total)
+        } else {
+            frac
+        }
     }
 
     /// Estimated selectivity of `lo <= v <= hi`.

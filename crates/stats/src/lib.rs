@@ -23,11 +23,13 @@
 pub mod calibration;
 pub mod cardinality;
 pub mod estimator;
+pub mod feedback;
 pub mod histogram;
 pub mod sample;
 
 pub use calibration::{CostCalibration, Observation};
 pub use cardinality::{chain_estimate, intersect_estimate, union_estimate};
 pub use estimator::estimate_selectivity;
+pub use feedback::{CardObservation, CardinalityFeedback, ConditionFeedback};
 pub use histogram::{ColumnStats, NumericHistogram, TableStats};
 pub use sample::SplitMix64;

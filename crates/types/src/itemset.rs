@@ -71,28 +71,9 @@ impl ItemSet {
 
     /// Set union: `self ∪ other`.
     pub fn union(&self, other: &ItemSet) -> ItemSet {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.items.len() && j < other.items.len() {
-            match self.items[i].cmp(&other.items[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(self.items[i].clone());
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(other.items[j].clone());
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(self.items[i].clone());
-                    i += 1;
-                    j += 1;
-                }
-            }
+        ItemSet {
+            items: merge_union(&self.items, &other.items),
         }
-        out.extend_from_slice(&self.items[i..]);
-        out.extend_from_slice(&other.items[j..]);
-        ItemSet { items: out }
     }
 
     /// Set intersection: `self ∩ other`.
@@ -103,7 +84,9 @@ impl ItemSet {
             (other, self)
         };
         // Merge when sizes are comparable; probe when one side is tiny.
-        if small.len() * 16 < large.len() {
+        // Divide the large side rather than multiplying the small one:
+        // `small.len() * 16` can overflow on huge sets.
+        if small.len() < large.len() / 16 {
             let items = small
                 .items
                 .iter()
@@ -154,19 +137,105 @@ impl ItemSet {
 
     /// True if every item of `self` is in `other`.
     pub fn is_subset_of(&self, other: &ItemSet) -> bool {
-        self.items.iter().all(|it| other.contains(it))
+        if self.len() > other.len() {
+            return false;
+        }
+        // Probe when `self` is tiny relative to `other`; for comparable
+        // sizes a linear merge beats per-item binary search.
+        if self.len() < other.len() / 16 {
+            return self.items.iter().all(|it| other.contains(it));
+        }
+        let mut j = 0;
+        for it in &self.items {
+            while j < other.items.len() && other.items[j] < *it {
+                j += 1;
+            }
+            if j >= other.items.len() || other.items[j] != *it {
+                return false;
+            }
+            j += 1;
+        }
+        true
     }
 
     /// Union of many sets (the `X_i := ∪_j X_ij` plan step).
+    ///
+    /// A single k-way merge over the sorted inputs: `O(N log k)` for `N`
+    /// total input items, where the old pairwise fold re-allocated the
+    /// accumulator per set (`O(k·N)` on the hot union path).
     pub fn union_all<'a, I: IntoIterator<Item = &'a ItemSet>>(sets: I) -> ItemSet {
-        sets.into_iter()
-            .fold(ItemSet::empty(), |acc, s| acc.union(s))
+        let slices: Vec<&[Item]> = sets
+            .into_iter()
+            .map(ItemSet::as_slice)
+            .filter(|s| !s.is_empty())
+            .collect();
+        match slices.len() {
+            0 => return ItemSet::empty(),
+            1 => {
+                return ItemSet {
+                    items: slices[0].to_vec(),
+                }
+            }
+            2 => {
+                // Two-input unions (the common small-n case) skip the heap.
+                return ItemSet {
+                    items: merge_union(slices[0], slices[1]),
+                };
+            }
+            _ => {}
+        }
+        // Min-heap of one cursor per input, keyed by the cursor's current
+        // item; popping in ascending order with a last-pushed guard both
+        // merges and deduplicates in one pass.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(&Item, usize)>> = slices
+            .iter()
+            .enumerate()
+            .map(|(k, s)| std::cmp::Reverse((&s[0], k)))
+            .collect();
+        let mut pos = vec![0usize; slices.len()];
+        let mut out: Vec<Item> = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
+        while let Some(std::cmp::Reverse((item, k))) = heap.pop() {
+            if out.last() != Some(item) {
+                out.push(item.clone());
+            }
+            pos[k] += 1;
+            if let Some(next) = slices[k].get(pos[k]) {
+                heap.push(std::cmp::Reverse((next, k)));
+            }
+        }
+        ItemSet { items: out }
     }
 
     /// Estimated wire size in bytes when shipped as a semijoin set.
     pub fn wire_size(&self) -> usize {
         self.items.iter().map(Item::wire_size).sum()
     }
+}
+
+/// Linear merge of two sorted, duplicate-free slices.
+fn merge_union(a: &[Item], b: &[Item]) -> Vec<Item> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl fmt::Display for ItemSet {
@@ -264,6 +333,88 @@ mod tests {
         assert!(!a.contains(&Item::new("b")));
         assert!(a.is_subset_of(&b));
         assert!(!b.is_subset_of(&a));
+    }
+
+    /// The reference pairwise fold `union_all` replaced.
+    fn union_all_fold<'a, I: IntoIterator<Item = &'a ItemSet>>(sets: I) -> ItemSet {
+        sets.into_iter()
+            .fold(ItemSet::empty(), |acc, s| acc.union(s))
+    }
+
+    #[test]
+    fn union_all_kway_matches_fold_across_sizes() {
+        // Size-parameterized parity: k sets of varying sizes, strides,
+        // and overlap, including empties and all-equal sets.
+        for k in [0usize, 1, 2, 3, 5, 8, 13] {
+            for stride in [1i64, 2, 3, 7] {
+                let sets: Vec<ItemSet> = (0..k)
+                    .map(|s| {
+                        (0..(20 * (s + 1) as i64))
+                            .map(|v| v * stride + s as i64)
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&ItemSet> = sets.iter().collect();
+                assert_eq!(
+                    ItemSet::union_all(refs.iter().copied()),
+                    union_all_fold(refs.iter().copied()),
+                    "k {k} stride {stride}"
+                );
+            }
+        }
+        // Empties interleaved.
+        let a = set(&["a", "c"]);
+        let e = ItemSet::empty();
+        let b = set(&["b", "c", "d"]);
+        assert_eq!(
+            ItemSet::union_all([&e, &a, &e, &b, &e]),
+            union_all_fold([&a, &b])
+        );
+        // Identical sets collapse.
+        assert_eq!(ItemSet::union_all([&a, &a, &a]), a);
+    }
+
+    #[test]
+    fn intersect_parity_at_probe_threshold_boundaries() {
+        // The probe-path guard is `small < large / 16`. Check byte-equal
+        // results on both sides of the boundary: large = 16*small (merge)
+        // and large = 16*small + 16 (probe).
+        for small_len in [1usize, 4, 10] {
+            let small: ItemSet = (0..small_len as i64).map(|v| v * 5).collect();
+            for large_len in [16 * small_len, 16 * small_len + 16] {
+                let large: ItemSet = (0..large_len as i64).collect();
+                let expect: ItemSet = small
+                    .iter()
+                    .filter(|it| large.contains(it))
+                    .cloned()
+                    .collect();
+                assert_eq!(small.intersect(&large), expect, "{small_len}/{large_len}");
+                assert_eq!(large.intersect(&small), expect, "{small_len}/{large_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_subset_of_parity_at_threshold_boundaries() {
+        for small_len in [2usize, 8] {
+            for large_len in [16 * small_len, 16 * small_len + 16] {
+                let large: ItemSet = (0..large_len as i64).collect();
+                let inside: ItemSet = (0..small_len as i64).map(|v| v * 3).collect();
+                assert!(inside.is_subset_of(&large), "{small_len}/{large_len}");
+                let outside: ItemSet = (0..small_len as i64)
+                    .map(|v| v * 3)
+                    .chain([large_len as i64 + 1])
+                    .collect();
+                assert!(!outside.is_subset_of(&large), "{small_len}/{large_len}");
+            }
+        }
+        // Equal sizes take the merge path; a larger "subset" short-circuits.
+        let a = set(&["a", "b", "c"]);
+        assert!(a.is_subset_of(&a));
+        let bigger = set(&["a", "b", "c", "d"]);
+        assert!(!bigger.is_subset_of(&a));
+        assert!(ItemSet::empty().is_subset_of(&a));
+        assert!(ItemSet::empty().is_subset_of(&ItemSet::empty()));
     }
 
     #[test]

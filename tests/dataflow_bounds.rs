@@ -11,7 +11,7 @@ use fusion::core::dataflow::{analyze_dataflow, stage_decomposition, SourceBounds
 use fusion::core::plan::Plan;
 use fusion::core::{analyze_plan, evaluate_plan, evaluate_plan_vars};
 use fusion::stats::TableStats;
-use fusion::types::{Condition, Relation};
+use fusion::types::{CmpOp, Condition, Predicate, Relation, Value};
 
 const SEEDS: u64 = 60;
 
@@ -85,6 +85,105 @@ fn observed_cardinalities_lie_inside_static_intervals() {
                     t + 1,
                     set.len(),
                     df.step_bounds[t],
+                    plan.listing()
+                );
+            }
+        }
+    });
+}
+
+/// Range predicates sitting *exactly* on the observed attribute
+/// extremes — where one strict-vs-inclusive slip in the histogram
+/// seeding (`fraction_below`) or the bound propagation silently
+/// excludes the boundary value. Every seeded interval must contain the
+/// ground-truth cardinality for `<`, `<=`, `>`, `>=`, `=`, and BETWEEN
+/// pinned at the data's min and max.
+#[test]
+fn boundary_predicates_stay_inside_seeded_intervals() {
+    for_seeds(SEEDS, |g| {
+        let relations = g.relations(3);
+        let years: Vec<i64> = relations
+            .iter()
+            .flat_map(Relation::rows)
+            .filter_map(|t| match t.values().get(2) {
+                Some(Value::Int(d)) => Some(*d),
+                _ => None,
+            })
+            .collect();
+        let (Some(&min), Some(&max)) = (years.iter().min(), years.iter().max()) else {
+            return; // every relation empty: nothing to pin
+        };
+        let mut conditions: Vec<Condition> = Vec::new();
+        for v in [min, max] {
+            for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+                conditions.push(Predicate::cmp("D", op, v).into());
+            }
+            conditions.push(
+                Predicate::Between {
+                    attr: "D".into(),
+                    lo: Value::Int(v),
+                    hi: Value::Int(v),
+                }
+                .into(),
+            );
+        }
+        conditions.push(
+            Predicate::Between {
+                attr: "D".into(),
+                lo: Value::Int(min),
+                hi: Value::Int(max),
+            }
+            .into(),
+        );
+
+        let stats: Vec<TableStats> = relations
+            .iter()
+            .enumerate()
+            .map(|(j, r)| TableStats::build(r, j as u64))
+            .collect();
+        let from_stats = SourceBounds::from_stats(&conditions, &stats);
+        let exact = SourceBounds::exact_from_relations(&conditions, &relations).unwrap();
+        for (i, cond) in conditions.iter().enumerate() {
+            for (j, rel) in relations.iter().enumerate() {
+                let truth = rel.select_items(cond).unwrap().items.len() as f64;
+                assert!(
+                    from_stats.sq[i][j].contains(truth),
+                    "stats seed: |{cond}| = {truth} at source {j} outside {}",
+                    from_stats.sq[i][j]
+                );
+                assert!(
+                    exact.sq[i][j].contains(truth),
+                    "exact seed: |{cond}| = {truth} at source {j} outside {}",
+                    exact.sq[i][j]
+                );
+            }
+        }
+
+        // Propagate a pair of boundary conditions through a random plan:
+        // the interpreter's observations stay inside the static
+        // intervals end to end.
+        let a = g.0.next_below(conditions.len());
+        let b = g.0.next_below(conditions.len());
+        let pair = vec![conditions[a].clone(), conditions[b].clone()];
+        let plan = g.spec(2, 3).build(3).unwrap();
+        let observed = evaluate_plan_vars(&plan, &pair, &relations).unwrap();
+        let model = g.model(2, 3);
+        for (name, bounds) in [
+            ("stats", SourceBounds::from_stats(&pair, &stats)),
+            (
+                "exact",
+                SourceBounds::exact_from_relations(&pair, &relations).unwrap(),
+            ),
+        ] {
+            let df = analyze_dataflow(&plan, &model, &bounds).unwrap();
+            for (v, set) in observed.iter().enumerate() {
+                let Some(set) = set else { continue };
+                assert!(
+                    df.var_bounds[v].contains(set.len() as f64),
+                    "{name} seeds on boundary pair: |{}| = {} outside {}\n{}",
+                    plan.var_name(fusion::core::plan::VarId(v)),
+                    set.len(),
+                    df.var_bounds[v],
                     plan.listing()
                 );
             }
