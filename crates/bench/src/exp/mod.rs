@@ -13,6 +13,7 @@ pub mod mqo_exp;
 pub mod one_phase;
 pub mod optimality;
 pub mod parallel_exp;
+pub mod phase2_exp;
 pub mod postopt;
 pub mod pruning;
 pub mod reopt_exp;
@@ -72,7 +73,7 @@ pub fn executed_cost(scenario: &Scenario, plan: &fusion_core::plan::Plan) -> f64
 }
 
 /// All experiment names, in canonical order.
-pub const ALL: [&str; 26] = [
+pub const ALL: [&str; 27] = [
     "fig1",
     "fig2",
     "fig5",
@@ -99,6 +100,7 @@ pub const ALL: [&str; 26] = [
     "e21-throughput",
     "e22-mqo",
     "e23-reopt",
+    "e24-phase2",
 ];
 
 /// Runs one experiment by name (or `all`). Returns false for unknown
@@ -214,6 +216,10 @@ pub fn run(name: &str) -> bool {
         }
         "e23-reopt" => {
             reopt_exp::e23_reopt();
+            true
+        }
+        "e24-phase2" => {
+            phase2_exp::e24_phase2();
             true
         }
         _ => false,

@@ -37,7 +37,17 @@ use fusion_net::{FaultPlan, FaultSpec, Link, LinkProfile, Network};
 use fusion_source::{Capabilities, InMemoryWrapper, ProcessingProfile, SourceSet};
 use fusion_stats::TableStats;
 use fusion_types::error::{FusionError, Result};
-use fusion_types::{Attribute, Predicate, Relation, Schema, SourceId, ValueType};
+use fusion_types::{Attribute, Predicate, Relation, Schema, SourceId, Tuple, ValueType};
+
+/// Appends up to 20 records to a `\fetch` transcript.
+fn push_records(out: &mut String, records: &[Tuple]) {
+    for r in records.iter().take(20) {
+        out.push_str(&format!("\n  {r}"));
+    }
+    if records.len() > 20 {
+        out.push_str(&format!("\n  ... {} more", records.len() - 20));
+    }
+}
 
 /// Byte budget `\cache on` uses when none is given.
 const DEFAULT_CACHE_BUDGET: usize = 1 << 20;
@@ -175,7 +185,7 @@ impl Session {
             "lint" => self.cmd_lint(arg),
             "dataflow" => self.cmd_dataflow(arg),
             "check" => self.cmd_check(arg),
-            "fetch" => self.query(arg, QueryMode::Fetch),
+            "fetch" => self.cmd_fetch(arg),
             "exec" => self.cmd_exec(arg),
             "gantt" => self.cmd_gantt(arg),
             "trace" => self.cmd_trace(arg),
@@ -1466,6 +1476,64 @@ executed cost {} with per-round re-optimization:",
         Ok(Some(plan))
     }
 
+    /// `\fetch [attrs=A,B] [broadcast] <sql>` — phase one converges the
+    /// item set, then phase two retrieves the named non-merge
+    /// attributes (all of them by default) through the cost-based
+    /// covering planner, or through the broadcast baseline on request.
+    fn cmd_fetch(&mut self, arg: &str) -> Result<String> {
+        let mut opts = FetchOpts::default();
+        let mut rest = arg;
+        loop {
+            let mut parts = rest.splitn(2, char::is_whitespace);
+            let head = parts.next().unwrap_or_default();
+            if let Some(list) = head.strip_prefix("attrs=") {
+                opts.attrs = Some(
+                    list.split(',')
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            } else if head == "broadcast" {
+                opts.broadcast = true;
+            } else {
+                break;
+            }
+            rest = parts.next().unwrap_or("").trim();
+        }
+        self.query(rest, QueryMode::Fetch(opts))
+    }
+
+    /// Resolves requested attribute names to ascending schema indexes;
+    /// an empty request means every non-merge attribute.
+    fn resolve_fetch_attrs(schema: &Schema, opts: &FetchOpts) -> Result<Vec<usize>> {
+        let Some(names) = &opts.attrs else {
+            return Ok(fusion_core::phase2::non_merge_attrs(schema));
+        };
+        let mut attrs = Vec::new();
+        for name in names {
+            let idx = schema
+                .attributes()
+                .iter()
+                .position(|a| a.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    FusionError::execution(format!("unknown attribute `{name}` in attrs="))
+                })?;
+            if idx == schema.merge_index() {
+                return Err(FusionError::execution(format!(
+                    "`{name}` is the merge attribute; it is part of every record"
+                )));
+            }
+            if !attrs.contains(&idx) {
+                attrs.push(idx);
+            }
+        }
+        attrs.sort_unstable();
+        if attrs.is_empty() {
+            return Err(FusionError::execution("attrs= names no attributes"));
+        }
+        Ok(attrs)
+    }
+
     fn query(&mut self, sql: &str, mode: QueryMode) -> Result<String> {
         if sql.is_empty() {
             return Err(FusionError::execution("empty query"));
@@ -1473,7 +1541,7 @@ executed cost {} with per-round re-optimization:",
         let (query, sources, mut network) = self.materialize(sql)?;
         let model = NetworkCostModel::new(&sources, &network, &query, None);
         match mode {
-            QueryMode::Execute | QueryMode::Fetch => {
+            QueryMode::Execute | QueryMode::Fetch(_) => {
                 let faults_on = self.faults.is_some();
                 let n_sources = self.sources.len();
                 let mut cache_line = None;
@@ -1544,18 +1612,98 @@ executed cost {} with per-round re-optimization:",
                         outcome.ledger.failed_total()
                     ));
                 }
-                if mode == QueryMode::Fetch && !outcome.answer.is_empty() {
-                    let fetched = fetch_records(&outcome.answer, &sources, &mut network)?;
-                    out.push_str(&format!(
-                        "\nfetched {} records (cost {}):",
-                        fetched.records.len(),
-                        fetched.cost
-                    ));
-                    for r in fetched.records.iter().take(20) {
-                        out.push_str(&format!("\n  {r}"));
-                    }
-                    if fetched.records.len() > 20 {
-                        out.push_str(&format!("\n  ... {} more", fetched.records.len() - 20));
+                if let QueryMode::Fetch(opts) = &mode {
+                    if outcome.answer.is_empty() {
+                        out.push_str("\nnothing to fetch: the answer is empty");
+                    } else if opts.broadcast {
+                        let fetched = fetch_records(&outcome.answer, &sources, &mut network)?;
+                        out.push_str(&format!(
+                            "\nbroadcast fetched {} records (cost {}):",
+                            fetched.records.len(),
+                            fetched.cost
+                        ));
+                        push_records(&mut out, &fetched.records);
+                    } else {
+                        let schema = query.schema().clone();
+                        let attrs = Self::resolve_fetch_attrs(&schema, opts)?;
+                        let relations: Vec<Relation> =
+                            self.sources.iter().map(|s| s.relation.clone()).collect();
+                        let fetchable: Vec<bool> =
+                            self.sources.iter().map(|s| s.caps.record_fetch).collect();
+                        let catalog = fusion_core::phase2::CoverageCatalog::from_relations(
+                            &schema, &relations, &fetchable,
+                        );
+                        // Price the broadcast baseline on a pristine
+                        // clone so the comparison shares phase one.
+                        let mut bnet = network.clone();
+                        let policy = faults_on.then(RetryPolicy::default);
+                        let (plan, cert, fetched) = fusion_exec::fetch_planned(
+                            &outcome.answer,
+                            &attrs,
+                            &catalog,
+                            &model,
+                            &schema,
+                            &sources,
+                            &mut network,
+                            self.cache.as_mut(),
+                            policy.as_ref(),
+                        )?;
+                        let names: Vec<&str> = attrs
+                            .iter()
+                            .map(|&a| schema.attribute(a).name.as_str())
+                            .collect();
+                        out.push_str(&format!(
+                            "\nfetch plan for {{{}}}: {} assignments, planned cost {} \
+                             (certified lower bound {:.3})",
+                            names.join(", "),
+                            cert.n_assignments,
+                            cert.planned,
+                            cert.lower_bound,
+                        ));
+                        for a in &plan.assignments {
+                            out.push_str(&format!(
+                                "\n  {} <- {} items x {} attrs in {} batches (est {})",
+                                self.sources[a.source.0].name,
+                                a.items.len(),
+                                a.attrs.len(),
+                                a.batches,
+                                a.est_cost
+                            ));
+                        }
+                        if fetched.cached_served > 0 {
+                            out.push_str(&format!(
+                                "\n  cache served {} items at zero exchange cost",
+                                fetched.cached_served
+                            ));
+                        }
+                        if let Ok(broadcast) = fetch_records(&outcome.answer, &sources, &mut bnet) {
+                            out.push_str(&format!(
+                                "\n  broadcast baseline would cost {} for full records",
+                                broadcast.cost
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "\nfetched {} records (cost {} over {} round trips):",
+                            fetched.records.len(),
+                            fetched.total_cost(),
+                            fetched.ledger.round_trips()
+                        ));
+                        push_records(&mut out, &fetched.records);
+                        if !fetched.missing.is_empty() {
+                            out.push_str(&format!("\ncompleteness: {}", fetched.completeness));
+                            for (item, lacking) in fetched.missing.iter().take(10) {
+                                out.push_str(&format!(
+                                    "\n  {item} lacks {{{}}}",
+                                    lacking.join(", ")
+                                ));
+                            }
+                            if fetched.missing.len() > 10 {
+                                out.push_str(&format!(
+                                    "\n  ... {} more items incomplete",
+                                    fetched.missing.len() - 10
+                                ));
+                            }
+                        }
                     }
                 }
                 Ok(out)
@@ -1641,7 +1789,9 @@ commands:
          runs the certified stage schedule on T worker threads (default:
          available cores) and reports the simulated makespan and measured
          wall clock — answers and costs are identical to sequential runs
-  \\fetch <sql>                           execute, then fetch full records
+  \\fetch [attrs=A,B] [broadcast] <sql>   execute, then fetch records for the
+         named non-merge attributes (default all) via the cost-based
+         covering planner; `broadcast` runs the every-source baseline
   \\gantt <sql>                           ASCII Gantt chart of the SJA+ plan's
          parallel stage schedule
   \\trace <sql>                           raw network exchange trace of
@@ -1689,10 +1839,19 @@ commands:
   \\quit                                  exit
 anything else is parsed as a fusion query and executed with SJA+";
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum QueryMode {
     Execute,
-    Fetch,
+    Fetch(FetchOpts),
+}
+
+/// Options parsed off the front of a `\fetch` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct FetchOpts {
+    /// Requested non-merge attributes by name; `None` means all of them.
+    attrs: Option<Vec<String>>,
+    /// Skip the planner and run the broadcast baseline instead.
+    broadcast: bool,
 }
 
 /// A cost model whose per-cell cardinality estimates are inflated by a
@@ -2131,8 +2290,51 @@ mod tests {
         let mut s = Session::new();
         run(&mut s, "\\scenario dmv");
         let out = run(&mut s, &format!("\\fetch {DMV_SQL}"));
+        assert!(out.contains("fetch plan"), "{out}");
         assert!(out.contains("fetched"), "{out}");
         assert!(out.contains("'J55'"), "{out}");
+    }
+
+    #[test]
+    fn fetch_planned_and_broadcast_agree_on_records() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let planned = run(&mut s, &format!("\\fetch {DMV_SQL}"));
+        let broadcast = run(&mut s, &format!("\\fetch broadcast {DMV_SQL}"));
+        assert!(broadcast.contains("broadcast fetched"), "{broadcast}");
+        // The DMV sources hold *different* records per item, so the
+        // broadcast union is wider; every planned record must appear in
+        // it (the planner picks real rows, one covering record per
+        // item), and covering costs strictly less than broadcasting.
+        let rows = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.starts_with("  ('"))
+                .map(str::to_string)
+                .collect()
+        };
+        let (p, b) = (rows(&planned), rows(&broadcast));
+        assert!(!p.is_empty(), "{planned}");
+        assert!(
+            p.iter().all(|r| b.contains(r)),
+            "{planned}\n---\n{broadcast}"
+        );
+        assert!(
+            planned.contains("broadcast baseline would cost"),
+            "{planned}"
+        );
+    }
+
+    #[test]
+    fn fetch_attrs_narrows_the_request_and_rejects_nonsense() {
+        let mut s = Session::new();
+        run(&mut s, "\\scenario dmv");
+        let out = run(&mut s, &format!("\\fetch attrs=V {DMV_SQL}"));
+        assert!(out.contains("fetch plan for {V}"), "{out}");
+        assert!(out.contains("fetched"), "{out}");
+        let out = run(&mut s, &format!("\\fetch attrs=Bogus {DMV_SQL}"));
+        assert!(out.contains("unknown attribute"), "{out}");
+        let out = run(&mut s, &format!("\\fetch attrs=L {DMV_SQL}"));
+        assert!(out.contains("merge attribute"), "{out}");
     }
 
     #[test]

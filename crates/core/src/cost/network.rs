@@ -102,6 +102,59 @@ impl NetworkCostModel {
         &self.sources[source.0]
     }
 
+    /// The capability record the model snapshotted for `source`.
+    pub fn source_capabilities(&self, source: SourceId) -> &Capabilities {
+        &self.profile(source).caps
+    }
+
+    /// Prices a phase-two fetch assignment at `source`: `k` surviving
+    /// M-values shipped in `⌈k / fetch_batch⌉` round trips, each paying
+    /// its own envelope, overhead, latency, and per-query fee. The
+    /// response ships `attrs + 1` of the schema's `arity` values per
+    /// record when the source accepts projection lists, full tuples
+    /// otherwise. `Cost::INFINITE` when the source cannot serve record
+    /// fetches at all.
+    pub fn fetch_cost(&self, source: SourceId, k: usize, attrs: usize, arity: usize) -> Cost {
+        let p = self.profile(source);
+        if !p.caps.record_fetch {
+            return Cost::INFINITE;
+        }
+        if k == 0 {
+            return Cost::ZERO;
+        }
+        let batches = p.caps.fetch_batches_for(k) as f64;
+        let per_value = p.avg_tuple_bytes / arity.max(1) as f64;
+        let resp_per_record = if p.caps.projection {
+            per_value * (attrs + 1) as f64
+        } else {
+            p.avg_tuple_bytes
+        };
+        let req = batches * ENVELOPE_BYTES as f64 + k as f64 * p.avg_item_bytes;
+        let resp = batches * ENVELOPE_BYTES as f64 + k as f64 * resp_per_record;
+        let comm =
+            batches * (p.link.overhead + 2.0 * p.link.latency) + (req + resp) / p.link.bandwidth;
+        // Each M-value is probed against the source's merge index, and
+        // each matching record is shipped back.
+        let work = batches * p.proc.fixed
+            + p.proc.per_tuple_examined * k as f64
+            + p.proc.per_item_returned * k as f64;
+        Cost::new(comm + work + batches * p.caps.query_fee())
+    }
+
+    /// Admissible per-(item, attribute) floor of any phase-two fetch at
+    /// `source`: the transfer time of one attribute value alone, with
+    /// every fixed per-exchange cost (envelope, latency, fee, source
+    /// work) dropped. Any feasible assignment that covers the pair at
+    /// this source pays at least this much, so summing the per-pair
+    /// minimum over sources lower-bounds every covering plan.
+    pub fn fetch_attr_floor(&self, source: SourceId, arity: usize) -> f64 {
+        let p = self.profile(source);
+        if !p.caps.record_fetch {
+            return f64::INFINITY;
+        }
+        (p.avg_tuple_bytes / arity.max(1) as f64) / p.link.bandwidth
+    }
+
     /// Estimated tuples a source examines to answer `sq(c_i, ·)`.
     fn est_examined(&self, cond: CondId, source: SourceId) -> f64 {
         if self.index_served[cond.0] {
@@ -130,7 +183,7 @@ impl CostModel for NetworkCostModel {
         let work = p
             .proc
             .cost(self.est_examined(cond, source) as usize, returned as usize);
-        Cost::new(comm + work)
+        Cost::new(comm + work + p.caps.query_fee())
     }
 
     fn sjq_cost(&self, cond: CondId, source: SourceId, est_items: f64) -> Cost {
@@ -149,7 +202,7 @@ impl CostModel for NetworkCostModel {
             let comm = p.link.overhead + 2.0 * p.link.latency + (req + resp) / p.link.bandwidth;
             // Each binding is probed against the source's merge index.
             let work = p.proc.cost(k as usize, returned as usize);
-            return Cost::new(comm + work);
+            return Cost::new(comm + work + p.caps.query_fee());
         }
         if !p.caps.passed_bindings {
             return Cost::INFINITE;
@@ -165,7 +218,10 @@ impl CostModel for NetworkCostModel {
         let work = probes * p.proc.fixed
             + p.proc.per_tuple_examined * k
             + p.proc.per_item_returned * returned;
-        Cost::new(comm + work)
+        // A paid tier charges per round trip: emulation multiplies the
+        // fee by the probe count, which is what shifts SJA away from
+        // per-binding emulation at paid sources.
+        Cost::new(comm + work + probes * p.caps.query_fee())
     }
 
     fn sjq_bloom_cost(&self, cond: CondId, source: SourceId, est_items: f64, bits: u8) -> Cost {
@@ -189,7 +245,7 @@ impl CostModel for NetworkCostModel {
         let work = p
             .proc
             .cost(self.est_examined(cond, source) as usize, returned as usize);
-        Cost::new(comm + work)
+        Cost::new(comm + work + p.caps.query_fee())
     }
 
     fn lq_cost(&self, source: SourceId) -> Cost {
@@ -201,7 +257,7 @@ impl CostModel for NetworkCostModel {
         let resp = ENVELOPE_BYTES as f64 + p.rows * p.avg_tuple_bytes;
         let comm = p.link.overhead + 2.0 * p.link.latency + (req + resp) / p.link.bandwidth;
         let work = p.proc.cost(p.rows as usize, p.rows as usize);
-        Cost::new(comm + work)
+        Cost::new(comm + work + p.caps.query_fee())
     }
 
     fn est_sq_items(&self, cond: CondId, source: SourceId) -> f64 {
@@ -351,5 +407,73 @@ mod tests {
         let c = m.sjq_cost(CondId(0), SourceId(1), 0.0);
         // No probes needed: communication cost is zero.
         assert_eq!(c, Cost::ZERO);
+    }
+
+    #[test]
+    fn query_fee_is_charged_per_round_trip() {
+        let free = mk_model(Capabilities::full());
+        let paid = mk_model(Capabilities::full().with_fee_millis(3000));
+        let j = SourceId(1);
+        let dc = paid.sq_cost(CondId(0), j).value() - free.sq_cost(CondId(0), j).value();
+        assert!((dc - 3.0).abs() < 1e-9, "sq fee delta {dc}");
+        let dn =
+            paid.sjq_cost(CondId(0), j, 20.0).value() - free.sjq_cost(CondId(0), j, 20.0).value();
+        assert!((dn - 3.0).abs() < 1e-9, "native sjq fee delta {dn}");
+        let dl = paid.lq_cost(j).value() - free.lq_cost(j).value();
+        assert!((dl - 3.0).abs() < 1e-9, "lq fee delta {dl}");
+        // Emulation pays the fee once per probe: 20 bindings at batch 5
+        // are 4 probes.
+        let free_e = mk_model(Capabilities::emulated(5));
+        let paid_e = mk_model(Capabilities::emulated(5).with_fee_millis(3000));
+        let de = paid_e.sjq_cost(CondId(0), j, 20.0).value()
+            - free_e.sjq_cost(CondId(0), j, 20.0).value();
+        assert!((de - 12.0).abs() < 1e-9, "emulated fee delta {de}");
+    }
+
+    #[test]
+    fn fetch_cost_batches_and_projects() {
+        let m = mk_model(Capabilities::full());
+        let j = SourceId(1);
+        assert_eq!(m.fetch_cost(j, 0, 2, 3), Cost::ZERO);
+        // More items cost more; a projection of fewer attributes costs
+        // less than the full tuple.
+        let narrow = m.fetch_cost(j, 50, 1, 3);
+        let wide = m.fetch_cost(j, 50, 2, 3);
+        assert!(narrow < wide, "narrow={narrow} wide={wide}");
+        assert!(m.fetch_cost(j, 10, 2, 3) < m.fetch_cost(j, 50, 2, 3));
+        // A bounded batch splits into extra round trips and costs more.
+        let bounded = mk_model(Capabilities::full().with_fetch_batch(10));
+        assert!(bounded.fetch_cost(j, 50, 2, 3) > m.fetch_cost(j, 50, 2, 3));
+        // No fetch support prices at infinity; no projection support
+        // prices the full tuple even for narrow requests.
+        let none = mk_model(Capabilities::full().with_fetch(false));
+        assert!(none.fetch_cost(j, 10, 2, 3).is_infinite());
+        assert!(none.fetch_attr_floor(j, 3).is_infinite());
+        let flat = mk_model(Capabilities::full().with_projection(false));
+        assert_eq!(flat.fetch_cost(j, 50, 1, 3), flat.fetch_cost(j, 50, 2, 3));
+    }
+
+    #[test]
+    fn fetch_attr_floor_is_admissible_against_fetch_cost() {
+        for caps in [
+            Capabilities::full(),
+            Capabilities::full()
+                .with_fetch_batch(7)
+                .with_fee_millis(500),
+            Capabilities::full().with_projection(false),
+        ] {
+            let m = mk_model(caps);
+            let j = SourceId(1);
+            for k in [1usize, 10, 50] {
+                for attrs in [1usize, 2] {
+                    let floor = m.fetch_attr_floor(j, 3) * (k * attrs) as f64;
+                    let actual = m.fetch_cost(j, k, attrs, 3);
+                    assert!(
+                        floor <= actual.value() + 1e-12,
+                        "floor {floor} exceeds cost {actual} at k={k} attrs={attrs}"
+                    );
+                }
+            }
+        }
     }
 }

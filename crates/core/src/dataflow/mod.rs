@@ -28,7 +28,7 @@
 //! | `sq` / local `sq`   | `lo_ij`                       | `hi_ij`           |
 //! | `sjq(c,R,Y)`        | `max(0, lo_Y + lo_ij − domain)` | `min(hi_Y, hi_ij)` |
 //! | `sjq(c,R,bloom(Y))` | same as `sjq`                 | `hi_ij`           |
-//! | `∪`                 | `max_i lo_i`                  | `min(Σ hi_i, domain)` |
+//! | `∪`                 | `max_i lo_i`                  | `min(Σ hi_i, Σ_{j∈src(∪)} item̂_j, domain)` |
 //! | `∩`                 | `max(0, Σ lo_i − (k−1)·domain)` | `min_i hi_i`    |
 //! | `Y − Z`             | `max(0, lo_Y − hi_Z)`         | `hi_Y`            |
 //!
@@ -36,6 +36,16 @@
 //! in a `domain`-element universe, so soundness of the seeds implies
 //! soundness everywhere (the `tests/dataflow_bounds.rs` battery checks
 //! this against the reference interpreter on random worlds).
+//!
+//! The `∪` rule folds in an SPJU-style key constraint: the analysis
+//! tracks, per variable, the *source support* — the set of sources
+//! whose rows can contribute items (`sq`/`sjq`/Bloom results live at
+//! one source; `∪` unions supports, `∩` keeps its smallest-mass input's
+//! support, `−` keeps the left's). A union over variables all drawn
+//! from sources `src(∪)` can never exceed `Σ_{j∈src(∪)} item̂_j`
+//! distinct merge items, where `item̂_j` bounds source `j`'s distinct
+//! items — often far below `Σ hi_i` when conditions overlap at a
+//! source.
 //!
 //! Cost intervals follow from the §2.4 axioms: `sq`/`lq` costs are
 //! model constants, and `sjq_cost` is monotone in the shipped-set size,
@@ -646,9 +656,40 @@ pub fn analyze_dataflow<M: CostModel>(
     let mut var_bounds = vec![Interval::point(0.0); plan.var_names.len()];
     let mut rel_bounds = vec![Interval::point(0.0); plan.rel_names.len()];
     let mut rel_source = vec![None; plan.rel_names.len()];
+    let mut var_support: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); plan.var_names.len()];
     let mut step_bounds = Vec::with_capacity(plan.steps.len());
     let mut step_costs = Vec::with_capacity(plan.steps.len());
+    let support_mass =
+        |s: &std::collections::BTreeSet<usize>| s.iter().map(|&j| bounds.items[j].hi).sum::<f64>();
     for step in &plan.steps {
+        // Source support: which sources can contribute items to the
+        // step's output (the union key-constraint bound's input).
+        let support: std::collections::BTreeSet<usize> = match step {
+            Step::Sq { source, .. }
+            | Step::Sjq { source, .. }
+            | Step::SjqBloom { source, .. }
+            | Step::Lq { source, .. } => [source.0].into_iter().collect(),
+            Step::LocalSq { rel, .. } => rel_source[rel.0]
+                .map(|s: SourceId| s.0)
+                .into_iter()
+                .collect(),
+            Step::Union { inputs, .. } => inputs
+                .iter()
+                .flat_map(|v| var_support[v.0].iter().copied())
+                .collect(),
+            Step::Intersect { inputs, .. } => inputs
+                .iter()
+                .map(|v| &var_support[v.0])
+                .min_by(|a, b| {
+                    support_mass(a)
+                        .partial_cmp(&support_mass(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned()
+                .unwrap_or_default(),
+            Step::Diff { left, .. } => var_support[left.0].clone(),
+        };
         let (out_bound, cost) = match step {
             Step::Sq { cond, source, .. } => (
                 bounds.sq[cond.0][source.0],
@@ -722,12 +763,16 @@ pub fn analyze_dataflow<M: CostModel>(
                     .iter()
                     .map(|v| var_bounds[v.0].lo)
                     .fold(0.0, f64::max);
+                // Key constraint: every item of the union lives at one
+                // of the supporting sources, so their distinct-item
+                // masses cap the result alongside Σ hi and the domain.
                 let hi = inputs
                     .iter()
                     .map(|v| var_bounds[v.0].hi)
                     .sum::<f64>()
+                    .min(support_mass(&support))
                     .min(domain);
-                (Interval::new(lo, hi), CostInterval::ZERO)
+                (Interval::new(lo, hi.max(lo)), CostInterval::ZERO)
             }
             Step::Intersect { inputs, .. } => {
                 let k = inputs.len() as f64;
@@ -750,6 +795,7 @@ pub fn analyze_dataflow<M: CostModel>(
         };
         if let Some(out) = step.defined_var() {
             var_bounds[out.0] = out_bound;
+            var_support[out.0] = support;
         }
         step_bounds.push(out_bound);
         step_costs.push(cost);

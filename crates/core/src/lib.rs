@@ -38,6 +38,7 @@ pub mod estimate;
 pub mod evaluate;
 pub mod explain;
 pub mod optimizer;
+pub mod phase2;
 pub mod plan;
 pub mod postopt;
 pub mod query;

@@ -33,6 +33,12 @@ pub enum StepKind {
     /// reproduce the switch bit-for-bit; `items_out` holds the observed
     /// round cardinality that violated its believed interval.
     Reopt,
+    /// Phase-two record fetch exchange (one batched fetch round trip
+    /// group at one source).
+    Fetch,
+    /// Phase-two records served from the answer cache without an
+    /// exchange (priced zero).
+    FetchCached,
 }
 
 impl std::fmt::Display for StepKind {
@@ -49,6 +55,8 @@ impl std::fmt::Display for StepKind {
             StepKind::ShareHit => "sq(share)",
             StepKind::ShareResidual => "sq(share-residual)",
             StepKind::Reopt => "reopt",
+            StepKind::Fetch => "fetch",
+            StepKind::FetchCached => "fetch-cached",
         };
         write!(f, "{s}")
     }

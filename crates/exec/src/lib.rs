@@ -60,6 +60,7 @@ pub mod cached;
 pub mod interp;
 pub mod ledger;
 pub mod parallel;
+pub mod phase2;
 pub mod piggyback;
 pub mod reopt;
 pub mod replay;
@@ -76,6 +77,10 @@ pub use ledger::{CostLedger, LedgerEntry, StepKind};
 pub use parallel::{
     execute_plan_parallel, execute_plan_parallel_cached, execute_plan_parallel_ft,
     execute_plan_parallel_ft_cached, ParallelConfig, ParallelOutcome,
+};
+pub use phase2::{
+    cached_phase2_rows, execute_fetch_plan, execute_fetch_plan_ft, execute_fetch_plan_parallel,
+    fetch_planned, Phase2Outcome,
 };
 pub use piggyback::{execute_piggyback, fetch_first_records, PiggybackOutcome};
 pub use reopt::{

@@ -24,6 +24,25 @@ pub struct Capabilities {
     /// it returns every qualifying item passing the filter, a superset of
     /// the exact semijoin the mediator re-intersects locally.
     pub bloom_semijoin: bool,
+    /// The source can serve phase-two record fetches (`fetch`): given a
+    /// set of surviving M-values, it ships the matching full records.
+    /// When false, the source contributes to phase one only and the
+    /// phase-two planner must cover its items elsewhere.
+    pub record_fetch: bool,
+    /// The source accepts a projection list on record fetches and ships
+    /// only the requested attributes. When false (but `record_fetch` is
+    /// set), every fetch ships full tuples and the mediator projects
+    /// locally — correct, but priced at full-tuple wire bytes.
+    pub projection: bool,
+    /// How many M-values fit in one fetch request. Larger fetches are
+    /// split into `⌈k / fetch_batch⌉` round trips, each paying its own
+    /// envelope, latency, and per-query fee. Must be at least 1.
+    pub fetch_batch: usize,
+    /// Paid-per-query pricing tier, in thousandths of a cost unit
+    /// charged per round trip (0 = free tier). Stored as an integer so
+    /// `Capabilities` stays `Copy + Eq`; use [`Capabilities::query_fee`]
+    /// for the cost-model value.
+    pub fee_millis: u64,
 }
 
 impl Capabilities {
@@ -35,6 +54,10 @@ impl Capabilities {
             binding_batch: usize::MAX,
             passed_bindings: true,
             bloom_semijoin: true,
+            record_fetch: true,
+            projection: true,
+            fetch_batch: usize::MAX,
+            fee_millis: 0,
         }
     }
 
@@ -48,6 +71,10 @@ impl Capabilities {
             binding_batch: batch,
             passed_bindings: true,
             bloom_semijoin: false,
+            record_fetch: true,
+            projection: false,
+            fetch_batch: batch,
+            fee_millis: 0,
         }
     }
 
@@ -60,6 +87,10 @@ impl Capabilities {
             binding_batch: 1,
             passed_bindings: false,
             bloom_semijoin: false,
+            record_fetch: false,
+            projection: false,
+            fetch_batch: 1,
+            fee_millis: 0,
         }
     }
 
@@ -73,6 +104,49 @@ impl Capabilities {
     pub fn with_bloom(mut self, bloom: bool) -> Capabilities {
         self.bloom_semijoin = bloom;
         self
+    }
+
+    /// Returns a copy with record-fetch support toggled.
+    pub fn with_fetch(mut self, fetch: bool) -> Capabilities {
+        self.record_fetch = fetch;
+        self
+    }
+
+    /// Returns a copy with fetch-projection support toggled.
+    pub fn with_projection(mut self, projection: bool) -> Capabilities {
+        self.projection = projection;
+        self
+    }
+
+    /// Returns a copy with the fetch batch bound set.
+    ///
+    /// # Panics
+    /// Panics when `batch` is zero.
+    pub fn with_fetch_batch(mut self, batch: usize) -> Capabilities {
+        assert!(batch >= 1, "fetch batch must be at least 1");
+        self.fetch_batch = batch;
+        self
+    }
+
+    /// Returns a copy with the paid-per-query pricing tier set, in
+    /// thousandths of a cost unit per round trip.
+    pub fn with_fee_millis(mut self, fee_millis: u64) -> Capabilities {
+        self.fee_millis = fee_millis;
+        self
+    }
+
+    /// The per-round-trip query fee in cost units.
+    pub fn query_fee(&self) -> f64 {
+        self.fee_millis as f64 / 1000.0
+    }
+
+    /// Number of fetch round trips needed to ship `k` M-values.
+    pub fn fetch_batches_for(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            k.div_ceil(self.fetch_batch.max(1))
+        }
     }
 
     /// Number of emulated probe round trips needed for `k` bindings.
@@ -172,6 +246,31 @@ mod tests {
         let s = Capabilities::selection_only();
         assert!(!s.can_semijoin());
         assert!(!s.full_load);
+        assert!(f.record_fetch && f.projection);
+        assert!(e.record_fetch && !e.projection);
+        assert!(!s.record_fetch);
+        assert_eq!(f.fee_millis, 0);
+    }
+
+    #[test]
+    fn fetch_builders_and_fee() {
+        let c = Capabilities::full()
+            .with_fetch(false)
+            .with_projection(false)
+            .with_fee_millis(2500);
+        assert!(!c.record_fetch && !c.projection);
+        assert!((c.query_fee() - 2.5).abs() < 1e-12);
+        let b = Capabilities::full().with_fetch_batch(10);
+        assert_eq!(b.fetch_batches_for(0), 0);
+        assert_eq!(b.fetch_batches_for(10), 1);
+        assert_eq!(b.fetch_batches_for(11), 2);
+        assert_eq!(Capabilities::full().fetch_batches_for(1 << 20), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch batch must be at least 1")]
+    fn zero_fetch_batch_rejected() {
+        let _ = Capabilities::full().with_fetch_batch(0);
     }
 
     #[test]

@@ -131,6 +131,23 @@ impl SourceEngine {
         }
         (out, self.relation.len())
     }
+
+    /// Fetches a projection of the tuples whose merge item is in `items`:
+    /// each returned tuple carries the values at `attrs` (schema indexes,
+    /// in the given order). The caller includes the merge index in
+    /// `attrs` when it wants the key shipped back.
+    pub fn fetch_projected(&self, items: &ItemSet, attrs: &[usize]) -> (Vec<Tuple>, usize) {
+        let schema = self.relation.schema();
+        let mut out = Vec::new();
+        for row in self.relation.rows() {
+            if items.contains(&row.item(schema)) {
+                out.push(Tuple::new(
+                    attrs.iter().map(|&a| row.get(a).clone()).collect(),
+                ));
+            }
+        }
+        (out, self.relation.len())
+    }
 }
 
 #[cfg(test)]

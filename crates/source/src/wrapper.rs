@@ -105,8 +105,23 @@ pub trait Wrapper: Send + Sync {
     /// Phase-two record fetch: full tuples for the given items.
     ///
     /// # Errors
-    /// Propagates evaluation errors.
+    /// [`FusionError::Unsupported`] when the source cannot serve record
+    /// fetches (`Capabilities::record_fetch` is false); otherwise
+    /// propagates evaluation errors.
     fn fetch(&self, items: &ItemSet) -> Result<WrapperResponse<Vec<Tuple>>>;
+
+    /// Phase-two projected fetch: for each matching record, only the
+    /// values at the given schema indexes, in that order.
+    ///
+    /// # Errors
+    /// [`FusionError::Unsupported`] when the source cannot serve record
+    /// fetches or does not accept projection lists; otherwise propagates
+    /// evaluation errors.
+    fn fetch_projected(
+        &self,
+        items: &ItemSet,
+        attrs: &[usize],
+    ) -> Result<WrapperResponse<Vec<Tuple>>>;
 }
 
 /// A wrapper over an in-memory [`SourceEngine`].
@@ -280,7 +295,34 @@ impl Wrapper for InMemoryWrapper {
     }
 
     fn fetch(&self, items: &ItemSet) -> Result<WrapperResponse<Vec<Tuple>>> {
+        if !self.capabilities.record_fetch {
+            return Err(FusionError::Unsupported {
+                detail: format!("source `{}` cannot serve record fetches", self.name),
+            });
+        }
         let (tuples, examined) = self.engine.fetch(items);
+        Ok(WrapperResponse {
+            payload: tuples,
+            tuples_examined: examined,
+        })
+    }
+
+    fn fetch_projected(
+        &self,
+        items: &ItemSet,
+        attrs: &[usize],
+    ) -> Result<WrapperResponse<Vec<Tuple>>> {
+        if !self.capabilities.record_fetch {
+            return Err(FusionError::Unsupported {
+                detail: format!("source `{}` cannot serve record fetches", self.name),
+            });
+        }
+        if !self.capabilities.projection {
+            return Err(FusionError::Unsupported {
+                detail: format!("source `{}` does not accept fetch projections", self.name),
+            });
+        }
+        let (tuples, examined) = self.engine.fetch_projected(items, attrs);
         Ok(WrapperResponse {
             payload: tuples,
             tuples_examined: examined,

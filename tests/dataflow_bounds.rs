@@ -191,6 +191,173 @@ fn boundary_predicates_stay_inside_seeded_intervals() {
     });
 }
 
+/// The union key-constraint bound: two broad conditions unioned *at the
+/// same source* cannot exceed that source's distinct-item mass, even
+/// when the naive `Σ hi_i` bound doubles it. Cross-source unions keep
+/// the summed bound and stay sound.
+#[test]
+fn union_key_constraint_caps_same_source_unions() {
+    use fusion::core::plan::{Step, VarId};
+    use fusion::types::{CondId, SourceId};
+    for_seeds(SEEDS, |g| {
+        let relations = g.relations(3);
+        let d1 = relations[0].distinct_items().len() as f64;
+        if d1 == 0.0 {
+            return; // an empty first source caps everything at zero
+        }
+        // Two tautologies: each selects all of R1's items.
+        let conditions: Vec<Condition> =
+            vec![Predicate::Const(true).into(), Predicate::Const(true).into()];
+        let plan = Plan::new(
+            vec![
+                Step::Sq {
+                    out: VarId(0),
+                    cond: CondId(0),
+                    source: SourceId(0),
+                },
+                Step::Sq {
+                    out: VarId(1),
+                    cond: CondId(1),
+                    source: SourceId(0),
+                },
+                Step::Union {
+                    out: VarId(2),
+                    inputs: vec![VarId(0), VarId(1)],
+                },
+            ],
+            VarId(2),
+            2,
+            3,
+        );
+        let bounds = SourceBounds::exact_from_relations(&conditions, &relations).unwrap();
+        let model = g.model(2, 3);
+        let df = analyze_dataflow(&plan, &model, &bounds).unwrap();
+        let naive = 2.0 * d1;
+        assert!(
+            df.var_bounds[2].hi <= d1,
+            "same-source union bound {} exceeds R1's item mass {d1}",
+            df.var_bounds[2]
+        );
+        if naive.min(bounds.domain) > d1 {
+            assert!(
+                df.var_bounds[2].hi < naive.min(bounds.domain),
+                "key constraint did not tighten: {} vs naive {naive}",
+                df.var_bounds[2]
+            );
+        }
+        let observed = evaluate_plan_vars(&plan, &conditions, &relations).unwrap();
+        let union = observed[2].as_ref().unwrap();
+        assert!(
+            df.var_bounds[2].contains(union.len() as f64),
+            "|∪| = {} outside {}",
+            union.len(),
+            df.var_bounds[2]
+        );
+
+        // Cross-source variant: the same two tautologies at R1 and R2.
+        let cross = Plan::new(
+            vec![
+                Step::Sq {
+                    out: VarId(0),
+                    cond: CondId(0),
+                    source: SourceId(0),
+                },
+                Step::Sq {
+                    out: VarId(1),
+                    cond: CondId(1),
+                    source: SourceId(1),
+                },
+                Step::Union {
+                    out: VarId(2),
+                    inputs: vec![VarId(0), VarId(1)],
+                },
+            ],
+            VarId(2),
+            2,
+            3,
+        );
+        let df = analyze_dataflow(&cross, &model, &bounds).unwrap();
+        let observed = evaluate_plan_vars(&cross, &conditions, &relations).unwrap();
+        let union = observed[2].as_ref().unwrap();
+        assert!(
+            df.var_bounds[2].contains(union.len() as f64),
+            "cross-source |∪| = {} outside {}",
+            union.len(),
+            df.var_bounds[2]
+        );
+        let d2 = relations[1].distinct_items().len() as f64;
+        assert!(
+            df.var_bounds[2].hi <= d1 + d2,
+            "cross-source union bound {} exceeds combined mass {}",
+            df.var_bounds[2],
+            d1 + d2
+        );
+    });
+}
+
+/// Source-support propagation through ∩ (smallest-mass input), − (left
+/// operand), and sjq ({queried source}) keeps every downstream union
+/// bound sound against the reference interpreter.
+#[test]
+fn union_tightening_stays_sound_through_set_algebra() {
+    use fusion::core::plan::{Step, VarId};
+    use fusion::types::{CondId, SourceId};
+    for_seeds(SEEDS, |g| {
+        let relations = g.relations(2);
+        let conditions = vec![g.condition(), g.condition()];
+        let plan = Plan::new(
+            vec![
+                Step::Sq {
+                    out: VarId(0),
+                    cond: CondId(0),
+                    source: SourceId(0),
+                },
+                Step::Sjq {
+                    out: VarId(1),
+                    cond: CondId(1),
+                    source: SourceId(1),
+                    input: VarId(0),
+                },
+                Step::Union {
+                    out: VarId(2),
+                    inputs: vec![VarId(0), VarId(1)],
+                },
+                Step::Intersect {
+                    out: VarId(3),
+                    inputs: vec![VarId(0), VarId(2)],
+                },
+                Step::Diff {
+                    out: VarId(4),
+                    left: VarId(2),
+                    right: VarId(1),
+                },
+                Step::Union {
+                    out: VarId(5),
+                    inputs: vec![VarId(3), VarId(4)],
+                },
+            ],
+            VarId(5),
+            2,
+            2,
+        );
+        let observed = evaluate_plan_vars(&plan, &conditions, &relations).unwrap();
+        let model = g.model(2, 2);
+        for (name, bounds) in seedings(g, 2, 2, &conditions, &relations) {
+            let df = analyze_dataflow(&plan, &model, &bounds).unwrap();
+            for (v, set) in observed.iter().enumerate() {
+                let Some(set) = set else { continue };
+                assert!(
+                    df.var_bounds[v].contains(set.len() as f64),
+                    "{name} seeds: |v{v}| = {} outside {}\n{}",
+                    set.len(),
+                    df.var_bounds[v],
+                    plan.listing()
+                );
+            }
+        }
+    });
+}
+
 #[test]
 fn liveness_matches_what_the_interpreter_reads() {
     for_seeds(SEEDS, |g| {

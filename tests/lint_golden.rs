@@ -349,6 +349,52 @@ fn sharing_rows() -> Vec<(String, Diagnostic)> {
     rows
 }
 
+/// `redundant-phase2-fetch` findings for a mutant phase-two fetch plan
+/// that splits one item's attributes across two replicas although
+/// either covers both (the planner never emits this; the mutant
+/// re-introduces it the same way the certification mutants do).
+fn phase2_rows() -> Vec<(String, Diagnostic)> {
+    use fusion::core::phase2::{
+        redundant_fetch_findings, CoverageCatalog, FetchAssignment, FetchPlan,
+    };
+    use fusion::types::{Cost, Item, ItemSet};
+    let item: Item = Item("J55".into());
+    let one: ItemSet = [item.clone()].into_iter().collect();
+    let mut catalog = CoverageCatalog::new(2);
+    catalog.set(SourceId(0), [1, 2].into(), one.clone());
+    catalog.set(SourceId(1), [1, 2].into(), one.clone());
+    let split = FetchPlan {
+        attrs: vec![1, 2],
+        arity: 3,
+        cached: ItemSet::empty(),
+        assignments: vec![
+            FetchAssignment {
+                source: SourceId(0),
+                items: one.clone(),
+                attrs: vec![1],
+                covers: vec![(item.clone(), vec![1])],
+                batches: 1,
+                est_cost: Cost::new(1.0),
+            },
+            FetchAssignment {
+                source: SourceId(1),
+                items: one,
+                attrs: vec![2],
+                covers: vec![(item, vec![2])],
+                batches: 1,
+                est_cost: Cost::new(1.0),
+            },
+        ],
+        missing: Vec::new(),
+        planned_cost: Cost::new(2.0),
+        lower_bound: 0.0,
+    };
+    redundant_fetch_findings(&split, &catalog)
+        .into_iter()
+        .map(|d| ("split-fetch-plan".to_string(), d))
+        .collect()
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -389,6 +435,7 @@ fn lint_corpus_matches_golden_file() {
     rows.extend(stale_cache_rows());
     rows.extend(interference_rows());
     rows.extend(sharing_rows());
+    rows.extend(phase2_rows());
     let rendered = render(&rows);
     if std::env::var("BLESS").is_ok() {
         std::fs::write(GOLDEN, &rendered).unwrap();
@@ -420,6 +467,9 @@ fn corpus_exercises_every_dataflow_rule() {
     for (_, d) in sharing_rows() {
         rows.push(d.rule);
     }
+    for (_, d) in phase2_rows() {
+        rows.push(d.rule);
+    }
     for rule in [
         "retry-non-idempotent-step",
         "narrow-then-widen",
@@ -433,6 +483,7 @@ fn corpus_exercises_every_dataflow_rule() {
         "duplicate-inflight-step",
         "unshared-subsumed-step",
         "unsound-merge-residual",
+        "redundant-phase2-fetch",
     ] {
         assert!(rows.contains(&rule), "corpus never triggers {rule}");
     }
